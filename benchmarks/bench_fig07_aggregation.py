@@ -1,0 +1,52 @@
+"""Figure 7 — aggregation over selection, varying selectivity.
+
+Paper: "all our approaches perform significantly better than
+LINQ-to-objects; in the case of generated C code even up to one order of
+magnitude better.  As the volume of data to be aggregated grows,
+LINQ-to-objects looses ground even further."  Combined C#/C lands between
+the host-only and native extremes (30–70% behind pure C).
+"""
+
+import time
+
+import pytest
+
+from repro.tpch import aggregation_micro
+
+from conftest import drain, write_report
+
+ENGINES = ("linq", "compiled", "native", "hybrid", "hybrid_buffered")
+SWEEP = tuple(round(0.1 * i, 1) for i in range(1, 11))
+SPOT_SELECTIVITIES = (0.2, 0.6, 1.0)
+
+
+@pytest.mark.parametrize("selectivity", SPOT_SELECTIVITIES)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig07_aggregation(benchmark, data, provider, engine, selectivity):
+    query = aggregation_micro(data, engine, selectivity, provider)
+    benchmark.pedantic(drain, args=(query,), rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_fig07_report(benchmark, data, provider, results_dir):
+    """One full selectivity sweep; writes results/fig07_aggregation.txt."""
+
+    def sweep():
+        lines = [
+            "Figure 7: aggregation over selection; evaluation time (ms) by selectivity",
+            "selectivity  " + "  ".join(f"{e:>16s}" for e in ENGINES),
+        ]
+        for selectivity in SWEEP:
+            cells = []
+            for engine in ENGINES:
+                query = aggregation_micro(data, engine, selectivity, provider)
+                drain(query)  # warm the query cache / compile once
+                started = time.perf_counter()
+                drain(query)
+                cells.append((time.perf_counter() - started) * 1e3)
+            lines.append(
+                f"{selectivity:>11.1f}  " + "  ".join(f"{c:>16.1f}" for c in cells)
+            )
+        return lines
+
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(results_dir, "fig07_aggregation", lines)

@@ -1,0 +1,47 @@
+"""Figure 8 — cost breakdown of the combined C#/C aggregation.
+
+Paper: "The cost of iterating over the input and performing the selections
+is independent of selectivity.  Whereas the data staging cost grows with
+selectivity, it does not grow as fast as the aggregation cost."
+"""
+
+import pytest
+
+from repro.profiling import aggregation_breakdown
+
+from conftest import write_report
+
+SWEEP = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+
+@pytest.mark.parametrize("selectivity", (0.2, 0.6, 1.0))
+def test_fig08_breakdown_point(benchmark, data, selectivity):
+    lineitems = data.objects("lineitem")
+    result = benchmark.pedantic(
+        aggregation_breakdown,
+        args=(lineitems, 50.0 * selectivity),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.total > 0
+
+
+def test_fig08_report(benchmark, data, results_dir):
+    lineitems = data.objects("lineitem")
+
+    def sweep():
+        phases = ("iterate", "predicates", "staging", "aggregation", "return_result")
+        lines = [
+            "Figure 8: aggregation cost break down for compiled hybrid code (ms)",
+            "selectivity  " + "  ".join(f"{p:>14s}" for p in phases),
+        ]
+        for selectivity in SWEEP:
+            result = aggregation_breakdown(lineitems, 50.0 * selectivity)
+            cells = [result.phases[p] * 1e3 for p in phases]
+            lines.append(
+                f"{selectivity:>11.1f}  " + "  ".join(f"{c:>14.2f}" for c in cells)
+            )
+        return lines
+
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(results_dir, "fig08_agg_breakdown", lines)

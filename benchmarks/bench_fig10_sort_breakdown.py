@@ -1,0 +1,45 @@
+"""Figure 10 — cost breakdown of hybrid sorting.
+
+Paper: "The cost of quicksort dominates.  As we only transfer the sort
+keys and their indexes to C, the cost of data staging is smaller than that
+of aggregation.  This is offset by the costs of repeatedly calling C and
+composing the result in C#."
+"""
+
+import pytest
+
+from repro.profiling import sort_breakdown
+
+from conftest import write_report
+
+SWEEP = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+
+@pytest.mark.parametrize("selectivity", (0.2, 0.6, 1.0))
+def test_fig10_breakdown_point(benchmark, data, selectivity):
+    lineitems = data.objects("lineitem")
+    result = benchmark.pedantic(
+        sort_breakdown, args=(lineitems, 50.0 * selectivity), rounds=3, iterations=1
+    )
+    assert result.total > 0
+
+
+def test_fig10_report(benchmark, data, results_dir):
+    lineitems = data.objects("lineitem")
+
+    def sweep():
+        phases = ("iterate", "predicates", "staging", "quicksort", "return_result")
+        lines = [
+            "Figure 10: cost break down of sorting for compiled hybrid code (ms)",
+            "selectivity  " + "  ".join(f"{p:>14s}" for p in phases),
+        ]
+        for selectivity in SWEEP:
+            result = sort_breakdown(lineitems, 50.0 * selectivity)
+            cells = [result.phases[p] * 1e3 for p in phases]
+            lines.append(
+                f"{selectivity:>11.1f}  " + "  ".join(f"{c:>14.2f}" for c in cells)
+            )
+        return lines
+
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(results_dir, "fig10_sort_breakdown", lines)

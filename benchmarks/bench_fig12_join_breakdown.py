@@ -1,0 +1,72 @@
+"""Figure 12 — cost breakdown of hybrid join processing (Max variant).
+
+Paper: "the join query does not block for the lineitem relation.  The C#
+code continuously requests the next result.  The C code supplies it by
+iterating over the unprocessed part of lineitem and probing the hash
+tables for qualifying elements ... this cost accounts for the majority of
+the evaluation time."
+"""
+
+import datetime
+
+import pytest
+
+from repro.profiling import join_breakdown
+from repro.tpch import Q3_DEFAULTS
+
+from conftest import write_report
+
+SWEEP = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+_DATE_LO = datetime.date(1992, 1, 1)
+_DATE_HI = datetime.date(1998, 8, 2)
+
+
+def _cutoff(selectivity: float) -> datetime.date:
+    return _DATE_LO + datetime.timedelta(
+        days=int((_DATE_HI - _DATE_LO).days * selectivity)
+    )
+
+
+def _run(data, selectivity: float):
+    return join_breakdown(
+        data.objects("lineitem"),
+        data.objects("orders"),
+        data.objects("customer"),
+        qmax=50.0 * selectivity,
+        order_cutoff=_cutoff(selectivity),
+        segment=Q3_DEFAULTS["segment"],
+    )
+
+
+@pytest.mark.parametrize("selectivity", (0.2, 0.6, 1.0))
+def test_fig12_breakdown_point(benchmark, data, selectivity):
+    result = benchmark.pedantic(
+        _run, args=(data, selectivity), rounds=3, iterations=1
+    )
+    assert result.total > 0
+
+
+def test_fig12_report(benchmark, data, results_dir):
+    def sweep():
+        phases = (
+            "iterate",
+            "predicates",
+            "staging",
+            "build_hash_tables",
+            "probe_and_return",
+        )
+        lines = [
+            "Figure 12: cost break down of join processing, hybrid Max (ms)",
+            "selectivity  " + "  ".join(f"{p:>18s}" for p in phases),
+        ]
+        for selectivity in SWEEP:
+            result = _run(data, selectivity)
+            cells = [result.phases[p] * 1e3 for p in phases]
+            lines.append(
+                f"{selectivity:>11.1f}  " + "  ".join(f"{c:>18.2f}" for c in cells)
+            )
+        return lines
+
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(results_dir, "fig12_join_breakdown", lines)

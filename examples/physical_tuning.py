@@ -1,0 +1,121 @@
+"""Physical tuning: the §9 future-work features in action.
+
+Run with:  python examples/physical_tuning.py
+
+The paper's conclusion sketches what comes after query compilation:
+indexes, statistics (histograms), and query result caching.  This example
+exercises all three extensions on a TPC-H workload:
+
+1. a **hash index** turns a point lookup from a scan into a gather;
+2. **column statistics** reorder a filter so the selective conjunct runs
+   first — visible in the EXPLAIN output;
+3. the **result recycler** returns a repeated dashboard query without
+   re-evaluating it.
+"""
+
+import time
+
+from repro import P, new
+from repro.plans import TableStats
+from repro.query import QueryProvider, from_struct_array
+from repro.query.recycler import RecyclingProvider
+from repro.tpch import TPCHData, relation_query
+
+
+def timed(label, fn, repeats=5):
+    fn()  # warm up / compile
+    started = time.perf_counter()
+    for _ in range(repeats):
+        result = fn()
+    elapsed = (time.perf_counter() - started) / repeats * 1e3
+    print(f"  {label:42s} {elapsed:8.3f} ms")
+    return result
+
+
+def main() -> None:
+    data = TPCHData(scale=0.01)
+    lineitem = data.arrays("lineitem")
+    print(f"lineitem: {len(lineitem):,} rows (struct array)")
+
+    # -- 1. hash index ---------------------------------------------------------
+    print("\n1) hash index on l_orderkey (point lookups):")
+    provider = QueryProvider()
+
+    def order_total():
+        return (
+            from_struct_array(lineitem)
+            .using("native", provider)
+            .where(lambda l: l.l_orderkey == P("key"))
+            .with_params(key=4242)
+            .sum(lambda l: l.l_extendedprice)
+        )
+
+    before = timed("full scan", order_total)
+    lineitem.create_index("l_orderkey")
+    after = timed("index lookup", order_total)
+    assert abs(before - after) < 1e-6
+
+    # -- 1b. clustering ----------------------------------------------------------
+    print("\n1b) clustering on l_shipdate (range scans become slices):")
+    import datetime
+
+    clustered = lineitem.cluster_by("l_shipdate")
+    cutoff = datetime.date(1994, 1, 1)
+
+    def early_revenue(source):
+        return (
+            from_struct_array(source)
+            .using("native", provider)
+            .where(lambda l: l.l_shipdate < P("cutoff"))
+            .with_params(cutoff=cutoff)
+            .sum(lambda l: l.l_extendedprice)
+        )
+
+    unclustered = timed("unclustered (mask)", lambda: early_revenue(lineitem))
+    on_cluster = timed("clustered (binary-search slice)", lambda: early_revenue(clustered))
+    assert abs(unclustered - on_cluster) < 1.0
+
+    # -- 2. statistics-driven predicate ordering ---------------------------------
+    print("\n2) column statistics reorder predicates (selective first):")
+    provider = QueryProvider()
+    query = (
+        relation_query(data, "lineitem", "compiled", provider)
+        .where(
+            lambda l: (l.l_quantity <= 49.0)      # keeps ~98% of rows
+            & (l.l_linenumber == 7)                # keeps ~2% of rows
+        )
+    )
+    print("  without statistics:", query.explain().splitlines()[0])
+    provider.register_statistics("tpch:lineitem", TableStats.collect(lineitem))
+    print("  with statistics:   ", provider.explain(query.expr, "compiled").splitlines()[0])
+
+    # -- 3. result recycling -----------------------------------------------------
+    print("\n3) result recycling for a repeated dashboard query:")
+    recycler = RecyclingProvider()
+
+    def dashboard():
+        return (
+            relation_query(data, "lineitem", "compiled", recycler)
+            .where(lambda l: l.l_quantity > 25.0)
+            .group_by(
+                lambda l: l.l_returnflag,
+                lambda g: new(flag=g.key, revenue=g.sum(lambda l: l.l_extendedprice)),
+            )
+            .to_list()
+        )
+
+    timed("first execution (evaluates + caches)", dashboard, repeats=1)
+    timed("repeat execution (recycled)", dashboard)
+    stats = recycler.recycler_stats
+    print(f"  recycler: {stats.hits} hits, {stats.misses} misses")
+
+    # mutation contract: in-place element updates are invisible to the
+    # source fingerprint — invalidate explicitly afterwards
+    rows = data.objects("lineitem")
+    rows[0] = rows[0]._replace(l_quantity=50.0)
+    dropped = recycler.invalidate(rows)
+    print(f"  after invalidate(): {dropped} cached result(s) dropped")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build a wheel.
+This shim lets the legacy path work: ``pip install -e . --no-use-pep517``.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,879 @@
+"""§6 — combining host-language and native code.
+
+Arbitrary object collections cannot be handed to native code, so the
+generated program has two halves:
+
+* a **managed staging loop** (plain Python over the objects) that applies
+  every scan-adjacent filter and copies exactly the fields the rest of the
+  query needs (the implicit projection of §6.2) into native buffer pages;
+* the **native half** — the same vectorized NumPy codegen as the §5
+  backend — running over the staged arrays.
+
+Materialization policy (paper §6.1):
+
+* ``buffered=False`` → full materialization: every page is kept
+  (``BufferList``) and the native half runs once, after staging.
+* ``buffered=True`` → one reusable page (``StreamingBuffer``); the native
+  half's *first blocking operator* consumes each page as it fills
+  (streaming group/scalar aggregation, streaming join probe).  Plans whose
+  first native operator cannot stream fall back to full materialization —
+  exactly the paper's concession that "we would rather copy everything to
+  unmanaged memory before processing it in C".
+
+Result construction policy:
+
+* ``minimal=False`` (**Max**) → everything needed to build results is
+  copied; results are decoded from native arrays.
+* ``minimal=True`` (**Min**) → only keys (plus row indexes) cross into
+  native memory; the original objects are retained managed-side and
+  results are built from them after the native kernel returns.  As in the
+  paper, Min only exists for single-core-operator queries (sort / top-N /
+  one join); anything else raises
+  :class:`~repro.errors.UnsupportedQueryError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import CodegenError, SchemaError, UnsupportedQueryError
+from ..expressions.nodes import Expr, Lambda, New, Var
+from ..expressions.printer import ScalarPrinter
+from ..expressions.visitor import substitute
+from ..plans.logical import (
+    Filter,
+    GroupAggregate,
+    Join,
+    Plan,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+)
+from ..runtime import vectorized as _vec
+from ..runtime.streaming import StreamingGroupAggregator, StreamingJoinProbe
+from ..storage.buffers import DEFAULT_PAGE_BYTES, BufferList, StreamingBuffer
+from ..storage.schema import Field, Schema, date_to_days
+from .compiler import CompiledQuery, compile_source, timed
+from .mapping import StagedSource, split_staging, staged_schema_for
+from .native_backend import (
+    ColumnRef,
+    Frame,
+    _VectorEmitter,
+    _union,
+)
+from .python_backend import _CodeVarPrinter
+from .source import SourceWriter
+
+__all__ = ["HybridBackend"]
+
+
+def _enc_str(value: str, width: int) -> bytes:
+    """Encode one string for staging; overflow is an error, not truncation."""
+    encoded = value.encode("utf-8")
+    if len(encoded) > width:
+        raise SchemaError(
+            f"string {value!r} exceeds the staged width {width}; the sampled "
+            f"schema underestimated this field"
+        )
+    return encoded
+
+
+class HybridBackend:
+    """Compiles a plan into staged-managed + vectorized-native code."""
+
+    def __init__(
+        self,
+        buffered: bool = False,
+        minimal: bool = False,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ):
+        self.buffered = buffered
+        self.minimal = minimal
+        self.page_bytes = page_bytes
+
+    @property
+    def name(self) -> str:
+        parts = ["hybrid"]
+        if self.minimal:
+            parts.append("min")
+        if self.buffered:
+            parts.append("buffered")
+        return "_".join(parts)
+
+    def compile(self, plan: Plan, sources: Sequence[Any]) -> CompiledQuery:
+        with timed() as gen_time:
+            if self.minimal:
+                emitter = _MinEmitter(self.page_bytes, self.buffered)
+                source_code, namespace, scalar = emitter.emit_module(plan, sources)
+            else:
+                stripped, staged = split_staging(plan)
+                for ordinal, spec in staged.items():
+                    if spec.fields:  # field-less sources only stage a count
+                        spec.schema = staged_schema_for(sources[ordinal], spec)
+                emitter = _HybridEmitter(staged, self.buffered, self.page_bytes)
+                source_code, namespace, scalar = emitter.emit_module(stripped)
+        entry, compile_seconds = compile_source(source_code, namespace)
+        return CompiledQuery(
+            source_code=source_code,
+            fn=entry,
+            engine=self.name,
+            codegen_seconds=gen_time.seconds,
+            compile_seconds=compile_seconds,
+            scalar=scalar,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Max variants (full + buffered)
+# ---------------------------------------------------------------------------
+
+
+class _HybridEmitter(_VectorEmitter):
+    """Vector emitter whose scans read staged arrays instead of sources."""
+
+    def __init__(
+        self,
+        staged: Dict[int, StagedSource],
+        buffered: bool,
+        page_bytes: int,
+    ):
+        schemas = {ordinal: spec.schema for ordinal, spec in staged.items()}
+        super().__init__(schemas)
+        self._staged = staged
+        self._buffered = buffered
+        self._page_bytes = page_bytes
+        #: ordinal → ("array", var) or ("count", var)
+        self._bindings: Dict[int, Tuple[str, str]] = {}
+        self._stream_node: Optional[Plan] = None
+        self._stream_ordinal: Optional[int] = None
+
+    # -- module assembly --------------------------------------------------------
+
+    def emit_module(self, plan: Plan) -> Tuple[str, Dict[str, Any], bool]:
+        scalar = isinstance(plan, ScalarAggregate)
+        if self._buffered:
+            self._stream_node, self._stream_ordinal = _find_stream_target(
+                plan, self._staged
+            )
+
+        body = SourceWriter()
+        self.writer = body
+        for ordinal, spec in sorted(self._staged.items()):
+            if ordinal == self._stream_ordinal:
+                continue  # staged page-by-page inside the stream operator
+            self._emit_full_staging(spec)
+        if scalar:
+            body.line(f"return {self._emit_scalar_root(plan)}")
+        else:
+            frame = self.emit(plan, needed=None)
+            body.line(f"return {self._emit_result(frame)}")
+
+        header = SourceWriter()
+        header.line('"""Query code generated by repro.codegen.hybrid_backend."""')
+        header.line()
+        with header.block("def execute(sources, _params):"):
+            for param_name, code_name in self._param_names.items():
+                header.line(f"{code_name} = _params[{param_name!r}]")
+            for line in body.text().splitlines():
+                header.line(line) if line.strip() else header.line()
+
+        namespace = self._base_namespace()
+        return header.text(), namespace, scalar
+
+    def _base_namespace(self) -> Dict[str, Any]:
+        namespace = dict(self.namespace)
+        namespace.update(
+            _np=np,
+            _group_aggregate=_vec.group_aggregate,
+            _hash_join=_vec.hash_join_indexes,
+            _sort_indexes=_vec.sort_indexes,
+            _topn_indexes=_vec.topn_indexes,
+            _distinct_indexes=_vec.distinct_indexes,
+            _decode_rows=_vec.decode_rows,
+            _decode_values=_vec.decode_values,
+            _coerce_str=_vec.coerce_str,
+            _coerce_date=_vec.coerce_date,
+            _EmptyAggregateError=_hybrid_empty_error,
+            _days_to_date=_hybrid_days_to_date,
+            _BufferList=BufferList,
+            _StreamingBuffer=StreamingBuffer,
+            _StreamingGroupAggregator=StreamingGroupAggregator,
+            _StreamingJoinProbe=StreamingJoinProbe,
+            _enc_str=_enc_str,
+            _to_days=date_to_days,
+        )
+        return namespace
+
+    # -- staging ---------------------------------------------------------------
+
+    def _python_printer(self) -> _CodeVarPrinter:
+        printer = _CodeVarPrinter(param_render=self._render_param)
+        printer.namespace = self.namespace
+        return printer
+
+    def _staging_predicate_code(
+        self, spec: StagedSource, elem: str
+    ) -> Optional[str]:
+        if not spec.predicates:
+            return None
+        printer = self._python_printer()
+        parts = []
+        for predicate in spec.predicates:
+            body = substitute(
+                predicate.body, {predicate.params[0]: Var(elem)}
+            )
+            parts.append(printer.emit(body))
+        return " and ".join(parts)
+
+    def _encoded_fields(self, spec: StagedSource, elem: str) -> str:
+        parts = []
+        for field in spec.schema.fields:
+            access = f"{elem}.{field.name}"
+            if field.kind == "str":
+                parts.append(f"_enc_str({access}, {field.size})")
+            elif field.kind == "date":
+                parts.append(f"_to_days({access})")
+            else:
+                parts.append(access)
+        trailing = "," if len(parts) == 1 else ""
+        return f"({', '.join(parts)}{trailing})"
+
+    def _emit_full_staging(self, spec: StagedSource) -> None:
+        """Stage one source completely into a page list (§6.1.1)."""
+        elem = self.names.fresh("elem")
+        predicate = self._staging_predicate_code(spec, elem)
+        if not spec.fields:
+            # nothing to copy: only the qualifying-row count survives
+            counter = self.names.fresh("count")
+            self.writer.line(f"{counter} = 0")
+            with self.writer.block(f"for {elem} in sources[{spec.ordinal}]:"):
+                if predicate:
+                    with self.writer.block(f"if {predicate}:"):
+                        self.writer.line(f"{counter} += 1")
+                else:
+                    self.writer.line(f"{counter} += 1")
+            self._bindings[spec.ordinal] = ("count", counter)
+            return
+        dtype_var = self._bind(spec.schema.numpy_dtype(), "dtype")
+        rows = self.names.fresh("rows")
+        append = self.names.fresh("append")
+        self.writer.line(f"{rows} = []")
+        self.writer.line(f"{append} = {rows}.append")
+        with self.writer.block(f"for {elem} in sources[{spec.ordinal}]:"):
+            stage = f"{append}({self._encoded_fields(spec, elem)})"
+            if predicate:
+                with self.writer.block(f"if {predicate}:"):
+                    self.writer.line(stage)
+            else:
+                self.writer.line(stage)
+        staged_var = self.names.fresh("staged")
+        # the bulk conversion is the copy into native memory (§6.1.1)
+        self.writer.line(
+            f"{staged_var} = _np.array({rows}, dtype={dtype_var}) "
+            f"if {rows} else _np.zeros(0, dtype={dtype_var})"
+        )
+        self._bindings[spec.ordinal] = ("array", staged_var)
+
+    def _emit_streaming_staging(self, spec: StagedSource, consumer: str) -> None:
+        """Stage one source page-by-page through *consumer* (§6.1.2).
+
+        One page worth of rows accumulates managed-side; filling it
+        triggers the bulk copy to native memory plus the consumer call, so
+        the staging footprint stays fixed at one page.
+        """
+        dtype_var = self._bind(spec.schema.numpy_dtype(), "dtype")
+        capacity = max(1, self._page_bytes // spec.schema.struct_size())
+        page = self.names.fresh("page")
+        append = self.names.fresh("append")
+        self.writer.line(f"{page} = []")
+        self.writer.line(f"{append} = {page}.append")
+        elem = self.names.fresh("elem")
+        predicate = self._staging_predicate_code(spec, elem)
+        with self.writer.block(f"for {elem} in sources[{spec.ordinal}]:"):
+            def emit_stage() -> None:
+                self.writer.line(f"{append}({self._encoded_fields(spec, elem)})")
+                with self.writer.block(f"if len({page}) >= {capacity}:"):
+                    self.writer.line(
+                        f"{consumer}(_np.array({page}, dtype={dtype_var}))"
+                    )
+                    self.writer.line(f"del {page}[:]")
+
+            if predicate:
+                with self.writer.block(f"if {predicate}:"):
+                    emit_stage()
+            else:
+                emit_stage()
+        with self.writer.block(f"if {page}:"):
+            self.writer.line(f"{consumer}(_np.array({page}, dtype={dtype_var}))")
+
+    # -- scan override -------------------------------------------------------------
+
+    def _emit_Scan(self, plan: Scan, needed: Optional[Set[str]]) -> Frame:
+        kind, var = self._bindings[plan.ordinal]
+        if kind == "count":
+            return Frame({}, var)
+        schema = self._staged[plan.ordinal].schema
+        columns = {
+            f.name: ColumnRef(f"{var}[{f.name!r}]", f.kind)
+            for f in schema.fields
+            if needed is None or f.name in needed
+        }
+        return Frame(columns, f"{var}.shape[0]")
+
+    # -- page frames (shared by the streaming operators) ---------------------------
+
+    def _page_frame(self, spec: StagedSource, rows_var: str) -> Frame:
+        columns = {
+            f.name: ColumnRef(f"{rows_var}[{f.name!r}]", f.kind)
+            for f in spec.schema.fields
+        }
+        return Frame(columns, f"{rows_var}.shape[0]")
+
+    # -- streaming group aggregation -------------------------------------------------
+
+    def _emit_GroupAggregate(self, plan: GroupAggregate, needed):
+        if plan is not self._stream_node:
+            return super()._emit_GroupAggregate(plan, needed)
+        spec = self._staged[self._stream_ordinal]
+
+        # decompose avg into mergeable sum + shared count (page merging)
+        physical: List[Tuple[str, Optional[Lambda]]] = []
+        index_of: Dict[Any, int] = {}
+
+        def slot_for(kind: str, selector: Optional[Lambda]) -> int:
+            from ..expressions.nodes import structural_key
+
+            sel_key = structural_key(selector) if selector is not None else None
+            key = (kind, sel_key)
+            if key not in index_of:
+                index_of[key] = len(physical)
+                physical.append((kind, selector))
+            return index_of[key]
+
+        extract: List[Tuple[str, int, int]] = []  # (mode, i, j)
+        for agg in plan.aggregates:
+            if agg.kind == "avg":
+                si = slot_for("sum", agg.selector)
+                ci = slot_for("count", None)
+                extract.append(("avg", si, ci))
+            else:
+                extract.append(("direct", slot_for(agg.kind, agg.selector), -1))
+
+        key_body = plan.key.body
+        key_fields = (
+            list(key_body.fields) if isinstance(key_body, New) else [(Frame.SINGLE, key_body)]
+        )
+
+        sagg = self.names.fresh("sagg")
+        kinds = [kind for kind, _ in physical]
+        self.writer.line(
+            f"{sagg} = _StreamingGroupAggregator({len(key_fields)}, {kinds!r})"
+        )
+        consumer = self.names.fresh("_consume")
+        rows = self.names.fresh("rows")
+        with self.writer.block(f"def {consumer}({rows}):"):
+            page = self._page_frame(spec, rows)
+            printer = self._printer({plan.key.params[0]: (page, None)})
+            key_codes = [printer.emit(expr) for _, expr in key_fields]
+            value_codes = []
+            for kind, selector in physical:
+                if selector is None:
+                    value_codes.append("None")
+                else:
+                    p = self._printer({selector.params[0]: (page, None)})
+                    value_codes.append(p.emit(selector.body))
+            keys_tuple = ", ".join(key_codes)
+            self.writer.line(
+                f"{sagg}.consume_page(({keys_tuple},), [{', '.join(value_codes)}])"
+            )
+        self._emit_streaming_staging(spec, consumer)
+
+        gkeys = self.names.fresh("gkeys")
+        gaggs = self.names.fresh("gaggs")
+        self.writer.line(f"{gkeys}, {gaggs} = {sagg}.finalize()")
+
+        # expose keys and extracted aggregates as a frame for the output expr
+        key_printer = self._printer(
+            {plan.key.params[0]: (self._page_frame(spec, "_unused"), None)}
+        )
+        key_cols = {
+            name: ColumnRef(f"{gkeys}[{i}]", key_printer.kind_of(expr))
+            for i, (name, expr) in enumerate(key_fields)
+        }
+        key_frame = Frame(key_cols, f"{gkeys}[0].shape[0]")
+        env: Dict[str, Tuple[Frame, Optional[str]]] = {"__key": (key_frame, None)}
+        for i, (mode, a, b) in enumerate(extract):
+            if mode == "avg":
+                code = f"({gaggs}[{a}] / _np.maximum({gaggs}[{b}], 1))"
+                kind = "float"
+            else:
+                code = f"{gaggs}[{a}]"
+                kind = self._spec_kind(plan.aggregates[i], spec)
+            env[f"__agg{i}"] = (
+                Frame({Frame.SINGLE: ColumnRef(code, kind)}, f"{gkeys}[0].shape[0]"),
+                None,
+            )
+        printer = self._printer(env)
+        return self._build_output_frame(
+            plan.output, printer, f"{gkeys}[0].shape[0]", needed
+        )
+
+    def _spec_kind(self, spec_agg, staged_spec: StagedSource) -> str:
+        if spec_agg.selector is None:
+            return "int"
+        printer = self._printer(
+            {
+                spec_agg.selector.params[0]: (
+                    self._page_frame(staged_spec, "_unused"),
+                    None,
+                )
+            }
+        )
+        return printer.kind_of(spec_agg.selector.body)
+
+    # -- streaming scalar aggregation ----------------------------------------------
+
+    def _emit_scalar_root(self, plan: ScalarAggregate) -> str:
+        if plan is not self._stream_node:
+            return super()._emit_scalar_root(plan)
+        spec = self._staged[self._stream_ordinal]
+        if len(plan.aggregates) != 1:
+            raise UnsupportedQueryError("streaming scalar supports one aggregate")
+        (agg,) = plan.aggregates
+        acc = self.names.fresh("acc")
+        # slots: [count, sum, min, max] — only what the aggregate needs
+        self.writer.line(f"{acc} = [0, 0.0, None, None]")
+        consumer = self.names.fresh("_consume")
+        rows = self.names.fresh("rows")
+        with self.writer.block(f"def {consumer}({rows}):"):
+            page = self._page_frame(spec, rows)
+            with self.writer.block(f"if {rows}.shape[0]:"):
+                self.writer.line(f"{acc}[0] += {rows}.shape[0]")
+                if agg.selector is not None:
+                    printer = self._printer(
+                        {agg.selector.params[0]: (page, None)}
+                    )
+                    values = self.names.fresh("vals")
+                    self.writer.line(
+                        f"{values} = {printer.emit(agg.selector.body)}"
+                    )
+                    if agg.kind in ("sum", "avg"):
+                        self.writer.line(f"{acc}[1] += {values}.sum()")
+                    if agg.kind == "min":
+                        pmin = self.names.fresh("pm")
+                        self.writer.line(f"{pmin} = {values}.min()")
+                        self.writer.line(
+                            f"{acc}[2] = {pmin} if {acc}[2] is None "
+                            f"else min({acc}[2], {pmin})"
+                        )
+                    if agg.kind == "max":
+                        pmax = self.names.fresh("pm")
+                        self.writer.line(f"{pmax} = {values}.max()")
+                        self.writer.line(
+                            f"{acc}[3] = {pmax} if {acc}[3] is None "
+                            f"else max({acc}[3], {pmax})"
+                        )
+        self._emit_streaming_staging(spec, consumer)
+        if agg.kind == "count":
+            return f"{acc}[0]"
+        if agg.kind == "sum":
+            return f"({acc}[1] if {acc}[0] else 0)"
+        if agg.kind == "avg":
+            with self.writer.block(f"if not {acc}[0]:"):
+                self.writer.line("raise _EmptyAggregateError()")
+            return f"({acc}[1] / {acc}[0])"
+        index = 2 if agg.kind == "min" else 3
+        with self.writer.block(f"if {acc}[{index}] is None:"):
+            self.writer.line("raise _EmptyAggregateError()")
+        return f"{acc}[{index}].item()"
+
+    # -- streaming join probe ---------------------------------------------------------
+
+    def _emit_Join(self, plan: Join, needed):
+        if plan is not self._stream_node:
+            return super()._emit_Join(plan, needed)
+        spec = self._staged[self._stream_ordinal]
+        left_var, right_var = plan.result.params
+        if not isinstance(plan.result.body, New):
+            raise UnsupportedQueryError(
+                "streaming joins require a record-constructing result selector"
+            )
+
+        right = self.emit(plan.right, None)
+        rk = self._vector(
+            self._printer({plan.right_key.params[0]: (right, None)}).emit(
+                plan.right_key.body
+            )
+        )
+        probe = self.names.fresh("jprobe")
+        self.writer.line(f"{probe} = _StreamingJoinProbe({rk})")
+
+        out_fields = [
+            (name, expr)
+            for name, expr in plan.result.body.fields
+            if needed is None or name in needed
+        ]
+        pieces = self.names.fresh("pieces")
+        self.writer.line(f"{pieces} = {[[] for _ in out_fields]!r}")
+        consumer = self.names.fresh("_consume")
+        rows = self.names.fresh("rows")
+        with self.writer.block(f"def {consumer}({rows}):"):
+            page = self._page_frame(spec, rows)
+            key_printer = self._printer({plan.left_key.params[0]: (page, None)})
+            pk = self.names.fresh("pk")
+            self.writer.line(f"{pk} = {key_printer.emit(plan.left_key.body)}")
+            li = self.names.fresh("li")
+            ri = self.names.fresh("ri")
+            self.writer.line(f"{li}, {ri} = {probe}.probe({pk})")
+            out_printer = self._printer(
+                {left_var: (page, li), right_var: (right, ri)}
+            )
+            for j, (_, expr) in enumerate(out_fields):
+                self.writer.line(f"{pieces}[{j}].append({out_printer.emit(expr)})")
+        self._emit_streaming_staging(spec, consumer)
+
+        page_probe = self._page_frame(spec, "_unused")
+        kind_printer = self._printer(
+            {left_var: (page_probe, None), right_var: (right, None)}
+        )
+        columns: Dict[str, ColumnRef] = {}
+        for j, (name, expr) in enumerate(out_fields):
+            kind = kind_printer.kind_of(expr)
+            var = self.names.fresh("col")
+            placeholder = _placeholder_dtype(kind)
+            self.writer.line(
+                f"{var} = _np.concatenate({pieces}[{j}]) if {pieces}[{j}] "
+                f"else _np.zeros(0, dtype={placeholder!r})"
+            )
+            columns[name] = ColumnRef(var, kind)
+        first = next(iter(columns.values()))
+        return Frame(columns, f"{first.code}.shape[0]")
+
+
+def _placeholder_dtype(kind: str) -> str:
+    return {
+        "int": "int64",
+        "int32": "int32",
+        "float": "float64",
+        "bool": "bool",
+        "str": "S1",
+        "date": "int32",
+    }.get(kind, "float64")
+
+
+def _hybrid_empty_error():
+    from ..errors import ExecutionError
+
+    return ExecutionError("aggregate of an empty sequence has no value")
+
+
+def _hybrid_days_to_date(days: int):
+    from ..storage.schema import days_to_date
+
+    return days_to_date(days)
+
+
+def _find_stream_target(
+    plan: Plan, staged: Dict[int, StagedSource]
+) -> Tuple[Optional[Plan], Optional[int]]:
+    """Pick the blocking operator (and its scan) that consumes pages.
+
+    Only a scan feeding its parent *directly* (filters were already peeled
+    into staging) can stream, and only when the parent merges across pages:
+    group/scalar aggregation, or a join probing that scan.
+    """
+    scan_counts: Dict[int, int] = {}
+
+    def count(node: Plan) -> None:
+        from ..plans.logical import plan_children
+
+        if isinstance(node, Scan):
+            scan_counts[node.ordinal] = scan_counts.get(node.ordinal, 0) + 1
+        for child in plan_children(node):
+            count(child)
+
+    count(plan)
+
+    def find(node: Plan) -> Tuple[Optional[Plan], Optional[int]]:
+        from ..plans.logical import plan_children
+
+        if isinstance(node, (GroupAggregate, ScalarAggregate)):
+            child = node.child
+            if isinstance(child, Scan) and scan_counts.get(child.ordinal) == 1:
+                spec = staged.get(child.ordinal)
+                if spec is not None and spec.fields:
+                    return node, child.ordinal
+        if isinstance(node, Join):
+            left = node.left
+            if isinstance(left, Scan) and scan_counts.get(left.ordinal) == 1:
+                spec = staged.get(left.ordinal)
+                if spec is not None and spec.fields:
+                    return node, left.ordinal
+        for child in plan_children(node):
+            found = find(child)
+            if found[0] is not None:
+                return found
+        return None, None
+
+    return find(plan)
+
+
+# ---------------------------------------------------------------------------
+# Min variant — ship keys and indexes only, build results from objects
+# ---------------------------------------------------------------------------
+
+
+class _MinEmitter:
+    """Generates the Min-staging program for the supported plan shapes."""
+
+    def __init__(self, page_bytes: int, buffered: bool):
+        self.page_bytes = page_bytes
+        self.buffered = buffered
+        self.writer = SourceWriter()
+        self.namespace: Dict[str, Any] = {}
+        self._param_names: Dict[str, str] = {}
+        from .source import NameAllocator
+
+        self.names = NameAllocator()
+
+    def _render_param(self, name: str) -> str:
+        code_name = self._param_names.get(name)
+        if code_name is None:
+            sanitized = "".join(c if c.isalnum() else "_" for c in name)
+            code_name = f"_param_{sanitized}"
+            self._param_names[name] = code_name
+        return code_name
+
+    def _printer(self) -> _CodeVarPrinter:
+        printer = _CodeVarPrinter(param_render=self._render_param)
+        printer.namespace = self.namespace
+        return printer
+
+    # -- shape detection --------------------------------------------------------
+
+    def emit_module(
+        self, plan: Plan, sources: Sequence[Any]
+    ) -> Tuple[str, Dict[str, Any], bool]:
+        post_ops: List[Tuple[str, Lambda]] = []
+        node = plan
+        while True:
+            if isinstance(node, Project):
+                post_ops.append(("project", node.selector))
+                node = node.child
+            elif isinstance(node, Filter) and isinstance(node.child, (Join,)):
+                post_ops.append(("filter", node.predicate))
+                node = node.child
+            else:
+                break
+        post_ops.reverse()
+
+        body = SourceWriter()
+        self.writer = body
+        if isinstance(node, (Sort, TopN)):
+            self._emit_sort_min(node, post_ops)
+        elif isinstance(node, Join):
+            self._emit_join_min(node, post_ops)
+        else:
+            raise UnsupportedQueryError(
+                "Min staging only supports a single sort/top-N or join as "
+                "the native operation (the paper's §7.4 restriction); use "
+                "the Max variant for complex queries"
+            )
+
+        header = SourceWriter()
+        header.line('"""Query code generated by repro.codegen.hybrid_backend (Min)."""')
+        header.line()
+        with header.block("def execute(sources, _params):"):
+            for param_name, code_name in self._param_names.items():
+                header.line(f"{code_name} = _params[{param_name!r}]")
+            for line in body.text().splitlines():
+                header.line(line) if line.strip() else header.line()
+
+        namespace = dict(self.namespace)
+        namespace.update(
+            _np=np,
+            _sort_indexes=_vec.sort_indexes,
+            _topn_indexes=_vec.topn_indexes,
+            _hash_join=_vec.hash_join_indexes,
+            _StreamingJoinProbe=StreamingJoinProbe,
+            _native_key=_native_key,
+        )
+        return header.text(), namespace, False
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _scan_chain(self, node: Plan) -> Tuple[int, List[Lambda]]:
+        predicates: List[Lambda] = []
+        while isinstance(node, Filter):
+            predicates.append(node.predicate)
+            node = node.child
+        if not isinstance(node, Scan):
+            raise UnsupportedQueryError(
+                "Min staging requires the native operator to sit directly on "
+                "(filtered) scans"
+            )
+        return node.ordinal, list(reversed(predicates))
+
+    def _materialize_min(self, node: Plan) -> str:
+        """Emit code producing a Python list of this subtree's elements.
+
+        Scan chains filter managed-side and retain object references; join
+        subtrees ship keys to the native kernel and build result records
+        managed-side — recursively, so the Figure-11 three-relation join
+        works under Min staging too.
+        """
+        if isinstance(node, (Filter, Scan)):
+            ordinal, predicates = self._scan_chain(node)
+            objs, _ = self._stage_objects_and_keys(ordinal, predicates, [])
+            return objs
+        if isinstance(node, Join):
+            out = self.names.fresh("joined")
+            self.writer.line(f"{out} = []")
+            self._emit_join_matches(
+                node,
+                lambda lo, ro: self.writer.line(
+                    f"{out}.append("
+                    + self._printer().emit(
+                        substitute(
+                            node.result.body,
+                            {
+                                node.result.params[0]: Var(lo),
+                                node.result.params[1]: Var(ro),
+                            },
+                        )
+                    )
+                    + ")"
+                ),
+            )
+            return out
+        raise UnsupportedQueryError(
+            "Min staging only supports (filtered) scans and joins below the "
+            "native operator"
+        )
+
+    def _emit_join_matches(self, node: Join, consume) -> None:
+        """Stage both sides, run the native join kernel, loop the matches."""
+        left_objs = self._materialize_min(node.left)
+        right_objs = self._materialize_min(node.right)
+        larr = self._key_array(left_objs, node.left_key)
+        rarr = self._key_array(right_objs, node.right_key)
+        li = self.names.fresh("li")
+        ri = self.names.fresh("ri")
+        self.writer.line(f"{li}, {ri} = _hash_join({larr}, {rarr})")
+        k = self.names.fresh("k")
+        with self.writer.block(f"for {k} in range({li}.shape[0]):"):
+            lo = self.names.fresh("lo")
+            ro = self.names.fresh("ro")
+            self.writer.line(f"{lo} = {left_objs}[{li}[{k}]]")
+            self.writer.line(f"{ro} = {right_objs}[{ri}[{k}]]")
+            consume(lo, ro)
+
+    def _key_array(self, objs_var: str, key: Lambda) -> str:
+        """Extract one key per retained object into a native array."""
+        printer = self._printer()
+        keys = self.names.fresh("keys")
+        elem = self.names.fresh("elem")
+        body = substitute(key.body, {key.params[0]: Var(elem)})
+        self.writer.line(
+            f"{keys} = [_native_key({printer.emit(body)}) "
+            f"for {elem} in {objs_var}]"
+        )
+        arr = self.names.fresh("karr")
+        self.writer.line(f"{arr} = _np.asarray({keys})")
+        return arr
+
+    def _stage_objects_and_keys(
+        self, ordinal: int, predicates: List[Lambda], key_lambdas: List[Lambda]
+    ) -> Tuple[str, List[str]]:
+        """Managed loop retaining objects and collecting native key lists."""
+        printer = self._printer()
+        objs = self.names.fresh("objs")
+        key_lists = [self.names.fresh("keys") for _ in key_lambdas]
+        self.writer.line(f"{objs} = []")
+        for kl in key_lists:
+            self.writer.line(f"{kl} = []")
+        elem = self.names.fresh("elem")
+        with self.writer.block(f"for {elem} in sources[{ordinal}]:"):
+            emitters = []
+            for lam in key_lambdas:
+                body = substitute(lam.body, {lam.params[0]: Var(elem)})
+                emitters.append(printer.emit(body))
+            appends = [f"{objs}.append({elem})"] + [
+                f"{kl}.append(_native_key({code}))"
+                for kl, code in zip(key_lists, emitters)
+            ]
+            if predicates:
+                parts = [
+                    printer.emit(substitute(p.body, {p.params[0]: Var(elem)}))
+                    for p in predicates
+                ]
+                with self.writer.block(f"if {' and '.join(parts)}:"):
+                    for line in appends:
+                        self.writer.line(line)
+            else:
+                for line in appends:
+                    self.writer.line(line)
+        return objs, key_lists
+
+    def _emit_post_ops(self, element_code: str, post_ops: List[Tuple[str, Lambda]]):
+        """Apply trailing filters/projections in managed code, then yield."""
+        printer = self._printer()
+        current = self.names.fresh("out")
+        self.writer.line(f"{current} = {element_code}")
+        for op, lam in post_ops:
+            body = substitute(lam.body, {lam.params[0]: Var(current)})
+            if op == "filter":
+                with self.writer.block(f"if not ({printer.emit(body)}):"):
+                    self.writer.line("continue")
+            else:
+                nxt = self.names.fresh("out")
+                self.writer.line(f"{nxt} = {printer.emit(body)}")
+                current = nxt
+        self.writer.line(f"yield {current}")
+
+    # -- sort / top-N -------------------------------------------------------------------
+
+    def _emit_sort_min(self, node: Plan, post_ops: List[Tuple[str, Lambda]]) -> None:
+        objs = self._materialize_min(node.child)
+        arrays = [self._key_array(objs, key) for key in node.keys]
+        dirs = repr(tuple(node.descending))
+        order = self.names.fresh("order")
+        if isinstance(node, TopN):
+            count_code = self._printer().emit(node.count)
+            self.writer.line(
+                f"{order} = _topn_indexes(({', '.join(arrays)},), {dirs}, {count_code})"
+            )
+        else:
+            self.writer.line(
+                f"{order} = _sort_indexes(({', '.join(arrays)},), {dirs})"
+            )
+        i = self.names.fresh("i")
+        with self.writer.block(f"for {i} in {order}:"):
+            self._emit_post_ops(f"{objs}[{i}]", post_ops)
+
+    # -- join ---------------------------------------------------------------------------
+
+    def _emit_join_min(self, node: Join, post_ops: List[Tuple[str, Lambda]]) -> None:
+        printer = self._printer()
+
+        def consume(lo: str, ro: str) -> None:
+            result_body = substitute(
+                node.result.body,
+                {node.result.params[0]: Var(lo), node.result.params[1]: Var(ro)},
+            )
+            self._emit_post_ops(printer.emit(result_body), post_ops)
+
+        self._emit_join_matches(node, consume)
+
+
+def _native_key(value: Any) -> Any:
+    """Convert a managed key value to its native (sortable) form."""
+    import datetime
+
+    if isinstance(value, datetime.date):
+        return date_to_days(value)
+    return value

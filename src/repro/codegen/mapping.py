@@ -1,0 +1,372 @@
+"""Object ↔ native layout mappings — paper §6.2.
+
+The hybrid engine must copy object data into flat native memory.  Three
+questions decide what the staging code looks like, answered here:
+
+1. **Which fields does the query actually touch?** (`source_field_usage`)
+   Only those are copied — the paper's *implicit projection* driven by the
+   source mapping of Figure 6.
+2. **What are their native types?** (`infer_object_schema`) C# answers by
+   reflection; Python objects carry no static types, so we sample the
+   collection and derive dtypes (string widths are measured over the
+   sample with headroom; overflow at staging time raises
+   :class:`~repro.errors.SchemaError` rather than truncating silently).
+3. **Which filters run managed-side, before staging?** (`split_staging`)
+   "We apply all filtering operations in C#" — filters sitting directly on
+   a scan move into the staging loop; the remaining plan runs natively
+   over the staged arrays.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SchemaError, UnsupportedQueryError
+from ..expressions.analysis import member_usage
+from ..expressions.nodes import Lambda
+from ..plans.logical import (
+    Concat,
+    Distinct,
+    Filter,
+    FlatMap,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+    plan_children,
+)
+from ..storage.schema import Field, Schema
+from ..storage.struct_array import StructArray
+
+__all__ = [
+    "infer_object_schema",
+    "source_field_usage",
+    "StagedSource",
+    "split_staging",
+]
+
+#: how many elements to examine when deriving a schema from objects
+_SAMPLE_SIZE = 1000
+#: headroom multiplier for sampled string widths
+_WIDTH_MARGIN = 2
+_MIN_WIDTH = 8
+
+
+def infer_object_schema(
+    items: Sequence[Any],
+    fields: Optional[Set[str]] = None,
+    name: str = "Inferred",
+) -> Schema:
+    """Derive a flat native schema from a sample of *items*.
+
+    ``fields`` restricts inference to the named attributes (the source
+    mapping); None infers every public attribute of the first element.
+    """
+    iterator = iter(items)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        if fields:
+            # nothing will ever be staged from an empty collection, so any
+            # layout works; C# would know the real one by reflection
+            return Schema([Field(n, "float") for n in sorted(fields)], name=name)
+        raise SchemaError(
+            "cannot infer a schema from an empty collection; supply one "
+            "explicitly (QList(items, schema=...))"
+        ) from None
+    if fields is None:
+        fields = {
+            n for n in _attribute_names(first) if not n.startswith("_")
+        }
+    ordered = sorted(fields)
+    kinds: Dict[str, str] = {}
+    widths: Dict[str, int] = {}
+    for name_ in ordered:
+        value = _attr(first, name_)
+        kinds[name_] = _kind_of(value, name_)
+        if kinds[name_] == "str":
+            widths[name_] = len(value.encode("utf-8"))
+    examined = 1
+    for item in iterator:
+        if examined >= _SAMPLE_SIZE:
+            break
+        examined += 1
+        for name_ in ordered:
+            if kinds[name_] == "str":
+                widths[name_] = max(widths[name_], len(_attr(item, name_).encode("utf-8")))
+            elif kinds[name_] == "int" and isinstance(_attr(item, name_), float):
+                kinds[name_] = "float"
+    schema_fields = []
+    for name_ in ordered:
+        if kinds[name_] == "str":
+            width = max(_MIN_WIDTH, widths[name_] * _WIDTH_MARGIN)
+            schema_fields.append(Field(name_, "str", width))
+        else:
+            schema_fields.append(Field(name_, kinds[name_]))
+    return Schema(schema_fields, name=name)
+
+
+def _attribute_names(obj: Any) -> List[str]:
+    if hasattr(obj, "_fields"):  # namedtuple
+        return list(obj._fields)
+    if hasattr(obj, "__dict__"):
+        return list(vars(obj))
+    if hasattr(obj, "__slots__"):
+        return list(obj.__slots__)
+    raise SchemaError(f"cannot infer attributes of {type(obj).__name__}")
+
+
+def _attr(obj: Any, name: str) -> Any:
+    try:
+        return getattr(obj, name)
+    except AttributeError:
+        raise SchemaError(
+            f"element of type {type(obj).__name__} lacks attribute {name!r} "
+            f"required by the query"
+        ) from None
+
+
+def _kind_of(value: Any, name: str) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, datetime.date):
+        return "date"
+    raise SchemaError(
+        f"attribute {name!r} of type {type(value).__name__} has no flat "
+        f"native representation (the §5/§6 value-type restriction)"
+    )
+
+
+# -- which fields of which source does the plan touch? -------------------------
+
+
+def source_field_usage(plan: Plan) -> Dict[int, Optional[Set[str]]]:
+    """Map scan ordinal → fields used above it (None = whole element).
+
+    The per-source *source mapping* of Figure 6: staging copies exactly
+    these fields.
+    """
+    usage: Dict[int, Optional[Set[str]]] = {}
+
+    def lam_usage(lam: Lambda, index: int = 0) -> Optional[Set[str]]:
+        fields: Set[str] = set()
+        paths = member_usage(lam.body).get(lam.params[index], set())
+        for path in paths:
+            if path == "":
+                return None
+            fields.add(path.split(".")[0])
+        return fields
+
+    def merge(ordinal: int, fields: Optional[Set[str]]) -> None:
+        if ordinal in usage and usage[ordinal] is None:
+            return
+        if fields is None:
+            usage[ordinal] = None
+        else:
+            usage.setdefault(ordinal, set())
+            usage[ordinal] |= fields  # type: ignore[operator]
+
+    def walk(plan: Plan, needed: Optional[Set[str]]) -> None:
+        if isinstance(plan, Scan):
+            merge(plan.ordinal, needed)
+            return
+        if isinstance(plan, Filter):
+            walk(plan.child, _merge_sets(needed, lam_usage(plan.predicate)))
+            return
+        if isinstance(plan, Project):
+            walk(plan.child, lam_usage(plan.selector))
+            return
+        if isinstance(plan, FlatMap):
+            inner = lam_usage(plan.collection)
+            if plan.result is not None:
+                inner = _merge_sets(inner, lam_usage(plan.result, 0))
+            walk(plan.child, inner)
+            return
+        if isinstance(plan, Join):
+            left_var, right_var = plan.result.params
+            res_usage = member_usage(plan.result.body)
+            left_fields = _paths_to_fields(res_usage.get(left_var, set()))
+            right_fields = _paths_to_fields(res_usage.get(right_var, set()))
+            walk(plan.left, _merge_sets(left_fields, lam_usage(plan.left_key)))
+            walk(plan.right, _merge_sets(right_fields, lam_usage(plan.right_key)))
+            return
+        if isinstance(plan, (GroupAggregate,)):
+            fields = lam_usage(plan.key)
+            for spec in plan.aggregates:
+                if spec.selector is not None:
+                    fields = _merge_sets(fields, lam_usage(spec.selector))
+            walk(plan.child, fields)
+            return
+        if isinstance(plan, GroupBy):
+            walk(plan.child, None)  # groups carry whole elements
+            return
+        if isinstance(plan, ScalarAggregate):
+            fields: Optional[Set[str]] = set()
+            for spec in plan.aggregates:
+                if spec.selector is not None:
+                    fields = _merge_sets(fields, lam_usage(spec.selector))
+            walk(plan.child, fields)
+            return
+        if isinstance(plan, (Sort, TopN)):
+            fields = needed
+            for key in plan.keys:
+                fields = _merge_sets(fields, lam_usage(key))
+            walk(plan.child, fields)
+            return
+        if isinstance(plan, (Limit,)):
+            walk(plan.child, needed)
+            return
+        if isinstance(plan, Distinct):
+            walk(plan.child, None)  # value semantics need every field
+            return
+        if isinstance(plan, Concat):
+            walk(plan.left, needed)
+            walk(plan.right, needed)
+            return
+        for child in plan_children(plan):
+            walk(child, None)
+
+    walk(plan, None)
+    return usage
+
+
+def _paths_to_fields(paths: Set[str]) -> Optional[Set[str]]:
+    fields: Set[str] = set()
+    for path in paths:
+        if path == "":
+            return None
+        fields.add(path.split(".")[0])
+    return fields
+
+
+def _merge_sets(a: Optional[Set[str]], b: Optional[Set[str]]) -> Optional[Set[str]]:
+    if a is None or b is None:
+        return None
+    return a | b
+
+
+# -- staging split ----------------------------------------------------------------
+
+
+@dataclass
+class StagedSource:
+    """Everything the staging loop for one source needs to know."""
+
+    ordinal: int
+    #: managed-side filters, applied before copying (paper: selection in C#)
+    predicates: Tuple[Lambda, ...]
+    #: the implicit projection: fields copied to native memory
+    fields: Tuple[str, ...]
+    #: native layout of the staged rows
+    schema: Schema = field(default=None)  # type: ignore[assignment]
+
+
+def split_staging(plan: Plan) -> Tuple[Plan, Dict[int, StagedSource]]:
+    """Peel scan-adjacent filters off the plan into staging specs.
+
+    Returns the remaining (native) plan, whose Scans now refer to staged
+    arrays, plus one :class:`StagedSource` per input.  Field lists are
+    filled in from :func:`source_field_usage` of the *stripped* plan —
+    after stripping, predicate-only fields no longer force staging.
+    """
+    staged: Dict[int, StagedSource] = {}
+
+    def strip(node: Plan) -> Plan:
+        if isinstance(node, Filter):
+            child = strip_chain = node
+            predicates: List[Lambda] = []
+            while isinstance(strip_chain, Filter):
+                predicates.append(strip_chain.predicate)
+                strip_chain = strip_chain.child
+            if isinstance(strip_chain, Scan):
+                staged[strip_chain.ordinal] = StagedSource(
+                    ordinal=strip_chain.ordinal,
+                    predicates=tuple(reversed(predicates)),
+                    fields=(),
+                )
+                return strip_chain
+            return Filter(strip(node.child), node.predicate)
+        if isinstance(node, Scan):
+            staged.setdefault(
+                node.ordinal,
+                StagedSource(ordinal=node.ordinal, predicates=(), fields=()),
+            )
+            return node
+        return _rebuild(node, [strip(c) for c in plan_children(node)])
+
+    stripped = strip(plan)
+    usage = source_field_usage(stripped)
+    for ordinal, spec in staged.items():
+        fields = usage.get(ordinal, set())
+        if fields is None:
+            raise UnsupportedQueryError(
+                f"the query uses whole elements of source_{ordinal} beyond "
+                f"the staging boundary; the hybrid engine requires flat "
+                f"field access (use the compiled engine)"
+            )
+        spec.fields = tuple(sorted(fields))
+    return stripped, staged
+
+
+def _rebuild(node: Plan, children: List[Plan]) -> Plan:
+    """Reconstruct *node* with new children (same arity/order)."""
+    if isinstance(node, Join):
+        return Join(children[0], children[1], node.left_key, node.right_key, node.result)
+    if isinstance(node, Concat):
+        return Concat(children[0], children[1])
+    if isinstance(node, Project):
+        return Project(children[0], node.selector)
+    if isinstance(node, FlatMap):
+        return FlatMap(children[0], node.collection, node.result)
+    if isinstance(node, GroupBy):
+        return GroupBy(children[0], node.key)
+    if isinstance(node, GroupAggregate):
+        return GroupAggregate(
+            children[0], node.key, node.aggregates, node.output, node.fused, node.share
+        )
+    if isinstance(node, ScalarAggregate):
+        return ScalarAggregate(children[0], node.aggregates, node.output)
+    if isinstance(node, Sort):
+        return Sort(children[0], node.keys, node.descending)
+    if isinstance(node, TopN):
+        return TopN(children[0], node.keys, node.descending, node.count)
+    if isinstance(node, Limit):
+        return Limit(children[0], node.count, node.offset)
+    if isinstance(node, Distinct):
+        return Distinct(children[0])
+    raise UnsupportedQueryError(f"cannot rebuild plan node {type(node).__name__}")
+
+
+def staged_schema_for(
+    source: Any, spec: StagedSource, token: str = ""
+) -> Schema:
+    """Native layout of one staged source (derived or copied)."""
+    if isinstance(source, StructArray):
+        base = source.schema
+        names = [n for n in spec.fields if n in base]
+        missing = [n for n in spec.fields if n not in base]
+        if missing:
+            raise SchemaError(f"source schema lacks staged fields {missing}")
+        return base.project(names, name=f"staged_{spec.ordinal}")
+    declared = getattr(source, "schema", None)
+    if isinstance(declared, Schema):
+        return declared.project(
+            [n for n in spec.fields], name=f"staged_{spec.ordinal}"
+        )
+    return infer_object_schema(
+        source, set(spec.fields), name=f"staged_{spec.ordinal}"
+    )

@@ -1,0 +1,1000 @@
+"""§5 — substituting native (vectorized NumPy) code for the host language.
+
+When the source data lives in :class:`~repro.storage.struct_array.StructArray`
+(fixed-layout arrays of structs, no references), the entire query can run
+in the native runtime.  The generated source is straight-line NumPy: inline
+vectorized expressions plus calls into the compiled kernels of
+:mod:`repro.runtime.vectorized` — no per-element Python between kernel
+calls, mirroring "all query processing is performed in C without any data
+staging".
+
+The paper restricts this engine (§5): only supported flat value types, no
+calls to application methods, no references in intermediate results.  The
+same restrictions hold here and are enforced at code-generation time with
+:class:`~repro.errors.UnsupportedQueryError` — queries outside the fragment
+must use the compiled or hybrid engines.
+
+Codegen model: every plan node produces a *frame* — a set of named,
+symbolic column expressions plus a row-count expression.  Index-producing
+operators (filter, sort, join, ...) materialize exactly the columns their
+ancestors need (computed by a required-fields pre-pass: the same analysis
+that drives §6's implicit projection).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import CodegenError, UnsupportedQueryError
+from ..expressions.analysis import member_usage
+from ..expressions.nodes import (
+    Binary,
+    Call,
+    Conditional,
+    Constant,
+    Expr,
+    Lambda,
+    Member,
+    Method,
+    New,
+    Param,
+    Unary,
+    Var,
+)
+from ..expressions.evaluator import make_record_type
+from ..plans.logical import (
+    AggregateSpec,
+    Concat,
+    Distinct,
+    Filter,
+    GroupAggregate,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+)
+from ..runtime import vectorized as _vec
+from ..storage.schema import Schema, date_to_days
+from ..storage.struct_array import StructArray
+from .compiler import CompiledQuery, compile_source, timed
+from .source import NameAllocator, SourceWriter
+
+__all__ = ["NativeBackend", "VectorPrinter", "ColumnRef", "Frame", "schema_for_sources"]
+
+_BOOL_OPS = {"eq", "ne", "lt", "le", "gt", "ge", "and", "or"}
+_NUMERIC_RESULT = {"add", "sub", "mul", "truediv", "floordiv", "mod", "pow"}
+
+
+@dataclass
+class ColumnRef:
+    """One symbolic column: a NumPy source expression plus a value kind."""
+
+    code: str
+    kind: str  # int / int32 / float / bool / str / date / unknown
+
+
+@dataclass
+class Frame:
+    """Symbolic result of a plan stage: named columns + a row count."""
+
+    columns: Dict[str, ColumnRef]
+    length_code: str
+
+    SINGLE = "__value"
+
+    @property
+    def is_single(self) -> bool:
+        return list(self.columns) == [Frame.SINGLE]
+
+    def column(self, name: str) -> ColumnRef:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise UnsupportedQueryError(
+                f"native frame has no column {name!r}; available: "
+                f"{sorted(self.columns)}"
+            ) from None
+
+
+def schema_for_sources(sources: Sequence[Any]) -> List[Schema]:
+    """Validate that every source is a StructArray and collect schemas."""
+    schemas = []
+    for i, source in enumerate(sources):
+        if not isinstance(source, StructArray):
+            raise UnsupportedQueryError(
+                f"the native engine requires StructArray sources; source_{i} "
+                f"is {type(source).__name__} (use the compiled or hybrid "
+                f"engine for object collections)"
+            )
+        schemas.append(source.schema)
+    return schemas
+
+
+class VectorPrinter:
+    """Renders scalar expressions as vectorized NumPy source.
+
+    ``env`` maps lambda variable names to ``(frame, index_code)``: member
+    access becomes a column expression, optionally gathered through an
+    index array (used on join outputs).  Comparisons against ``str`` /
+    ``date`` columns coerce the scalar operand to the native representation
+    (bytes / days-since-epoch), at codegen time for constants and via
+    ``_coerce_*`` helpers for parameters.
+    """
+
+    def __init__(
+        self,
+        env: Dict[str, Tuple[Frame, Optional[str]]],
+        param_render,
+        namespace: Dict[str, Any],
+    ):
+        self.env = env
+        self._param_render = param_render
+        self.namespace = namespace
+
+    # -- kinds ------------------------------------------------------------------
+
+    def kind_of(self, expr: Expr) -> str:
+        if isinstance(expr, Member):
+            frame, _ = self._resolve_var(expr)
+            return frame.column(expr.name).kind
+        if isinstance(expr, Var):
+            frame, _ = self.env.get(expr.name, (None, None))
+            if frame is not None and frame.is_single:
+                return frame.column(Frame.SINGLE).kind
+            return "unknown"
+        if isinstance(expr, Constant):
+            return _kind_of_value(expr.value)
+        if isinstance(expr, Binary):
+            if expr.op in _BOOL_OPS:
+                return "bool"
+            left, right = self.kind_of(expr.left), self.kind_of(expr.right)
+            if expr.op == "truediv" or "float" in (left, right):
+                return "float"
+            if left == "int" or right == "int":
+                return "int"
+            return "unknown"
+        if isinstance(expr, Unary):
+            return "bool" if expr.op == "not" else self.kind_of(expr.operand)
+        if isinstance(expr, Conditional):
+            return self.kind_of(expr.then)
+        if isinstance(expr, Method):
+            if expr.name in ("lower", "upper", "strip"):
+                return "str"
+            return "bool"
+        if isinstance(expr, Call):
+            return "float" if expr.name in ("float", "round") else "unknown"
+        return "unknown"
+
+    # -- emission -----------------------------------------------------------------
+
+    def emit(self, expr: Expr, coerce_to: Optional[str] = None) -> str:
+        code = self._emit(expr)
+        if coerce_to in ("str", "date") and not self._already_native(expr):
+            code = self._wrap_coercion(expr, code, coerce_to)
+        return code
+
+    @staticmethod
+    def _already_native(expr: Expr) -> bool:
+        """Columns and vectorized string-method results are already in the
+        native representation (bytes / days); everything else — constants,
+        parameters, computed scalars — needs coercion."""
+        return isinstance(expr, (Member, Method))
+
+    def _wrap_coercion(self, expr: Expr, code: str, target_kind: str) -> str:
+        if isinstance(expr, Constant):
+            return repr(_encode_constant(expr.value, target_kind))
+        helper = "_coerce_str" if target_kind == "str" else "_coerce_date"
+        return f"{helper}({code})"
+
+    def _emit(self, expr: Expr) -> str:
+        if isinstance(expr, Constant):
+            value = expr.value
+            if isinstance(value, (int, float, bool, str, bytes)):
+                return repr(value)
+            if isinstance(value, datetime.date):
+                return repr(date_to_days(value))
+            raise UnsupportedQueryError(
+                f"constant of type {type(value).__name__} is not representable "
+                f"in native code"
+            )
+        if isinstance(expr, Param):
+            return self._param_render(expr.name)
+        if isinstance(expr, Var):
+            frame, index = self.env.get(expr.name, (None, None))
+            if frame is None:
+                raise UnsupportedQueryError(f"unbound variable {expr.name!r}")
+            if frame.is_single:
+                return self._gather(frame.column(Frame.SINGLE).code, index)
+            raise UnsupportedQueryError(
+                "native code cannot manipulate whole records as values; "
+                "access their fields instead (the §5 'no references' rule)"
+            )
+        if isinstance(expr, Member):
+            frame, index = self._resolve_var(expr)
+            return self._gather(frame.column(expr.name).code, index)
+        if isinstance(expr, Binary):
+            return self._emit_binary(expr)
+        if isinstance(expr, Unary):
+            if expr.op == "not":
+                return f"(~({self._emit(expr.operand)}))"
+            if expr.op == "abs":
+                return f"_np.abs({self._emit(expr.operand)})"
+            token = "-" if expr.op == "neg" else "+"
+            return f"({token}{self._emit(expr.operand)})"
+        if isinstance(expr, Conditional):
+            return (
+                f"_np.where({self._emit(expr.cond)}, "
+                f"{self._emit(expr.then)}, {self._emit(expr.other)})"
+            )
+        if isinstance(expr, Method):
+            return self._emit_method(expr)
+        if isinstance(expr, Call):
+            if expr.name == "abs":
+                return f"_np.abs({self._emit(expr.args[0])})"
+            raise UnsupportedQueryError(
+                f"function {expr.name!r} has no vectorized form"
+            )
+        if isinstance(expr, New):
+            raise UnsupportedQueryError(
+                "record construction must be handled by the frame builder, "
+                "not the vector printer"
+            )
+        raise UnsupportedQueryError(
+            f"cannot vectorize expression node {type(expr).__name__}"
+        )
+
+    def _emit_binary(self, expr: Binary) -> str:
+        left_kind = self.kind_of(expr.left)
+        right_kind = self.kind_of(expr.right)
+        coerce = None
+        if left_kind in ("str", "date") or right_kind in ("str", "date"):
+            coerce = left_kind if left_kind in ("str", "date") else right_kind
+        left = self.emit(expr.left, coerce_to=coerce)
+        right = self.emit(expr.right, coerce_to=coerce)
+        token = {
+            "and": "&",
+            "or": "|",
+            "eq": "==",
+            "ne": "!=",
+            "lt": "<",
+            "le": "<=",
+            "gt": ">",
+            "ge": ">=",
+            "add": "+",
+            "sub": "-",
+            "mul": "*",
+            "truediv": "/",
+            "floordiv": "//",
+            "mod": "%",
+            "pow": "**",
+        }[expr.op]
+        return f"({left} {token} {right})"
+
+    def _emit_method(self, expr: Method) -> str:
+        target = self._emit(expr.target)
+        target_kind = self.kind_of(expr.target)
+        args = [
+            self.emit(a, coerce_to="str" if target_kind == "str" else None)
+            for a in expr.args
+        ]
+        if expr.name == "startswith":
+            return f"_np.char.startswith({target}, {args[0]})"
+        if expr.name == "endswith":
+            return f"_np.char.endswith({target}, {args[0]})"
+        if expr.name == "contains":
+            return f"(_np.char.find({target}, {args[0]}) >= 0)"
+        if expr.name in ("lower", "upper", "strip"):
+            return f"_np.char.{expr.name}({target})"
+        raise UnsupportedQueryError(f"method {expr.name!r} has no vectorized form")
+
+    def _resolve_var(self, expr: Member) -> Tuple[Frame, Optional[str]]:
+        target = expr.target
+        if isinstance(target, Member):
+            raise UnsupportedQueryError(
+                f"nested member access {expr.name!r} is not representable in "
+                f"the flat native layout (the §5 'no references' rule)"
+            )
+        if not isinstance(target, Var):
+            raise UnsupportedQueryError(
+                f"member access on a computed value is not supported natively"
+            )
+        frame_index = self.env.get(target.name)
+        if frame_index is None:
+            raise UnsupportedQueryError(f"unbound variable {target.name!r}")
+        return frame_index
+
+    @staticmethod
+    def _gather(code: str, index: Optional[str]) -> str:
+        return f"{code}[{index}]" if index else code
+
+
+def _kind_of_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, (str, bytes)):
+        return "str"
+    if isinstance(value, datetime.date):
+        return "date"
+    return "unknown"
+
+
+def _encode_constant(value: Any, target_kind: str) -> Any:
+    if target_kind == "str" and isinstance(value, str):
+        return value.encode("utf-8")
+    if target_kind == "date" and isinstance(value, datetime.date):
+        return date_to_days(value)
+    return value
+
+
+class NativeBackend:
+    """Compiles a logical plan into vectorized NumPy source."""
+
+    name = "native"
+
+    def compile(self, plan: Plan, sources: Sequence[Any]) -> CompiledQuery:
+        schemas = schema_for_sources(sources)
+        with timed() as gen_time:
+            emitter = _VectorEmitter(schemas, exemplars=sources)
+            source_code, namespace, scalar = emitter.emit_module(plan)
+        entry, compile_seconds = compile_source(source_code, namespace)
+        return CompiledQuery(
+            source_code=source_code,
+            fn=entry,
+            engine=self.name,
+            codegen_seconds=gen_time.seconds,
+            compile_seconds=compile_seconds,
+            scalar=scalar,
+        )
+
+
+class _VectorEmitter:
+    """Walks the plan bottom-up, emitting one frame per stage."""
+
+    def __init__(self, schemas: Sequence[Schema], exemplars: Sequence[Any] = ()):
+        self._schemas = schemas
+        self._exemplars = exemplars
+        self.names = NameAllocator()
+        self.writer = SourceWriter()
+        self.namespace: Dict[str, Any] = {}
+        self._param_names: Dict[str, str] = {}
+
+    # -- module assembly ----------------------------------------------------------
+
+    def emit_module(self, plan: Plan) -> Tuple[str, Dict[str, Any], bool]:
+        scalar = isinstance(plan, ScalarAggregate)
+        body = SourceWriter()
+        self.writer = body
+        if scalar:
+            result_code = self._emit_scalar_root(plan)
+            body.line(f"return {result_code}")
+        else:
+            frame = self.emit(plan, needed=None)
+            body.line(
+                f"return {self._emit_result(frame, _preserves_rows(plan))}"
+            )
+
+        header = SourceWriter()
+        header.line('"""Query code generated by repro.codegen.native_backend."""')
+        header.line()
+        with header.block("def execute(sources, _params):"):
+            for param_name, code_name in self._param_names.items():
+                header.line(f"{code_name} = _params[{param_name!r}]")
+            for line in body.text().splitlines():
+                header.line(line) if line.strip() else header.line()
+
+        namespace = dict(self.namespace)
+        namespace.update(
+            _np=np,
+            _group_aggregate=_vec.group_aggregate,
+            _hash_join=_vec.hash_join_indexes,
+            _sort_indexes=_vec.sort_indexes,
+            _topn_indexes=_vec.topn_indexes,
+            _distinct_indexes=_vec.distinct_indexes,
+            _decode_rows=_vec.decode_rows,
+            _decode_values=_vec.decode_values,
+            _view_rows=_vec.view_rows,
+            _coerce_str=_vec.coerce_str,
+            _coerce_date=_vec.coerce_date,
+            _EmptyAggregateError=_empty_aggregate_error,
+            _days_to_date=_days_to_date,
+        )
+        return header.text(), namespace, scalar
+
+    def _render_param(self, name: str) -> str:
+        code_name = self._param_names.get(name)
+        if code_name is None:
+            sanitized = "".join(c if c.isalnum() else "_" for c in name)
+            code_name = f"_param_{sanitized}"
+            self._param_names[name] = code_name
+        return code_name
+
+    def _printer(self, env: Dict[str, Tuple[Frame, Optional[str]]]) -> VectorPrinter:
+        return VectorPrinter(env, self._render_param, self.namespace)
+
+    def _bind(self, obj: Any, hint: str) -> str:
+        for name, existing in self.namespace.items():
+            if existing is obj:
+                return name
+        name = f"_rt_{hint}_{len(self.namespace)}"
+        self.namespace[name] = obj
+        return name
+
+    # -- frame helpers -------------------------------------------------------------
+
+    def _materialize(
+        self, frame: Frame, suffix: str, needed: Optional[Set[str]]
+    ) -> Frame:
+        """Apply an index/mask/slice to the needed columns, assigning vars."""
+        columns = {}
+        for name, col in frame.columns.items():
+            if needed is not None and name not in needed:
+                continue
+            var = self.names.fresh("col")
+            self.writer.line(f"{var} = {col.code}{suffix}")
+            columns[name] = ColumnRef(var, col.kind)
+        if columns:
+            first = next(iter(columns.values()))
+            length = f"{first.code}.shape[0]"
+        else:
+            length = frame.length_code  # caller must override when it shrinks
+        return Frame(columns, length)
+
+    def _vector(self, code: str) -> str:
+        var = self.names.fresh("vec")
+        self.writer.line(f"{var} = {code}")
+        return var
+
+    # -- required-fields analysis ---------------------------------------------------
+
+    @staticmethod
+    def _usage_of(lam: Lambda, param_index: int = 0) -> Set[str]:
+        usage = member_usage(lam.body)
+        param = lam.params[param_index]
+        fields = set()
+        for path in usage.get(param, set()):
+            if path == "":
+                fields.add("")
+            else:
+                fields.add(path.split(".")[0])
+        return fields
+
+    # -- plan dispatch -------------------------------------------------------------
+
+    def emit(self, plan: Plan, needed: Optional[Set[str]]) -> Frame:
+        handler = getattr(self, f"_emit_{type(plan).__name__}", None)
+        if handler is None:
+            raise UnsupportedQueryError(
+                f"plan node {type(plan).__name__} is outside the native "
+                f"fragment (§5 restrictions); use the compiled engine"
+            )
+        return handler(plan, needed)
+
+    def _emit_Scan(self, plan: Scan, needed: Optional[Set[str]]) -> Frame:
+        schema = self._schemas[plan.ordinal]
+        src = self.names.fresh("src")
+        self.writer.line(f"{src} = sources[{plan.ordinal}].data")
+        columns = {
+            f.name: ColumnRef(f"{src}[{f.name!r}]", f.kind)
+            for f in schema.fields
+            if needed is None or f.name in needed
+        }
+        return Frame(columns, f"{src}.shape[0]")
+
+    def _emit_Filter(self, plan: Filter, needed: Optional[Set[str]]) -> Frame:
+        if isinstance(plan.child, Scan):
+            opportunity = self._index_opportunity(plan)
+            if opportunity is not None:
+                return self._emit_index_filter(plan, opportunity, needed)
+            clustered = self._cluster_opportunity(plan)
+            if clustered is not None:
+                return self._emit_cluster_filter(plan, clustered, needed)
+        child_needed = _union(needed, self._usage_of(plan.predicate))
+        child = self.emit(plan.child, child_needed)
+        (param,) = plan.predicate.params
+        printer = self._printer({param: (child, None)})
+        mask = self._vector(printer.emit(plan.predicate.body))
+        out = self._materialize(child, f"[{mask}]", needed)
+        if not out.columns:
+            out.length_code = f"int({mask}.sum())"
+        return out
+
+    # -- index-accelerated point selection (§9 extension) -------------------------
+
+    def _index_opportunity(self, plan: Filter):
+        """Find an equality conjunct on an indexed column of the scan.
+
+        Returns (field_name, value_expr, remaining_conjuncts) or None.
+        The value side must be data-independent (Param/Constant) so the
+        lookup can run once per execution.
+        """
+        from ..expressions.analysis import conjuncts
+        from ..expressions.nodes import Binary, Constant as ConstNode, Param as ParamNode
+
+        scan: Scan = plan.child  # type: ignore[assignment]
+        if scan.ordinal >= len(self._exemplars):
+            return None
+        exemplar = self._exemplars[scan.ordinal]
+        get_index = getattr(exemplar, "get_index", None)
+        if get_index is None:
+            return None
+        (var,) = plan.predicate.params
+        parts = conjuncts(plan.predicate.body)
+        for i, part in enumerate(parts):
+            if not (isinstance(part, Binary) and part.op == "eq"):
+                continue
+            for member, value in ((part.left, part.right), (part.right, part.left)):
+                is_column = (
+                    isinstance(member, Member)
+                    and member.target == Var(var)
+                    and get_index(member.name) is not None
+                )
+                if is_column and isinstance(value, (ConstNode, ParamNode)):
+                    remaining = parts[:i] + parts[i + 1 :]
+                    return member.name, value, remaining
+        return None
+
+    def _cluster_opportunity(self, plan: Filter):
+        """Find a comparison on the scan's clustering column (§9).
+
+        Returns (field, op, value_expr, remaining_conjuncts) or None; the
+        comparison compiles to binary-search bounds on the physically
+        ordered data instead of a full mask.
+        """
+        from ..expressions.analysis import conjuncts
+        from ..expressions.nodes import Binary, Constant as ConstNode, Param as ParamNode
+
+        scan: Scan = plan.child  # type: ignore[assignment]
+        if scan.ordinal >= len(self._exemplars):
+            return None
+        clustering = getattr(self._exemplars[scan.ordinal], "clustering", None)
+        if clustering is None:
+            return None
+        comparisons = {"lt", "le", "gt", "ge", "eq"}
+        flipped = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq"}
+        (var,) = plan.predicate.params
+        parts = conjuncts(plan.predicate.body)
+        for i, part in enumerate(parts):
+            if not (isinstance(part, Binary) and part.op in comparisons):
+                continue
+            for member, value, op in (
+                (part.left, part.right, part.op),
+                (part.right, part.left, flipped[part.op]),
+            ):
+                is_clustered_column = (
+                    isinstance(member, Member)
+                    and member.target == Var(var)
+                    and member.name == clustering
+                )
+                if is_clustered_column and isinstance(value, (ConstNode, ParamNode)):
+                    remaining = parts[:i] + parts[i + 1 :]
+                    return clustering, op, value, remaining
+        return None
+
+    def _emit_cluster_filter(
+        self, plan: Filter, opportunity, needed: Optional[Set[str]]
+    ) -> Frame:
+        field_name, op, value_expr, remaining = opportunity
+        scan: Scan = plan.child  # type: ignore[assignment]
+        schema = self._schemas[scan.ordinal]
+        field_kind = schema[field_name].kind
+        src = self.names.fresh("src")
+        self.writer.line(f"{src} = sources[{scan.ordinal}].data")
+        if isinstance(value_expr, Param):
+            value_code = self._render_param(value_expr.name)
+            if field_kind == "str":
+                value_code = f"_coerce_str({value_code})"
+            elif field_kind == "date":
+                value_code = f"_coerce_date({value_code})"
+        else:
+            value_code = repr(_encode_constant(value_expr.value, field_kind))
+        column = f"{src}[{field_name!r}]"
+        start = self.names.fresh("lo")
+        stop = self.names.fresh("hi")
+        if op in ("lt", "le"):
+            side = "left" if op == "lt" else "right"
+            self.writer.line(f"{start} = 0")
+            self.writer.line(
+                f"{stop} = int(_np.searchsorted({column}, {value_code}, side={side!r}))"
+            )
+        elif op in ("gt", "ge"):
+            side = "right" if op == "gt" else "left"
+            self.writer.line(
+                f"{start} = int(_np.searchsorted({column}, {value_code}, side={side!r}))"
+            )
+            self.writer.line(f"{stop} = {column}.shape[0]")
+        else:  # eq: both bounds
+            self.writer.line(
+                f"{start} = int(_np.searchsorted({column}, {value_code}, side='left'))"
+            )
+            self.writer.line(
+                f"{stop} = int(_np.searchsorted({column}, {value_code}, side='right'))"
+            )
+        child_needed = _union(needed, self._usage_of(plan.predicate))
+        columns = {
+            f.name: ColumnRef(f"{src}[{f.name!r}][{start}:{stop}]", f.kind)
+            for f in schema.fields
+            if child_needed is None or f.name in child_needed
+        }
+        frame = Frame(columns, f"({stop} - {start})")
+        if not remaining:
+            out = self._materialize(frame, "", needed)
+            if not out.columns:
+                out.length_code = f"({stop} - {start})"
+            return out
+        from functools import reduce
+
+        from ..expressions.nodes import Binary
+
+        (var,) = plan.predicate.params
+        rest = reduce(lambda a, b: Binary("and", a, b), remaining)
+        printer = self._printer({var: (frame, None)})
+        mask = self._vector(printer.emit(rest))
+        out = self._materialize(frame, f"[{mask}]", needed)
+        if not out.columns:
+            out.length_code = f"int({mask}.sum())"
+        return out
+
+    def _emit_index_filter(
+        self, plan: Filter, opportunity, needed: Optional[Set[str]]
+    ) -> Frame:
+        field_name, value_expr, remaining = opportunity
+        scan: Scan = plan.child  # type: ignore[assignment]
+        schema = self._schemas[scan.ordinal]
+        src = self.names.fresh("src")
+        self.writer.line(f"{src} = sources[{scan.ordinal}].data")
+        if isinstance(value_expr, Param):
+            value_code = self._render_param(value_expr.name)
+        else:
+            value_code = repr(value_expr.value)
+        sel = self.names.fresh("sel")
+        self.writer.line(
+            f"{sel} = sources[{scan.ordinal}].get_index({field_name!r})"
+            f".lookup({value_code})"
+        )
+        child_needed = _union(needed, self._usage_of(plan.predicate))
+        columns = {
+            f.name: ColumnRef(f"{src}[{f.name!r}][{sel}]", f.kind)
+            for f in schema.fields
+            if child_needed is None or f.name in child_needed
+        }
+        frame = Frame(columns, f"{sel}.shape[0]")
+        if not remaining:
+            out = self._materialize(frame, "", needed)
+            if not out.columns:
+                out.length_code = f"{sel}.shape[0]"
+            return out
+        from functools import reduce
+
+        from ..expressions.nodes import Binary
+
+        (var,) = plan.predicate.params
+        rest = reduce(lambda a, b: Binary("and", a, b), remaining)
+        printer = self._printer({var: (frame, None)})
+        mask = self._vector(printer.emit(rest))
+        out = self._materialize(frame, f"[{mask}]", needed)
+        if not out.columns:
+            out.length_code = f"int({mask}.sum())"
+        return out
+
+    def _emit_Project(self, plan: Project, needed: Optional[Set[str]]) -> Frame:
+        child_needed = _union(set(), self._usage_of(plan.selector))
+        child = self.emit(plan.child, child_needed)
+        (param,) = plan.selector.params
+        printer = self._printer({param: (child, None)})
+        return self._build_output_frame(
+            plan.selector.body, printer, child.length_code, needed
+        )
+
+    def _build_output_frame(
+        self,
+        body: Expr,
+        printer: VectorPrinter,
+        length_code: str,
+        needed: Optional[Set[str]],
+    ) -> Frame:
+        if isinstance(body, New):
+            columns = {}
+            for name, expr in body.fields:
+                if needed is not None and name not in needed:
+                    continue
+                var = self._vector(printer.emit(expr))
+                columns[name] = ColumnRef(var, printer.kind_of(expr))
+            return Frame(columns, length_code)
+        var = self._vector(printer.emit(body))
+        return Frame(
+            {Frame.SINGLE: ColumnRef(var, printer.kind_of(body))}, length_code
+        )
+
+    def _emit_Join(self, plan: Join, needed: Optional[Set[str]]) -> Frame:
+        left_var, right_var = plan.result.params
+        result_usage = member_usage(plan.result.body)
+        left_needed = _union(
+            {p.split(".")[0] for p in result_usage.get(left_var, set()) if p},
+            self._usage_of(plan.left_key),
+        )
+        right_needed = _union(
+            {p.split(".")[0] for p in result_usage.get(right_var, set()) if p},
+            self._usage_of(plan.right_key),
+        )
+        if "" in result_usage.get(left_var, set()) or "" in result_usage.get(
+            right_var, set()
+        ):
+            raise UnsupportedQueryError(
+                "native join results cannot embed whole input records "
+                "(the §5 'no references' rule); project explicit fields"
+            )
+        left = self.emit(plan.left, left_needed)
+        right = self.emit(plan.right, right_needed)
+
+        lk = self._vector(
+            self._printer({plan.left_key.params[0]: (left, None)}).emit(
+                plan.left_key.body
+            )
+        )
+        rk = self._vector(
+            self._printer({plan.right_key.params[0]: (right, None)}).emit(
+                plan.right_key.body
+            )
+        )
+        li = self.names.fresh("li")
+        ri = self.names.fresh("ri")
+        self.writer.line(f"{li}, {ri} = _hash_join({lk}, {rk})")
+        printer = self._printer({left_var: (left, li), right_var: (right, ri)})
+        return self._build_output_frame(
+            plan.result.body, printer, f"{li}.shape[0]", needed
+        )
+
+    def _emit_GroupAggregate(
+        self, plan: GroupAggregate, needed: Optional[Set[str]]
+    ) -> Frame:
+        usage = self._usage_of(plan.key)
+        for spec in plan.aggregates:
+            if spec.selector is not None:
+                usage |= self._usage_of(spec.selector)
+        child = self.emit(plan.child, _union(set(), usage))
+        (key_param,) = plan.key.params
+        key_printer = self._printer({key_param: (child, None)})
+
+        key_body = plan.key.body
+        if isinstance(key_body, New):
+            key_fields = [(name, expr) for name, expr in key_body.fields]
+        else:
+            key_fields = [(Frame.SINGLE, key_body)]
+        key_vars = []
+        key_kinds = []
+        for _, expr in key_fields:
+            key_vars.append(self._vector(key_printer.emit(expr)))
+            key_kinds.append(key_printer.kind_of(expr))
+
+        agg_args = []
+        agg_kinds = []
+        for spec in plan.aggregates:
+            if spec.selector is None:
+                agg_args.append(f"({spec.kind!r}, None)")
+                agg_kinds.append("int")
+            else:
+                (p,) = spec.selector.params
+                printer = self._printer({p: (child, None)})
+                values = self._vector(printer.emit(spec.selector.body))
+                agg_args.append(f"({spec.kind!r}, {values})")
+                value_kind = printer.kind_of(spec.selector.body)
+                agg_kinds.append("float" if spec.kind == "avg" else value_kind)
+
+        gkeys = self.names.fresh("gkeys")
+        gaggs = self.names.fresh("gaggs")
+        keys_tuple = ", ".join(key_vars)
+        self.writer.line(
+            f"{gkeys}, {gaggs} = _group_aggregate(({keys_tuple},), [{', '.join(agg_args)}])"
+        )
+
+        # expose group keys and aggregate slots as a frame for the output expr
+        key_frame_cols = {
+            name: ColumnRef(f"{gkeys}[{i}]", key_kinds[i])
+            for i, (name, _) in enumerate(key_fields)
+        }
+        key_frame = Frame(key_frame_cols, f"{gkeys}[0].shape[0]")
+        env: Dict[str, Tuple[Frame, Optional[str]]] = {"__key": (key_frame, None)}
+        for i, kind in enumerate(agg_kinds):
+            slot_frame = Frame(
+                {Frame.SINGLE: ColumnRef(f"{gaggs}[{i}]", kind)},
+                f"{gaggs}[{i}].shape[0]",
+            )
+            env[f"__agg{i}"] = (slot_frame, None)
+        printer = self._printer(env)
+        return self._build_output_frame(
+            plan.output, printer, f"{gkeys}[0].shape[0]", needed
+        )
+
+    def _emit_scalar_root(self, plan: ScalarAggregate) -> str:
+        usage: Set[str] = set()
+        for spec in plan.aggregates:
+            if spec.selector is not None:
+                usage |= self._usage_of(spec.selector)
+        needed = _union(set(), usage) if usage else set()
+        child = self.emit(plan.child, needed)
+        slot_codes = []
+        for spec in plan.aggregates:
+            slot_codes.append(self._emit_scalar_agg(spec, child))
+        if plan.output == Var("__agg0"):
+            return slot_codes[0]
+        raise UnsupportedQueryError("composite scalar outputs are not supported natively")
+
+    def _emit_scalar_agg(self, spec: AggregateSpec, child: Frame) -> str:
+        if spec.kind == "count":
+            return f"int({child.length_code})"
+        (p,) = spec.selector.params
+        printer = self._printer({p: (child, None)})
+        values = self._vector(printer.emit(spec.selector.body))
+        kind = printer.kind_of(spec.selector.body)
+        if spec.kind == "sum":
+            zero = "0.0" if kind == "float" else "0"
+            return f"({values}.sum().item() if {values}.shape[0] else {zero})"
+        guard = self.names.fresh("n")
+        self.writer.line(f"{guard} = {values}.shape[0]")
+        with self.writer.block(f"if not {guard}:"):
+            self.writer.line("raise _EmptyAggregateError()")
+        if spec.kind == "avg":
+            return f"({values}.mean().item())"
+        fn = "min" if spec.kind == "min" else "max"
+        result = f"{values}.{fn}()"
+        if kind == "str":
+            return f"{result}.decode('utf-8')"
+        if kind == "date":
+            return f"_days_to_date(int({result}))"
+        return f"{result}.item()"
+
+    def _emit_Sort(self, plan: Sort, needed: Optional[Set[str]]) -> Frame:
+        key_usage: Set[str] = set()
+        for key in plan.keys:
+            key_usage |= self._usage_of(key)
+        child = self.emit(plan.child, _union(needed, key_usage))
+        key_vars = []
+        for key in plan.keys:
+            printer = self._printer({key.params[0]: (child, None)})
+            key_vars.append(self._vector(printer.emit(key.body)))
+        order = self.names.fresh("order")
+        dirs = repr(tuple(plan.descending))
+        self.writer.line(
+            f"{order} = _sort_indexes(({', '.join(key_vars)},), {dirs})"
+        )
+        out = self._materialize(child, f"[{order}]", needed)
+        if not out.columns:
+            out.length_code = f"{order}.shape[0]"
+        return out
+
+    def _emit_TopN(self, plan: TopN, needed: Optional[Set[str]]) -> Frame:
+        key_usage: Set[str] = set()
+        for key in plan.keys:
+            key_usage |= self._usage_of(key)
+        child = self.emit(plan.child, _union(needed, key_usage))
+        key_vars = []
+        for key in plan.keys:
+            printer = self._printer({key.params[0]: (child, None)})
+            key_vars.append(self._vector(printer.emit(key.body)))
+        count_code = self._printer({}).emit(plan.count)
+        idx = self.names.fresh("topidx")
+        dirs = repr(tuple(plan.descending))
+        self.writer.line(
+            f"{idx} = _topn_indexes(({', '.join(key_vars)},), {dirs}, {count_code})"
+        )
+        out = self._materialize(child, f"[{idx}]", needed)
+        if not out.columns:
+            out.length_code = f"{idx}.shape[0]"
+        return out
+
+    def _emit_Limit(self, plan: Limit, needed: Optional[Set[str]]) -> Frame:
+        child = self.emit(plan.child, needed)
+        printer = self._printer({})
+        start = printer.emit(plan.offset) if plan.offset is not None else "0"
+        if plan.count is not None:
+            stop = f"({start}) + ({printer.emit(plan.count)})"
+        else:
+            stop = ""
+        out = self._materialize(child, f"[{start}:{stop}]" if stop else f"[{start}:]", needed)
+        if not out.columns:
+            # e.g. take(n).count(): compute the surviving row count directly
+            length = self.names.fresh("n")
+            child_len = child.length_code
+            if plan.count is not None:
+                self.writer.line(
+                    f"{length} = max(0, min(({child_len}) - ({start}), "
+                    f"{printer.emit(plan.count)}))"
+                )
+            else:
+                self.writer.line(f"{length} = max(0, ({child_len}) - ({start}))")
+            out.length_code = length
+        return out
+
+    def _emit_Distinct(self, plan: Distinct, needed: Optional[Set[str]]) -> Frame:
+        # distinct compares whole rows: every column participates
+        child = self.emit(plan.child, None)
+        cols = ", ".join(col.code for col in child.columns.values())
+        idx = self.names.fresh("didx")
+        self.writer.line(f"{idx} = _distinct_indexes(({cols},))")
+        return self._materialize(child, f"[{idx}]", needed)
+
+    def _emit_Concat(self, plan: Concat, needed: Optional[Set[str]]) -> Frame:
+        left = self.emit(plan.left, needed)
+        right = self.emit(plan.right, needed)
+        columns = {}
+        for name, col in left.columns.items():
+            other = right.column(name)
+            var = self.names.fresh("col")
+            self.writer.line(
+                f"{var} = _np.concatenate([{col.code}, {other.code}])"
+            )
+            columns[name] = ColumnRef(var, col.kind)
+        if not columns:
+            raise UnsupportedQueryError("concat of empty projections")
+        first = next(iter(columns.values()))
+        return Frame(columns, f"{first.code}.shape[0]")
+
+    # -- result delivery ---------------------------------------------------------
+
+    def _emit_result(self, frame: Frame, whole_rows: bool = False) -> str:
+        if frame.is_single:
+            col = frame.column(Frame.SINGLE)
+            return f"_decode_values({col.code}, {col.kind!r})"
+        names = tuple(frame.columns)
+        if whole_rows:
+            # §5 pointer-return path: results are views into native memory,
+            # decoded per accessed field — nothing is copied up front
+            columns = ", ".join(
+                f"{name!r}: {col.code}" for name, col in frame.columns.items()
+            )
+            kinds = ", ".join(
+                f"{name!r}: {col.kind!r}" for name, col in frame.columns.items()
+            )
+            return f"_view_rows({{{columns}}}, {{{kinds}}}, {names!r})"
+        record_type = make_record_type(names)
+        type_name = self._bind(record_type, "rowtype")
+        cols = ", ".join(col.code for col in frame.columns.values())
+        kinds = ", ".join(repr(col.kind) for col in frame.columns.values())
+        return f"_decode_rows(({cols},), ({kinds},), {type_name})"
+
+
+def _preserves_rows(plan: Plan) -> bool:
+    """True when every result element is a whole (unprojected) source row.
+
+    Such results take the pointer-return path: queries that only filter,
+    sort, limit or deduplicate hand back views into the arrays instead of
+    materialized record copies.
+    """
+    from ..plans.logical import plan_children
+
+    row_preserving = (Scan, Filter, Sort, TopN, Limit, Distinct, Concat)
+    if not isinstance(plan, row_preserving):
+        return False
+    return all(_preserves_rows(child) for child in plan_children(plan))
+
+
+def _union(needed: Optional[Set[str]], extra: Set[str]) -> Optional[Set[str]]:
+    if "" in extra:
+        return None  # whole-element use: keep every column
+    if needed is None:
+        return None
+    return needed | extra
+
+
+def _empty_aggregate_error():
+    from ..errors import ExecutionError
+
+    return ExecutionError("aggregate of an empty sequence has no value")
+
+
+def _days_to_date(days: int):
+    from ..storage.schema import days_to_date
+
+    return days_to_date(days)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ExpressionError(ReproError):
+    """A problem while building or manipulating an expression tree."""
+
+
+class TraceError(ExpressionError):
+    """A user lambda could not be captured as an expression tree.
+
+    Raised, for example, when a traced lambda uses ``and`` / ``or`` /
+    ``not`` (which Python routes through ``__bool__`` and cannot be
+    overloaded) instead of ``&`` / ``|`` / ``~``, or calls a method that is
+    not on the supported whitelist.
+    """
+
+
+class UnsupportedExpressionError(ExpressionError):
+    """An expression node is valid but not supported in this context."""
+
+
+class TranslationError(ReproError):
+    """The expression tree could not be translated into a logical plan."""
+
+
+class UnsupportedQueryError(ReproError):
+    """A query is valid but cannot run on the selected engine.
+
+    The native engine (paper §5) restricts queries to flat value types
+    stored in arrays of structs; queries outside that fragment raise this.
+    """
+
+
+class CodegenError(ReproError):
+    """Source generation or compilation of generated code failed."""
+
+
+class ExecutionError(ReproError):
+    """A compiled or interpreted query failed while producing results."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or a value did not match its declared schema."""

@@ -1,0 +1,98 @@
+"""Expression tree substrate.
+
+The Python analogue of LINQ expression trees (paper §2.2, Figure 1):
+immutable AST nodes, lambda capture by tracing, a reference interpreter, a
+source printer for code generation, and the canonicalizer that makes query
+caching possible.
+"""
+
+from .nodes import (
+    AggCall,
+    Binary,
+    Call,
+    Conditional,
+    Constant,
+    Expr,
+    Lambda,
+    Member,
+    Method,
+    New,
+    Param,
+    QueryOp,
+    SourceExpr,
+    Unary,
+    Var,
+    children,
+    structural_key,
+    walk,
+)
+from .builder import P, ExprProxy, arg, if_then_else, new, trace_lambda, unwrap
+from .evaluator import interpret, make_callable, make_record_type
+from .printer import ScalarPrinter, expression_to_text
+from .canonical import CanonicalQuery, cache_key, canonicalize, fold_constants, parameterize
+from .visitor import Transformer, collect, rewrite_bottom_up, substitute
+from .analysis import (
+    conjuncts,
+    contains_aggregate,
+    free_vars,
+    is_constant,
+    member_usage,
+    predicate_cost,
+    used_params,
+)
+
+__all__ = [
+    # nodes
+    "Expr",
+    "Constant",
+    "Param",
+    "Var",
+    "Member",
+    "Binary",
+    "Unary",
+    "Call",
+    "Method",
+    "Conditional",
+    "New",
+    "Lambda",
+    "AggCall",
+    "SourceExpr",
+    "QueryOp",
+    "children",
+    "walk",
+    "structural_key",
+    # builder
+    "ExprProxy",
+    "P",
+    "arg",
+    "new",
+    "if_then_else",
+    "unwrap",
+    "trace_lambda",
+    # evaluator
+    "interpret",
+    "make_callable",
+    "make_record_type",
+    # printer
+    "ScalarPrinter",
+    "expression_to_text",
+    # canonical
+    "CanonicalQuery",
+    "canonicalize",
+    "fold_constants",
+    "parameterize",
+    "cache_key",
+    # visitor
+    "Transformer",
+    "substitute",
+    "rewrite_bottom_up",
+    "collect",
+    # analysis
+    "free_vars",
+    "used_params",
+    "member_usage",
+    "contains_aggregate",
+    "is_constant",
+    "predicate_cost",
+    "conjuncts",
+]

@@ -1,0 +1,173 @@
+"""Static analyses over expression trees.
+
+Used by the canonicalizer (constant detection), the optimizer (predicate
+cost estimation, pushdown legality) and the hybrid backend's *source
+mapping* construction (§6.2): which members of which input a query touches
+determines exactly what gets staged to native memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from .nodes import (
+    AggCall,
+    Binary,
+    Call,
+    Conditional,
+    Constant,
+    Expr,
+    Lambda,
+    Member,
+    Method,
+    New,
+    Param,
+    Unary,
+    Var,
+    children,
+    walk,
+)
+
+__all__ = [
+    "free_vars",
+    "used_params",
+    "member_usage",
+    "contains_aggregate",
+    "is_constant",
+    "predicate_cost",
+    "conjuncts",
+]
+
+
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """Names of variables referenced but not bound by an enclosing lambda."""
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    if isinstance(expr, Lambda):
+        return frozenset(free_vars(expr.body) - set(expr.params))
+    if isinstance(expr, AggCall):
+        inner = free_vars(expr.arg) if expr.arg is not None else frozenset()
+        return inner | free_vars(expr.group)
+    result: Set[str] = set()
+    for child in children(expr):
+        result |= free_vars(child)
+    return frozenset(result)
+
+
+def used_params(expr: Expr) -> FrozenSet[str]:
+    """Names of all :class:`Param` nodes in *expr*."""
+    return frozenset(n.name for n in walk(expr) if isinstance(n, Param))
+
+
+def member_usage(expr: Expr) -> Dict[str, Set[str]]:
+    """Map each free variable to the set of member paths accessed on it.
+
+    Nested access like ``s.shop.city`` is recorded as the dotted path
+    ``'shop.city'``.  This is the raw material of the paper's source
+    mapping (Figure 6): only members present here are copied when staging.
+    """
+    usage: Dict[str, Set[str]] = {}
+
+    def record(node: Expr, bound: FrozenSet[str]) -> None:
+        if isinstance(node, Member):
+            path, target = [node.name], node.target
+            while isinstance(target, Member):
+                path.append(target.name)
+                target = target.target
+            if isinstance(target, Var) and target.name not in bound:
+                usage.setdefault(target.name, set()).add(".".join(reversed(path)))
+                return
+            record(target, bound)
+            return
+        if isinstance(node, Var) and node.name not in bound:
+            # bare use of the variable means the whole element is needed
+            usage.setdefault(node.name, set()).add("")
+            return
+        if isinstance(node, Lambda):
+            record(node.body, bound | frozenset(node.params))
+            return
+        if isinstance(node, AggCall):
+            if node.arg is not None:
+                record(node.arg, bound)
+            record(node.group, bound)
+            return
+        for child in children(node):
+            record(child, bound)
+
+    record(expr, frozenset())
+    return usage
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when any :class:`AggCall` occurs in *expr*."""
+    return any(isinstance(n, AggCall) for n in walk(expr))
+
+
+def is_constant(expr: Expr) -> bool:
+    """True when *expr* depends on no variables and no parameters.
+
+    Such subtrees can be evaluated once at canonicalization time
+    (``ConstantEvaluator`` in the paper's Figure 3).
+    """
+    for node in walk(expr):
+        if isinstance(node, (Var, Param, AggCall)):
+            return False
+        if isinstance(node, Lambda):
+            return False
+    return True
+
+
+_OP_COST = {
+    "eq": 1.0,
+    "ne": 1.0,
+    "lt": 1.0,
+    "le": 1.0,
+    "gt": 1.0,
+    "ge": 1.0,
+    "add": 1.0,
+    "sub": 1.0,
+    "mul": 2.0,
+    "truediv": 4.0,
+    "floordiv": 4.0,
+    "mod": 4.0,
+    "pow": 8.0,
+    "and": 0.5,
+    "or": 0.5,
+}
+
+
+def predicate_cost(expr: Expr) -> float:
+    """Heuristic per-element evaluation cost of a predicate.
+
+    Used to reorder conjuncts so cheap comparisons run first (§2.3's
+    "reordering selection predicates according to expected processing
+    cost").  String operations are assumed an order of magnitude more
+    expensive than numeric comparisons.
+    """
+    cost = 0.0
+    for node in walk(expr):
+        if isinstance(node, Binary):
+            base = _OP_COST.get(node.op, 1.0)
+            if _is_stringy(node.left) or _is_stringy(node.right):
+                base *= 10.0
+            cost += base
+        elif isinstance(node, Method):
+            cost += 10.0
+        elif isinstance(node, Call):
+            cost += 2.0
+        elif isinstance(node, Member):
+            cost += 0.5
+        elif isinstance(node, Conditional):
+            cost += 1.0
+    return cost
+
+
+def _is_stringy(expr: Expr) -> bool:
+    return isinstance(expr, Constant) and isinstance(expr.value, (str, bytes))
+
+
+def conjuncts(expr: Expr) -> list:
+    """Split a predicate into its top-level AND-ed conjuncts."""
+    if isinstance(expr, Binary) and expr.op == "and":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]

@@ -1,0 +1,117 @@
+"""Canonical query form: constant evaluation and auto-parameterization.
+
+The paper's query provider (Figure 3) first runs a ``ConstantEvaluator``
+that collapses data-independent subtrees, then consults the query cache.
+Two queries that differ only in embedded constant values (e.g. a selection
+threshold driven by a GUI) must share one compiled artifact, so after
+folding we *lift* every remaining constant into a named parameter.  The
+parameterized tree is the cache key; the lifted values are bound at
+execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from .evaluator import interpret
+from .nodes import (
+    Binary,
+    Call,
+    Conditional,
+    Constant,
+    Expr,
+    Member,
+    Method,
+    Param,
+    QueryOp,
+    Unary,
+    structural_key,
+)
+from .analysis import is_constant
+from .visitor import Transformer
+
+__all__ = ["CanonicalQuery", "fold_constants", "parameterize", "canonicalize", "cache_key"]
+
+#: prefix for auto-generated parameter names; user parameters never collide
+#: because ``P('__cN')`` is reserved.
+_AUTO_PREFIX = "__c"
+
+
+@dataclass(frozen=True)
+class CanonicalQuery:
+    """A query reduced to its canonical, cache-keyable form."""
+
+    tree: Expr
+    #: values for auto-lifted parameters, keyed by generated name
+    bindings: Dict[str, Any]
+
+    @property
+    def key(self) -> Any:
+        return structural_key(self.tree)
+
+
+class _ConstantFolder(Transformer):
+    """Bottom-up partial evaluation of data-independent subtrees."""
+
+    _FOLDABLE = (Binary, Unary, Call, Method, Conditional, Member)
+
+    def visit(self, expr: Expr) -> Expr:
+        rebuilt = self.generic_visit(expr)
+        if isinstance(rebuilt, self._FOLDABLE) and is_constant(rebuilt):
+            try:
+                return Constant(interpret(rebuilt))
+            except Exception:
+                # leave unfoldable expressions intact; they will be
+                # evaluated (and fail, if they must) at execution time
+                return rebuilt
+        return rebuilt
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Evaluate and collapse every data-independent subtree of *expr*."""
+    return _ConstantFolder().visit(expr)
+
+
+class _Parameterizer(Transformer):
+    """Replaces constants with auto-named parameters, collecting values.
+
+    Traversal order is deterministic (the transformer visits children in
+    node-definition order), so structurally identical queries always produce
+    the same parameter names — a requirement for cache hits.
+    """
+
+    def __init__(self) -> None:
+        self.bindings: Dict[str, Any] = {}
+
+    def visit_Constant(self, expr: Constant) -> Expr:
+        name = f"{_AUTO_PREFIX}{len(self.bindings)}"
+        self.bindings[name] = expr.value
+        return Param(name)
+
+    def visit_QueryOp(self, expr: QueryOp) -> Expr:
+        # operator arguments that are raw constants (e.g. take counts)
+        # are parameterized too: `take(10)` and `take(20)` share code
+        return self.generic_visit(expr)
+
+
+def parameterize(expr: Expr) -> Tuple[Expr, Dict[str, Any]]:
+    """Lift all constants in *expr* to parameters.
+
+    Returns the rewritten tree and the name → value bindings.
+    """
+    rewriter = _Parameterizer()
+    tree = rewriter.visit(expr)
+    return tree, rewriter.bindings
+
+
+def canonicalize(expr: Expr) -> CanonicalQuery:
+    """Fold constants, then lift the survivors into parameters."""
+    folded = fold_constants(expr)
+    tree, bindings = parameterize(folded)
+    return CanonicalQuery(tree=tree, bindings=bindings)
+
+
+def cache_key(canonical: CanonicalQuery, engine: str, options: Tuple = ()) -> Any:
+    """Cache key: engine identity + options + canonical tree structure."""
+    return (engine, options, canonical.key)

@@ -1,0 +1,145 @@
+"""Visitor and transformer infrastructure for expression trees."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from .nodes import (
+    AggCall,
+    Binary,
+    Call,
+    Conditional,
+    Constant,
+    Expr,
+    Lambda,
+    Member,
+    Method,
+    New,
+    Param,
+    QueryOp,
+    SourceExpr,
+    Unary,
+    Var,
+)
+
+__all__ = ["Transformer", "rewrite_bottom_up", "substitute", "collect"]
+
+
+class Transformer:
+    """Rebuilds an expression tree, dispatching on node type.
+
+    Subclasses override ``visit_<NodeType>`` methods; the default behaviour
+    reconstructs each node from transformed children, sharing nodes when
+    nothing changed underneath.
+    """
+
+    def visit(self, expr: Expr) -> Expr:
+        method = getattr(self, f"visit_{type(expr).__name__}", None)
+        if method is not None:
+            return method(expr)
+        return self.generic_visit(expr)
+
+    def generic_visit(self, expr: Expr) -> Expr:
+        if isinstance(expr, (Constant, Param, Var, SourceExpr)):
+            return expr
+        if isinstance(expr, Member):
+            target = self.visit(expr.target)
+            return expr if target is expr.target else Member(target, expr.name)
+        if isinstance(expr, Binary):
+            left, right = self.visit(expr.left), self.visit(expr.right)
+            if left is expr.left and right is expr.right:
+                return expr
+            return Binary(expr.op, left, right)
+        if isinstance(expr, Unary):
+            operand = self.visit(expr.operand)
+            return expr if operand is expr.operand else Unary(expr.op, operand)
+        if isinstance(expr, Call):
+            args = tuple(self.visit(a) for a in expr.args)
+            if all(a is b for a, b in zip(args, expr.args)):
+                return expr
+            return Call(expr.name, args)
+        if isinstance(expr, Method):
+            target = self.visit(expr.target)
+            args = tuple(self.visit(a) for a in expr.args)
+            if target is expr.target and all(a is b for a, b in zip(args, expr.args)):
+                return expr
+            return Method(target, expr.name, args)
+        if isinstance(expr, Conditional):
+            cond, then, other = (
+                self.visit(expr.cond),
+                self.visit(expr.then),
+                self.visit(expr.other),
+            )
+            if cond is expr.cond and then is expr.then and other is expr.other:
+                return expr
+            return Conditional(cond, then, other)
+        if isinstance(expr, New):
+            fields = tuple((name, self.visit(e)) for name, e in expr.fields)
+            if all(e is f for (_, e), (_, f) in zip(fields, expr.fields)):
+                return expr
+            return New(fields, expr.type_name)
+        if isinstance(expr, Lambda):
+            body = self.visit(expr.body)
+            return expr if body is expr.body else Lambda(expr.params, body)
+        if isinstance(expr, AggCall):
+            arg = self.visit(expr.arg) if expr.arg is not None else None
+            group = self.visit(expr.group)
+            if arg is expr.arg and group is expr.group:
+                return expr
+            return AggCall(expr.kind, arg, group=group)
+        if isinstance(expr, QueryOp):
+            source = self.visit(expr.source)
+            args = tuple(self.visit(a) for a in expr.args)
+            if source is expr.source and all(a is b for a, b in zip(args, expr.args)):
+                return expr
+            return QueryOp(expr.name, source, args)
+        raise TypeError(f"not an expression node: {expr!r}")
+
+
+class _FnTransformer(Transformer):
+    """Applies a post-order rewriting function to every node."""
+
+    def __init__(self, fn: Callable[[Expr], Expr]):
+        self._fn = fn
+
+    def visit(self, expr: Expr) -> Expr:
+        rebuilt = self.generic_visit(expr)
+        return self._fn(rebuilt)
+
+
+def rewrite_bottom_up(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rewrite *expr* by applying *fn* to every node, children first."""
+    return _FnTransformer(fn).visit(expr)
+
+
+class _Substituter(Transformer):
+    def __init__(self, mapping: Dict[str, Expr]):
+        self._mapping = mapping
+
+    def visit_Var(self, expr: Var) -> Expr:
+        return self._mapping.get(expr.name, expr)
+
+    def visit_Lambda(self, expr: Lambda) -> Expr:
+        # inner lambdas introduce fresh scopes: shadowed names are not touched
+        shadowed = {n: e for n, e in self._mapping.items() if n not in expr.params}
+        if not shadowed:
+            return expr
+        body = _Substituter(shadowed).visit(expr.body)
+        return expr if body is expr.body else Lambda(expr.params, body)
+
+
+def substitute(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    """Replace free :class:`Var` references by name.
+
+    The central tool for *inlining lambdas into generated code*: a traced
+    predicate ``Lambda(('s',), body)`` applied to the loop variable
+    ``elem_1`` becomes ``substitute(body, {'s': Var('elem_1')})``.
+    """
+    return _Substituter(mapping).visit(expr)
+
+
+def collect(expr: Expr, predicate: Callable[[Expr], bool]) -> list:
+    """Return all descendant nodes (including *expr*) matching *predicate*."""
+    from .nodes import walk
+
+    return [node for node in walk(expr) if predicate(node)]

@@ -1,0 +1,333 @@
+"""Logical plan nodes.
+
+The paper's ``ExpressionTreeTranslator`` (§4.2) turns the expression tree
+into a "tree representation of the source code".  We split that step in
+two: first an expression tree becomes a *logical plan* (this module), then
+each backend walks the plan to emit code.  The plan layer is where loop
+boundaries become visible — pipelined operators (Filter, Project, the probe
+side of Join) fuse into one loop; blocking operators (GroupAggregate, Sort,
+the build side of Join) end a loop and start the next, exactly the paper's
+"each loop either produces the final result of a query or an intermediate
+result of a blocking operation".
+
+All expressions inside plan nodes are :class:`~repro.expressions.nodes.Lambda`
+values over the child's output element(s); engines inline them by variable
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from ..expressions.nodes import Expr, Lambda, structural_key
+
+__all__ = [
+    "Plan",
+    "Scan",
+    "Filter",
+    "Project",
+    "FlatMap",
+    "Join",
+    "GroupBy",
+    "AggregateSpec",
+    "GroupAggregate",
+    "ScalarAggregate",
+    "Sort",
+    "TopN",
+    "Limit",
+    "Distinct",
+    "Concat",
+    "plan_children",
+    "plan_key",
+    "is_blocking",
+    "plan_to_text",
+]
+
+
+class Plan:
+    """Abstract base for logical plan nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Iterate one input collection.
+
+    ``ordinal`` indexes into the source list supplied at execution time;
+    ``schema_token`` identifies the element type for cache-keying and (for
+    struct-array sources) schema recovery.
+    """
+
+    ordinal: int
+    schema_token: str
+
+
+@dataclass(frozen=True)
+class Filter(Plan):
+    """Keep elements satisfying ``predicate`` (a 1-ary lambda)."""
+
+    child: Plan
+    predicate: Lambda
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Map each element through ``selector`` (a 1-ary lambda)."""
+
+    child: Plan
+    selector: Lambda
+
+
+@dataclass(frozen=True)
+class FlatMap(Plan):
+    """``select_many``: flatten a per-element collection selector."""
+
+    child: Plan
+    collection: Lambda
+    #: optional 2-ary (element, inner) result selector
+    result: Optional[Lambda] = None
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Equi-join; the build side is ``right`` (hash table), probe is ``left``.
+
+    ``result`` is a 2-ary lambda (left element, right element).
+    """
+
+    left: Plan
+    right: Plan
+    left_key: Lambda
+    right_key: Lambda
+    result: Lambda
+
+
+@dataclass(frozen=True)
+class GroupBy(Plan):
+    """Materializes groups as :class:`~repro.runtime.hashtable.Grouping`s.
+
+    Only reached when the query consumes groups directly; a ``group_by``
+    followed by an aggregating ``select`` translates to
+    :class:`GroupAggregate` instead.
+    """
+
+    child: Plan
+    key: Lambda
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One physical aggregate computed by a GroupAggregate/ScalarAggregate."""
+
+    kind: str
+    #: 1-ary value selector; None only for count
+    selector: Optional[Lambda]
+
+    @property
+    def key(self) -> Any:
+        selector_key = structural_key(self.selector) if self.selector else None
+        return (self.kind, selector_key)
+
+
+@dataclass(frozen=True)
+class GroupAggregate(Plan):
+    """Hash grouping + aggregation collapsed into one pass (paper §2.3).
+
+    ``output`` is the group result selector body with every ``AggCall``
+    replaced by ``Var('__agg<i>')`` (index into ``aggregates``) and the
+    group key available as ``Var('__key')``.  When ``fused`` is False the
+    engines intentionally fall back to materialize-groups-then-scan-per-
+    aggregate — the ablation matching LINQ-to-objects behaviour.
+    """
+
+    child: Plan
+    key: Lambda
+    aggregates: Tuple[AggregateSpec, ...]
+    output: Expr
+    fused: bool = True
+    #: False ⇒ backends must not share physical accumulator slots between
+    #: aggregates (the §2.3 duplicate-computation ablation)
+    share: bool = True
+
+
+@dataclass(frozen=True)
+class ScalarAggregate(Plan):
+    """Whole-input aggregation (terminal ``sum`` / ``count`` / ...).
+
+    Produces exactly one value, described like :class:`GroupAggregate`'s
+    output but with no key.
+    """
+
+    child: Plan
+    aggregates: Tuple[AggregateSpec, ...]
+    output: Expr
+
+
+@dataclass(frozen=True)
+class Sort(Plan):
+    """Full sort by one or more keys with per-key direction."""
+
+    child: Plan
+    keys: Tuple[Lambda, ...]
+    descending: Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class TopN(Plan):
+    """Fused ``order_by``+``take``: bounded-heap top-N (paper §2.3)."""
+
+    child: Plan
+    keys: Tuple[Lambda, ...]
+    descending: Tuple[bool, ...]
+    count: Expr
+
+
+@dataclass(frozen=True)
+class Limit(Plan):
+    """``take`` / ``skip``; either bound may be absent."""
+
+    child: Plan
+    count: Optional[Expr] = None
+    offset: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Distinct(Plan):
+    """Duplicate elimination by element value."""
+
+    child: Plan
+
+
+@dataclass(frozen=True)
+class Concat(Plan):
+    """Append ``right`` after ``left``."""
+
+    left: Plan
+    right: Plan
+
+
+def plan_children(plan: Plan) -> Tuple[Plan, ...]:
+    """Direct child plans, in evaluation order."""
+    if isinstance(plan, Scan):
+        return ()
+    if isinstance(plan, (Join, Concat)):
+        return (plan.left, plan.right)
+    return (plan.child,)  # type: ignore[attr-defined]
+
+
+def is_blocking(plan: Plan) -> bool:
+    """True when *plan* must consume all input before producing output."""
+    return isinstance(plan, (GroupBy, GroupAggregate, ScalarAggregate, Sort, TopN, Distinct))
+
+
+def plan_key(plan: Plan) -> Any:
+    """Structural key of a plan (used in cache keys and tests)."""
+
+    def expr_key(e):
+        return structural_key(e) if e is not None else None
+
+    if isinstance(plan, Scan):
+        return ("scan", plan.ordinal, plan.schema_token)
+    if isinstance(plan, Filter):
+        return ("filter", plan_key(plan.child), expr_key(plan.predicate))
+    if isinstance(plan, Project):
+        return ("project", plan_key(plan.child), expr_key(plan.selector))
+    if isinstance(plan, FlatMap):
+        return (
+            "flatmap",
+            plan_key(plan.child),
+            expr_key(plan.collection),
+            expr_key(plan.result),
+        )
+    if isinstance(plan, Join):
+        return (
+            "join",
+            plan_key(plan.left),
+            plan_key(plan.right),
+            expr_key(plan.left_key),
+            expr_key(plan.right_key),
+            expr_key(plan.result),
+        )
+    if isinstance(plan, GroupBy):
+        return ("groupby", plan_key(plan.child), expr_key(plan.key))
+    if isinstance(plan, GroupAggregate):
+        return (
+            "groupagg",
+            plan_key(plan.child),
+            expr_key(plan.key),
+            tuple((a.kind, expr_key(a.selector)) for a in plan.aggregates),
+            expr_key(plan.output),
+            plan.fused,
+            plan.share,
+        )
+    if isinstance(plan, ScalarAggregate):
+        return (
+            "scalaragg",
+            plan_key(plan.child),
+            tuple((a.kind, expr_key(a.selector)) for a in plan.aggregates),
+            expr_key(plan.output),
+        )
+    if isinstance(plan, Sort):
+        return (
+            "sort",
+            plan_key(plan.child),
+            tuple(expr_key(k) for k in plan.keys),
+            plan.descending,
+        )
+    if isinstance(plan, TopN):
+        return (
+            "topn",
+            plan_key(plan.child),
+            tuple(expr_key(k) for k in plan.keys),
+            plan.descending,
+            expr_key(plan.count),
+        )
+    if isinstance(plan, Limit):
+        return ("limit", plan_key(plan.child), expr_key(plan.count), expr_key(plan.offset))
+    if isinstance(plan, Distinct):
+        return ("distinct", plan_key(plan.child))
+    if isinstance(plan, Concat):
+        return ("concat", plan_key(plan.left), plan_key(plan.right))
+    raise TypeError(f"not a plan node: {plan!r}")
+
+
+def _conjunct_summaries(predicate: Lambda) -> list:
+    """Short per-conjunct labels (first member touched), in plan order.
+
+    EXPLAIN-style visibility into predicate ordering — the thing the
+    statistics-driven reordering changes.
+    """
+    from ..expressions.analysis import conjuncts
+    from ..expressions.nodes import Member, walk
+
+    labels = []
+    for part in conjuncts(predicate.body):
+        member = next(
+            (node.name for node in walk(part) if isinstance(node, Member)), "?"
+        )
+        labels.append(member)
+    return labels
+
+
+def plan_to_text(plan: Plan, indent: int = 0) -> str:
+    """Readable multi-line rendering for debugging and EXPLAIN output."""
+    pad = "  " * indent
+    name = type(plan).__name__
+    details = ""
+    if isinstance(plan, Scan):
+        details = f"(source_{plan.ordinal}: {plan.schema_token.split('(')[0]})"
+    elif isinstance(plan, Filter):
+        details = f"(on {', '.join(_conjunct_summaries(plan.predicate))})"
+    elif isinstance(plan, GroupAggregate):
+        kinds = ",".join(a.kind for a in plan.aggregates)
+        details = f"(aggs=[{kinds}], fused={plan.fused})"
+    elif isinstance(plan, ScalarAggregate):
+        details = f"(aggs=[{','.join(a.kind for a in plan.aggregates)}])"
+    elif isinstance(plan, (Sort, TopN)):
+        details = f"(keys={len(plan.keys)}, desc={plan.descending})"
+    lines = [f"{pad}{name}{details}"]
+    for child in plan_children(plan):
+        lines.append(plan_to_text(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,356 @@
+"""Heuristic plan rewrites.
+
+LINQ-to-objects "lacks the optimization stages common in relational DBMS"
+(§2.3); the paper shows that even without schema statistics a handful of
+heuristic rewrites pay off.  This module implements the ones the paper
+names, each independently switchable for the ablation benchmarks:
+
+* **selection pushdown** — filters over a join result that only touch one
+  input move below the join (the paper's Q3 experiment: ~35% faster);
+* **predicate reordering** — conjuncts sort by estimated per-element cost,
+  cheapest first;
+* **filter fusion** — adjacent filters merge into one conjunction;
+* **TopN fusion** — ``order_by`` followed by ``take`` becomes a bounded
+  heap instead of a full sort (§2.3 "Independent operators").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import List, Optional, Tuple
+
+from ..expressions.analysis import conjuncts, free_vars, predicate_cost
+from ..expressions.nodes import Binary, Expr, Lambda, Member, New, Var
+from ..expressions.visitor import substitute
+from .statistics import TableStats, estimate_selectivity
+from .logical import (
+    Concat,
+    Distinct,
+    Filter,
+    FlatMap,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+)
+
+__all__ = ["OptimizeOptions", "optimize"]
+
+
+@dataclass(frozen=True)
+class OptimizeOptions:
+    """Rewrite switches; all on by default, individually ablatable."""
+
+    pushdown: bool = True
+    reorder_predicates: bool = True
+    fuse_filters: bool = True
+    fuse_topn: bool = True
+
+    @property
+    def token(self) -> Tuple:
+        """Options as a cache-key component."""
+        return (
+            self.pushdown,
+            self.reorder_predicates,
+            self.fuse_filters,
+            self.fuse_topn,
+        )
+
+
+def optimize(
+    plan: Plan,
+    options: OptimizeOptions | None = None,
+    statistics: "dict[str, TableStats] | None" = None,
+    param_values: "dict | None" = None,
+) -> Plan:
+    """Apply all enabled rewrites until fixpoint (bounded).
+
+    ``statistics`` maps schema tokens to :class:`TableStats`; when present,
+    predicate reordering ranks conjuncts by estimated selectivity (most
+    selective first) instead of raw evaluation cost.  ``param_values`` are
+    the constant bindings lifted during canonicalization — resolving them
+    for estimation is classic parameter sniffing.
+    """
+    options = options or OptimizeOptions()
+    context = _Context(options, statistics or {}, param_values or {})
+    for _ in range(8):  # rewrites strictly shrink/move nodes; 8 is generous
+        new_plan = _rewrite(plan, context)
+        if new_plan == plan:
+            return new_plan
+        plan = new_plan
+    return plan
+
+
+@dataclass(frozen=True)
+class _Context:
+    options: OptimizeOptions
+    statistics: dict
+    param_values: dict
+
+
+def _rewrite(plan: Plan, context: "_Context") -> Plan:
+    options = context.options
+    plan = _rewrite_children(plan, context)
+
+    if options.fuse_filters and isinstance(plan, Filter):
+        plan = _fuse_filters(plan)
+    if options.pushdown and isinstance(plan, Filter) and isinstance(plan.child, Join):
+        plan = _push_filter_below_join(plan)
+    if options.reorder_predicates and isinstance(plan, Filter):
+        plan = _reorder_predicates(plan, context)
+    if options.fuse_topn and isinstance(plan, Limit):
+        plan = _fuse_topn(plan)
+    return plan
+
+
+def _rewrite_children(plan: Plan, context: "_Context") -> Plan:
+    if isinstance(plan, Scan):
+        return plan
+    if isinstance(plan, Filter):
+        return Filter(_rewrite(plan.child, context), plan.predicate)
+    if isinstance(plan, Project):
+        return Project(_rewrite(plan.child, context), plan.selector)
+    if isinstance(plan, FlatMap):
+        return FlatMap(_rewrite(plan.child, context), plan.collection, plan.result)
+    if isinstance(plan, Join):
+        return Join(
+            _rewrite(plan.left, context),
+            _rewrite(plan.right, context),
+            plan.left_key,
+            plan.right_key,
+            plan.result,
+        )
+    if isinstance(plan, GroupBy):
+        return GroupBy(_rewrite(plan.child, context), plan.key)
+    if isinstance(plan, GroupAggregate):
+        return GroupAggregate(
+            _rewrite(plan.child, context),
+            plan.key,
+            plan.aggregates,
+            plan.output,
+            plan.fused,
+            plan.share,
+        )
+    if isinstance(plan, ScalarAggregate):
+        return ScalarAggregate(_rewrite(plan.child, context), plan.aggregates, plan.output)
+    if isinstance(plan, Sort):
+        return Sort(_rewrite(plan.child, context), plan.keys, plan.descending)
+    if isinstance(plan, TopN):
+        return TopN(_rewrite(plan.child, context), plan.keys, plan.descending, plan.count)
+    if isinstance(plan, Limit):
+        return Limit(_rewrite(plan.child, context), plan.count, plan.offset)
+    if isinstance(plan, Distinct):
+        return Distinct(_rewrite(plan.child, context))
+    if isinstance(plan, Concat):
+        return Concat(_rewrite(plan.left, context), _rewrite(plan.right, context))
+    raise TypeError(f"not a plan node: {plan!r}")
+
+
+# -- filter fusion ------------------------------------------------------------
+
+
+def _fuse_filters(plan: Filter) -> Plan:
+    """Filter(Filter(x, p), q) ⇒ Filter(x, p & q) — one loop, one test site."""
+    if not isinstance(plan.child, Filter):
+        return plan
+    inner = plan.child
+    inner_var = inner.predicate.params[0]
+    outer_body = substitute(plan.predicate.body, {plan.predicate.params[0]: Var(inner_var)})
+    combined = Lambda((inner_var,), Binary("and", inner.predicate.body, outer_body))
+    return Filter(inner.child, combined)
+
+
+# -- predicate reordering ---------------------------------------------------
+
+
+def _reorder_predicates(plan: Filter, context: "_Context") -> Plan:
+    """Order conjuncts cheapest/most-selective first (§2.3 + §9 stats).
+
+    Without statistics: ascending estimated evaluation cost.  With
+    statistics for the scanned relation: ascending estimated selectivity
+    (the conjunct expected to eliminate the most rows runs first), with
+    cost as the tie-break.
+    """
+    parts = conjuncts(plan.predicate.body)
+    if len(parts) < 2:
+        return plan
+    stats = _scan_statistics(plan, context)
+    if stats is None:
+        ordered = sorted(parts, key=predicate_cost)
+    else:
+        (var,) = plan.predicate.params
+        resolved = [
+            _resolve_params(part, context.param_values) for part in parts
+        ]
+        ordered_pairs = sorted(
+            zip(parts, resolved),
+            key=lambda pair: (
+                estimate_selectivity(pair[1], var, stats),
+                predicate_cost(pair[0]),
+            ),
+        )
+        ordered = [part for part, _ in ordered_pairs]
+    if ordered == parts:
+        return plan
+    body = reduce(lambda a, b: Binary("and", a, b), ordered)
+    return Filter(plan.child, Lambda(plan.predicate.params, body))
+
+
+def _scan_statistics(plan: Filter, context: "_Context"):
+    """Statistics for the relation this filter scans, if registered."""
+    if not context.statistics:
+        return None
+    child = plan.child
+    if isinstance(child, Scan):
+        return context.statistics.get(child.schema_token)
+    return None
+
+
+def _resolve_params(expr: Expr, param_values: dict) -> Expr:
+    """Substitute known parameter bindings for estimation (sniffing)."""
+    if not param_values:
+        return expr
+    from ..expressions.nodes import Constant, Param
+    from ..expressions.visitor import Transformer
+
+    class Resolve(Transformer):
+        def visit_Param(self, node: Param) -> Expr:
+            if node.name in param_values:
+                return Constant(param_values[node.name])
+            return node
+
+    return Resolve().visit(expr)
+
+
+# -- selection pushdown --------------------------------------------------------
+
+
+def _push_filter_below_join(plan: Filter) -> Plan:
+    """Move single-side conjuncts of a post-join filter below the join.
+
+    Requires the join's result selector to expose the inputs directly —
+    ``new(o=o, l=l)``-style fields that are bare references to the join
+    lambda's parameters.  A conjunct whose member accesses all route through
+    one such field is rewritten onto that input and pushed.
+    """
+    join = plan.child
+    assert isinstance(join, Join)
+    exposure = _input_exposure(join.result)
+    if not exposure:
+        return plan
+
+    pred_var = plan.predicate.params[0]
+    left_parts: List[Expr] = []
+    right_parts: List[Expr] = []
+    kept: List[Expr] = []
+    for part in conjuncts(plan.predicate.body):
+        side = _single_side(part, pred_var, exposure)
+        if side is None:
+            kept.append(part)
+            continue
+        field_name, input_index = side
+        rewritten = _strip_field(part, pred_var, field_name, "__elem")
+        (left_parts if input_index == 0 else right_parts).append(rewritten)
+
+    if not left_parts and not right_parts:
+        return plan
+
+    left = join.left
+    right = join.right
+    if left_parts:
+        body = reduce(lambda a, b: Binary("and", a, b), left_parts)
+        left = Filter(left, Lambda(("__elem",), body))
+    if right_parts:
+        body = reduce(lambda a, b: Binary("and", a, b), right_parts)
+        right = Filter(right, Lambda(("__elem",), body))
+    new_join = Join(left, right, join.left_key, join.right_key, join.result)
+    if not kept:
+        return new_join
+    kept_body = reduce(lambda a, b: Binary("and", a, b), kept)
+    return Filter(new_join, Lambda((pred_var,), kept_body))
+
+
+def _input_exposure(result: Lambda) -> dict:
+    """Map result-record field name → join input index (0=left, 1=right).
+
+    Only fields that are *bare* parameter references count: ``new(o=o,
+    l=l)`` exposes both inputs; ``new(total=o.x + l.y)`` exposes neither.
+    """
+    if not isinstance(result.body, New):
+        return {}
+    left_var, right_var = result.params
+    exposure = {}
+    for name, expr in result.body.fields:
+        if expr == Var(left_var):
+            exposure[name] = 0
+        elif expr == Var(right_var):
+            exposure[name] = 1
+    return exposure
+
+
+def _single_side(part: Expr, pred_var: str, exposure: dict) -> Optional[Tuple[str, int]]:
+    """If every access in *part* routes through one exposed field, name it."""
+    if free_vars(part) - {pred_var}:
+        return None
+    fields_used = set()
+    ok = _collect_root_fields(part, pred_var, fields_used)
+    if not ok or len(fields_used) != 1:
+        return None
+    (field_name,) = fields_used
+    if field_name not in exposure:
+        return None
+    return field_name, exposure[field_name]
+
+
+def _collect_root_fields(expr: Expr, pred_var: str, out: set) -> bool:
+    """Record `pred_var.<field>` roots; False when pred_var is used rawly."""
+    if isinstance(expr, Member):
+        inner = expr
+        path = []
+        while isinstance(inner, Member):
+            path.append(inner.name)
+            inner = inner.target
+        if inner == Var(pred_var):
+            if len(path) < 2:
+                return False  # accesses `row.field` directly, not `row.field.x`
+            out.add(path[-1])
+            return True
+        return _collect_root_fields(inner, pred_var, out)
+    if expr == Var(pred_var):
+        return False
+    from ..expressions.nodes import children
+
+    return all(_collect_root_fields(c, pred_var, out) for c in children(expr))
+
+
+def _strip_field(expr: Expr, pred_var: str, field_name: str, new_var: str) -> Expr:
+    """Rewrite ``pred_var.<field_name>.rest`` into ``new_var.rest``."""
+    from ..expressions.visitor import Transformer
+
+    class Strip(Transformer):
+        def visit_Member(self, node: Member) -> Expr:
+            if node.target == Var(pred_var) and node.name == field_name:
+                return Var(new_var)
+            return self.generic_visit(node)
+
+    return Strip().visit(expr)
+
+
+# -- top-n fusion ---------------------------------------------------------------
+
+
+def _fuse_topn(plan: Limit) -> Plan:
+    """Limit(Sort(x)) ⇒ TopN(x): bounded heap instead of a full sort."""
+    if plan.offset is not None or plan.count is None:
+        return plan
+    if not isinstance(plan.child, Sort):
+        return plan
+    sort = plan.child
+    return TopN(sort.child, sort.keys, sort.descending, plan.count)

@@ -1,0 +1,198 @@
+"""Column statistics — a §9 future-work extension.
+
+§2.3 notes that LINQ "lacks the optimization stages common in relational
+DBMS due to the lack of semantic information (e.g., schemata, histograms)"
+and the conclusion lists histogram support as future work.  This module
+supplies that semantic information: per-column row counts, distinct-value
+counts and min/max bounds, collected in one vectorized pass, plus the
+textbook selectivity estimates the optimizer uses to order predicates by
+*expected qualifying fraction* instead of raw evaluation cost.
+
+Statistics are registered with the provider per schema token
+(:meth:`repro.query.provider.QueryProvider.register_statistics`).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..expressions.analysis import predicate_cost
+from ..expressions.nodes import Binary, Constant, Expr, Member, Method, Unary, Var
+from ..storage.schema import date_to_days
+from ..storage.struct_array import StructArray
+
+__all__ = ["ColumnStats", "TableStats", "estimate_selectivity", "DEFAULT_SELECTIVITY"]
+
+#: fallback when nothing is known (the classic System-R 1/3)
+DEFAULT_SELECTIVITY = 1 / 3
+_EQ_FALLBACK = 0.1
+_STRING_MATCH = 0.1
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary of one column: cardinalities and value bounds."""
+
+    count: int
+    distinct: int
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    @property
+    def equality_selectivity(self) -> float:
+        if self.distinct <= 0:
+            return _EQ_FALLBACK
+        return 1.0 / self.distinct
+
+    def range_selectivity(self, op: str, value: float) -> float:
+        """Uniform-distribution estimate for ``column <op> value``."""
+        if self.minimum is None or self.maximum is None:
+            return DEFAULT_SELECTIVITY
+        span = self.maximum - self.minimum
+        if span <= 0:
+            return 1.0 if self.minimum == value else 0.0
+        fraction = (value - self.minimum) / span
+        fraction = min(1.0, max(0.0, fraction))
+        if op in ("lt", "le"):
+            return fraction
+        if op in ("gt", "ge"):
+            return 1.0 - fraction
+        return DEFAULT_SELECTIVITY
+
+
+class TableStats:
+    """Per-column statistics for one relation."""
+
+    def __init__(self, columns: Dict[str, ColumnStats], row_count: int):
+        self.columns = columns
+        self.row_count = row_count
+
+    @classmethod
+    def collect(cls, source: Any, sample: int = 100_000) -> "TableStats":
+        """Collect from a StructArray (vectorized) or an object list."""
+        if isinstance(source, StructArray):
+            return cls._collect_struct_array(source)
+        return cls._collect_objects(source, sample)
+
+    @classmethod
+    def _collect_struct_array(cls, array: StructArray) -> "TableStats":
+        columns = {}
+        for field in array.schema.fields:
+            column = array.column(field.name)
+            distinct = len(np.unique(column))
+            if np.issubdtype(column.dtype, np.number) and len(column):
+                minimum = float(column.min())
+                maximum = float(column.max())
+            else:
+                minimum = maximum = None
+            columns[field.name] = ColumnStats(
+                count=len(column),
+                distinct=distinct,
+                minimum=minimum,
+                maximum=maximum,
+            )
+        return cls(columns, len(array))
+
+    @classmethod
+    def _collect_objects(cls, items: Any, sample: int) -> "TableStats":
+        rows = 0
+        values: Dict[str, set] = {}
+        bounds: Dict[str, list] = {}
+        for item in items:
+            if rows >= sample:
+                break
+            rows += 1
+            source = vars(item) if hasattr(item, "__dict__") else (
+                item._asdict() if hasattr(item, "_asdict") else {}
+            )
+            for name, value in source.items():
+                values.setdefault(name, set()).add(value)
+                numeric = _as_number(value)
+                if numeric is not None:
+                    bound = bounds.setdefault(name, [numeric, numeric])
+                    bound[0] = min(bound[0], numeric)
+                    bound[1] = max(bound[1], numeric)
+        columns = {}
+        for name, seen in values.items():
+            low, high = bounds.get(name, (None, None))
+            columns[name] = ColumnStats(
+                count=rows, distinct=len(seen), minimum=low, maximum=high
+            )
+        return cls(columns, rows)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+    def __repr__(self) -> str:
+        return f"TableStats(rows={self.row_count}, columns={sorted(self.columns)})"
+
+
+def _as_number(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(date_to_days(value))
+    return None
+
+
+def estimate_selectivity(conjunct: Expr, var: str, stats: TableStats) -> float:
+    """Estimated qualifying fraction of one predicate conjunct.
+
+    Understands ``column <cmp> constant`` shapes (both operand orders),
+    negation, disjunction, and string-method predicates; anything opaque
+    gets the default selectivity.
+    """
+    if isinstance(conjunct, Unary) and conjunct.op == "not":
+        return 1.0 - estimate_selectivity(conjunct.operand, var, stats)
+    if isinstance(conjunct, Binary) and conjunct.op == "or":
+        left = estimate_selectivity(conjunct.left, var, stats)
+        right = estimate_selectivity(conjunct.right, var, stats)
+        return min(1.0, left + right - left * right)
+    if isinstance(conjunct, Binary) and conjunct.op == "and":
+        return estimate_selectivity(conjunct.left, var, stats) * estimate_selectivity(
+            conjunct.right, var, stats
+        )
+    if isinstance(conjunct, Method):
+        return _STRING_MATCH
+    if isinstance(conjunct, Binary):
+        column_stats, op, value = _column_comparison(conjunct, var, stats)
+        if column_stats is None:
+            return DEFAULT_SELECTIVITY
+        if op == "eq":
+            return column_stats.equality_selectivity
+        if op == "ne":
+            return 1.0 - column_stats.equality_selectivity
+        if value is None:
+            return DEFAULT_SELECTIVITY
+        return column_stats.range_selectivity(op, value)
+    return DEFAULT_SELECTIVITY
+
+
+_FLIPPED = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq", "ne": "ne"}
+
+
+def _column_comparison(expr: Binary, var: str, stats: TableStats):
+    """Decompose ``column <op> value``; returns (stats, op, numeric_value)."""
+    for member, other, op in (
+        (expr.left, expr.right, expr.op),
+        (expr.right, expr.left, _FLIPPED.get(expr.op)),
+    ):
+        if (
+            op is not None
+            and isinstance(member, Member)
+            and member.target == Var(var)
+        ):
+            column_stats = stats.column(member.name)
+            if column_stats is None:
+                return None, None, None
+            value = (
+                _as_number(other.value) if isinstance(other, Constant) else None
+            )
+            return column_stats, op, value
+    return None, None, None

@@ -1,0 +1,309 @@
+"""Expression tree → logical plan translation.
+
+The analogue of the paper's ``ExpressionTreeTranslator``: walks the
+``QueryOp`` spine bottom-up and produces the plan the code generators
+consume.  Key reshapings performed here:
+
+* ``group_by(key)`` followed by a ``select`` whose selector aggregates the
+  group collapses into a single :class:`~repro.plans.logical.GroupAggregate`
+  — grouping and aggregation in one pass (paper §2.3);
+* duplicated aggregate expressions inside one selector share a physical
+  :class:`~repro.plans.logical.AggregateSpec` (common-subexpression
+  elimination — the paper's "overlaps in the aggregation computations");
+* ``order_by``/``then_by`` chains merge into one multi-key ``Sort``;
+* terminal scalar aggregates (``count``, ``sum``, ...) become
+  :class:`~repro.plans.logical.ScalarAggregate`.
+
+Both reshapings are controlled by :class:`TranslateOptions` so benchmarks
+can ablate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import TranslationError
+from ..expressions.nodes import (
+    AggCall,
+    Constant,
+    Expr,
+    Lambda,
+    Member,
+    QueryOp,
+    SourceExpr,
+    Var,
+    structural_key,
+)
+from ..expressions.analysis import contains_aggregate
+from ..expressions.visitor import Transformer
+from .logical import (
+    AggregateSpec,
+    Concat,
+    Distinct,
+    Filter,
+    FlatMap,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+)
+
+__all__ = ["TranslateOptions", "translate"]
+
+
+@dataclass(frozen=True)
+class TranslateOptions:
+    """Knobs for the translation-time reshapings (ablation switches)."""
+
+    #: collapse group_by + aggregating select into one-pass GroupAggregate
+    fuse_aggregates: bool = True
+    #: share identical aggregate expressions (CSE) within one selector
+    share_aggregates: bool = True
+
+
+def translate(expr: Expr, options: TranslateOptions | None = None) -> Plan:
+    """Translate a query expression tree into a logical plan."""
+    options = options or TranslateOptions()
+    return _Translator(options).translate(expr)
+
+
+class _Translator:
+    def __init__(self, options: TranslateOptions):
+        self._options = options
+
+    def translate(self, expr: Expr) -> Plan:
+        if isinstance(expr, SourceExpr):
+            return Scan(expr.ordinal, expr.schema_token)
+        if not isinstance(expr, QueryOp):
+            raise TranslationError(
+                f"expected a query expression, got {type(expr).__name__}"
+            )
+        handler = getattr(self, f"_op_{expr.name}", None)
+        if handler is None:
+            raise TranslationError(f"operator {expr.name!r} has no plan translation")
+        return handler(expr)
+
+    # -- pipelined operators -------------------------------------------------
+
+    def _op_where(self, expr: QueryOp) -> Plan:
+        (predicate,) = expr.args
+        return Filter(self.translate(expr.source), _as_lambda(predicate, 1))
+
+    def _op_select(self, expr: QueryOp) -> Plan:
+        (selector,) = expr.args
+        selector = _as_lambda(selector, 1)
+        source = expr.source
+        if (
+            self._options.fuse_aggregates
+            and isinstance(source, QueryOp)
+            and source.name == "group_by"
+            and len(source.args) == 1
+            and contains_aggregate(selector)
+        ):
+            # group_by(key) . select(aggregating) ⇒ one-pass GroupAggregate
+            (key,) = source.args
+            return self._make_group_aggregate(
+                self.translate(source.source), _as_lambda(key, 1), selector
+            )
+        if contains_aggregate(selector):
+            # selecting over groups without fusion: aggregate per group
+            return self._project_over_groups(source, selector)
+        return Project(self.translate(source), selector)
+
+    def _op_select_many(self, expr: QueryOp) -> Plan:
+        collection = _as_lambda(expr.args[0], 1)
+        result = _as_lambda(expr.args[1], 2) if len(expr.args) > 1 else None
+        return FlatMap(self.translate(expr.source), collection, result)
+
+    def _op_join(self, expr: QueryOp) -> Plan:
+        inner, outer_key, inner_key, result = expr.args
+        return Join(
+            left=self.translate(expr.source),
+            right=self.translate(inner),
+            left_key=_as_lambda(outer_key, 1),
+            right_key=_as_lambda(inner_key, 1),
+            result=_as_lambda(result, 2),
+        )
+
+    # -- grouping -----------------------------------------------------------
+
+    def _op_group_by(self, expr: QueryOp) -> Plan:
+        child = self.translate(expr.source)
+        key = _as_lambda(expr.args[0], 1)
+        if len(expr.args) == 1:
+            return GroupBy(child, key)
+        result = _as_lambda(expr.args[1], 1)
+        if self._options.fuse_aggregates and contains_aggregate(result):
+            return self._make_group_aggregate(child, key, result)
+        # unfused: materialize groups, then evaluate the selector per group
+        return Project(GroupBy(child, key), result)
+
+    def _project_over_groups(self, source: Expr, selector: Lambda) -> Plan:
+        plan = self.translate(source)
+        if not isinstance(plan, GroupBy):
+            raise TranslationError(
+                "aggregate calls are only valid in selectors over group_by results"
+            )
+        return Project(plan, selector)
+
+    def _make_group_aggregate(
+        self, child: Plan, key: Lambda, result: Lambda
+    ) -> GroupAggregate:
+        specs, output = _extract_aggregates(
+            result, share=self._options.share_aggregates
+        )
+        return GroupAggregate(
+            child=child,
+            key=key,
+            aggregates=tuple(specs),
+            output=output,
+            fused=True,
+            share=self._options.share_aggregates,
+        )
+
+    # -- ordering -------------------------------------------------------------
+
+    def _op_order_by(self, expr: QueryOp) -> Plan:
+        return Sort(self.translate(expr.source), (_as_lambda(expr.args[0], 1),), (False,))
+
+    def _op_order_by_desc(self, expr: QueryOp) -> Plan:
+        return Sort(self.translate(expr.source), (_as_lambda(expr.args[0], 1),), (True,))
+
+    def _op_then_by(self, expr: QueryOp) -> Plan:
+        return self._extend_sort(expr, descending=False)
+
+    def _op_then_by_desc(self, expr: QueryOp) -> Plan:
+        return self._extend_sort(expr, descending=True)
+
+    def _extend_sort(self, expr: QueryOp, descending: bool) -> Plan:
+        child = self.translate(expr.source)
+        if not isinstance(child, Sort):
+            raise TranslationError("then_by must directly follow order_by")
+        key = _as_lambda(expr.args[0], 1)
+        return Sort(child.child, child.keys + (key,), child.descending + (descending,))
+
+    # -- limiting / set ops ------------------------------------------------------
+
+    def _op_take(self, expr: QueryOp) -> Plan:
+        return Limit(self.translate(expr.source), count=expr.args[0])
+
+    def _op_skip(self, expr: QueryOp) -> Plan:
+        return Limit(self.translate(expr.source), offset=expr.args[0])
+
+    def _op_distinct(self, expr: QueryOp) -> Plan:
+        return Distinct(self.translate(expr.source))
+
+    def _op_concat(self, expr: QueryOp) -> Plan:
+        return Concat(self.translate(expr.source), self.translate(expr.args[0]))
+
+    def _op_union(self, expr: QueryOp) -> Plan:
+        return Distinct(Concat(self.translate(expr.source), self.translate(expr.args[0])))
+
+    # -- terminal scalar aggregates -------------------------------------------
+
+    def _op_count(self, expr: QueryOp) -> Plan:
+        child_expr = expr.source
+        if expr.args:  # count(predicate) ≡ where(predicate).count()
+            child_expr = QueryOp("where", child_expr, (expr.args[0],))
+        return ScalarAggregate(
+            child=self.translate(child_expr),
+            aggregates=(AggregateSpec("count", None),),
+            output=Var("__agg0"),
+        )
+
+    def _scalar_agg(self, expr: QueryOp, kind: str) -> Plan:
+        if expr.args:
+            selector = _as_lambda(expr.args[0], 1)
+        else:
+            selector = Lambda(("x",), Var("x"))
+        return ScalarAggregate(
+            child=self.translate(expr.source),
+            aggregates=(AggregateSpec(kind, selector),),
+            output=Var("__agg0"),
+        )
+
+    def _op_sum(self, expr: QueryOp) -> Plan:
+        return self._scalar_agg(expr, "sum")
+
+    def _op_min(self, expr: QueryOp) -> Plan:
+        return self._scalar_agg(expr, "min")
+
+    def _op_max(self, expr: QueryOp) -> Plan:
+        return self._scalar_agg(expr, "max")
+
+    def _op_average(self, expr: QueryOp) -> Plan:
+        return self._scalar_agg(expr, "avg")
+
+
+def _as_lambda(expr: Expr, arity: int) -> Lambda:
+    if not isinstance(expr, Lambda):
+        raise TranslationError(f"expected a lambda argument, got {type(expr).__name__}")
+    if len(expr.params) != arity:
+        raise TranslationError(
+            f"expected a {arity}-ary lambda, got {len(expr.params)}-ary"
+        )
+    return expr
+
+
+class _AggregateExtractor(Transformer):
+    """Rewrites a group result selector into GroupAggregate form.
+
+    Each ``AggCall`` over the group variable becomes ``Var('__agg<i>')``;
+    ``<group>.key`` becomes ``Var('__key')``.  With sharing enabled,
+    structurally identical aggregates collapse onto one index.
+    """
+
+    def __init__(self, group_var: str, share: bool):
+        self._group_var = group_var
+        self._share = share
+        self.specs: List[AggregateSpec] = []
+        self._index_by_key: Dict[object, int] = {}
+
+    def visit_AggCall(self, expr: AggCall) -> Expr:
+        if expr.group != Var(self._group_var):
+            raise TranslationError(
+                f"aggregate over unexpected variable {expr.group!r}; "
+                f"expected the group parameter {self._group_var!r}"
+            )
+        spec = AggregateSpec(expr.kind, expr.arg)
+        if self._share:
+            index = self._index_by_key.get(spec.key)
+            if index is None:
+                index = len(self.specs)
+                self._index_by_key[spec.key] = index
+                self.specs.append(spec)
+        else:
+            index = len(self.specs)
+            self.specs.append(spec)
+        return Var(f"__agg{index}")
+
+    def visit_Member(self, expr: Member) -> Expr:
+        if expr.target == Var(self._group_var) and expr.name == "key":
+            return Var("__key")
+        return self.generic_visit(expr)
+
+    def visit_Var(self, expr: Var) -> Expr:
+        if expr.name == self._group_var:
+            raise TranslationError(
+                "the group itself cannot be used outside .key and aggregate "
+                "calls in a fused aggregation selector"
+            )
+        return expr
+
+
+def _extract_aggregates(
+    selector: Lambda, share: bool
+) -> Tuple[List[AggregateSpec], Expr]:
+    (group_var,) = selector.params
+    extractor = _AggregateExtractor(group_var, share)
+    output = extractor.visit(selector.body)
+    if not extractor.specs:
+        raise TranslationError("group selector contains no aggregates to fuse")
+    return extractor.specs, output

@@ -1,0 +1,35 @@
+"""Measurement substrate: cache simulation, memory models, phase timing."""
+
+from .breakdown import (
+    PhaseBreakdown,
+    aggregation_breakdown,
+    join_breakdown,
+    sort_breakdown,
+)
+from .cache_sim import (
+    CacheHierarchy,
+    CacheLevel,
+    CacheLevelConfig,
+    default_hierarchy,
+    proportional_hierarchy,
+    scaled_hierarchy,
+)
+from .memory_model import ENGINE_LABELS, MemoryModel, q1_trace, q2_trace, q3_trace
+
+__all__ = [
+    "CacheLevelConfig",
+    "CacheLevel",
+    "CacheHierarchy",
+    "default_hierarchy",
+    "scaled_hierarchy",
+    "proportional_hierarchy",
+    "MemoryModel",
+    "ENGINE_LABELS",
+    "q1_trace",
+    "q2_trace",
+    "q3_trace",
+    "PhaseBreakdown",
+    "aggregation_breakdown",
+    "sort_breakdown",
+    "join_breakdown",
+]

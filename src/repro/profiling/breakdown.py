@@ -1,0 +1,278 @@
+"""Phase cost breakdowns for the hybrid engine (Figures 8, 10, 12).
+
+The paper stacks the combined-C#/C evaluation time into phases: iterating
+the input (managed), applying predicates (managed), staging (managed), the
+native operation (aggregation / quicksort / hash tables), and returning
+the result.  We measure each phase with a dedicated loop that performs
+exactly that phase's work — the same incremental-variant methodology the
+stacked figures imply — over the library's own staging buffers and
+kernels, so the numbers track the real engine.
+
+Phase labels match the paper's legends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..expressions.evaluator import make_record_type
+from ..runtime import vectorized as _vec
+from ..storage.buffers import BufferList
+from ..storage.schema import Field, Schema
+
+__all__ = [
+    "PhaseBreakdown",
+    "aggregation_breakdown",
+    "sort_breakdown",
+    "join_breakdown",
+]
+
+
+@dataclass
+class PhaseBreakdown:
+    """Seconds per phase, in stacked-figure order."""
+
+    label: str
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def as_row(self) -> str:
+        parts = ", ".join(f"{k}={v * 1e3:.1f}ms" for k, v in self.phases.items())
+        return f"{self.label}: total={self.total * 1e3:.1f}ms [{parts}]"
+
+
+def _timed(fn: Callable[[], Any]) -> Tuple[float, Any]:
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+_STAGED_AGG = Schema(
+    [
+        Field("rf", "str", 1),
+        Field("ls", "str", 1),
+        Field("qty", "float"),
+        Field("price", "float"),
+        Field("disc", "float"),
+    ],
+    name="StagedAgg",
+)
+
+
+def aggregation_breakdown(lineitems: Sequence[Any], qmax: float) -> PhaseBreakdown:
+    """Figure 8: Q1-style aggregation phases at one selectivity.
+
+    Phases: Iterate data (C#) / Apply predicates (C#) / Data Staging (C#)
+    / Aggregation (C) / Return Result (C/C#).
+    """
+    out = PhaseBreakdown(label=f"agg@qmax={qmax}")
+
+    def iterate() -> int:
+        count = 0
+        for _ in lineitems:
+            count += 1
+        return count
+
+    out.phases["iterate"], _ = _timed(iterate)
+
+    def predicates() -> int:
+        count = 0
+        for l in lineitems:
+            if l.l_quantity <= qmax:
+                count += 1
+        return count
+
+    predicate_total, _ = _timed(predicates)
+    out.phases["predicates"] = max(0.0, predicate_total - out.phases["iterate"])
+
+    def stage() -> BufferList:
+        buffers = BufferList(_STAGED_AGG)
+        append = buffers.append
+        for l in lineitems:
+            if l.l_quantity <= qmax:
+                append(
+                    (
+                        l.l_returnflag.encode(),
+                        l.l_linestatus.encode(),
+                        l.l_quantity,
+                        l.l_extendedprice,
+                        l.l_discount,
+                    )
+                )
+        return buffers
+
+    staging_total, buffers = _timed(stage)
+    out.phases["staging"] = max(0.0, staging_total - predicate_total)
+    staged = buffers.materialize()
+
+    def aggregate():
+        return _vec.group_aggregate(
+            (staged["rf"], staged["ls"]),
+            [
+                ("sum", staged["qty"]),
+                ("sum", staged["price"] * (1 - staged["disc"])),
+                ("avg", staged["qty"]),
+                ("count", None),
+            ],
+        )
+
+    out.phases["aggregation"], (gkeys, gaggs) = _timed(aggregate)
+
+    record_type = make_record_type(("rf", "ls", "sum_qty", "sum_disc", "avg_qty", "n"))
+
+    def return_result() -> list:
+        return list(
+            _vec.decode_rows(
+                (gkeys[0], gkeys[1], gaggs[0], gaggs[1], gaggs[2], gaggs[3]),
+                ("str", "str", "float", "float", "float", "int"),
+                record_type,
+            )
+        )
+
+    out.phases["return_result"], _ = _timed(return_result)
+    return out
+
+
+def sort_breakdown(lineitems: Sequence[Any], qmax: float) -> PhaseBreakdown:
+    """Figure 10: sort phases — keys+indexes staged, quicksort native,
+    objects looked back up managed-side (the Min protocol, as the paper's
+    §7.2 describes)."""
+    out = PhaseBreakdown(label=f"sort@qmax={qmax}")
+
+    def iterate() -> int:
+        count = 0
+        for _ in lineitems:
+            count += 1
+        return count
+
+    out.phases["iterate"], _ = _timed(iterate)
+
+    def predicates() -> int:
+        count = 0
+        for l in lineitems:
+            if l.l_quantity <= qmax:
+                count += 1
+        return count
+
+    predicate_total, _ = _timed(predicates)
+    out.phases["predicates"] = max(0.0, predicate_total - out.phases["iterate"])
+
+    def stage():
+        objs = []
+        keys = []
+        for l in lineitems:
+            if l.l_quantity <= qmax:
+                objs.append(l)
+                keys.append(l.l_extendedprice)
+        return objs, np.asarray(keys)
+
+    staging_total, (objs, keys) = _timed(stage)
+    out.phases["staging"] = max(0.0, staging_total - predicate_total)
+
+    out.phases["quicksort"], order = _timed(
+        lambda: _vec.sort_indexes((keys,), (False,))
+    )
+
+    def return_result() -> int:
+        count = 0
+        for i in order:
+            if objs[i] is not None:  # the managed look-up per result
+                count += 1
+        return count
+
+    out.phases["return_result"], _ = _timed(return_result)
+    return out
+
+
+_STAGED_JOIN_LI = Schema(
+    [Field("orderkey", "int"), Field("price", "float"), Field("disc", "float")],
+    name="StagedJoinLI",
+)
+
+
+def join_breakdown(
+    lineitems: Sequence[Any],
+    orders: Sequence[Any],
+    customers: Sequence[Any],
+    qmax: float,
+    order_cutoff,
+    segment: str,
+) -> PhaseBreakdown:
+    """Figure 12: join phases for the Max, full-staging variant."""
+    out = PhaseBreakdown(label=f"join@qmax={qmax}")
+
+    def iterate() -> int:
+        count = 0
+        for _ in lineitems:
+            count += 1
+        for _ in orders:
+            count += 1
+        for _ in customers:
+            count += 1
+        return count
+
+    out.phases["iterate"], _ = _timed(iterate)
+
+    def predicates() -> int:
+        count = 0
+        for l in lineitems:
+            if l.l_quantity <= qmax:
+                count += 1
+        for o in orders:
+            if o.o_orderdate < order_cutoff:
+                count += 1
+        for c in customers:
+            if c.c_mktsegment == segment:
+                count += 1
+        return count
+
+    predicate_total, _ = _timed(predicates)
+    out.phases["predicates"] = max(0.0, predicate_total - out.phases["iterate"])
+
+    def stage():
+        li = BufferList(_STAGED_JOIN_LI)
+        for l in lineitems:
+            if l.l_quantity <= qmax:
+                li.append((l.l_orderkey, l.l_extendedprice, l.l_discount))
+        cust = np.asarray(
+            [c.c_custkey for c in customers if c.c_mktsegment == segment]
+        )
+        ords = np.asarray(
+            [
+                (o.o_orderkey, o.o_custkey)
+                for o in orders
+                if o.o_orderdate < order_cutoff
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        return li.materialize(), cust, ords
+
+    staging_total, (staged_li, cust_keys, ord_rows) = _timed(stage)
+    out.phases["staging"] = max(0.0, staging_total - predicate_total)
+
+    def build_tables():
+        from ..runtime.streaming import StreamingJoinProbe
+
+        if len(ord_rows):
+            li_mask, _ = _vec.hash_join_indexes(ord_rows[:, 1], cust_keys)
+            open_orders = ord_rows[li_mask, 0]
+        else:
+            open_orders = np.zeros(0, dtype=np.int64)
+        return StreamingJoinProbe(open_orders)
+
+    out.phases["build_hash_tables"], probe = _timed(build_tables)
+
+    def probe_and_return() -> int:
+        li, _ = probe.probe(staged_li["orderkey"])
+        revenue = staged_li["price"][li] * (1 - staged_li["disc"][li])
+        return int(revenue.shape[0])
+
+    out.phases["probe_and_return"], _ = _timed(probe_and_return)
+    return out

@@ -1,0 +1,23 @@
+"""LINQ surface, baseline engine, provider and query cache."""
+
+from .cache import CacheStats, QueryCache
+from .enumerable import enumerate_query, scalar_query
+from .provider import ENGINES, QueryProvider, default_provider
+from .queryable import QList, Query, from_iterable, from_struct_array
+from .recycler import RecyclerStats, RecyclingProvider
+
+__all__ = [
+    "Query",
+    "QList",
+    "from_iterable",
+    "from_struct_array",
+    "QueryProvider",
+    "RecyclingProvider",
+    "RecyclerStats",
+    "default_provider",
+    "ENGINES",
+    "QueryCache",
+    "CacheStats",
+    "enumerate_query",
+    "scalar_query",
+]

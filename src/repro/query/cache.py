@@ -1,0 +1,72 @@
+"""The query cache (paper §3, Figure 3).
+
+"After replacing all constant parts, we consult a cache that contains
+compiled code of previous queries ... Queries in the cache are identified
+by their expression tree.  The system also supports reusing compiled code
+if the expression trees are essentially the same, but one or more
+parameters in the query differ."
+
+The canonicalizer guarantees the second property (constants are lifted to
+parameters before keying), so this module only needs to be an LRU map with
+hit/miss statistics — the statistics feed ``bench_compile_cost``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..codegen.compiler import CompiledQuery
+
+__all__ = ["QueryCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryCache:
+    """LRU cache of :class:`CompiledQuery` keyed by canonical query shape."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("cache size must be positive")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Any, CompiledQuery]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def find(self, key: Any) -> Optional[CompiledQuery]:
+        """Look up a compiled query, refreshing its LRU position."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(self, key: Any, compiled: CompiledQuery) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,262 @@
+"""The LINQ-to-objects analogue: interpreted, operator-at-a-time execution.
+
+This engine is the paper's *baseline*, and it deliberately preserves every
+inefficiency §2.3 catalogues:
+
+* **execution paradigm** — each operator is its own lazy generator pulling
+  from the previous one, so every element pays a chain of frame switches
+  (the analogue of two virtual calls per iterator per element);
+* **lambda interpretation** — predicates and selectors are *interpreted*
+  against the expression tree for every element (the analogue of
+  un-inlined lambda invocations on generic iterators);
+* **per-aggregate passes** — a group result selector evaluates each
+  aggregate with its own loop over the group, recomputing overlapping
+  work (no fusion, no shared counts);
+* **no optimization** — the operator chain runs exactly as written: no
+  selection pushdown, no predicate reordering, no OrderBy+Take fusion.
+
+Do not "fix" any of the above: the compiled engines exist for that, and
+half the benchmark suite measures precisely these gaps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Sequence
+
+from ..errors import ExecutionError, UnsupportedQueryError
+from ..expressions.evaluator import interpret, make_callable
+from ..expressions.nodes import Expr, Lambda, QueryOp, SourceExpr
+from ..runtime.hashtable import GroupTable, Grouping, JoinTable
+from ..runtime.sorting import CompositeKey, quicksort_indexes
+
+__all__ = ["enumerate_query", "scalar_query"]
+
+
+def enumerate_query(
+    expr: Expr, sources: Sequence[Any], params: Dict[str, Any]
+) -> Iterator[Any]:
+    """Lazily evaluate a query expression tree, operator at a time."""
+    return _Enumerator(sources, params).iterate(expr)
+
+
+def scalar_query(expr: Expr, sources: Sequence[Any], params: Dict[str, Any]) -> Any:
+    """Evaluate a terminal aggregate (count/sum/min/max/average)."""
+    if not isinstance(expr, QueryOp):
+        raise ExecutionError("scalar evaluation requires a terminal query operator")
+    enumerator = _Enumerator(sources, params)
+    return enumerator.scalar(expr)
+
+
+class _Enumerator:
+    def __init__(self, sources: Sequence[Any], params: Dict[str, Any]):
+        self._sources = sources
+        self._params = params
+
+    def _fn(self, lam: Lambda):
+        """Per-element interpreted lambda — the baseline's slow path."""
+        return make_callable(lam, self._params)
+
+    # -- pipeline construction ---------------------------------------------------
+
+    def iterate(self, expr: Expr) -> Iterator[Any]:
+        if isinstance(expr, SourceExpr):
+            try:
+                source = self._sources[expr.ordinal]
+            except IndexError:
+                raise ExecutionError(
+                    f"query references source_{expr.ordinal} but only "
+                    f"{len(self._sources)} source(s) were supplied"
+                ) from None
+            return iter(source)
+        if not isinstance(expr, QueryOp):
+            raise ExecutionError(f"cannot enumerate node {type(expr).__name__}")
+        handler = getattr(self, f"_op_{expr.name}", None)
+        if handler is None:
+            raise UnsupportedQueryError(
+                f"operator {expr.name!r} is not supported by the linq engine"
+            )
+        return handler(expr)
+
+    def _op_where(self, expr: QueryOp) -> Iterator[Any]:
+        predicate = self._fn(expr.args[0])
+        return (e for e in self.iterate(expr.source) if predicate(e))
+
+    def _op_select(self, expr: QueryOp) -> Iterator[Any]:
+        selector = self._fn(expr.args[0])
+        return (selector(e) for e in self.iterate(expr.source))
+
+    def _op_select_many(self, expr: QueryOp) -> Iterator[Any]:
+        collection = self._fn(expr.args[0])
+        result = self._fn(expr.args[1]) if len(expr.args) > 1 else None
+
+        def generate():
+            for outer in self.iterate(expr.source):
+                for inner in collection(outer):
+                    yield result(outer, inner) if result else inner
+
+        return generate()
+
+    def _op_join(self, expr: QueryOp) -> Iterator[Any]:
+        inner_expr, outer_key, inner_key, result = expr.args
+        outer_key_fn = self._fn(outer_key)
+        inner_key_fn = self._fn(inner_key)
+        result_fn = self._fn(result)
+
+        def generate():
+            # LINQ's Join builds a lookup over the inner sequence lazily on
+            # the first pull, then streams the outer side.
+            table = JoinTable()
+            for element in self.iterate(inner_expr):
+                table.add(inner_key_fn(element), element)
+            for outer in self.iterate(expr.source):
+                for inner in table.probe(outer_key_fn(outer)):
+                    yield result_fn(outer, inner)
+
+        return generate()
+
+    def _op_group_by(self, expr: QueryOp) -> Iterator[Any]:
+        key_fn = self._fn(expr.args[0])
+        result_fn = self._fn(expr.args[1]) if len(expr.args) > 1 else None
+
+        def generate():
+            table = GroupTable()
+            for element in self.iterate(expr.source):
+                table.add(key_fn(element), element)
+            for grouping in table.groupings():
+                # the selector interprets every AggCall with its own pass
+                # over the grouping (see evaluator._eval_aggregate)
+                yield result_fn(grouping) if result_fn else grouping
+
+        return generate()
+
+    # -- ordering ------------------------------------------------------------------
+
+    def _op_order_by(self, expr: QueryOp) -> Iterator[Any]:
+        return self._sorted(expr, descending=False)
+
+    def _op_order_by_desc(self, expr: QueryOp) -> Iterator[Any]:
+        return self._sorted(expr, descending=True)
+
+    def _op_then_by(self, expr: QueryOp) -> Iterator[Any]:
+        return self._sorted_chain(expr, descending=False)
+
+    def _op_then_by_desc(self, expr: QueryOp) -> Iterator[Any]:
+        return self._sorted_chain(expr, descending=True)
+
+    def _collect_sort_chain(self, expr: QueryOp, descending: bool):
+        """Unwind an order_by ... then_by chain into (source, keys, dirs)."""
+        keys: List[Lambda] = [expr.args[0]]
+        directions: List[bool] = [descending]
+        node = expr.source
+        while isinstance(node, QueryOp) and node.name in (
+            "then_by",
+            "then_by_desc",
+            "order_by",
+            "order_by_desc",
+        ):
+            keys.append(node.args[0])
+            directions.append(node.name.endswith("desc"))
+            source = node.source
+            if node.name in ("order_by", "order_by_desc"):
+                node = source
+                break
+            node = source
+        keys.reverse()
+        directions.reverse()
+        return node, keys, directions
+
+    def _sorted(self, expr: QueryOp, descending: bool) -> Iterator[Any]:
+        def generate():
+            elements = list(self.iterate(expr.source))
+            key_fn = self._fn(expr.args[0])
+            # LINQ materializes elements, keys and an index array, then
+            # quicksorts the indexes (§6.1.1's description) — all of it in
+            # the managed runtime.
+            keys = [key_fn(e) for e in elements]
+            for i in quicksort_indexes(keys, descending=descending):
+                yield elements[i]
+
+        return generate()
+
+    def _sorted_chain(self, expr: QueryOp, descending: bool) -> Iterator[Any]:
+        source, key_lams, directions = self._collect_sort_chain(expr, descending)
+
+        def generate():
+            elements = list(self.iterate(source))
+            key_fns = [self._fn(k) for k in key_lams]
+            dirs = tuple(directions)
+            keys = [
+                (CompositeKey(tuple(fn(e) for fn in key_fns), dirs), i)
+                for i, e in enumerate(elements)
+            ]
+            for i in quicksort_indexes(keys):
+                yield elements[i]
+
+        return generate()
+
+    # -- limiting / set operators ---------------------------------------------------
+
+    def _op_take(self, expr: QueryOp) -> Iterator[Any]:
+        count = interpret(expr.args[0], params=self._params)
+        return itertools.islice(self.iterate(expr.source), count)
+
+    def _op_skip(self, expr: QueryOp) -> Iterator[Any]:
+        count = interpret(expr.args[0], params=self._params)
+        return itertools.islice(self.iterate(expr.source), count, None)
+
+    def _op_distinct(self, expr: QueryOp) -> Iterator[Any]:
+        def generate():
+            seen = set()
+            for element in self.iterate(expr.source):
+                if element not in seen:
+                    seen.add(element)
+                    yield element
+
+        return generate()
+
+    def _op_concat(self, expr: QueryOp) -> Iterator[Any]:
+        return itertools.chain(self.iterate(expr.source), self.iterate(expr.args[0]))
+
+    def _op_union(self, expr: QueryOp) -> Iterator[Any]:
+        def generate():
+            seen = set()
+            for element in itertools.chain(
+                self.iterate(expr.source), self.iterate(expr.args[0])
+            ):
+                if element not in seen:
+                    seen.add(element)
+                    yield element
+
+        return generate()
+
+    # -- terminal scalar aggregates ----------------------------------------------
+
+    def scalar(self, expr: QueryOp) -> Any:
+        name = expr.name
+        if name == "count":
+            source = self.iterate(expr.source)
+            if expr.args:
+                predicate = self._fn(expr.args[0])
+                return sum(1 for e in source if predicate(e))
+            return sum(1 for _ in source)
+        if name in ("sum", "min", "max", "average"):
+            selector = self._fn(expr.args[0]) if expr.args else (lambda e: e)
+            values = (selector(e) for e in self.iterate(expr.source))
+            if name == "sum":
+                return sum(values)
+            if name in ("min", "max"):
+                try:
+                    return min(values) if name == "min" else max(values)
+                except ValueError:
+                    raise ExecutionError(
+                        "aggregate of an empty sequence has no value"
+                    ) from None
+            total, count = 0, 0
+            for v in values:
+                total += v
+                count += 1
+            if count == 0:
+                raise ExecutionError("aggregate of an empty sequence has no value")
+            return total / count
+        raise UnsupportedQueryError(f"not a scalar operator: {name!r}")

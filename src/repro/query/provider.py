@@ -1,0 +1,217 @@
+"""The query provider: canonicalize → cache → translate → compile → execute.
+
+This is the paper's Figure 3 pipeline.  When a query's result is first
+consumed, the provider
+
+1. reduces the expression tree to canonical form (constants folded, the
+   survivors lifted to parameters — ``ConstantEvaluator``);
+2. consults the :class:`~repro.query.cache.QueryCache` keyed by the
+   canonical tree + engine + optimizer options;
+3. on a miss, translates to a logical plan, optimizes it, and hands it to
+   the engine's code generator (``ExpressionTreeTranslator`` →
+   ``CodeTreeTranslator`` → ``StringCompiler``);
+4. executes the compiled artifact against the actual sources with the
+   merged parameter bindings.
+
+The ``linq`` engine short-circuits all of this: LINQ-to-objects neither
+optimizes nor compiles, and the baseline must not either.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..codegen.compiler import CompiledQuery
+from ..errors import ExecutionError, UnsupportedQueryError
+from ..expressions.canonical import CanonicalQuery, cache_key, canonicalize
+from ..expressions.nodes import Expr
+from ..plans.logical import ScalarAggregate, plan_to_text
+from ..plans.optimizer import OptimizeOptions, optimize
+from ..plans.translate import TranslateOptions, translate
+from .cache import QueryCache
+from .enumerable import enumerate_query, scalar_query
+
+__all__ = ["QueryProvider", "default_provider", "ENGINES"]
+
+#: all execution strategies, in the order the paper presents them
+ENGINES = (
+    "linq",
+    "compiled",
+    "native",
+    "hybrid",
+    "hybrid_buffered",
+    "hybrid_min",
+    "hybrid_min_buffered",
+)
+
+
+class QueryProvider:
+    """Compiles and executes queries for every non-baseline engine."""
+
+    def __init__(
+        self,
+        cache: Optional[QueryCache] = None,
+        translate_options: Optional[TranslateOptions] = None,
+        optimize_options: Optional[OptimizeOptions] = None,
+    ):
+        # explicit None test: an empty QueryCache is falsy (len() == 0)
+        self.cache = cache if cache is not None else QueryCache()
+        self.translate_options = translate_options or TranslateOptions()
+        self.optimize_options = optimize_options or OptimizeOptions()
+        self._lock = threading.Lock()
+        #: schema token → TableStats (§9 extension); versioned for caching
+        self._statistics: Dict[str, Any] = {}
+        self._statistics_version = 0
+
+    def register_statistics(self, token: str, statistics: Any) -> None:
+        """Attach :class:`~repro.plans.statistics.TableStats` to a schema
+        token; subsequent compilations order predicates by selectivity."""
+        with self._lock:
+            self._statistics[token] = statistics
+            self._statistics_version += 1
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        params: Dict[str, Any],
+    ) -> Iterator[Any]:
+        """Run *expr* and return a lazy iterator over its results."""
+        if engine == "linq":
+            return enumerate_query(expr, sources, params)
+        compiled, bindings = self._compiled_for(expr, sources, engine)
+        if compiled.scalar:
+            raise ExecutionError(
+                "this query is a scalar aggregate; use the terminal method"
+            )
+        return iter(compiled.execute(sources, {**bindings, **params}))
+
+    def execute_scalar(
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        params: Dict[str, Any],
+    ) -> Any:
+        """Run a terminal aggregate and return its single value."""
+        if engine == "linq":
+            return scalar_query(expr, sources, params)
+        compiled, bindings = self._compiled_for(expr, sources, engine)
+        if not compiled.scalar:
+            raise ExecutionError("not a scalar query")
+        return compiled.execute(sources, {**bindings, **params})
+
+    def explain(self, expr: Expr, engine: str) -> str:
+        """The optimized logical plan, as indented text."""
+        if engine == "linq":
+            return "(linq engine: interpreted operator chain, no plan)"
+        canonical = canonicalize(expr)
+        plan = optimize(
+            translate(canonical.tree, self.translate_options),
+            self.optimize_options,
+            statistics=self._statistics,
+            param_values=canonical.bindings,
+        )
+        return plan_to_text(plan)
+
+    def compile_info(
+        self, expr: Expr, sources: List[Any], engine: str
+    ) -> CompiledQuery:
+        """Compile (or fetch) the artifact without executing — bench hook."""
+        compiled, _ = self._compiled_for(expr, sources, engine)
+        return compiled
+
+    # -- internals --------------------------------------------------------------
+
+    def _compiled_for(
+        self, expr: Expr, sources: List[Any], engine: str
+    ) -> tuple:
+        canonical = canonicalize(expr)
+        key = cache_key(
+            canonical, engine, self._options_token() + _source_signature(sources)
+        )
+        with self._lock:
+            compiled = self.cache.find(key)
+            if compiled is None:
+                compiled = self._compile(canonical, sources, engine)
+                self.cache.store(key, compiled)
+        return compiled, canonical.bindings
+
+    def _options_token(self) -> tuple:
+        topts = self.translate_options
+        return (
+            topts.fuse_aggregates,
+            topts.share_aggregates,
+            self._statistics_version,
+        ) + self.optimize_options.token
+
+    def _compile(
+        self, canonical: CanonicalQuery, sources: List[Any], engine: str
+    ) -> CompiledQuery:
+        plan = optimize(
+            translate(canonical.tree, self.translate_options),
+            self.optimize_options,
+            statistics=self._statistics,
+            param_values=canonical.bindings,
+        )
+        backend = _make_backend(engine)
+        compiled = backend.compile(plan, sources)
+        compiled.plan_text = plan_to_text(plan)
+        compiled.engine = engine
+        return compiled
+
+
+def _source_signature(sources: List[Any]) -> tuple:
+    """Physical-design fingerprint of the sources (currently: indexes).
+
+    Compiled code can depend on which indexes exist, so the cache key must
+    too — creating an index after a query was compiled must trigger a
+    recompilation, not reuse of the scan-based code.
+    """
+    signature = []
+    for source in sources:
+        indexes = getattr(source, "_index_store", None)
+        clustering = getattr(source, "clustered_by", None)
+        signature.append(
+            (tuple(sorted(indexes)) if indexes else (), clustering)
+        )
+    return tuple(signature)
+
+
+def _make_backend(engine: str):
+    if engine == "compiled":
+        from ..codegen.python_backend import PythonBackend
+
+        return PythonBackend()
+    if engine == "native":
+        from ..codegen.native_backend import NativeBackend
+
+        return NativeBackend()
+    if engine.startswith("hybrid"):
+        from ..codegen.hybrid_backend import HybridBackend
+
+        return HybridBackend(
+            buffered="buffered" in engine,
+            minimal="min" in engine.split("_"),
+        )
+    raise UnsupportedQueryError(
+        f"unknown engine {engine!r}; available: {', '.join(ENGINES)}"
+    )
+
+
+_DEFAULT_PROVIDER: Optional[QueryProvider] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_provider() -> QueryProvider:
+    """The process-wide provider (shared cache), created on first use."""
+    global _DEFAULT_PROVIDER
+    if _DEFAULT_PROVIDER is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT_PROVIDER is None:
+                _DEFAULT_PROVIDER = QueryProvider()
+    return _DEFAULT_PROVIDER

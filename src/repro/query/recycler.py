@@ -1,0 +1,168 @@
+"""Query result recycling — a §9 future-work extension.
+
+The paper's conclusion lists "query result caching [15]" (Nagel, Boncz,
+Viglas: *Recycling in pipelined query evaluation*) as a further
+optimization beyond compiled-code caching.  The code cache amortizes
+*compilation*; the recycler amortizes *evaluation*: a repeated query with
+identical parameters over unchanged sources returns the materialized
+result without running at all.
+
+Because Python collections are freely mutable, source identity alone is
+not enough; entries are keyed by the canonical query, the exact parameter
+bindings, and a per-source *fingerprint* (object identity + length).
+Length changes and replaced collections invalidate automatically; in-place
+element mutation does not — call :meth:`RecyclingProvider.invalidate`
+after mutating elements, exactly the contract the paper's recycler has
+with its update stream.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..expressions.canonical import canonicalize
+from ..expressions.nodes import Expr, structural_key
+from .provider import QueryProvider
+
+__all__ = ["RecyclingProvider", "RecyclerStats"]
+
+
+@dataclass
+class RecyclerStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _freeze_value(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, set):
+        return frozenset(value)
+    return value
+
+
+def _source_fingerprint(source: Any) -> tuple:
+    try:
+        length = len(source)
+    except TypeError:
+        length = -1
+    return (id(source), length)
+
+
+class RecyclingProvider(QueryProvider):
+    """A provider whose fully-evaluated results are themselves cached."""
+
+    def __init__(self, *args: Any, max_results: int = 128, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        if max_results <= 0:
+            raise ValueError("result cache size must be positive")
+        self._max_results = max_results
+        self._results: "OrderedDict[Any, List[Any]]" = OrderedDict()
+        self.recycler_stats = RecyclerStats()
+
+    # -- key construction --------------------------------------------------------
+
+    def _result_key(
+        self, expr: Expr, sources: List[Any], engine: str, params: Dict[str, Any]
+    ) -> Optional[Any]:
+        canonical = canonicalize(expr)
+        merged = {**canonical.bindings, **params}
+        try:
+            frozen_params = tuple(
+                sorted((k, _freeze_value(v)) for k, v in merged.items())
+            )
+        except TypeError:
+            return None  # unhashable parameter: not recyclable
+        fingerprints = tuple(_source_fingerprint(s) for s in sources)
+        key = (engine, canonical.key, frozen_params, fingerprints)
+        try:
+            hash(key)
+        except TypeError:
+            return None  # unhashable parameter value: not recyclable
+        return key
+
+    # -- provider surface ------------------------------------------------------------
+
+    def execute(
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        params: Dict[str, Any],
+    ) -> Iterator[Any]:
+        key = self._result_key(expr, sources, engine, params)
+        if key is None:
+            return super().execute(expr, sources, engine, params)
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            self.recycler_stats.hits += 1
+            return iter(cached)
+        self.recycler_stats.misses += 1
+        materialized = list(super().execute(expr, sources, engine, params))
+        self._store(key, materialized)
+        return iter(materialized)
+
+    def execute_scalar(
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        params: Dict[str, Any],
+    ) -> Any:
+        key = self._result_key(expr, sources, engine, params)
+        if key is None:
+            return super().execute_scalar(expr, sources, engine, params)
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            self.recycler_stats.hits += 1
+            return cached[0]
+        self.recycler_stats.misses += 1
+        value = super().execute_scalar(expr, sources, engine, params)
+        self._store(key, [value])
+        return value
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def _store(self, key: Any, result: List[Any]) -> None:
+        self._results[key] = result
+        self._results.move_to_end(key)
+        while len(self._results) > self._max_results:
+            self._results.popitem(last=False)
+
+    def invalidate(self, source: Any = None) -> int:
+        """Drop cached results (for *source*, or everything).
+
+        Call after mutating elements of a collection in place — the
+        fingerprint cannot observe that.
+        """
+        if source is None:
+            dropped = len(self._results)
+            self._results.clear()
+        else:
+            marker = id(source)
+            doomed = [
+                key
+                for key in self._results
+                if any(fp[0] == marker for fp in key[3])
+            ]
+            for key in doomed:
+                del self._results[key]
+            dropped = len(doomed)
+        self.recycler_stats.invalidations += dropped
+        return dropped
+
+    @property
+    def cached_results(self) -> int:
+        return len(self._results)

@@ -1,0 +1,57 @@
+"""Named-table catalog for the mini relational engine."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import ExecutionError
+from ..storage.columns import ColumnSet
+from ..storage.struct_array import StructArray
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Tables by name, available in row (objects), struct-array and
+    columnar form — one registration serves all three executors."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, StructArray] = {}
+        self._objects: Dict[str, List[Any]] = {}
+        self._columns: Dict[str, ColumnSet] = {}
+
+    def register(self, name: str, table: StructArray) -> None:
+        self._tables[name] = table
+        self._objects.pop(name, None)
+        self._columns.pop(name, None)
+
+    def table(self, name: str) -> StructArray:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ExecutionError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def objects(self, name: str) -> List[Any]:
+        if name not in self._objects:
+            self._objects[name] = self.table(name).to_objects()
+        return self._objects[name]
+
+    def columns(self, name: str) -> ColumnSet:
+        if name not in self._columns:
+            self._columns[name] = ColumnSet.from_struct_array(self.table(name))
+        return self._columns[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)
+
+    @classmethod
+    def for_tpch(cls, data) -> "Catalog":
+        """Load every TPC-H relation from a generated dataset."""
+        from ..tpch.schema import RELATION_NAMES
+
+        catalog = cls()
+        for name in RELATION_NAMES:
+            catalog.register(name, data.arrays(name))
+        return catalog

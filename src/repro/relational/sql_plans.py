@@ -1,0 +1,65 @@
+"""Shared TPC-H plans for the Table-1 engine comparison.
+
+The three relational executors must run *identical* plans so the
+comparison isolates the execution paradigm.  A :class:`PlanBundle`
+packages one optimized logical plan (derived from the same LINQ query
+builders the main engines use) together with its parameter bindings and
+both source representations: object lists for the tuple-at-a-time and
+compiled executors, struct arrays for the vectorized one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..expressions.canonical import canonicalize
+from ..plans.logical import Plan
+from ..plans.optimizer import optimize
+from ..plans.translate import translate
+from ..tpch.datagen import TPCHData
+from ..tpch import queries as _queries
+
+__all__ = ["PlanBundle", "tpch_bundle", "TPCH_QUERY_NAMES"]
+
+TPCH_QUERY_NAMES = ("q1", "q2", "q3")
+
+
+@dataclass
+class PlanBundle:
+    """One optimized plan with everything needed to run it anywhere."""
+
+    name: str
+    plan: Plan
+    object_sources: List[Any]
+    array_sources: List[Any]
+    params: Dict[str, Any]
+
+    def run(self, executor) -> list:
+        """Execute on *executor*, choosing the source representation it needs."""
+        sources = (
+            self.array_sources
+            if type(executor).__name__ == "VectorizedExecutor"
+            else self.object_sources
+        )
+        return list(executor.execute(self.plan, sources, self.params))
+
+
+def tpch_bundle(data: TPCHData, name: str) -> PlanBundle:
+    """Build the shared plan bundle for one of q1/q2/q3."""
+    try:
+        builder = getattr(_queries, name)
+    except AttributeError:
+        raise ValueError(f"unknown TPC-H query {name!r}; use one of {TPCH_QUERY_NAMES}")
+    object_query = builder(data, "compiled")
+    array_query = builder(data, "native")
+    canonical = canonicalize(object_query.expr)
+    plan = optimize(translate(canonical.tree))
+    params = {**canonical.bindings, **object_query.params}
+    return PlanBundle(
+        name=name,
+        plan=plan,
+        object_sources=list(object_query.sources),
+        array_sources=list(array_query.sources),
+        params=params,
+    )

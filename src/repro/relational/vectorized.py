@@ -1,0 +1,571 @@
+"""Column-batch interpreted plan executor (the VectorWise analogue).
+
+The third execution paradigm of Table 1: the plan is *interpreted* (no
+code generation), but each interpretation step processes a whole batch of
+column vectors with compiled primitives — vectorized execution amortizes
+the interpretation overhead over the batch [2, 20].
+
+Batches flow as :class:`VBatch` (named column arrays plus value kinds);
+expressions are evaluated batch-at-a-time by :func:`vec_eval`, a direct
+NumPy interpreter for the same expression trees the other engines compile.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError, UnsupportedQueryError
+from ..expressions.nodes import (
+    Binary,
+    Call,
+    Conditional,
+    Constant,
+    Expr,
+    Lambda,
+    Member,
+    Method,
+    New,
+    Param,
+    Unary,
+    Var,
+)
+from ..plans.logical import (
+    Concat,
+    Distinct,
+    Filter,
+    GroupAggregate,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+)
+from ..runtime import vectorized as _vec
+from ..runtime.streaming import StreamingGroupAggregator, StreamingJoinProbe
+from ..storage.columns import ColumnSet
+from ..storage.schema import Schema, date_to_days
+from ..storage.struct_array import StructArray
+
+__all__ = ["VectorizedExecutor", "VBatch", "vec_eval", "DEFAULT_BATCH_SIZE"]
+
+DEFAULT_BATCH_SIZE = 4096
+
+
+@dataclass
+class VBatch:
+    """One vector batch: named columns plus their value kinds."""
+
+    columns: Dict[str, np.ndarray]
+    kinds: Dict[str, str]
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def take(self, indexes: np.ndarray) -> "VBatch":
+        return VBatch({n: c[indexes] for n, c in self.columns.items()}, self.kinds)
+
+    def mask(self, mask: np.ndarray) -> "VBatch":
+        return VBatch({n: c[mask] for n, c in self.columns.items()}, self.kinds)
+
+    @classmethod
+    def concat(cls, batches: List["VBatch"]) -> "VBatch":
+        if not batches:
+            raise ExecutionError("cannot concatenate zero batches")
+        first = batches[0]
+        if len(batches) == 1:
+            return first
+        columns = {
+            n: np.concatenate([b.columns[n] for b in batches]) for n in first.columns
+        }
+        return cls(columns, first.kinds)
+
+
+# -- vectorized expression interpretation -------------------------------------
+
+
+def _coerce_operand(value: Any, kind: str) -> Any:
+    if kind == "str" and isinstance(value, str):
+        return value.encode("utf-8")
+    if kind == "date" and isinstance(value, datetime.date):
+        return date_to_days(value)
+    return value
+
+
+def _kind_of(expr: Expr, env: Dict[str, VBatch]) -> str:
+    if isinstance(expr, Member):
+        target = expr.target
+        if isinstance(target, Var) and target.name in env:
+            return env[target.name].kinds.get(expr.name, "unknown")
+    if isinstance(expr, Constant):
+        if isinstance(expr.value, (str, bytes)):
+            return "str"
+        if isinstance(expr.value, datetime.date):
+            return "date"
+    if isinstance(expr, Method) and expr.name in ("lower", "upper", "strip"):
+        return "str"
+    return "unknown"
+
+
+def vec_eval(
+    expr: Expr,
+    env: Dict[str, VBatch],
+    params: Dict[str, Any],
+) -> Any:
+    """Evaluate a scalar expression over column batches.
+
+    Returns an array (or a Python scalar for constant subtrees); the caller
+    broadcasts as needed.
+    """
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, Param):
+        try:
+            return params[expr.name]
+        except KeyError:
+            raise ExecutionError(f"unbound query parameter: {expr.name!r}") from None
+    if isinstance(expr, Member):
+        target = expr.target
+        if not isinstance(target, Var) or target.name not in env:
+            raise UnsupportedQueryError(
+                "vectorized interpretation requires flat member access"
+            )
+        batch = env[target.name]
+        try:
+            return batch.columns[expr.name]
+        except KeyError:
+            raise ExecutionError(
+                f"batch has no column {expr.name!r}; columns: "
+                f"{sorted(batch.columns)}"
+            ) from None
+    if isinstance(expr, Var):
+        batch = env.get(expr.name)
+        if batch is not None and list(batch.columns) == ["__value"]:
+            return batch.columns["__value"]
+        raise UnsupportedQueryError("whole-record values are not vectorizable")
+    if isinstance(expr, Binary):
+        left_kind = _kind_of(expr.left, env)
+        right_kind = _kind_of(expr.right, env)
+        coerce = left_kind if left_kind in ("str", "date") else right_kind
+        left = vec_eval(expr.left, env, params)
+        right = vec_eval(expr.right, env, params)
+        if coerce in ("str", "date"):
+            left = _coerce_operand(left, coerce)
+            right = _coerce_operand(right, coerce)
+        return _BINARY_UFUNCS[expr.op](left, right)
+    if isinstance(expr, Unary):
+        operand = vec_eval(expr.operand, env, params)
+        if expr.op == "not":
+            return ~operand
+        if expr.op == "neg":
+            return -operand
+        if expr.op == "abs":
+            return np.abs(operand)
+        return +operand
+    if isinstance(expr, Conditional):
+        return np.where(
+            vec_eval(expr.cond, env, params),
+            vec_eval(expr.then, env, params),
+            vec_eval(expr.other, env, params),
+        )
+    if isinstance(expr, Method):
+        target = vec_eval(expr.target, env, params)
+        target_kind = _kind_of(expr.target, env)
+        args = [vec_eval(a, env, params) for a in expr.args]
+        if target_kind == "str":
+            args = [_coerce_operand(a, "str") for a in args]
+        if expr.name == "startswith":
+            return np.char.startswith(target, args[0])
+        if expr.name == "endswith":
+            return np.char.endswith(target, args[0])
+        if expr.name == "contains":
+            return np.char.find(target, args[0]) >= 0
+        if expr.name in ("lower", "upper", "strip"):
+            return getattr(np.char, expr.name)(target)
+        raise UnsupportedQueryError(f"method {expr.name!r} is not vectorizable")
+    if isinstance(expr, Call):
+        if expr.name == "abs":
+            return np.abs(vec_eval(expr.args[0], env, params))
+        raise UnsupportedQueryError(f"function {expr.name!r} is not vectorizable")
+    raise UnsupportedQueryError(
+        f"cannot vectorize expression node {type(expr).__name__}"
+    )
+
+
+_BINARY_UFUNCS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "truediv": np.true_divide,
+    "floordiv": np.floor_divide,
+    "mod": np.mod,
+    "pow": np.power,
+    "eq": np.equal,
+    "ne": np.not_equal,
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "and": np.logical_and,
+    "or": np.logical_or,
+}
+
+
+def _kind_of_result(expr: Expr, env: Dict[str, VBatch]) -> str:
+    known = _kind_of(expr, env)
+    if known != "unknown":
+        return known
+    if isinstance(expr, Binary) and expr.op in (
+        "eq", "ne", "lt", "le", "gt", "ge", "and", "or",
+    ):
+        return "bool"
+    if isinstance(expr, Binary):
+        left = _kind_of_result(expr.left, env)
+        right = _kind_of_result(expr.right, env)
+        if expr.op == "truediv" or "float" in (left, right):
+            return "float"
+        if "int" in (left, right):
+            return "int"
+    if isinstance(expr, Constant):
+        if isinstance(expr.value, bool):
+            return "bool"
+        if isinstance(expr.value, int):
+            return "int"
+        if isinstance(expr.value, float):
+            return "float"
+    return "unknown"
+
+
+def _output_batch(
+    body: Expr, env: Dict[str, VBatch], params: Dict[str, Any], length: int
+) -> VBatch:
+    def broadcast(value: Any) -> np.ndarray:
+        if isinstance(value, np.ndarray):
+            return value
+        return np.full(length, value)
+
+    if isinstance(body, New):
+        columns = {}
+        kinds = {}
+        for name, expr in body.fields:
+            columns[name] = broadcast(vec_eval(expr, env, params))
+            kinds[name] = _kind_of_result(expr, env)
+        return VBatch(columns, kinds)
+    value = broadcast(vec_eval(body, env, params))
+    return VBatch({"__value": value}, {"__value": _kind_of_result(body, env)})
+
+
+# -- the executor ---------------------------------------------------------------
+
+
+class VectorizedExecutor:
+    """Batch-at-a-time interpreted execution over columnar tables."""
+
+    name = "vectorized"
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE):
+        self.batch_size = batch_size
+
+    def execute(
+        self,
+        plan: Plan,
+        sources: Sequence[Any],
+        params: Dict[str, Any],
+    ) -> Iterator[Any]:
+        runner = _BatchRunner(sources, params, self.batch_size)
+        final = VBatch.concat(list(runner.batches(plan)) or [VBatch({}, {})])
+        yield from _decode_batch(final)
+
+    def execute_scalar(
+        self,
+        plan: Plan,
+        sources: Sequence[Any],
+        params: Dict[str, Any],
+    ) -> Any:
+        if not isinstance(plan, ScalarAggregate):
+            raise ExecutionError("not a scalar plan")
+        runner = _BatchRunner(sources, params, self.batch_size)
+        return runner.scalar(plan)
+
+
+def _decode_batch(batch: VBatch) -> Iterator[Any]:
+    from ..expressions.evaluator import make_record_type
+
+    names = list(batch.columns)
+    if not names:
+        return
+    if names == ["__value"]:
+        yield from _vec.decode_values(
+            batch.columns["__value"], batch.kinds["__value"]
+        )
+        return
+    record_type = make_record_type(tuple(names))
+    yield from _vec.decode_rows(
+        [batch.columns[n] for n in names],
+        [batch.kinds[n] for n in names],
+        record_type,
+    )
+
+
+class _BatchRunner:
+    def __init__(self, sources: Sequence[Any], params: Dict[str, Any], batch_size: int):
+        self._sources = sources
+        self._params = params
+        self._batch_size = batch_size
+
+    # -- batch streams per operator ------------------------------------------------
+
+    def batches(self, plan: Plan) -> Iterator[VBatch]:
+        handler = getattr(self, f"_run_{type(plan).__name__}", None)
+        if handler is None:
+            raise UnsupportedQueryError(
+                f"vectorized executor has no operator for {type(plan).__name__}"
+            )
+        return handler(plan)
+
+    def _materialize(self, plan: Plan) -> VBatch:
+        parts = list(self.batches(plan))
+        if not parts:
+            return VBatch({}, {})
+        return VBatch.concat(parts)
+
+    def _run_Scan(self, plan: Scan) -> Iterator[VBatch]:
+        source = self._sources[plan.ordinal]
+        if isinstance(source, StructArray):
+            source = ColumnSet.from_struct_array(source)
+        if not isinstance(source, ColumnSet):
+            raise UnsupportedQueryError(
+                "the vectorized executor requires ColumnSet/StructArray tables"
+            )
+        kinds = {f.name: f.kind for f in source.schema.fields}
+        for start in range(0, len(source), self._batch_size):
+            stop = min(start + self._batch_size, len(source))
+            columns = {n: c[start:stop] for n, c in source.columns.items()}
+            yield VBatch(columns, kinds)
+
+    def _run_Filter(self, plan: Filter) -> Iterator[VBatch]:
+        (param,) = plan.predicate.params
+        for batch in self.batches(plan.child):
+            mask = vec_eval(plan.predicate.body, {param: batch}, self._params)
+            mask = np.asarray(mask, dtype=bool)
+            if mask.any():
+                yield batch.mask(mask)
+
+    def _run_Project(self, plan: Project) -> Iterator[VBatch]:
+        (param,) = plan.selector.params
+        for batch in self.batches(plan.child):
+            yield _output_batch(
+                plan.selector.body, {param: batch}, self._params, len(batch)
+            )
+
+    def _run_Join(self, plan: Join) -> Iterator[VBatch]:
+        build = self._materialize(plan.right)
+        if not build.columns:
+            return
+        (rparam,) = plan.right_key.params
+        build_keys = np.asarray(
+            vec_eval(plan.right_key.body, {rparam: build}, self._params)
+        )
+        probe = StreamingJoinProbe(build_keys)
+        (lparam,) = plan.left_key.params
+        lvar, rvar = plan.result.params
+        for batch in self.batches(plan.left):
+            keys = np.asarray(
+                vec_eval(plan.left_key.body, {lparam: batch}, self._params)
+            )
+            li, ri = probe.probe(keys)
+            if len(li) == 0:
+                continue
+            env = {lvar: batch.take(li), rvar: build.take(ri)}
+            yield _output_batch(plan.result.body, env, self._params, len(li))
+
+    def _run_GroupAggregate(self, plan: GroupAggregate) -> Iterator[VBatch]:
+        # decompose avg into mergeable sum + shared count for page merging
+        physical: List[Tuple[str, Optional[Lambda]]] = []
+        index_of: Dict[Any, int] = {}
+
+        def slot_for(kind: str, selector: Optional[Lambda]) -> int:
+            from ..expressions.nodes import structural_key
+
+            key = (kind, structural_key(selector) if selector else None)
+            if key not in index_of:
+                index_of[key] = len(physical)
+                physical.append((kind, selector))
+            return index_of[key]
+
+        extract: List[Tuple[str, int, int]] = []
+        for agg in plan.aggregates:
+            if agg.kind == "avg":
+                extract.append(
+                    ("avg", slot_for("sum", agg.selector), slot_for("count", None))
+                )
+            else:
+                extract.append(("direct", slot_for(agg.kind, agg.selector), -1))
+
+        key_body = plan.key.body
+        key_fields = (
+            list(key_body.fields)
+            if isinstance(key_body, New)
+            else [("__single", key_body)]
+        )
+        (key_param,) = plan.key.params
+        merger = StreamingGroupAggregator(
+            len(key_fields), [kind for kind, _ in physical]
+        )
+        key_kinds: Dict[str, str] = {}
+        for batch in self.batches(plan.child):
+            env = {key_param: batch}
+            keys = tuple(
+                np.asarray(vec_eval(expr, env, self._params))
+                for _, expr in key_fields
+            )
+            if not key_kinds:
+                key_kinds = {
+                    name: _kind_of_result(expr, env) for name, expr in key_fields
+                }
+            values = []
+            for kind, selector in physical:
+                if selector is None:
+                    values.append(None)
+                else:
+                    (p,) = selector.params
+                    values.append(
+                        np.asarray(vec_eval(selector.body, {p: batch}, self._params))
+                    )
+            merger.consume_page(keys, values)
+        gkeys, gaggs = merger.finalize()
+
+        key_columns = {
+            name: gkeys[i] for i, (name, _) in enumerate(key_fields)
+        }
+        key_batch = VBatch(
+            key_columns, {n: key_kinds.get(n, "unknown") for n in key_columns}
+        )
+        env: Dict[str, VBatch] = {"__key": key_batch}
+        n = len(gkeys[0]) if gkeys else 0
+        for i, (mode, a, b) in enumerate(extract):
+            if mode == "avg":
+                column = gaggs[a] / np.maximum(gaggs[b], 1)
+                kind = "float"
+            else:
+                column = gaggs[a]
+                kind = "float" if physical[a][0] == "sum" else "int"
+            env[f"__agg{i}"] = VBatch({"__value": column}, {"__value": kind})
+        output_env = _GroupOutputEnv(env, key_batch)
+        yield _output_batch(plan.output, output_env, self._params, n)
+
+    def scalar(self, plan: ScalarAggregate) -> Any:
+        if len(plan.aggregates) != 1:
+            raise UnsupportedQueryError("vectorized scalar supports one aggregate")
+        (agg,) = plan.aggregates
+        count = 0
+        total = 0.0
+        best: Optional[Any] = None
+        for batch in self.batches(plan.child):
+            n = len(batch)
+            if n == 0:
+                continue
+            count += n
+            if agg.selector is not None:
+                (p,) = agg.selector.params
+                values = np.asarray(
+                    vec_eval(agg.selector.body, {p: batch}, self._params)
+                )
+                if agg.kind in ("sum", "avg"):
+                    total += float(values.sum())
+                elif agg.kind == "min":
+                    page = values.min()
+                    best = page if best is None else min(best, page)
+                elif agg.kind == "max":
+                    page = values.max()
+                    best = page if best is None else max(best, page)
+        if agg.kind == "count":
+            return count
+        if agg.kind == "sum":
+            return total
+        if count == 0:
+            raise ExecutionError("aggregate of an empty sequence has no value")
+        if agg.kind == "avg":
+            return total / count
+        return best.item() if hasattr(best, "item") else best
+
+    def _run_Sort(self, plan: Sort) -> Iterator[VBatch]:
+        whole = self._materialize(plan.child)
+        if not whole.columns:
+            return
+        keys = []
+        for key in plan.keys:
+            (p,) = key.params
+            keys.append(np.asarray(vec_eval(key.body, {p: whole}, self._params)))
+        order = _vec.sort_indexes(keys, plan.descending)
+        yield whole.take(order)
+
+    def _run_TopN(self, plan: TopN) -> Iterator[VBatch]:
+        from ..expressions.evaluator import interpret
+
+        whole = self._materialize(plan.child)
+        if not whole.columns:
+            return
+        keys = []
+        for key in plan.keys:
+            (p,) = key.params
+            keys.append(np.asarray(vec_eval(key.body, {p: whole}, self._params)))
+        n = int(interpret(plan.count, params=self._params))
+        idx = _vec.topn_indexes(keys, plan.descending, n)
+        yield whole.take(idx)
+
+    def _run_Limit(self, plan: Limit) -> Iterator[VBatch]:
+        from ..expressions.evaluator import interpret
+
+        whole = self._materialize(plan.child)
+        if not whole.columns:
+            return
+        start = (
+            int(interpret(plan.offset, params=self._params))
+            if plan.offset is not None
+            else 0
+        )
+        stop = (
+            start + int(interpret(plan.count, params=self._params))
+            if plan.count is not None
+            else len(whole)
+        )
+        index = np.arange(start, min(stop, len(whole)))
+        yield whole.take(index)
+
+    def _run_Distinct(self, plan: Distinct) -> Iterator[VBatch]:
+        whole = self._materialize(plan.child)
+        if not whole.columns:
+            return
+        idx = _vec.distinct_indexes(list(whole.columns.values()))
+        yield whole.take(idx)
+
+    def _run_Concat(self, plan: Concat) -> Iterator[VBatch]:
+        yield from self.batches(plan.left)
+        yield from self.batches(plan.right)
+
+
+class _GroupOutputEnv(dict):
+    """Env for GroupAggregate outputs: __key member access + __agg slots.
+
+    ``Member(Var('__key'), f)`` resolves through the key batch; bare
+    ``Var('__aggN')`` resolves to single-column batches.
+    """
+
+    def __init__(self, env: Dict[str, VBatch], key_batch: VBatch):
+        super().__init__(env)
+        single = list(key_batch.columns)
+        if single == ["__single"]:
+            # scalar group key: Var('__key') itself is the value column
+            self["__key"] = VBatch(
+                {"__value": key_batch.columns["__single"]},
+                {"__value": key_batch.kinds.get("__single", "unknown")},
+            )

@@ -1,0 +1,32 @@
+"""Runtime support structures called from generated and interpreted code."""
+
+from .aggregates import AccumulatorPlan, AggSpec, FusedAccumulator, plan_accumulators
+from .hashtable import GroupTable, Grouping, JoinTable, build_join_table
+from .sorting import (
+    CompositeKey,
+    argsort_indexes,
+    multi_key_less,
+    python_sorted_indexes,
+    quicksort_indexes,
+)
+from .streaming import StreamingGroupAggregator, StreamingJoinProbe
+from .topn import TopNHeap
+
+__all__ = [
+    "AggSpec",
+    "AccumulatorPlan",
+    "FusedAccumulator",
+    "plan_accumulators",
+    "Grouping",
+    "GroupTable",
+    "JoinTable",
+    "build_join_table",
+    "quicksort_indexes",
+    "CompositeKey",
+    "argsort_indexes",
+    "python_sorted_indexes",
+    "multi_key_less",
+    "TopNHeap",
+    "StreamingGroupAggregator",
+    "StreamingJoinProbe",
+]

@@ -1,0 +1,102 @@
+"""Hash-based runtime structures used by generated code.
+
+The compiled-Python engine (paper §4) processes joins as *hash joins* and
+grouping as a single hash-partitioned pass — "the operations inside each
+loop are modeled after common database practices".  Generated source calls
+into these classes; they are deliberately thin wrappers over ``dict`` so the
+per-element path stays short.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Tuple
+
+__all__ = ["Grouping", "GroupTable", "JoinTable", "build_join_table"]
+
+
+class Grouping:
+    """One group produced by ``group_by``: a key plus its elements.
+
+    Mirrors LINQ's ``IGrouping<TKey, TElement>``: iterable, with a ``key``
+    property.  The LINQ-to-objects analogue hands these to the group result
+    selector, whose every aggregate then re-iterates the group — the paper's
+    §2.3 inefficiency, preserved on purpose in the baseline engine.
+    """
+
+    __slots__ = ("key", "_items")
+
+    def __init__(self, key: Hashable, items: List[Any]):
+        self.key = key
+        self._items = items
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"Grouping(key={self.key!r}, n={len(self._items)})"
+
+
+class GroupTable:
+    """Hash-partitions elements by key in one pass."""
+
+    __slots__ = ("_groups",)
+
+    def __init__(self) -> None:
+        self._groups: Dict[Hashable, List[Any]] = {}
+
+    def add(self, key: Hashable, element: Any) -> None:
+        bucket = self._groups.get(key)
+        if bucket is None:
+            self._groups[key] = [element]
+        else:
+            bucket.append(element)
+
+    def groupings(self) -> Iterator[Grouping]:
+        """Yield groups in first-seen key order (LINQ's documented order)."""
+        for key, items in self._groups.items():
+            yield Grouping(key, items)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+class JoinTable:
+    """Build side of a hash join: key → list of build elements."""
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Hashable, List[Any]] = {}
+
+    def add(self, key: Hashable, element: Any) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [element]
+        else:
+            bucket.append(element)
+
+    def probe(self, key: Hashable) -> List[Any]:
+        """Return all build elements matching *key* (empty list on miss)."""
+        return self._buckets.get(key, _EMPTY)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._buckets
+
+
+_EMPTY: List[Any] = []
+
+
+def build_join_table(
+    elements: Iterable[Any], key_fn: Callable[[Any], Hashable]
+) -> JoinTable:
+    """Build a :class:`JoinTable` over *elements* keyed by *key_fn*."""
+    table = JoinTable()
+    for element in elements:
+        table.add(key_fn(element), element)
+    return table

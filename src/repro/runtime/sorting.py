@@ -1,0 +1,200 @@
+"""Sorting primitives shared by all engines.
+
+The paper is careful to keep the *algorithm* fixed while varying the
+*runtime*: "the same quicksort implementation on the same data runs 58%
+faster in compiled C code over its C# counterpart" (§2.3), and the
+generated C code implements the same quicksort LINQ-to-objects uses (§7.2).
+
+We mirror that protocol:
+
+* :func:`quicksort_indexes` — one textbook quicksort over a key array,
+  written in pure Python.  The interpreted engines use it, making the
+  language gap measurable (``bench_sec23_micro``).
+* :func:`argsort_indexes` — the identical index-producing contract executed
+  by NumPy's compiled sort, standing in for the generated C quicksort.
+* :class:`CompositeKey` / :func:`python_sorted_indexes` — multi-key
+  ordering with per-key direction, for ``order_by ... then_by`` chains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "quicksort_indexes",
+    "CompositeKey",
+    "argsort_indexes",
+    "multi_key_less",
+    "python_sorted_indexes",
+]
+
+
+def quicksort_indexes(keys: Sequence[Any], descending: bool = False) -> List[int]:
+    """Sort index positions of *keys* with an explicit in-place quicksort.
+
+    This is intentionally *not* ``sorted(...)``: the C#-vs-C experiment
+    needs the same algorithm on both sides of the language gap, and
+    Timsort ≠ quicksort.  Median-of-three pivoting with an insertion-sort
+    cutoff keeps worst cases away on the presorted/reversed inputs the
+    benchmarks feed it.
+
+    Equal keys come out in input order (LINQ's OrderBy is documented
+    stable): like LINQ, the quicksort sorts an index array and breaks key
+    ties on the index.
+    """
+    indexes = list(range(len(keys)))
+    before = _greater_stable if descending else _less_stable
+    _quicksort(indexes, keys, 0, len(indexes) - 1, before)
+    return indexes
+
+
+_INSERTION_CUTOFF = 16
+
+
+def _less_stable(keys: Sequence[Any], a: int, b: int) -> bool:
+    """index a sorts before index b, ascending, ties by position."""
+    ka, kb = keys[a], keys[b]
+    if ka == kb:
+        return a < b
+    return ka < kb
+
+
+def _greater_stable(keys: Sequence[Any], a: int, b: int) -> bool:
+    """index a sorts before index b, descending, ties by position."""
+    ka, kb = keys[a], keys[b]
+    if ka == kb:
+        return a < b
+    return kb < ka
+
+
+def _quicksort(
+    indexes: List[int],
+    keys: Sequence[Any],
+    lo: int,
+    hi: int,
+    before: Callable[[Sequence[Any], int, int], bool],
+) -> None:
+    while lo < hi:
+        if hi - lo < _INSERTION_CUTOFF:
+            _insertion_sort(indexes, keys, lo, hi, before)
+            return
+        p = _partition(indexes, keys, lo, hi, before)
+        # recurse into the smaller side, loop on the larger: O(log n) stack
+        if p - lo < hi - p:
+            _quicksort(indexes, keys, lo, p - 1, before)
+            lo = p + 1
+        else:
+            _quicksort(indexes, keys, p + 1, hi, before)
+            hi = p - 1
+
+
+def _partition(
+    indexes: List[int],
+    keys: Sequence[Any],
+    lo: int,
+    hi: int,
+    before: Callable[[Sequence[Any], int, int], bool],
+) -> int:
+    mid = (lo + hi) // 2
+    # median-of-three: order entries at lo, mid, hi; median moves to hi-1
+    if before(keys, indexes[mid], indexes[lo]):
+        indexes[lo], indexes[mid] = indexes[mid], indexes[lo]
+    if before(keys, indexes[hi], indexes[lo]):
+        indexes[lo], indexes[hi] = indexes[hi], indexes[lo]
+    if before(keys, indexes[hi], indexes[mid]):
+        indexes[mid], indexes[hi] = indexes[hi], indexes[mid]
+    indexes[mid], indexes[hi - 1] = indexes[hi - 1], indexes[mid]
+    pivot = indexes[hi - 1]
+    store = lo
+    for i in range(lo, hi - 1):
+        if before(keys, indexes[i], pivot):
+            indexes[store], indexes[i] = indexes[i], indexes[store]
+            store += 1
+    indexes[store], indexes[hi - 1] = indexes[hi - 1], indexes[store]
+    return store
+
+
+def _insertion_sort(
+    indexes: List[int],
+    keys: Sequence[Any],
+    lo: int,
+    hi: int,
+    before: Callable[[Sequence[Any], int, int], bool],
+) -> None:
+    for i in range(lo + 1, hi + 1):
+        current = indexes[i]
+        j = i - 1
+        while j >= lo and before(keys, current, indexes[j]):
+            indexes[j + 1] = indexes[j]
+            j -= 1
+        indexes[j + 1] = current
+
+
+def argsort_indexes(keys: np.ndarray, descending: bool = False) -> np.ndarray:
+    """The native-runtime counterpart: NumPy's compiled quicksort.
+
+    ``kind='quicksort'`` keeps the algorithm aligned with
+    :func:`quicksort_indexes`; only the execution substrate differs —
+    exactly the §2.3 language-gap experiment.
+    """
+    order = np.argsort(keys, kind="quicksort")
+    if descending:
+        order = order[::-1]
+    return order
+
+
+def python_sorted_indexes(
+    keys: Sequence[Any], directions: Sequence[bool] | None = None
+) -> List[int]:
+    """Stable multi-key index sort for ``order_by ... then_by`` chains.
+
+    *keys* holds per-element key tuples; ``directions[i]`` is True when key
+    ``i`` sorts descending.  Stability comes from sorting once per key,
+    least-significant first (the classic decorate-sort trick).
+    """
+    indexes = list(range(len(keys)))
+    if not keys:
+        return indexes
+    nkeys = len(keys[0]) if isinstance(keys[0], tuple) else 1
+    directions = list(directions or [False] * nkeys)
+    if nkeys == 1 and not isinstance(keys[0], tuple):
+        indexes.sort(key=lambda i: keys[i], reverse=directions[0])
+        return indexes
+    for level in reversed(range(nkeys)):
+        indexes.sort(key=lambda i: keys[i][level], reverse=directions[level])
+    return indexes
+
+
+class CompositeKey:
+    """A sortable wrapper for multi-key, mixed-direction orderings.
+
+    Lets the direction-blind quicksort in :func:`quicksort_indexes` order
+    ``order_by ... then_by`` chains: the wrapper's ``<`` applies per-key
+    directions.  Pair it with the original index for stability:
+    ``(CompositeKey(keys, dirs), i)``.
+    """
+
+    __slots__ = ("keys", "directions")
+
+    def __init__(self, keys: Tuple, directions: Tuple[bool, ...]):
+        self.keys = keys
+        self.directions = directions
+
+    def __lt__(self, other: "CompositeKey") -> bool:
+        return multi_key_less(self.keys, other.keys, self.directions)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CompositeKey) and self.keys == other.keys
+
+
+def multi_key_less(
+    a: Tuple, b: Tuple, directions: Sequence[bool]
+) -> bool:
+    """Lexicographic comparison of key tuples with per-key direction."""
+    for x, y, desc in zip(a, b, directions):
+        if x == y:
+            continue
+        return (y < x) if desc else (x < y)
+    return False

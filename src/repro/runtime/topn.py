@@ -1,0 +1,80 @@
+"""Bounded heap for fused ``OrderBy`` + ``Take(N)``.
+
+Paper §2.3 ("Independent operators"): LINQ-to-objects sorts the entire
+input and then takes the first N results; "a better approach would be to
+merge both operations and maintain a heap with the N highest/lowest
+values".  The optimizer rewrites ``order_by(...).take(n)`` into a ``TopN``
+plan node and the compiled engines use this structure for it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Sequence, Tuple
+
+from .sorting import multi_key_less
+
+__all__ = ["TopNHeap"]
+
+
+class TopNHeap:
+    """Keeps the N smallest elements under a multi-key ordering.
+
+    ``directions[i]`` is True when key ``i`` orders descending; "smallest"
+    is interpreted under that combined order, so the heap yields exactly
+    what ``order_by ... then_by ... take(n)`` would produce.
+
+    Implementation detail: Python's heapq is a min-heap, so we keep the
+    *largest-so-far* retained element on top by pushing inverted comparison
+    wrappers, and evict it when a smaller candidate arrives.
+    """
+
+    __slots__ = ("_limit", "_directions", "_heap", "_tiebreak")
+
+    def __init__(self, limit: int, directions: Sequence[bool]):
+        if limit < 0:
+            raise ValueError("TopN limit must be non-negative")
+        self._limit = limit
+        self._directions = tuple(directions)
+        self._heap: List[Tuple["_Inverted", int, Any]] = []
+        # insertion counter keeps the sort stable for equal keys
+        self._tiebreak = itertools.count()
+
+    def offer(self, key: Tuple, element: Any) -> None:
+        """Consider one element; retains it only if it ranks in the top N."""
+        if self._limit == 0:
+            return
+        # negated counter: after the reverse=True sort in results(), equal
+        # keys come out in insertion order (stable, like LINQ's OrderBy)
+        entry = (_Inverted(key, self._directions), -next(self._tiebreak), element)
+        if len(self._heap) < self._limit:
+            heapq.heappush(self._heap, entry)
+        elif self._heap[0][0] < entry[0]:
+            # current worst retained element ranks after the candidate
+            heapq.heapreplace(self._heap, entry)
+
+    def results(self) -> List[Any]:
+        """Return retained elements in the requested order."""
+        ordered = sorted(self._heap, reverse=True)
+        return [element for _, _, element in ordered]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _Inverted:
+    """Comparison wrapper that reverses the multi-key order for heapq."""
+
+    __slots__ = ("key", "directions")
+
+    def __init__(self, key: Tuple, directions: Tuple[bool, ...]):
+        self.key = key if isinstance(key, tuple) else (key,)
+        self.directions = directions
+
+    def __lt__(self, other: "_Inverted") -> bool:
+        # inverted: self < other  ⇔  self ranks *after* other
+        return multi_key_less(other.key, self.key, self.directions)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Inverted) and self.key == other.key

@@ -1,0 +1,23 @@
+"""Data layout substrate: schemas, row stores, column stores, staging buffers."""
+
+from .buffers import DEFAULT_PAGE_BYTES, BufferList, BufferPage, StreamingBuffer
+from .columns import ColumnSet
+from .index import HashIndex
+from .schema import Field, Schema, date_to_days, days_to_date, decode_value, encode_value
+from .struct_array import StructArray
+
+__all__ = [
+    "Field",
+    "Schema",
+    "date_to_days",
+    "days_to_date",
+    "encode_value",
+    "decode_value",
+    "StructArray",
+    "ColumnSet",
+    "HashIndex",
+    "BufferPage",
+    "BufferList",
+    "StreamingBuffer",
+    "DEFAULT_PAGE_BYTES",
+]

@@ -1,0 +1,165 @@
+"""Staging buffers for the hybrid engine (paper §6.1).
+
+The generated managed code copies query-relevant fields into "a linked
+list of buffer pages ... allocated in unmanaged memory".  Our pages are
+NumPy structured arrays — contiguous, fixed-layout memory the vectorized
+kernels consume directly.
+
+Two protocols exist, matching the paper exactly:
+
+* **full materialization** (§6.1.1) — :class:`BufferList` appends a new
+  page whenever the current one fills; once staging finishes, the kernels
+  see all pages (``materialize`` concatenates, or ``pages()`` streams).
+* **buffered materialization** (§6.1.2) — :class:`StreamingBuffer` holds a
+  single page and invokes a consumer callback each time it fills, keeping
+  the memory footprint fixed at one page.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .schema import Schema
+
+__all__ = ["BufferPage", "BufferList", "StreamingBuffer", "DEFAULT_PAGE_BYTES"]
+
+#: 64 KiB — the paper tested several sizes, found no significant impact,
+#: and "settled for a modest buffer size of 64KB" (§7.1).
+DEFAULT_PAGE_BYTES = 64 * 1024
+
+
+def _elems_per_page(schema: Schema, page_bytes: int) -> int:
+    per_elem = schema.struct_size()
+    return max(1, page_bytes // per_elem)
+
+
+class BufferPage:
+    """One fixed-capacity page of staged rows."""
+
+    __slots__ = ("data", "count", "capacity")
+
+    def __init__(self, schema: Schema, capacity: int):
+        self.data = np.zeros(capacity, dtype=schema.numpy_dtype())
+        self.count = 0
+        self.capacity = capacity
+
+    @property
+    def full(self) -> bool:
+        return self.count >= self.capacity
+
+    def append(self, values: Tuple) -> None:
+        """Append one encoded row; caller must check :attr:`full` first."""
+        if self.count >= self.capacity:
+            raise ExecutionError("buffer page overflow; check .full before append")
+        self.data[self.count] = values
+        self.count += 1
+
+    def rows(self) -> np.ndarray:
+        """The filled prefix of the page."""
+        return self.data[: self.count]
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+class BufferList:
+    """Full-materialization staging: a growing linked list of pages."""
+
+    def __init__(self, schema: Schema, page_bytes: int = DEFAULT_PAGE_BYTES):
+        self.schema = schema
+        self.page_capacity = _elems_per_page(schema, page_bytes)
+        self._pages: List[BufferPage] = []
+        self._current: BufferPage | None = None
+
+    def add_buffer(self) -> BufferPage:
+        """Start a new page (the generated code's ``AddBuffer(ctx)``)."""
+        page = BufferPage(self.schema, self.page_capacity)
+        self._pages.append(page)
+        self._current = page
+        return page
+
+    def append(self, values: Tuple) -> None:
+        """Append one encoded row, growing onto a new page when full."""
+        page = self._current
+        if page is None or page.full:
+            page = self.add_buffer()
+        page.append(values)
+
+    def __len__(self) -> int:
+        return sum(p.count for p in self._pages)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def pages(self) -> Iterator[np.ndarray]:
+        """Stream the filled prefix of every page, in staging order."""
+        for page in self._pages:
+            if page.count:
+                yield page.rows()
+
+    def materialize(self) -> np.ndarray:
+        """Concatenate all pages into one contiguous array."""
+        filled = [p.rows() for p in self._pages if p.count]
+        if not filled:
+            return np.zeros(0, dtype=self.schema.numpy_dtype())
+        if len(filled) == 1:
+            return filled[0]
+        return np.concatenate(filled)
+
+    def staged_bytes(self) -> int:
+        """Total bytes allocated for staging (the §6.1.2 footprint metric)."""
+        return sum(p.data.nbytes for p in self._pages)
+
+
+class StreamingBuffer:
+    """Buffered materialization: one reusable page + a consumer callback.
+
+    ``consumer`` is the generated native code's entry point: it is invoked
+    with the filled rows each time the page fills ("call the generated C
+    code to process the content of a buffer page once it is full"), and
+    once more from :meth:`finish` for the final partial page.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        consumer: Callable[[np.ndarray], None],
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ):
+        self.schema = schema
+        self.page = BufferPage(schema, _elems_per_page(schema, page_bytes))
+        self._consumer = consumer
+        self._staged_total = 0
+        self._flushes = 0
+
+    def append(self, values: Tuple) -> None:
+        if self.page.full:
+            self.flush()
+        self.page.append(values)
+
+    def flush(self) -> None:
+        if self.page.count:
+            self._consumer(self.page.rows())
+            self._staged_total += self.page.count
+            self._flushes += 1
+            self.page.reset()
+
+    def finish(self) -> None:
+        """Signal end of input (the ``streaming_done`` flag of §6.1.2)."""
+        self.flush()
+
+    @property
+    def staged_total(self) -> int:
+        return self._staged_total
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes
+
+    def footprint_bytes(self) -> int:
+        """Fixed staging footprint: exactly one page, regardless of input."""
+        return int(self.page.data.nbytes)

@@ -1,0 +1,88 @@
+"""ColumnSet — structure-of-arrays storage for the mini relational engine.
+
+The VectorWise analogue in :mod:`repro.relational.vectorized` processes
+column batches; this container is its table representation.  It shares the
+:class:`~repro.storage.schema.Schema` vocabulary with the row-store
+:class:`~repro.storage.struct_array.StructArray`, and the two convert
+losslessly in both directions (the §6.1.1 choice between "columnar" and
+"row-wise" staged layouts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import Schema
+from .struct_array import StructArray
+
+__all__ = ["ColumnSet"]
+
+
+class ColumnSet:
+    """One NumPy array per field, all equal length."""
+
+    def __init__(self, schema: Schema, columns: Dict[str, np.ndarray]):
+        missing = [n for n in schema.field_names if n not in columns]
+        if missing:
+            raise SchemaError(f"missing columns: {missing}")
+        lengths = {len(columns[n]) for n in schema.field_names}
+        if len(lengths) > 1:
+            raise SchemaError(f"column length mismatch: {sorted(lengths)}")
+        self.schema = schema
+        self.columns = {
+            f.name: np.asarray(columns[f.name], dtype=f.dtype) for f in schema.fields
+        }
+        self._length = lengths.pop() if lengths else 0
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_struct_array(cls, array: StructArray) -> "ColumnSet":
+        columns = {name: array.data[name].copy() for name in array.schema.field_names}
+        return cls(array.schema, columns)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[Sequence]) -> "ColumnSet":
+        return cls.from_struct_array(StructArray.from_rows(schema, rows))
+
+    # -- access ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def column(self, name: str) -> np.ndarray:
+        self.schema[name]
+        return self.columns[name]
+
+    def to_struct_array(self) -> StructArray:
+        return StructArray.from_columns(self.schema, self.columns)
+
+    def take(self, indexes: np.ndarray) -> "ColumnSet":
+        return ColumnSet(
+            self.schema, {n: c[indexes] for n, c in self.columns.items()}
+        )
+
+    def filter(self, mask: np.ndarray) -> "ColumnSet":
+        return ColumnSet(self.schema, {n: c[mask] for n, c in self.columns.items()})
+
+    def batches(self, batch_size: int) -> Iterator["ColumnSet"]:
+        """Stream fixed-size column batches (the vectorized unit of work)."""
+        for start in range(0, self._length, batch_size):
+            stop = min(start + batch_size, self._length)
+            yield ColumnSet(
+                self.schema,
+                {n: c[start:stop] for n, c in self.columns.items()},
+            )
+
+    def decode_rows(self) -> List[Tuple]:
+        """All rows as managed record objects (test/verification helper)."""
+        return self.to_struct_array().to_objects()
+
+    def nbytes(self) -> int:
+        return int(sum(c.nbytes for c in self.columns.values()))
+
+    def __repr__(self) -> str:
+        return f"ColumnSet({self.schema.name}, n={len(self)})"

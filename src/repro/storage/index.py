@@ -1,0 +1,56 @@
+"""Hash indexes over struct arrays — a §9 future-work extension.
+
+The paper's conclusion lists "the introduction of structures such as
+indexes" as the next step beyond query compilation.  A :class:`HashIndex`
+maps each distinct value of one column to the row positions holding it;
+the native backend consults a source's registered indexes and compiles
+equality filters on indexed columns into index lookups instead of full
+scans (see ``repro.codegen.native_backend``).
+
+Indexes are maintained eagerly at build time and are read-only thereafter
+— matching the paper's static-collection setting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import encode_value
+from .struct_array import StructArray
+
+__all__ = ["HashIndex"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class HashIndex:
+    """value → sorted row positions, for one column of a StructArray."""
+
+    def __init__(self, array: StructArray, field_name: str):
+        self.field = array.schema[field_name]
+        column = array.column(field_name)
+        order = np.argsort(column, kind="stable")
+        sorted_values = column[order]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], sorted_values[1:] != sorted_values[:-1]))
+        )
+        self._rows: Dict[Any, np.ndarray] = {}
+        for i, start in enumerate(boundaries):
+            stop = boundaries[i + 1] if i + 1 < len(boundaries) else len(order)
+            value = sorted_values[start]
+            key = value.item() if hasattr(value, "item") else value
+            self._rows[key] = np.sort(order[start:stop])
+
+    def lookup(self, value: Any) -> np.ndarray:
+        """Row positions whose column equals *value* (managed or native
+        representation), in ascending order."""
+        native = encode_value(self.field, value)
+        return self._rows.get(native, _EMPTY)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+

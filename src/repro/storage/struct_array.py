@@ -1,0 +1,162 @@
+"""StructArray — the array-of-structs row store of paper §5.
+
+"In C#, structs are considered value types.  Hence, an array of structs
+stores the data elements at each array position instead of a reference.
+Storing the source data in fixed-length arrays of structs without
+references leads to consecutive storage of data in memory and to a flat
+representation of each data element, comparable to a row-store in a
+database system."
+
+A :class:`StructArray` wraps a NumPy structured array (which has exactly
+that memory layout) together with its :class:`~repro.storage.schema.Schema`.
+The native engine generates vectorized code against the raw array; the
+managed side can still read individual rows as record objects — the
+two-runtime access the paper exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import Schema
+
+__all__ = ["StructArray"]
+
+
+class StructArray:
+    """Fixed-layout, contiguous row storage over a schema."""
+
+    def __init__(self, schema: Schema, data: np.ndarray):
+        expected = schema.numpy_dtype()
+        if data.dtype != expected:
+            raise SchemaError(
+                f"array dtype {data.dtype} does not match schema layout {expected}"
+            )
+        self.schema = schema
+        self.data = data
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema, length: int) -> "StructArray":
+        return cls(schema, np.zeros(length, dtype=schema.numpy_dtype()))
+
+    @classmethod
+    def from_objects(cls, schema: Schema, objects: Iterable[Any]) -> "StructArray":
+        """Build from objects exposing the schema's fields as attributes."""
+        rows = [schema.encode_row(obj) for obj in objects]
+        return cls._from_encoded(schema, rows)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[Any]]) -> "StructArray":
+        """Build from positional value sequences in schema field order."""
+        encoded = [schema.encode_values(row) for row in rows]
+        return cls._from_encoded(schema, encoded)
+
+    @classmethod
+    def from_columns(cls, schema: Schema, columns: dict) -> "StructArray":
+        """Build from per-field arrays (already in native representation)."""
+        missing = [n for n in schema.field_names if n not in columns]
+        if missing:
+            raise SchemaError(f"missing columns: {missing}")
+        lengths = {len(columns[n]) for n in schema.field_names}
+        if len(lengths) > 1:
+            raise SchemaError(f"column length mismatch: {sorted(lengths)}")
+        (length,) = lengths or {0}
+        data = np.zeros(length, dtype=schema.numpy_dtype())
+        for name in schema.field_names:
+            data[name] = columns[name]
+        return cls(schema, data)
+
+    @classmethod
+    def _from_encoded(cls, schema: Schema, rows: List[tuple]) -> "StructArray":
+        data = np.array(rows, dtype=schema.numpy_dtype()) if rows else np.zeros(
+            0, dtype=schema.numpy_dtype()
+        )
+        return cls(schema, data)
+
+    # -- access ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def column(self, name: str) -> np.ndarray:
+        """Zero-copy view of one field across all rows."""
+        self.schema[name]  # validates the field exists
+        return self.data[name]
+
+    def row(self, index: int) -> Any:
+        """Decode one row into a managed-side record object."""
+        return self.schema.decode_row(self.data[index])
+
+    def __iter__(self) -> Iterator[Any]:
+        decode = self.schema.decode_row
+        for native_row in self.data:
+            yield decode(native_row)
+
+    def to_objects(self) -> List[Any]:
+        """Materialize every row as a record object (managed representation)."""
+        return list(self)
+
+    def take(self, indexes: np.ndarray) -> "StructArray":
+        """Row subset / reordering by index array (copy, stays contiguous)."""
+        return StructArray(self.schema, self.data[indexes])
+
+    def filter(self, mask: np.ndarray) -> "StructArray":
+        """Row subset by boolean mask (copy, stays contiguous)."""
+        return StructArray(self.schema, self.data[mask])
+
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    # -- clustering (§9 future-work extension) ------------------------------------
+
+    def cluster_by(self, field_name: str) -> "StructArray":
+        """A copy physically ordered by *field_name* (§9 "clustering").
+
+        Range predicates on the clustering column compile to binary-search
+        bounds instead of full-array masks (see the native backend).  The
+        clustering column is recorded on the result.
+        """
+        import numpy as np
+
+        self.schema[field_name]  # validates
+        order = np.argsort(self.data[field_name], kind="stable")
+        clustered = StructArray(self.schema, self.data[order])
+        clustered.clustered_by = field_name
+        return clustered
+
+    @property
+    def clustering(self) -> str | None:
+        """The column this array is physically ordered by, if any."""
+        return getattr(self, "clustered_by", None)
+
+    # -- indexes (§9 future-work extension) --------------------------------------
+
+    def create_index(self, field_name: str):
+        """Build (and register) a hash index on *field_name*.
+
+        Registered indexes are found by the native code generator, which
+        compiles equality predicates on indexed columns into lookups.
+        """
+        from .index import HashIndex
+
+        if field_name not in self._indexes:
+            self._indexes[field_name] = HashIndex(self, field_name)
+        return self._indexes[field_name]
+
+    def get_index(self, field_name: str):
+        """The registered index on *field_name*, or None."""
+        return self._indexes.get(field_name)
+
+    @property
+    def _indexes(self) -> dict:
+        if not hasattr(self, "_index_store"):
+            self._index_store = {}
+        return self._index_store
+
+    def __repr__(self) -> str:
+        return f"StructArray({self.schema.name}, n={len(self)}, {self.nbytes()} bytes)"

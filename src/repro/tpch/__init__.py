@@ -1,0 +1,38 @@
+"""TPC-H workload substrate: schemas, deterministic datagen, queries Q1–Q3."""
+
+from .datagen import BASE_ROW_COUNTS, TPCHData
+from .queries import (
+    Q1_DEFAULTS,
+    Q2_DEFAULTS,
+    Q3_DEFAULTS,
+    aggregation_micro,
+    join_micro,
+    q1,
+    q2,
+    q3,
+    relation_query,
+    sorting_micro,
+)
+from .reference import reference_q1, reference_q2, reference_q3, reference_join_micro
+from .schema import RELATION_NAMES, TPCH_SCHEMAS
+
+__all__ = [
+    "TPCHData",
+    "BASE_ROW_COUNTS",
+    "TPCH_SCHEMAS",
+    "RELATION_NAMES",
+    "relation_query",
+    "q1",
+    "q2",
+    "q3",
+    "aggregation_micro",
+    "sorting_micro",
+    "join_micro",
+    "Q1_DEFAULTS",
+    "Q2_DEFAULTS",
+    "Q3_DEFAULTS",
+    "reference_q1",
+    "reference_q2",
+    "reference_q3",
+    "reference_join_micro",
+]

@@ -1,0 +1,319 @@
+"""Deterministic TPC-H data generation (a laptop-scale dbgen).
+
+Generates the eight relations at a given scale factor with a fixed seed —
+identical data on every run, so measurements are comparable across
+sessions.  Columns are generated vectorized and assembled into
+:class:`~repro.storage.struct_array.StructArray` (the §5 row store);
+managed-side object lists decode lazily from the same arrays, so the
+object and native representations are guaranteed to agree.
+
+Distributions follow the TPC-H specification where our queries are
+sensitive to them (key ranges and referential integrity, date windows and
+their correlations, uniform quantities/discounts, the mktsegment and
+return-flag domains); free-text columns are token fillers.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..storage.schema import date_to_days
+from ..storage.struct_array import StructArray
+from .schema import TPCH_SCHEMAS
+
+__all__ = ["TPCHData", "BASE_ROW_COUNTS"]
+
+#: rows per relation at scale factor 1, per the TPC-H spec
+BASE_ROW_COUNTS = {
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+}
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP JAR"]
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan",
+]
+
+_MIN_DATE = datetime.date(1992, 1, 1)
+_MAX_ORDER_DATE = datetime.date(1998, 8, 2)
+_STATUS_SPLIT = datetime.date(1995, 6, 17)
+
+
+def _scaled(base: int, scale: float, minimum: int = 10) -> int:
+    return max(minimum, int(round(base * scale)))
+
+
+def _choice(rng: np.random.Generator, options: List[str], n: int) -> np.ndarray:
+    encoded = np.array([o.encode("utf-8") for o in options])
+    return encoded[rng.integers(0, len(options), n)]
+
+
+def _filler(rng: np.random.Generator, n: int, width: int) -> np.ndarray:
+    """Cheap text filler: 'w<number>' tokens, always within width."""
+    digits = min(12, max(1, width - 2))
+    numbers = rng.integers(0, 10**digits, n)
+    return np.array([f"w{v}".encode("utf-8") for v in numbers], dtype=f"S{width}")
+
+
+class TPCHData:
+    """One deterministic TPC-H dataset, generated on first access.
+
+    ``arrays(name)`` returns the native row store; ``objects(name)`` the
+    managed-side object list decoded from it.  Both are cached.
+    """
+
+    def __init__(self, scale: float = 0.01, seed: int = 42):
+        if scale <= 0:
+            raise ValueError("scale factor must be positive")
+        self.scale = scale
+        self.seed = seed
+        self._arrays: Dict[str, StructArray] = {}
+        self._objects: Dict[str, List[Any]] = {}
+
+    # -- public access -----------------------------------------------------------
+
+    def arrays(self, name: str) -> StructArray:
+        if name not in self._arrays:
+            self._generate(name)
+        return self._arrays[name]
+
+    def objects(self, name: str) -> List[Any]:
+        if name not in self._objects:
+            self._objects[name] = self.arrays(name).to_objects()
+        return self._objects[name]
+
+    def row_count(self, name: str) -> int:
+        return len(self.arrays(name))
+
+    # -- generation ------------------------------------------------------------
+
+    def _rng(self, name: str) -> np.random.Generator:
+        import zlib
+
+        # crc32, not hash(): str hashes are salted per process and would
+        # break the generate-identical-data-every-run guarantee
+        return np.random.default_rng([self.seed, zlib.crc32(name.encode())])
+
+    def _store(self, name: str, columns: Dict[str, np.ndarray]) -> None:
+        self._arrays[name] = StructArray.from_columns(TPCH_SCHEMAS[name], columns)
+
+    def _generate(self, name: str) -> None:
+        generator = getattr(self, f"_gen_{name}")
+        generator()
+
+    def _gen_region(self) -> None:
+        n = len(REGIONS)
+        rng = self._rng("region")
+        self._store(
+            "region",
+            {
+                "r_regionkey": np.arange(n, dtype=np.int64),
+                "r_name": np.array([r.encode() for r in REGIONS]),
+                "r_comment": _filler(rng, n, 20),
+            },
+        )
+
+    def _gen_nation(self) -> None:
+        n = len(NATIONS)
+        rng = self._rng("nation")
+        self._store(
+            "nation",
+            {
+                "n_nationkey": np.arange(n, dtype=np.int64),
+                "n_name": np.array([name.encode() for name, _ in NATIONS]),
+                "n_regionkey": np.array([r for _, r in NATIONS], dtype=np.int64),
+                "n_comment": _filler(rng, n, 20),
+            },
+        )
+
+    def _gen_supplier(self) -> None:
+        n = _scaled(BASE_ROW_COUNTS["supplier"], self.scale)
+        rng = self._rng("supplier")
+        keys = np.arange(1, n + 1, dtype=np.int64)
+        self._store(
+            "supplier",
+            {
+                "s_suppkey": keys,
+                "s_name": np.array([f"Supplier#{k:09d}".encode() for k in keys]),
+                "s_address": _filler(rng, n, 24),
+                "s_nationkey": rng.integers(0, len(NATIONS), n),
+                "s_phone": _filler(rng, n, 15),
+                "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n), 2),
+                "s_comment": _filler(rng, n, 24),
+            },
+        )
+
+    def _gen_customer(self) -> None:
+        n = _scaled(BASE_ROW_COUNTS["customer"], self.scale)
+        rng = self._rng("customer")
+        keys = np.arange(1, n + 1, dtype=np.int64)
+        self._store(
+            "customer",
+            {
+                "c_custkey": keys,
+                "c_name": np.array([f"Customer#{k:09d}".encode() for k in keys]),
+                "c_address": _filler(rng, n, 24),
+                "c_nationkey": rng.integers(0, len(NATIONS), n),
+                "c_phone": _filler(rng, n, 15),
+                "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n), 2),
+                "c_mktsegment": _choice(rng, SEGMENTS, n),
+                "c_comment": _filler(rng, n, 24),
+            },
+        )
+
+    def _gen_part(self) -> None:
+        n = _scaled(BASE_ROW_COUNTS["part"], self.scale)
+        rng = self._rng("part")
+        keys = np.arange(1, n + 1, dtype=np.int64)
+        s1 = rng.integers(0, len(TYPE_SYLL1), n)
+        s2 = rng.integers(0, len(TYPE_SYLL2), n)
+        s3 = rng.integers(0, len(TYPE_SYLL3), n)
+        types = np.array(
+            [
+                f"{TYPE_SYLL1[a]} {TYPE_SYLL2[b]} {TYPE_SYLL3[c]}".encode()
+                for a, b, c in zip(s1, s2, s3)
+            ]
+        )
+        w1 = rng.integers(0, len(NAME_WORDS), n)
+        w2 = rng.integers(0, len(NAME_WORDS), n)
+        names = np.array(
+            [f"{NAME_WORDS[a]} {NAME_WORDS[b]}".encode() for a, b in zip(w1, w2)]
+        )
+        mfgr = rng.integers(1, 6, n)
+        brand = rng.integers(1, 6, n)
+        self._store(
+            "part",
+            {
+                "p_partkey": keys,
+                "p_name": names,
+                "p_mfgr": np.array([f"Manufacturer#{m}".encode() for m in mfgr]),
+                "p_brand": np.array(
+                    [f"Brand#{m}{b}".encode() for m, b in zip(mfgr, brand)]
+                ),
+                "p_type": types,
+                "p_size": rng.integers(1, 51, n),
+                "p_container": _choice(rng, CONTAINERS, n),
+                "p_retailprice": np.round(
+                    900 + (keys % 1000) / 10 + 100 * (keys % 10), 2
+                ).astype(np.float64),
+                "p_comment": _filler(rng, n, 14),
+            },
+        )
+
+    def _gen_partsupp(self) -> None:
+        parts = self.row_count("part")
+        suppliers = self.row_count("supplier")
+        rng = self._rng("partsupp")
+        per_part = 4  # spec: 4 suppliers per part
+        part_keys = np.repeat(np.arange(1, parts + 1, dtype=np.int64), per_part)
+        n = len(part_keys)
+        # spread suppliers so the same (part, supplier) pair never repeats
+        offsets = np.tile(np.arange(per_part, dtype=np.int64), parts)
+        supp_keys = (part_keys + offsets * (suppliers // per_part + 1)) % suppliers + 1
+        self._store(
+            "partsupp",
+            {
+                "ps_partkey": part_keys,
+                "ps_suppkey": supp_keys,
+                "ps_availqty": rng.integers(1, 10_000, n),
+                "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, n), 2),
+                "ps_comment": _filler(rng, n, 20),
+            },
+        )
+
+    def _gen_orders(self) -> None:
+        n = _scaled(BASE_ROW_COUNTS["orders"], self.scale)
+        customers = self.row_count("customer")
+        rng = self._rng("orders")
+        keys = np.arange(1, n + 1, dtype=np.int64)
+        date_lo = date_to_days(_MIN_DATE)
+        date_hi = date_to_days(_MAX_ORDER_DATE)
+        order_days = rng.integers(date_lo, date_hi + 1, n)
+        split = date_to_days(_STATUS_SPLIT)
+        status = np.where(order_days < split, b"F", b"O")
+        self._store(
+            "orders",
+            {
+                "o_orderkey": keys,
+                "o_custkey": rng.integers(1, customers + 1, n),
+                "o_orderstatus": status.astype("S1"),
+                "o_totalprice": np.round(rng.uniform(1000.0, 500_000.0, n), 2),
+                "o_orderdate": order_days.astype(np.int32),
+                "o_orderpriority": _choice(rng, PRIORITIES, n),
+                "o_clerk": _filler(rng, n, 15),
+                "o_shippriority": np.zeros(n, dtype=np.int64),
+                "o_comment": _filler(rng, n, 24),
+            },
+        )
+
+    def _gen_lineitem(self) -> None:
+        orders = self.arrays("orders")
+        parts = self.row_count("part")
+        suppliers = self.row_count("supplier")
+        rng = self._rng("lineitem")
+        lines_per_order = rng.integers(1, 8, len(orders))
+        order_keys = np.repeat(orders.column("o_orderkey"), lines_per_order)
+        order_days = np.repeat(orders.column("o_orderdate"), lines_per_order)
+        n = len(order_keys)
+        line_numbers = np.concatenate(
+            [np.arange(1, c + 1) for c in lines_per_order]
+        ).astype(np.int64)
+        quantity = rng.integers(1, 51, n).astype(np.float64)
+        retail = 900 + rng.integers(0, 2001, n) / 10
+        extended = np.round(quantity * retail, 2)
+        ship_days = order_days + rng.integers(1, 122, n)
+        commit_days = order_days + rng.integers(30, 91, n)
+        receipt_days = ship_days + rng.integers(1, 31, n)
+        split = date_to_days(_STATUS_SPLIT)
+        linestatus = np.where(ship_days > split, b"O", b"F").astype("S1")
+        returnflag = np.where(
+            receipt_days <= split,
+            np.where(rng.random(n) < 0.5, b"R", b"A"),
+            b"N",
+        ).astype("S1")
+        self._store(
+            "lineitem",
+            {
+                "l_orderkey": order_keys,
+                "l_partkey": rng.integers(1, parts + 1, n),
+                "l_suppkey": rng.integers(1, suppliers + 1, n),
+                "l_linenumber": line_numbers,
+                "l_quantity": quantity,
+                "l_extendedprice": extended,
+                "l_discount": np.round(rng.integers(0, 11, n) / 100.0, 2),
+                "l_tax": np.round(rng.integers(0, 9, n) / 100.0, 2),
+                "l_returnflag": returnflag,
+                "l_linestatus": linestatus,
+                "l_shipdate": ship_days.astype(np.int32),
+                "l_commitdate": commit_days.astype(np.int32),
+                "l_receiptdate": receipt_days.astype(np.int32),
+                "l_shipinstruct": _choice(rng, SHIP_INSTRUCT, n),
+                "l_shipmode": _choice(rng, SHIP_MODES, n),
+                "l_comment": _filler(rng, n, 20),
+            },
+        )

@@ -1,0 +1,152 @@
+"""Straightforward-Python reference results for the TPC-H queries.
+
+Hand-written, engine-free computations used by the test suite to validate
+every execution strategy.  Deliberately boring: plain loops and dicts.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import defaultdict
+from typing import Any, Dict, List, Tuple
+
+from .datagen import TPCHData
+from .queries import Q1_DEFAULTS, Q2_DEFAULTS, Q3_DEFAULTS
+
+__all__ = ["reference_q1", "reference_q2", "reference_q3", "reference_join_micro"]
+
+
+def reference_q1(data: TPCHData, cutoff: datetime.date = None) -> List[Tuple]:
+    """(rf, ls, sum_qty, sum_base, sum_disc, sum_charge, avg_qty, avg_price,
+    avg_disc, count) rows ordered by (rf, ls)."""
+    cutoff = cutoff or Q1_DEFAULTS["cutoff"]
+    groups: Dict[Tuple[str, str], List[float]] = {}
+    for l in data.objects("lineitem"):
+        if l.l_shipdate > cutoff:
+            continue
+        key = (l.l_returnflag, l.l_linestatus)
+        slots = groups.get(key)
+        if slots is None:
+            slots = groups[key] = [0.0, 0.0, 0.0, 0.0, 0.0, 0]
+        disc_price = l.l_extendedprice * (1 - l.l_discount)
+        slots[0] += l.l_quantity
+        slots[1] += l.l_extendedprice
+        slots[2] += disc_price
+        slots[3] += disc_price * (1 + l.l_tax)
+        slots[4] += l.l_discount
+        slots[5] += 1
+    rows = []
+    for (rf, ls), s in sorted(groups.items()):
+        count = s[5]
+        rows.append(
+            (rf, ls, s[0], s[1], s[2], s[3], s[0] / count, s[1] / count, s[4] / count, count)
+        )
+    return rows
+
+
+def reference_q2(
+    data: TPCHData,
+    size: int = None,
+    type_suffix: str = None,
+    region: str = None,
+) -> List[Tuple]:
+    """(s_acctbal, s_name, n_name, p_partkey, p_mfgr) top-100 rows."""
+    size = size if size is not None else Q2_DEFAULTS["size"]
+    type_suffix = type_suffix or Q2_DEFAULTS["type_suffix"]
+    region = region or Q2_DEFAULTS["region"]
+
+    region_keys = {
+        r.r_regionkey for r in data.objects("region") if r.r_name == region
+    }
+    nations = {
+        n.n_nationkey: n.n_name
+        for n in data.objects("nation")
+        if n.n_regionkey in region_keys
+    }
+    suppliers = {
+        s.s_suppkey: s
+        for s in data.objects("supplier")
+        if s.s_nationkey in nations
+    }
+    costs_by_part: Dict[int, List] = defaultdict(list)
+    for ps in data.objects("partsupp"):
+        supplier = suppliers.get(ps.ps_suppkey)
+        if supplier is not None:
+            costs_by_part[ps.ps_partkey].append((ps.ps_supplycost, supplier))
+    rows = []
+    for p in data.objects("part"):
+        if p.p_size != size or not p.p_type.endswith(type_suffix):
+            continue
+        offers = costs_by_part.get(p.p_partkey)
+        if not offers:
+            continue
+        min_cost = min(cost for cost, _ in offers)
+        for cost, supplier in offers:
+            if cost == min_cost:
+                rows.append(
+                    (
+                        supplier.s_acctbal,
+                        supplier.s_name,
+                        nations[supplier.s_nationkey],
+                        p.p_partkey,
+                        p.p_mfgr,
+                    )
+                )
+    rows.sort(key=lambda r: (-r[0], r[2], r[1], r[3]))
+    return rows[:100]
+
+
+def reference_q3(
+    data: TPCHData,
+    segment: str = None,
+    date: datetime.date = None,
+) -> List[Tuple]:
+    """(l_orderkey, revenue, o_orderdate, o_shippriority) top-10 rows."""
+    segment = segment or Q3_DEFAULTS["segment"]
+    date = date or Q3_DEFAULTS["date"]
+
+    building = {
+        c.c_custkey for c in data.objects("customer") if c.c_mktsegment == segment
+    }
+    open_orders = {
+        o.o_orderkey: o
+        for o in data.objects("orders")
+        if o.o_orderdate < date and o.o_custkey in building
+    }
+    revenue: Dict[int, float] = defaultdict(float)
+    for l in data.objects("lineitem"):
+        if l.l_shipdate > date and l.l_orderkey in open_orders:
+            revenue[l.l_orderkey] += l.l_extendedprice * (1 - l.l_discount)
+    rows = [
+        (key, rev, open_orders[key].o_orderdate, open_orders[key].o_shippriority)
+        for key, rev in revenue.items()
+    ]
+    rows.sort(key=lambda r: (-r[1], r[2]))
+    return rows[:10]
+
+
+def reference_join_micro(
+    data: TPCHData,
+    selectivity: float,
+    segment: str = "BUILDING",
+) -> int:
+    """Row count of the Figure-11 join sub-query at *selectivity*."""
+    qmax = 50.0 * selectivity
+    date_lo = datetime.date(1992, 1, 1)
+    date_hi = datetime.date(1998, 8, 2)
+    cutoff = date_lo + datetime.timedelta(
+        days=int((date_hi - date_lo).days * selectivity)
+    )
+    building = {
+        c.c_custkey for c in data.objects("customer") if c.c_mktsegment == segment
+    }
+    open_orders = {
+        o.o_orderkey
+        for o in data.objects("orders")
+        if o.o_orderdate < cutoff and o.o_custkey in building
+    }
+    return sum(
+        1
+        for l in data.objects("lineitem")
+        if l.l_quantity <= qmax and l.l_orderkey in open_orders
+    )

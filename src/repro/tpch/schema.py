@@ -1,0 +1,143 @@
+"""TPC-H relation schemas.
+
+The eight relations of the TPC-H benchmark, §7's workload ("All queries
+are run over a ... TPC-H dataset loaded into the memory space of the
+application").  One :class:`~repro.storage.schema.Schema` per relation
+serves both worlds: ``record_type()`` gives the managed-side element class
+(value-semantics named tuples, like the paper's C# records), and
+``numpy_dtype()`` gives the §5 array-of-structs layout.
+
+String widths follow the TPC-H spec, trimmed where our queries never read
+the column (comments) to keep the in-memory footprint proportionate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..storage.schema import Field, Schema
+
+__all__ = ["TPCH_SCHEMAS", "RELATION_NAMES"]
+
+
+REGION = Schema(
+    [
+        Field("r_regionkey", "int"),
+        Field("r_name", "str", 12),
+        Field("r_comment", "str", 20),
+    ],
+    name="Region",
+)
+
+NATION = Schema(
+    [
+        Field("n_nationkey", "int"),
+        Field("n_name", "str", 16),
+        Field("n_regionkey", "int"),
+        Field("n_comment", "str", 20),
+    ],
+    name="Nation",
+)
+
+SUPPLIER = Schema(
+    [
+        Field("s_suppkey", "int"),
+        Field("s_name", "str", 18),
+        Field("s_address", "str", 24),
+        Field("s_nationkey", "int"),
+        Field("s_phone", "str", 15),
+        Field("s_acctbal", "float"),
+        Field("s_comment", "str", 24),
+    ],
+    name="Supplier",
+)
+
+CUSTOMER = Schema(
+    [
+        Field("c_custkey", "int"),
+        Field("c_name", "str", 18),
+        Field("c_address", "str", 24),
+        Field("c_nationkey", "int"),
+        Field("c_phone", "str", 15),
+        Field("c_acctbal", "float"),
+        Field("c_mktsegment", "str", 10),
+        Field("c_comment", "str", 24),
+    ],
+    name="Customer",
+)
+
+PART = Schema(
+    [
+        Field("p_partkey", "int"),
+        Field("p_name", "str", 36),
+        Field("p_mfgr", "str", 25),
+        Field("p_brand", "str", 10),
+        Field("p_type", "str", 25),
+        Field("p_size", "int"),
+        Field("p_container", "str", 10),
+        Field("p_retailprice", "float"),
+        Field("p_comment", "str", 14),
+    ],
+    name="Part",
+)
+
+PARTSUPP = Schema(
+    [
+        Field("ps_partkey", "int"),
+        Field("ps_suppkey", "int"),
+        Field("ps_availqty", "int"),
+        Field("ps_supplycost", "float"),
+        Field("ps_comment", "str", 20),
+    ],
+    name="Partsupp",
+)
+
+ORDERS = Schema(
+    [
+        Field("o_orderkey", "int"),
+        Field("o_custkey", "int"),
+        Field("o_orderstatus", "str", 1),
+        Field("o_totalprice", "float"),
+        Field("o_orderdate", "date"),
+        Field("o_orderpriority", "str", 15),
+        Field("o_clerk", "str", 15),
+        Field("o_shippriority", "int"),
+        Field("o_comment", "str", 24),
+    ],
+    name="Orders",
+)
+
+LINEITEM = Schema(
+    [
+        Field("l_orderkey", "int"),
+        Field("l_partkey", "int"),
+        Field("l_suppkey", "int"),
+        Field("l_linenumber", "int"),
+        Field("l_quantity", "float"),
+        Field("l_extendedprice", "float"),
+        Field("l_discount", "float"),
+        Field("l_tax", "float"),
+        Field("l_returnflag", "str", 1),
+        Field("l_linestatus", "str", 1),
+        Field("l_shipdate", "date"),
+        Field("l_commitdate", "date"),
+        Field("l_receiptdate", "date"),
+        Field("l_shipinstruct", "str", 17),
+        Field("l_shipmode", "str", 10),
+        Field("l_comment", "str", 20),
+    ],
+    name="Lineitem",
+)
+
+TPCH_SCHEMAS: Dict[str, Schema] = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+RELATION_NAMES = tuple(TPCH_SCHEMAS)

@@ -1,0 +1,153 @@
+"""Tests for clustering (§9) and declared object schemas."""
+
+import datetime
+from types import SimpleNamespace
+
+import pytest
+
+from repro import P
+from repro.query import QueryProvider, from_iterable, from_struct_array
+from repro.storage import Field, Schema, StructArray
+
+ROW = Schema([Field("k", "int"), Field("v", "float")], name="Row")
+
+
+def make_array(n=2000):
+    return StructArray.from_rows(ROW, [((i * 37) % 100, float(i)) for i in range(n)])
+
+
+class TestClusterBy:
+    def test_physically_sorted_copy(self):
+        array = make_array(50)
+        clustered = array.cluster_by("k")
+        keys = list(clustered.column("k"))
+        assert keys == sorted(keys)
+        assert clustered.clustering == "k"
+        assert array.clustering is None  # original untouched
+        assert len(array) == len(clustered)
+
+    def test_unknown_field_rejected(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            make_array(5).cluster_by("zzz")
+
+    @pytest.mark.parametrize(
+        "predicate, pyop",
+        [
+            (lambda s: s.k < P("t"), lambda k, t: k < t),
+            (lambda s: s.k <= P("t"), lambda k, t: k <= t),
+            (lambda s: s.k > P("t"), lambda k, t: k > t),
+            (lambda s: s.k >= P("t"), lambda k, t: k >= t),
+            (lambda s: s.k == P("t"), lambda k, t: k == t),
+        ],
+    )
+    def test_range_results_match_unclustered(self, predicate, pyop):
+        array = make_array()
+        clustered = array.cluster_by("k")
+        provider = QueryProvider()
+        threshold = 42
+
+        def run(source):
+            return (
+                from_struct_array(source)
+                .using("native", provider)
+                .where(predicate)
+                .with_params(t=threshold)
+                .sum(lambda s: s.v)
+            )
+
+        assert run(array) == pytest.approx(run(clustered))
+        expected = sum(
+            float(i) for i in range(2000) if pyop((i * 37) % 100, threshold)
+        )
+        assert run(clustered) == pytest.approx(expected)
+
+    def test_generated_code_uses_searchsorted(self):
+        clustered = make_array().cluster_by("k")
+        provider = QueryProvider()
+        query = (
+            from_struct_array(clustered)
+            .using("native", provider)
+            .where(lambda s: s.k < P("t"))
+        )
+        info = provider.compile_info(query.expr, [clustered], "native")
+        assert "searchsorted" in info.source_code
+
+    def test_residual_conjunct_still_applied(self):
+        clustered = make_array().cluster_by("k")
+        count = (
+            from_struct_array(clustered)
+            .where(lambda s: (s.k < P("t")) & (s.v > 500.0))
+            .with_params(t=50)
+            .count()
+        )
+        expected = sum(
+            1 for i in range(2000) if (i * 37) % 100 < 50 and float(i) > 500.0
+        )
+        assert count == expected
+
+    def test_clustering_changes_cache_key(self):
+        array = make_array()
+        provider = QueryProvider()
+
+        def compile_for(source):
+            query = (
+                from_struct_array(source)
+                .using("native", provider)
+                .where(lambda s: s.k < P("t"))
+            )
+            return provider.compile_info(query.expr, [source], "native")
+
+        plain = compile_for(array)
+        clustered = compile_for(array.cluster_by("k"))
+        assert "searchsorted" not in plain.source_code
+        assert "searchsorted" in clustered.source_code
+
+    def test_clustered_dates(self):
+        schema = Schema([Field("d", "date"), Field("v", "int")], name="D")
+        rows = [
+            (datetime.date(1995, 1, 1) + datetime.timedelta(days=(i * 13) % 300), i)
+            for i in range(500)
+        ]
+        array = StructArray.from_rows(schema, rows).cluster_by("d")
+        cutoff = datetime.date(1995, 5, 1)
+        count = (
+            from_struct_array(array)
+            .where(lambda s: s.d <= P("c"))
+            .with_params(c=cutoff)
+            .count()
+        )
+        expected = sum(1 for d, _ in rows if d <= cutoff)
+        assert count == expected
+
+
+class TestDeclaredSchemas:
+    def _schema(self):
+        return Schema(
+            [Field("name", "str", 4), Field("v", "float")], name="Declared"
+        )
+
+    def test_from_iterable_uses_declared_schema(self):
+        schema = self._schema()
+        # sampling would under-size this field: first elements are short,
+        # a late one is long — the declared width covers it
+        items = [SimpleNamespace(name="a", v=1.0) for _ in range(1500)]
+        items.append(SimpleNamespace(name="abcd", v=2.0))
+        query = from_iterable(items, schema=schema).using("hybrid").sum(
+            lambda s: s.v
+        )
+        assert query == pytest.approx(1500 * 1.0 + 2.0)
+
+    def test_declared_schema_sets_token(self):
+        schema = self._schema()
+        q = from_iterable([SimpleNamespace(name="a", v=1.0)], schema=schema)
+        assert q.expr.schema_token == schema.token
+
+    def test_qlist_carries_schema(self):
+        from repro.query import QList
+
+        schema = self._schema()
+        ql = QList([SimpleNamespace(name="a", v=2.0)], schema=schema)
+        assert ql.schema is schema
+        assert ql.as_query("hybrid").sum(lambda s: s.v) == pytest.approx(2.0)

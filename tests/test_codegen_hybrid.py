@@ -1,0 +1,349 @@
+"""Unit tests for the §6 backend: staging split, mappings, hybrid codegen."""
+
+import datetime
+from types import SimpleNamespace
+
+import pytest
+
+from repro.codegen.hybrid_backend import HybridBackend, _enc_str, _find_stream_target
+from repro.codegen.mapping import (
+    StagedSource,
+    infer_object_schema,
+    source_field_usage,
+    split_staging,
+    staged_schema_for,
+)
+from repro.errors import SchemaError, UnsupportedQueryError
+from repro.expressions import Var, new, trace_lambda
+from repro.plans import (
+    AggregateSpec,
+    Filter,
+    GroupAggregate,
+    Join,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+)
+from repro.storage import Field, Schema, StructArray
+
+
+def item(**kw):
+    return SimpleNamespace(**kw)
+
+
+SCAN = Scan(0, "T")
+
+
+class TestSchemaInference:
+    def test_basic_kinds(self):
+        items = [item(a=1, b=2.5, c="hello", d=True, e=datetime.date(2020, 1, 1))]
+        schema = infer_object_schema(items)
+        kinds = {f.name: f.kind for f in schema.fields}
+        assert kinds == {"a": "int", "b": "float", "c": "str", "d": "bool", "e": "date"}
+
+    def test_string_width_sampled_with_margin(self):
+        items = [item(s="ab"), item(s="abcdefgh")]
+        schema = infer_object_schema(items, {"s"})
+        assert schema["s"].size >= 16  # max sampled width × 2
+
+    def test_int_promotes_to_float_when_mixed(self):
+        items = [item(x=1), item(x=2.5)]
+        schema = infer_object_schema(items, {"x"})
+        assert schema["x"].kind == "float"
+
+    def test_restricted_fields(self):
+        items = [item(a=1, b="x")]
+        schema = infer_object_schema(items, {"a"})
+        assert schema.field_names == ("a",)
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(SchemaError, match="lacks attribute"):
+            infer_object_schema([item(a=1)], {"zz"})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SchemaError, match="no flat native representation"):
+            infer_object_schema([item(a=[1, 2])], {"a"})
+
+    def test_empty_with_fields_gets_placeholder(self):
+        schema = infer_object_schema([], {"x", "y"})
+        assert schema.field_names == ("x", "y")
+
+    def test_empty_without_fields_raises(self):
+        with pytest.raises(SchemaError, match="empty collection"):
+            infer_object_schema([])
+
+    def test_namedtuple_attributes(self):
+        from collections import namedtuple
+
+        T = namedtuple("T", ["a", "b"])
+        schema = infer_object_schema([T(1, "x")])
+        assert set(schema.field_names) == {"a", "b"}
+
+
+class TestSourceFieldUsage:
+    def test_project_narrows(self):
+        plan = Project(SCAN, trace_lambda(lambda s: s.a + s.b))
+        assert source_field_usage(plan) == {0: {"a", "b"}}
+
+    def test_filter_adds_predicate_fields(self):
+        plan = Project(
+            Filter(SCAN, trace_lambda(lambda s: s.c > 1)),
+            trace_lambda(lambda s: s.a),
+        )
+        assert source_field_usage(plan)[0] == {"a", "c"}
+
+    def test_join_separates_sides(self):
+        plan = Join(
+            Scan(0, "L"),
+            Scan(1, "R"),
+            trace_lambda(lambda l: l.lk),
+            trace_lambda(lambda r: r.rk),
+            trace_lambda(lambda l, r: new(x=l.a, y=r.b)),
+        )
+        usage = source_field_usage(plan)
+        assert usage[0] == {"lk", "a"}
+        assert usage[1] == {"rk", "b"}
+
+    def test_whole_element_use_is_none(self):
+        plan = Project(SCAN, trace_lambda(lambda s: s))
+        assert source_field_usage(plan)[0] is None
+
+    def test_aggregates_contribute(self):
+        plan = ScalarAggregate(
+            SCAN,
+            (AggregateSpec("sum", trace_lambda(lambda s: s.v * s.w)),),
+            Var("__agg0"),
+        )
+        assert source_field_usage(plan)[0] == {"v", "w"}
+
+
+class TestSplitStaging:
+    def test_scan_adjacent_filters_peel(self):
+        plan = ScalarAggregate(
+            Filter(SCAN, trace_lambda(lambda s: s.a > 1)),
+            (AggregateSpec("sum", trace_lambda(lambda s: s.v)),),
+            Var("__agg0"),
+        )
+        stripped, staged = split_staging(plan)
+        assert isinstance(stripped.child, Scan)
+        assert len(staged[0].predicates) == 1
+        # predicate fields dropped from staging: only the aggregate's field
+        assert staged[0].fields == ("v",)
+
+    def test_non_adjacent_filter_stays(self):
+        plan = Filter(
+            Project(SCAN, trace_lambda(lambda s: new(x=s.a))),
+            trace_lambda(lambda r: r.x > 1),
+        )
+        stripped, staged = split_staging(plan)
+        assert isinstance(stripped, Filter)
+        assert staged[0].predicates == ()
+
+    def test_whole_element_beyond_boundary_rejected(self):
+        plan = Project(SCAN, trace_lambda(lambda s: s))
+        with pytest.raises(UnsupportedQueryError, match="whole elements"):
+            split_staging(plan)
+
+    def test_staged_schema_from_struct_array(self):
+        schema = Schema([Field("a", "int"), Field("b", "float")], name="T")
+        array = StructArray.from_rows(schema, [(1, 2.0)])
+        spec = StagedSource(0, (), ("b",))
+        staged = staged_schema_for(array, spec)
+        assert staged.field_names == ("b",)
+
+    def test_staged_schema_missing_field(self):
+        schema = Schema([Field("a", "int")], name="T")
+        array = StructArray.from_rows(schema, [(1,)])
+        spec = StagedSource(0, (), ("zz",))
+        with pytest.raises(SchemaError, match="lacks staged fields"):
+            staged_schema_for(array, spec)
+
+
+class TestStreamTarget:
+    def _staged(self, *ordinals):
+        return {
+            o: StagedSource(o, (), ("v",), schema=None) for o in ordinals
+        }
+
+    def test_scalar_aggregate_over_scan_streams(self):
+        plan = ScalarAggregate(
+            SCAN, (AggregateSpec("sum", trace_lambda(lambda s: s.v)),), Var("__agg0")
+        )
+        node, ordinal = _find_stream_target(plan, self._staged(0))
+        assert node is plan and ordinal == 0
+
+    def test_join_probe_side_streams(self):
+        plan = Join(
+            Scan(0, "L"),
+            Scan(1, "R"),
+            trace_lambda(lambda l: l.k),
+            trace_lambda(lambda r: r.k),
+            trace_lambda(lambda l, r: new(a=l.v, b=r.v)),
+        )
+        node, ordinal = _find_stream_target(plan, self._staged(0, 1))
+        assert node is plan and ordinal == 0  # the probe (left) side
+
+    def test_sort_cannot_stream(self):
+        plan = Sort(SCAN, (trace_lambda(lambda s: s.v),), (False,))
+        node, ordinal = _find_stream_target(plan, self._staged(0))
+        assert node is None and ordinal is None
+
+    def test_self_join_does_not_stream(self):
+        plan = Join(
+            Scan(0, "T"),
+            Scan(0, "T"),
+            trace_lambda(lambda l: l.k),
+            trace_lambda(lambda r: r.k),
+            trace_lambda(lambda l, r: new(a=l.v, b=r.v)),
+        )
+        node, _ = _find_stream_target(plan, self._staged(0))
+        assert node is None
+
+
+class TestStagingSafety:
+    def test_enc_str_rejects_overflow(self):
+        assert _enc_str("abc", 8) == b"abc"
+        with pytest.raises(SchemaError, match="exceeds the staged width"):
+            _enc_str("a" * 99, 8)
+
+    def test_string_growth_beyond_sample_raises_not_truncates(self):
+        # first 1000 elements short; a later element overflows the sampled
+        # width — staging must fail loudly, never corrupt data
+        items = [item(s="ab", v=1.0) for _ in range(1000)]
+        items.append(item(s="x" * 200, v=2.0))
+        from repro.query import from_iterable
+
+        query = (
+            from_iterable(items, token="t:grow")
+            .using("hybrid")
+            .group_by(lambda i: i.s, lambda g: new(s=g.key, t=g.sum(lambda i: i.v)))
+        )
+        with pytest.raises(SchemaError, match="exceeds the staged width"):
+            query.to_list()
+
+
+class TestHybridBackendNames:
+    @pytest.mark.parametrize(
+        "buffered, minimal, expected",
+        [
+            (False, False, "hybrid"),
+            (True, False, "hybrid_buffered"),
+            (False, True, "hybrid_min"),
+            (True, True, "hybrid_min_buffered"),
+        ],
+    )
+    def test_engine_names(self, buffered, minimal, expected):
+        assert HybridBackend(buffered=buffered, minimal=minimal).name == expected
+
+
+class TestBufferedFallback:
+    def test_sort_falls_back_to_full_staging(self):
+        """Buffering is inapplicable to sorting (quicksort requires full
+        arrays — §7.2); the buffered engine silently uses full staging."""
+        items = [item(k=i % 3, v=float(i)) for i in range(50)]
+        from repro.query import from_iterable
+
+        q = (
+            from_iterable(items, token="t:sortbuf")
+            .using("hybrid_buffered")
+            .group_by(lambda i: i.k, lambda g: new(k=g.key, t=g.sum(lambda i: i.v)))
+            .order_by(lambda r: r.k)
+        )
+        rows = q.to_list()
+        assert [r.k for r in rows] == [0, 1, 2]
+
+    def test_page_size_controls_flush_count(self):
+        from repro.plans import translate, optimize
+        from repro.expressions.nodes import QueryOp, SourceExpr
+
+        items = [item(k=1, v=float(i)) for i in range(100)]
+        expr = QueryOp(
+            "sum", SourceExpr(0, "t:page"), (trace_lambda(lambda s: s.v),)
+        )
+        plan = optimize(translate(expr))
+        small = HybridBackend(buffered=True, page_bytes=64)
+        compiled = small.compile(plan, [items])
+        assert compiled.execute([items], {}) == pytest.approx(sum(range(100)))
+        # the capacity constant derived from the page size appears in code
+        assert ">= 8" in compiled.source_code  # 64B / 8B float rows
+
+
+class TestMinVariantShapes:
+    def _items(self, n=60):
+        from types import SimpleNamespace
+
+        return [
+            SimpleNamespace(a=i % 4, b=float(n - i), name=f"x{i % 5}")
+            for i in range(n)
+        ]
+
+    def test_multi_key_sort_min(self):
+        from repro.query import from_iterable
+
+        items = self._items()
+        expected = sorted(items, key=lambda s: (s.a, -s.b))
+        got = (
+            from_iterable(items, token="min:multi")
+            .using("hybrid_min")
+            .order_by(lambda s: s.a)
+            .then_by_desc(lambda s: s.b)
+            .to_list()
+        )
+        assert [(r.a, r.b) for r in got] == [(r.a, r.b) for r in expected]
+
+    def test_min_sort_yields_original_objects(self):
+        from repro.query import from_iterable
+
+        items = self._items(10)
+        got = (
+            from_iterable(items, token="min:ident")
+            .using("hybrid_min")
+            .order_by(lambda s: s.b)
+            .to_list()
+        )
+        assert all(any(r is original for original in items) for r in got)
+
+    def test_min_topn_with_projection(self):
+        from repro.query import from_iterable
+
+        items = self._items()
+        got = (
+            from_iterable(items, token="min:topn")
+            .using("hybrid_min")
+            .order_by_desc(lambda s: s.b)
+            .take(3)
+            .select(lambda s: s.b)
+            .to_list()
+        )
+        assert got == sorted((s.b for s in items), reverse=True)[:3]
+
+    def test_min_three_way_join(self):
+        from types import SimpleNamespace
+
+        from repro.query import from_iterable
+
+        a = [SimpleNamespace(k=i % 3, tag=i) for i in range(9)]
+        b = [SimpleNamespace(k=i, label=f"b{i}") for i in range(3)]
+        c = [SimpleNamespace(k=i, extra=i * 10) for i in range(3)]
+        inner = from_iterable(b, token="min:b").join(
+            from_iterable(c, token="min:c"),
+            lambda x: x.k,
+            lambda y: y.k,
+            lambda x, y: new(k=x.k, label=x.label, extra=y.extra),
+        )
+        query = (
+            from_iterable(a, token="min:a")
+            .using("hybrid_min")
+            .join(
+                inner,
+                lambda x: x.k,
+                lambda y: y.k,
+                lambda x, y: new(tag=x.tag, label=y.label, extra=y.extra),
+            )
+        )
+        rows = query.to_list()
+        assert len(rows) == 9
+        assert {(r.tag, r.label) for r in rows} == {
+            (i, f"b{i % 3}") for i in range(9)
+        }

@@ -1,0 +1,257 @@
+"""Unit tests for the §5 backend: generated vectorized NumPy code."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.codegen.native_backend import (
+    NativeBackend,
+    _preserves_rows,
+    schema_for_sources,
+)
+from repro.errors import UnsupportedQueryError
+from repro.expressions import Constant, Var, new, trace_lambda
+from repro.plans import (
+    AggregateSpec,
+    Distinct,
+    Filter,
+    GroupAggregate,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+)
+from repro.runtime.vectorized import RowView
+from repro.storage import Field, Schema, StructArray
+
+ITEM = Schema(
+    [
+        Field("k", "int"),
+        Field("name", "str", 8),
+        Field("v", "float"),
+        Field("d", "date"),
+    ],
+    name="Item",
+)
+
+
+def make_array(rows):
+    return StructArray.from_rows(ITEM, rows)
+
+
+@pytest.fixture()
+def items():
+    return make_array(
+        [
+            (1, "aa", 1.5, datetime.date(1995, 1, 1)),
+            (2, "bb", 2.5, datetime.date(1996, 1, 1)),
+            (1, "cc", 3.5, datetime.date(1997, 1, 1)),
+            (3, "ab", 4.5, datetime.date(1998, 1, 1)),
+        ]
+    )
+
+
+def run(plan, *sources, params=None):
+    compiled = NativeBackend().compile(plan, list(sources))
+    result = compiled.execute(list(sources), params or {})
+    return result if compiled.scalar else list(result)
+
+
+SCAN = Scan(0, ITEM.token)
+
+
+class TestSourceValidation:
+    def test_rejects_object_lists(self):
+        with pytest.raises(UnsupportedQueryError, match="StructArray"):
+            schema_for_sources([[1, 2, 3]])
+
+    def test_accepts_struct_arrays(self, items):
+        (schema,) = schema_for_sources([items])
+        assert schema is ITEM
+
+
+class TestVectorizedExecution:
+    def test_filter_on_string(self, items):
+        plan = Filter(SCAN, trace_lambda(lambda s: s.name == "aa"))
+        rows = run(plan, items)
+        assert [r.k for r in rows] == [1]
+
+    def test_filter_startswith(self, items):
+        plan = Filter(SCAN, trace_lambda(lambda s: s.name.startswith("a")))
+        assert len(run(plan, items)) == 2
+
+    def test_date_param_coercion(self, items):
+        from repro.expressions import Param, Binary, Member, Lambda
+
+        predicate = Lambda(
+            ("s",), Binary("le", Member(Var("s"), "d"), Param("cutoff"))
+        )
+        compiled = NativeBackend().compile(Filter(SCAN, predicate), [items])
+        rows = list(
+            compiled.execute([items], {"cutoff": datetime.date(1996, 6, 1)})
+        )
+        assert [r.k for r in rows] == [1, 2]
+
+    def test_projection_single_value_decodes(self, items):
+        plan = Project(SCAN, trace_lambda(lambda s: s.v + 1))
+        values = run(plan, items)
+        assert values == pytest.approx([2.5, 3.5, 4.5, 5.5])
+        assert all(isinstance(v, float) for v in values)
+
+    def test_projection_record_fields(self, items):
+        plan = Project(SCAN, trace_lambda(lambda s: new(k=s.k, dbl=s.v * 2)))
+        rows = run(plan, items)
+        assert rows[0].k == 1 and rows[0].dbl == pytest.approx(3.0)
+
+    def test_conditional_vectorizes_to_where(self, items):
+        from repro import if_then_else
+
+        plan = Project(
+            SCAN, trace_lambda(lambda s: if_then_else(s.k == 1, s.v, 0.0))
+        )
+        compiled = NativeBackend().compile(plan, [items])
+        assert "_np.where" in compiled.source_code
+        assert list(compiled.execute([items], {})) == pytest.approx(
+            [1.5, 0.0, 3.5, 0.0]
+        )
+
+    def test_group_aggregate(self, items):
+        plan = GroupAggregate(
+            SCAN,
+            trace_lambda(lambda s: s.k),
+            (
+                AggregateSpec("sum", trace_lambda(lambda s: s.v)),
+                AggregateSpec("count", None),
+            ),
+            new(k=Var("__key"), total=Var("__agg0"), n=Var("__agg1"))._node,
+        )
+        rows = run(plan, items)
+        assert [(r.k, round(r.total, 1), r.n) for r in rows] == [
+            (1, 5.0, 2), (2, 2.5, 1), (3, 4.5, 1),
+        ]
+
+    def test_scalar_aggregates(self, items):
+        for kind, expected in (("sum", 12.0), ("min", 1.5), ("max", 4.5), ("avg", 3.0)):
+            plan = ScalarAggregate(
+                SCAN,
+                (AggregateSpec(kind, trace_lambda(lambda s: s.v)),),
+                Var("__agg0"),
+            )
+            assert run(plan, items) == pytest.approx(expected), kind
+
+    def test_scalar_count_needs_no_columns(self, items):
+        plan = ScalarAggregate(SCAN, (AggregateSpec("count", None),), Var("__agg0"))
+        compiled = NativeBackend().compile(plan, [items])
+        assert compiled.execute([items], {}) == 4
+
+    def test_limit_count_only_path(self, items):
+        plan = ScalarAggregate(
+            Limit(SCAN, count=Constant(3)),
+            (AggregateSpec("count", None),),
+            Var("__agg0"),
+        )
+        assert run(plan, items) == 3
+
+    def test_distinct_uses_all_columns(self, items):
+        plan = Distinct(Project(SCAN, trace_lambda(lambda s: new(k=s.k))))
+        rows = run(plan, items)
+        assert [r.k for r in rows] == [1, 2, 3]
+
+
+class TestNativeRestrictions:
+    def test_nested_member_access_rejected(self, items):
+        plan = Filter(SCAN, trace_lambda(lambda s: s.name.inner == 1))
+        with pytest.raises(UnsupportedQueryError, match="nested member access"):
+            NativeBackend().compile(plan, [items])
+
+    def test_whole_record_value_rejected(self, items):
+        plan = Project(SCAN, trace_lambda(lambda s: s))
+        with pytest.raises(UnsupportedQueryError, match="whole records|no references"):
+            NativeBackend().compile(plan, [items])
+
+    def test_flatmap_rejected(self, items):
+        from repro.plans import FlatMap
+
+        plan = FlatMap(SCAN, trace_lambda(lambda s: s.k), None)
+        with pytest.raises(UnsupportedQueryError, match="outside the native fragment"):
+            NativeBackend().compile(plan, [items])
+
+    def test_groupby_without_aggregation_rejected(self, items):
+        from repro.plans import GroupBy
+
+        plan = GroupBy(SCAN, trace_lambda(lambda s: s.k))
+        with pytest.raises(UnsupportedQueryError):
+            NativeBackend().compile(plan, [items])
+
+
+class TestPointerReturnPath:
+    def test_row_preserving_plans_detected(self):
+        assert _preserves_rows(SCAN)
+        assert _preserves_rows(Filter(SCAN, trace_lambda(lambda s: s.k > 1)))
+        assert _preserves_rows(
+            Sort(SCAN, (trace_lambda(lambda s: s.v),), (False,))
+        )
+        assert not _preserves_rows(Project(SCAN, trace_lambda(lambda s: s.k)))
+        assert not _preserves_rows(
+            GroupAggregate(
+                SCAN,
+                trace_lambda(lambda s: s.k),
+                (AggregateSpec("count", None),),
+                Var("__agg0"),
+            )
+        )
+
+    def test_sort_returns_row_views(self, items):
+        plan = Sort(SCAN, (trace_lambda(lambda s: s.v),), (True,))
+        rows = run(plan, items)
+        assert isinstance(rows[0], RowView)
+        assert [r.k for r in rows] == [3, 1, 2, 1]
+        # views decode every field kind correctly
+        assert rows[0].name == "ab"
+        assert rows[0].d == datetime.date(1998, 1, 1)
+        assert rows[0].v == pytest.approx(4.5)
+
+    def test_row_view_iteration_and_equality(self, items):
+        plan = Filter(SCAN, trace_lambda(lambda s: s.k == 2))
+        (row,) = run(plan, items)
+        assert tuple(row) == (2, "bb", 2.5, datetime.date(1996, 1, 1))
+        assert row == (2, "bb", 2.5, datetime.date(1996, 1, 1))
+        assert "RowView" in repr(row)
+
+    def test_row_view_unknown_attribute(self, items):
+        (row,) = run(Filter(SCAN, trace_lambda(lambda s: s.k == 2)), items)
+        with pytest.raises(AttributeError):
+            row.nonexistent
+
+    def test_projected_results_stay_records(self, items):
+        plan = Project(SCAN, trace_lambda(lambda s: new(k=s.k)))
+        rows = run(plan, items)
+        assert not isinstance(rows[0], RowView)
+        assert rows[0]._fields == ("k",)
+
+
+class TestGeneratedNativeSource:
+    def test_only_vectorized_operations(self, items):
+        plan = Filter(SCAN, trace_lambda(lambda s: (s.k > 1) & (s.v < 4.0)))
+        compiled = NativeBackend().compile(plan, [items])
+        # elementwise boolean ops, not python `and`
+        assert " & " in compiled.source_code
+        assert " and " not in compiled.source_code
+        # no per-element loop over the data
+        assert "for " not in compiled.source_code.replace("for _", "")
+
+    def test_implicit_projection_reads_only_needed_columns(self, items):
+        plan = ScalarAggregate(
+            Filter(SCAN, trace_lambda(lambda s: s.k == 1)),
+            (AggregateSpec("sum", trace_lambda(lambda s: s.v)),),
+            Var("__agg0"),
+        )
+        compiled = NativeBackend().compile(plan, [items])
+        assert "'k'" in compiled.source_code
+        assert "'v'" in compiled.source_code
+        assert "'name'" not in compiled.source_code  # never touched
+        assert "'d'" not in compiled.source_code

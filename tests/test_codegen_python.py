@@ -1,0 +1,246 @@
+"""Unit tests for the §4 backend: generated fused-loop Python."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.codegen.python_backend import PythonBackend
+from repro.errors import CodegenError
+from repro.expressions import Constant, Lambda, Var, new, trace_lambda
+from repro.plans import (
+    AggregateSpec,
+    Concat,
+    Distinct,
+    Filter,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+    translate,
+    optimize,
+)
+from repro.expressions.nodes import QueryOp, SourceExpr
+
+
+def item(**kw):
+    return SimpleNamespace(**kw)
+
+
+def compile_plan(plan):
+    return PythonBackend().compile(plan, sources=[])
+
+
+def run(plan, *sources, params=None):
+    compiled = compile_plan(plan)
+    result = compiled.execute(list(sources), params or {})
+    return result if compiled.scalar else list(result)
+
+
+SCAN = Scan(0, "T")
+
+
+class TestGeneratedStructure:
+    def test_single_fused_loop_for_filter_project(self):
+        plan = Project(
+            Filter(SCAN, trace_lambda(lambda s: s.x > 1)),
+            trace_lambda(lambda s: s.x * 2),
+        )
+        compiled = compile_plan(plan)
+        # exactly one loop over the source: pipelined operators fuse
+        assert compiled.source_code.count("for elem") == 1
+        assert "yield" in compiled.source_code
+
+    def test_no_interpreter_calls_in_generated_code(self):
+        plan = Filter(SCAN, trace_lambda(lambda s: s.x > 1))
+        compiled = compile_plan(plan)
+        assert "interpret" not in compiled.source_code
+        assert "make_callable" not in compiled.source_code
+
+    def test_blocking_operator_splits_loops(self):
+        plan = Sort(
+            Filter(SCAN, trace_lambda(lambda s: s.x > 0)),
+            (trace_lambda(lambda s: s.x),),
+            (False,),
+        )
+        compiled = compile_plan(plan)
+        assert compiled.source_code.count("for ") >= 2  # input loop + output loop
+
+    def test_scalar_plan_returns_not_yields(self):
+        plan = ScalarAggregate(
+            SCAN,
+            (AggregateSpec("count", None),),
+            Var("__agg0"),
+        )
+        compiled = compile_plan(plan)
+        assert compiled.scalar
+        assert "yield" not in compiled.source_code
+        assert "return" in compiled.source_code
+
+    def test_unknown_plan_node_raises(self):
+        class Alien:
+            pass
+
+        with pytest.raises(CodegenError, match="no python codegen"):
+            compile_plan(Alien())
+
+
+class TestExecutionSemantics:
+    def test_filter_project(self):
+        plan = Project(
+            Filter(SCAN, trace_lambda(lambda s: s.x > 1)),
+            trace_lambda(lambda s: s.x * 10),
+        )
+        assert run(plan, [item(x=1), item(x=2), item(x=3)]) == [20, 30]
+
+    def test_join_probe_order(self):
+        plan = Join(
+            Scan(0, "L"),
+            Scan(1, "R"),
+            trace_lambda(lambda l: l.k),
+            trace_lambda(lambda r: r.k),
+            trace_lambda(lambda l, r: new(a=l.a, b=r.b)),
+        )
+        left = [item(k=1, a="x"), item(k=2, a="y"), item(k=1, a="z")]
+        right = [item(k=1, b=10), item(k=1, b=20)]
+        rows = run(plan, left, right)
+        assert [(r.a, r.b) for r in rows] == [
+            ("x", 10), ("x", 20), ("z", 10), ("z", 20)
+        ]
+
+    def test_group_aggregate_first_seen_order(self):
+        plan = GroupAggregate(
+            SCAN,
+            trace_lambda(lambda s: s.g),
+            (AggregateSpec("sum", trace_lambda(lambda s: s.v)),),
+            new(g=Var("__key"), total=Var("__agg0"))._node,
+        )
+        rows = run(plan, [item(g="b", v=1), item(g="a", v=2), item(g="b", v=3)])
+        assert [(r.g, r.total) for r in rows] == [("b", 4), ("a", 2)]
+
+    def test_unfused_groupby_project_with_aggregates(self):
+        # Project-over-GroupBy with AggCalls: the ablation codegen path
+        expr = QueryOp(
+            "select",
+            QueryOp("group_by", SourceExpr(0, "T"), (trace_lambda(lambda s: s.g),)),
+            (trace_lambda(lambda g: new(g=g.key, n=g.count(), t=g.sum(lambda s: s.v))),),
+        )
+        from repro.plans.translate import TranslateOptions
+
+        plan = translate(expr, TranslateOptions(fuse_aggregates=False))
+        rows = run(plan, [item(g=1, v=5), item(g=1, v=7), item(g=2, v=1)])
+        assert [(r.g, r.n, r.t) for r in rows] == [(1, 2, 12), (2, 1, 1)]
+
+    def test_unfused_avg(self):
+        expr = QueryOp(
+            "select",
+            QueryOp("group_by", SourceExpr(0, "T"), (trace_lambda(lambda s: s.g),)),
+            (trace_lambda(lambda g: new(a=g.avg(lambda s: s.v))),),
+        )
+        from repro.plans.translate import TranslateOptions
+
+        plan = translate(expr, TranslateOptions(fuse_aggregates=False))
+        rows = run(plan, [item(g=1, v=2.0), item(g=1, v=4.0)])
+        assert rows[0].a == pytest.approx(3.0)
+
+    def test_unfused_min_max(self):
+        expr = QueryOp(
+            "select",
+            QueryOp("group_by", SourceExpr(0, "T"), (trace_lambda(lambda s: s.g),)),
+            (trace_lambda(lambda g: new(lo=g.min(lambda s: s.v), hi=g.max(lambda s: s.v))),),
+        )
+        from repro.plans.translate import TranslateOptions
+
+        plan = translate(expr, TranslateOptions(fuse_aggregates=False))
+        rows = run(plan, [item(g=1, v=3), item(g=1, v=9)])
+        assert (rows[0].lo, rows[0].hi) == (3, 9)
+
+    def test_limit_mid_pipeline(self):
+        plan = Project(
+            Limit(SCAN, count=Constant(2)),
+            trace_lambda(lambda s: s.x),
+        )
+        assert run(plan, [item(x=i) for i in range(5)]) == [0, 1]
+
+    def test_limit_offset(self):
+        plan = Limit(SCAN, count=Constant(2), offset=Constant(1))
+        rows = run(plan, [item(x=i) for i in range(5)])
+        assert [r.x for r in rows] == [1, 2]
+
+    def test_distinct(self):
+        plan = Distinct(Project(SCAN, trace_lambda(lambda s: s.x)))
+        assert run(plan, [item(x=1), item(x=2), item(x=1)]) == [1, 2]
+
+    def test_concat(self):
+        plan = Concat(Scan(0, "A"), Scan(1, "B"))
+        rows = run(plan, [item(x=1)], [item(x=2)])
+        assert [r.x for r in rows] == [1, 2]
+
+    def test_topn_with_param_count(self):
+        from repro.expressions import Param
+
+        plan = TopN(SCAN, (trace_lambda(lambda s: s.x),), (False,), Param("n"))
+        compiled = compile_plan(plan)
+        rows = list(compiled.execute([[item(x=3), item(x=1), item(x=2)]], {"n": 2}))
+        assert [r.x for r in rows] == [1, 2]
+
+    def test_groupby_yields_groupings(self):
+        plan = GroupBy(SCAN, trace_lambda(lambda s: s.g))
+        groups = run(plan, [item(g=1), item(g=2), item(g=1)])
+        assert [g.key for g in groups] == [1, 2]
+        assert len(list(groups[0])) == 2
+
+    def test_scalar_sum_filtered(self):
+        plan = ScalarAggregate(
+            Filter(SCAN, trace_lambda(lambda s: s.x > 1)),
+            (AggregateSpec("sum", trace_lambda(lambda s: s.x)),),
+            Var("__agg0"),
+        )
+        assert run(plan, [item(x=1), item(x=2), item(x=3)]) == 5
+
+    def test_multi_key_sort_directions(self):
+        plan = Sort(
+            SCAN,
+            (trace_lambda(lambda s: s.a), trace_lambda(lambda s: s.b)),
+            (False, True),
+        )
+        rows = run(
+            plan,
+            [item(a=1, b=1), item(a=0, b=1), item(a=1, b=9), item(a=0, b=5)],
+        )
+        assert [(r.a, r.b) for r in rows] == [(0, 5), (0, 1), (1, 9), (1, 1)]
+
+    def test_params_bound_once_in_preamble(self):
+        from repro.expressions import Param, Binary, Member
+
+        predicate = Lambda(
+            ("s",),
+            Binary(
+                "and",
+                Binary("gt", Member(Var("s"), "x"), Param("t")),
+                Binary("lt", Member(Var("s"), "x"), Param("t")),
+            ),
+        )
+        compiled = compile_plan(Filter(SCAN, predicate))
+        # the parameter is fetched from _params exactly once
+        assert compiled.source_code.count("_params['t']") == 1
+
+
+class TestCompiledQueryMetadata:
+    def test_timings_recorded(self):
+        compiled = compile_plan(Filter(SCAN, trace_lambda(lambda s: s.x > 1)))
+        assert compiled.codegen_seconds > 0
+        assert compiled.compile_seconds > 0
+        assert compiled.engine == "compiled"
+
+    def test_source_is_valid_python(self):
+        import ast
+
+        compiled = compile_plan(
+            Sort(SCAN, (trace_lambda(lambda s: s.x),), (True,))
+        )
+        ast.parse(compiled.source_code)

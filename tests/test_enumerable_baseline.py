@@ -1,0 +1,208 @@
+"""Behavioral tests for the LINQ-to-objects baseline engine.
+
+These verify the engine preserves the §2.3 *inefficiencies* (that is its
+job — the benchmarks measure them) as well as LINQ's documented semantics
+(deferred execution, streaming, group ordering).
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import new
+from repro.errors import ExecutionError, UnsupportedQueryError
+from repro.expressions import expression_to_text
+from repro.expressions.nodes import QueryOp, SourceExpr
+from repro.query import from_iterable
+from repro.query.enumerable import enumerate_query, scalar_query
+
+
+def item(**kw):
+    return SimpleNamespace(**kw)
+
+
+class CountingList(list):
+    """A source that counts how many times it was iterated."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.iterations = 0
+
+    def __iter__(self):
+        self.iterations += 1
+        return super().__iter__()
+
+
+class AccessCounter:
+    """An element that counts attribute reads."""
+
+    def __init__(self, **values):
+        object.__setattr__(self, "_values", values)
+        object.__setattr__(self, "reads", 0)
+
+    def __getattr__(self, name):
+        values = object.__getattribute__(self, "_values")
+        if name in values:
+            object.__setattr__(
+                self, "reads", object.__getattribute__(self, "reads") + 1
+            )
+            return values[name]
+        raise AttributeError(name)
+
+
+class TestDeferredExecution:
+    def test_nothing_runs_at_definition(self):
+        source = CountingList([item(x=1)])
+        query = from_iterable(source, token="t:defer").using("linq").where(
+            lambda s: s.x > 0
+        )
+        # from_iterable's re-iterability check touches the source once;
+        # defining operators afterwards must not
+        baseline = source.iterations
+        query.where(lambda s: s.x > 1).select(lambda s: s.x)
+        assert source.iterations == baseline
+        query.to_list()
+        assert source.iterations == baseline + 1
+
+    def test_each_consumption_reexecutes(self):
+        source = CountingList([item(x=1)])
+        query = from_iterable(source, token="t:re").using("linq").select(lambda s: s.x)
+        baseline = source.iterations
+        query.to_list()
+        query.to_list()
+        assert source.iterations == baseline + 2
+
+    def test_streaming_operators_pull_lazily(self):
+        pulled = []
+
+        class Spy:
+            def __iter__(self):
+                for i in range(1000):
+                    pulled.append(i)
+                    yield item(x=i)
+
+        query = from_iterable(Spy(), token="t:lazy").using("linq").where(
+            lambda s: s.x >= 3
+        )
+        iterator = iter(query)
+        next(iterator)
+        assert len(pulled) == 4  # stopped at the first qualifying element
+
+
+class TestPreservedInefficiencies:
+    def test_each_aggregate_rescans_the_group(self):
+        """§2.3: 'each aggregation iterates over all elements in the group'."""
+        elements = [AccessCounter(g=1, v=10) for _ in range(5)]
+        query = (
+            from_iterable(elements, token="t:agg")
+            .using("linq")
+            .group_by(
+                lambda s: s.g,
+                lambda g: new(
+                    a=g.sum(lambda s: s.v),
+                    b=g.sum(lambda s: s.v),
+                    c=g.sum(lambda s: s.v),
+                ),
+            )
+        )
+        query.to_list()
+        # per element: 1 key read + 3 independent aggregate passes
+        assert elements[0].reads == 4
+
+    def test_no_predicate_reordering(self):
+        """The baseline runs predicates exactly as written."""
+        order = []
+
+        class Probe:
+            def __init__(self, tag, value):
+                self._tag = tag
+                self._value = value
+
+            @property
+            def cheap(self):
+                order.append("cheap")
+                return self._value
+
+            @property
+            def costly(self):
+                order.append("costly")
+                return self._value
+
+        source = [Probe("a", 1)]
+        query = (
+            from_iterable(source, token="t:order")
+            .using("linq")
+            .where(lambda s: (s.costly > 0) & (s.cheap > 0))
+        )
+        query.to_list()
+        assert order == ["costly", "cheap"]  # written order preserved
+
+
+class TestLinqSemantics:
+    def test_group_by_first_seen_order(self):
+        rows = [item(g="z"), item(g="a"), item(g="z")]
+        groups = (
+            from_iterable(rows, token="t:grp").using("linq").group_by(lambda s: s.g)
+        ).to_list()
+        assert [g.key for g in groups] == ["z", "a"]
+
+    def test_then_by_chain(self):
+        rows = [item(a=1, b=2), item(a=1, b=1), item(a=0, b=9)]
+        result = (
+            from_iterable(rows, token="t:tb")
+            .using("linq")
+            .order_by(lambda s: s.a)
+            .then_by(lambda s: s.b)
+        ).to_list()
+        assert [(r.a, r.b) for r in result] == [(0, 9), (1, 1), (1, 2)]
+
+    def test_mixed_direction_chain(self):
+        rows = [item(a=0, b=1), item(a=0, b=2), item(a=1, b=3)]
+        result = (
+            from_iterable(rows, token="t:mix")
+            .using("linq")
+            .order_by_desc(lambda s: s.a)
+            .then_by_desc(lambda s: s.b)
+        ).to_list()
+        assert [(r.a, r.b) for r in result] == [(1, 3), (0, 2), (0, 1)]
+
+    def test_take_zero(self):
+        assert from_iterable([1, 2], token="t:t0").using("linq").take(0).to_list() == []
+
+    def test_skip_beyond_end(self):
+        assert from_iterable([1, 2], token="t:sb").using("linq").skip(9).to_list() == []
+
+
+class TestErrorPaths:
+    def test_missing_source(self):
+        with pytest.raises(ExecutionError, match="source_1"):
+            list(enumerate_query(SourceExpr(1, "T"), [[1]], {}))
+
+    def test_unknown_operator(self):
+        expr = QueryOp("group_join", SourceExpr(0, "T"), ())
+        with pytest.raises(UnsupportedQueryError, match="group_join"):
+            list(enumerate_query(expr, [[1]], {}))
+
+    def test_scalar_requires_terminal_op(self):
+        with pytest.raises(ExecutionError, match="terminal"):
+            scalar_query(SourceExpr(0, "T"), [[1]], {})
+
+    def test_scalar_rejects_non_scalar_op(self):
+        expr = QueryOp("where", SourceExpr(0, "T"), ())
+        with pytest.raises(UnsupportedQueryError, match="not a scalar"):
+            scalar_query(expr, [[1]], {})
+
+
+class TestExpressionTreeRendering:
+    def test_figure1_shape(self):
+        query = (
+            from_iterable([item(name="London", population=1)], token="t:fig1")
+            .where(lambda s: s.name == "London")
+            .select(lambda s: s.population)
+        )
+        text = expression_to_text(query.expr)
+        # the Figure-1 spine: select → where → source, with the lambdas
+        assert text.index("'select'") < text.index("'where'")
+        assert "SourceExpr" in text
+        assert "Binary 'eq'" in text
+        assert "Member .population" in text

@@ -1,0 +1,113 @@
+"""Property tests over randomly generated expression trees.
+
+Three invariants, each checked on hypothesis-generated trees:
+
+* the interpreter and the printed-then-eval'd source agree (the §4 premise
+  that inlined code preserves interpreted semantics);
+* constant folding never changes a tree's value;
+* parameterization round-trips: evaluating the lifted tree with its
+  bindings equals evaluating the original.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expressions import (
+    Binary,
+    Conditional,
+    Constant,
+    Member,
+    ScalarPrinter,
+    Unary,
+    Var,
+    canonicalize,
+    fold_constants,
+    interpret,
+    parameterize,
+)
+
+_ELEMENT = SimpleNamespace(a=3, b=-7, c=12)
+
+_NUMERIC_BINOPS = ("add", "sub", "mul")
+_COMPARISONS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+@st.composite
+def numeric_expr(draw, depth=3):
+    """A random integer-valued expression over Vars and Constants."""
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Constant(draw(st.integers(-50, 50)))
+        return Member(Var("s"), draw(st.sampled_from(["a", "b", "c"])))
+    kind = draw(st.sampled_from(["binary", "unary", "conditional"]))
+    if kind == "binary":
+        return Binary(
+            draw(st.sampled_from(_NUMERIC_BINOPS)),
+            draw(numeric_expr(depth=depth - 1)),
+            draw(numeric_expr(depth=depth - 1)),
+        )
+    if kind == "unary":
+        return Unary(
+            draw(st.sampled_from(["neg", "abs"])),
+            draw(numeric_expr(depth=depth - 1)),
+        )
+    condition = Binary(
+        draw(st.sampled_from(_COMPARISONS)),
+        draw(numeric_expr(depth=depth - 1)),
+        draw(numeric_expr(depth=depth - 1)),
+    )
+    return Conditional(
+        condition,
+        draw(numeric_expr(depth=depth - 1)),
+        draw(numeric_expr(depth=depth - 1)),
+    )
+
+
+class TestRandomExpressionInvariants:
+    @given(numeric_expr())
+    @settings(max_examples=150, deadline=None)
+    def test_printer_matches_interpreter(self, expr):
+        interpreted = interpret(expr, env={"s": _ELEMENT})
+        printer = ScalarPrinter(var_map={"s": "element"})
+        source = printer.emit(expr)
+        scope = dict(printer.namespace)
+        scope["element"] = _ELEMENT
+        compiled = eval(source, scope)  # noqa: S307 - our own codegen
+        assert compiled == interpreted
+
+    @given(numeric_expr())
+    @settings(max_examples=150, deadline=None)
+    def test_constant_folding_preserves_value(self, expr):
+        folded = fold_constants(expr)
+        assert interpret(folded, env={"s": _ELEMENT}) == interpret(
+            expr, env={"s": _ELEMENT}
+        )
+
+    @given(numeric_expr())
+    @settings(max_examples=150, deadline=None)
+    def test_parameterization_round_trips(self, expr):
+        lifted, bindings = parameterize(expr)
+        assert interpret(lifted, env={"s": _ELEMENT}, params=bindings) == interpret(
+            expr, env={"s": _ELEMENT}
+        )
+
+    @given(numeric_expr(), numeric_expr())
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_keys_respect_structure(self, left, right):
+        # two trees share a canonical key iff they differ only in constants;
+        # here we only require the cheap direction: equal trees ⇒ equal keys
+        assert canonicalize(left).key == canonicalize(left).key
+        if left == right:
+            assert canonicalize(left).key == canonicalize(right).key
+
+    @given(numeric_expr())
+    @settings(max_examples=100, deadline=None)
+    def test_variable_free_trees_fold_to_constants(self, expr):
+        from repro.expressions import free_vars
+
+        if not free_vars(expr):
+            folded = fold_constants(expr)
+            assert isinstance(folded, Constant)

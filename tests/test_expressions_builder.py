@@ -1,0 +1,200 @@
+"""Tests for lambda capture by tracing (the expression-tree builder)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.expressions import (
+    AggCall,
+    Binary,
+    Conditional,
+    Constant,
+    Lambda,
+    Member,
+    Method,
+    New,
+    P,
+    Param,
+    Unary,
+    Var,
+    if_then_else,
+    new,
+    trace_lambda,
+)
+
+
+class TestBasicTracing:
+    def test_identity(self):
+        lam = trace_lambda(lambda s: s)
+        assert lam == Lambda(("s",), Var("s"))
+
+    def test_member_access(self):
+        lam = trace_lambda(lambda s: s.population)
+        assert lam.body == Member(Var("s"), "population")
+
+    def test_nested_member_access(self):
+        lam = trace_lambda(lambda s: s.shop.city.name)
+        body = lam.body
+        assert isinstance(body, Member) and body.name == "name"
+        assert body.target == Member(Member(Var("s"), "shop"), "city")
+
+    def test_comparison_with_constant(self):
+        lam = trace_lambda(lambda s: s.name == "London")
+        assert lam.body == Binary("eq", Member(Var("s"), "name"), Constant("London"))
+
+    def test_comparison_with_parameter(self):
+        lam = trace_lambda(lambda s: s.name == P("city"))
+        assert lam.body == Binary("eq", Member(Var("s"), "name"), Param("city"))
+
+    def test_param_names_come_from_lambda_signature(self):
+        lam = trace_lambda(lambda order, line: order.key == line.key)
+        assert lam.params == ("order", "line")
+
+    def test_lambda_node_passes_through(self):
+        original = Lambda(("s",), Var("s"))
+        assert trace_lambda(original) is original
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TraceError, match="expected a callable"):
+            trace_lambda(42)
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "fn, op",
+        [
+            (lambda s: s.x + 1, "add"),
+            (lambda s: s.x - 1, "sub"),
+            (lambda s: s.x * 2, "mul"),
+            (lambda s: s.x / 2, "truediv"),
+            (lambda s: s.x // 2, "floordiv"),
+            (lambda s: s.x % 2, "mod"),
+            (lambda s: s.x < 1, "lt"),
+            (lambda s: s.x <= 1, "le"),
+            (lambda s: s.x > 1, "gt"),
+            (lambda s: s.x >= 1, "ge"),
+            (lambda s: s.x != 1, "ne"),
+        ],
+    )
+    def test_binary_ops(self, fn, op):
+        lam = trace_lambda(fn)
+        assert isinstance(lam.body, Binary)
+        assert lam.body.op == op
+
+    def test_reflected_arithmetic(self):
+        lam = trace_lambda(lambda s: 1 - s.x)
+        assert lam.body == Binary("sub", Constant(1), Member(Var("s"), "x"))
+
+    def test_reflected_comparison_swaps(self):
+        # 5 < s.x  ⇒  int.__lt__ fails, proxy __gt__ runs: s.x > 5
+        lam = trace_lambda(lambda s: 5 < s.x)
+        assert lam.body == Binary("gt", Member(Var("s"), "x"), Constant(5))
+
+    def test_conjunction_with_ampersand(self):
+        lam = trace_lambda(lambda s: (s.x > 1) & (s.y < 2))
+        assert isinstance(lam.body, Binary) and lam.body.op == "and"
+
+    def test_disjunction_with_pipe(self):
+        lam = trace_lambda(lambda s: (s.x > 1) | (s.y < 2))
+        assert lam.body.op == "or"
+
+    def test_negation_with_tilde(self):
+        lam = trace_lambda(lambda s: ~(s.x > 1))
+        assert isinstance(lam.body, Unary) and lam.body.op == "not"
+
+    def test_unary_minus_and_abs(self):
+        assert trace_lambda(lambda s: -s.x).body == Unary("neg", Member(Var("s"), "x"))
+        assert trace_lambda(lambda s: abs(s.x)).body == Unary("abs", Member(Var("s"), "x"))
+
+
+class TestGuardRails:
+    def test_python_and_raises_helpfully(self):
+        with pytest.raises(TraceError, match="'&'"):
+            trace_lambda(lambda s: s.x > 1 and s.y < 2)
+
+    def test_python_not_raises(self):
+        with pytest.raises(TraceError):
+            trace_lambda(lambda s: not s.x)
+
+    def test_iteration_raises(self):
+        with pytest.raises(TraceError, match="iterated"):
+            trace_lambda(lambda s: [v for v in s])
+
+    def test_attribute_assignment_raises(self):
+        def bad(s):
+            s.x = 1
+            return s
+
+        with pytest.raises(TraceError, match="immutable"):
+            trace_lambda(bad)
+
+    def test_unsupported_method_raises(self):
+        with pytest.raises(TraceError, match="not supported"):
+            trace_lambda(lambda s: s.name.casefold())
+
+    def test_calling_bare_variable_raises(self):
+        with pytest.raises(TraceError, match="non-method"):
+            trace_lambda(lambda s: s())
+
+
+class TestMethodsAndConditionals:
+    def test_startswith(self):
+        lam = trace_lambda(lambda s: s.name.startswith("Lon"))
+        assert lam.body == Method(Member(Var("s"), "name"), "startswith", (Constant("Lon"),))
+
+    def test_contains(self):
+        lam = trace_lambda(lambda s: s.name.contains("ondo"))
+        assert lam.body == Method(Member(Var("s"), "name"), "contains", (Constant("ondo"),))
+
+    def test_if_then_else(self):
+        lam = trace_lambda(lambda s: if_then_else(s.x > 0, s.x, 0))
+        assert isinstance(lam.body, Conditional)
+        assert lam.body.other == Constant(0)
+
+
+class TestNewRecords:
+    def test_new_captures_field_order(self):
+        lam = trace_lambda(lambda s: new(a=s.x, b=s.y))
+        assert isinstance(lam.body, New)
+        assert lam.body.field_names == ("a", "b")
+
+    def test_new_with_expressions(self):
+        lam = trace_lambda(lambda s: new(total=s.price * (1 - s.discount)))
+        (name, expr), = lam.body.fields
+        assert name == "total"
+        assert isinstance(expr, Binary) and expr.op == "mul"
+
+
+class TestGroupAggregates:
+    def test_sum_traces_to_aggcall(self):
+        lam = trace_lambda(lambda g: new(total=g.sum(lambda s: s.price)))
+        (_, agg), = lam.body.fields
+        assert isinstance(agg, AggCall) and agg.kind == "sum"
+        assert agg.arg == Lambda(("s",), Member(Var("s"), "price"))
+        assert agg.group == Var("g")
+
+    def test_count_takes_no_args(self):
+        lam = trace_lambda(lambda g: new(n=g.count()))
+        (_, agg), = lam.body.fields
+        assert agg == AggCall("count", None, group=Var("g"))
+
+    def test_count_with_args_rejected(self):
+        with pytest.raises(TraceError, match="count"):
+            trace_lambda(lambda g: g.count(lambda s: s.x))
+
+    def test_group_key_is_member_access(self):
+        lam = trace_lambda(lambda g: new(k=g.key, n=g.count()))
+        (_, key_expr), _ = lam.body.fields
+        assert key_expr == Member(Var("g"), "key")
+
+    def test_avg_min_max(self):
+        lam = trace_lambda(
+            lambda g: new(
+                a=g.avg(lambda s: s.x), lo=g.min(lambda s: s.x), hi=g.max(lambda s: s.x)
+            )
+        )
+        kinds = [e.kind for _, e in lam.body.fields]
+        assert kinds == ["avg", "min", "max"]
+
+    def test_sum_requires_selector(self):
+        with pytest.raises(TraceError, match="selector"):
+            trace_lambda(lambda g: g.sum())

@@ -1,0 +1,99 @@
+"""Tests for constant folding, auto-parameterization and cache keys."""
+
+from repro.expressions import (
+    Binary,
+    Constant,
+    Lambda,
+    Member,
+    Param,
+    QueryOp,
+    SourceExpr,
+    Var,
+    cache_key,
+    canonicalize,
+    fold_constants,
+    parameterize,
+    trace_lambda,
+)
+
+
+def where_query(predicate_fn, token="City"):
+    return QueryOp("where", SourceExpr(0, token), (trace_lambda(predicate_fn),))
+
+
+class TestConstantFolding:
+    def test_folds_pure_arithmetic(self):
+        expr = Binary("add", Constant(1), Binary("mul", Constant(2), Constant(3)))
+        assert fold_constants(expr) == Constant(7)
+
+    def test_keeps_variable_dependent_parts(self):
+        expr = Binary("add", Var("x"), Binary("mul", Constant(2), Constant(3)))
+        folded = fold_constants(expr)
+        assert folded == Binary("add", Var("x"), Constant(6))
+
+    def test_keeps_parameter_dependent_parts(self):
+        expr = Binary("add", Param("p"), Constant(1))
+        assert fold_constants(expr) == expr
+
+    def test_folds_inside_lambda_bodies(self):
+        lam = trace_lambda(lambda s: s.x > 10 * 100)
+        folded = fold_constants(lam)
+        assert folded == Lambda(("s",), Binary("gt", Member(Var("s"), "x"), Constant(1000)))
+
+    def test_folding_survives_division_by_zero(self):
+        expr = Binary("truediv", Constant(1), Constant(0))
+        # left as-is: failure is the query's business at run time
+        assert fold_constants(expr) == expr
+
+
+class TestParameterization:
+    def test_constants_become_params(self):
+        expr = Binary("eq", Member(Var("s"), "name"), Constant("London"))
+        tree, bindings = parameterize(expr)
+        assert isinstance(tree.right, Param)
+        assert bindings == {tree.right.name: "London"}
+
+    def test_existing_params_untouched(self):
+        expr = Binary("eq", Member(Var("s"), "name"), Param("city"))
+        tree, bindings = parameterize(expr)
+        assert tree == expr
+        assert bindings == {}
+
+    def test_deterministic_names(self):
+        e1 = Binary("and", Binary("gt", Var("x"), Constant(1)), Binary("lt", Var("y"), Constant(2)))
+        e2 = Binary("and", Binary("gt", Var("x"), Constant(9)), Binary("lt", Var("y"), Constant(8)))
+        t1, b1 = parameterize(e1)
+        t2, b2 = parameterize(e2)
+        assert t1 == t2
+        assert list(b1) == list(b2)
+        assert list(b1.values()) == [1, 2]
+        assert list(b2.values()) == [9, 8]
+
+
+class TestCanonicalization:
+    def test_queries_differing_only_in_constants_share_keys(self):
+        q1 = canonicalize(where_query(lambda s: s.population > 1_000_000))
+        q2 = canonicalize(where_query(lambda s: s.population > 42))
+        assert q1.key == q2.key
+        assert q1.bindings != q2.bindings
+
+    def test_structurally_different_queries_have_different_keys(self):
+        q1 = canonicalize(where_query(lambda s: s.population > 1))
+        q2 = canonicalize(where_query(lambda s: s.population < 1))
+        assert q1.key != q2.key
+
+    def test_schema_token_separates_keys(self):
+        q1 = canonicalize(where_query(lambda s: s.population > 1, token="City"))
+        q2 = canonicalize(where_query(lambda s: s.population > 1, token="Town"))
+        assert q1.key != q2.key
+
+    def test_folding_normalizes_equivalent_constants(self):
+        q1 = canonicalize(where_query(lambda s: s.x > 2 * 50))
+        q2 = canonicalize(where_query(lambda s: s.x > 100))
+        assert q1.key == q2.key
+        assert list(q1.bindings.values()) == [100]
+
+    def test_cache_key_includes_engine_and_options(self):
+        canonical = canonicalize(where_query(lambda s: s.x > 1))
+        assert cache_key(canonical, "native") != cache_key(canonical, "compiled")
+        assert cache_key(canonical, "native", ("opt",)) != cache_key(canonical, "native")

@@ -1,0 +1,130 @@
+"""Unit tests for expression node structure, equality and hashing."""
+
+import pytest
+
+from repro.expressions import (
+    AggCall,
+    Binary,
+    Constant,
+    Lambda,
+    Member,
+    New,
+    Param,
+    QueryOp,
+    SourceExpr,
+    Unary,
+    Var,
+    children,
+    structural_key,
+    walk,
+)
+
+
+class TestStructuralEquality:
+    def test_constants_equal_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert Constant("a") != Constant(b"a")
+
+    def test_constants_with_unhashable_values_are_hashable(self):
+        assert hash(Constant([1, 2])) == hash(Constant([1, 2]))
+        assert Constant([1, 2]) == Constant([1, 2])
+        assert Constant({"k": 1}) == Constant({"k": 1})
+        assert Constant({1, 2}) == Constant({2, 1})
+
+    def test_binary_equality_is_structural(self):
+        a = Binary("eq", Member(Var("s"), "name"), Constant("x"))
+        b = Binary("eq", Member(Var("s"), "name"), Constant("x"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_ops_not_equal(self):
+        a = Binary("eq", Var("x"), Constant(1))
+        b = Binary("ne", Var("x"), Constant(1))
+        assert a != b
+
+
+class TestValidation:
+    def test_unknown_binary_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown binary"):
+            Binary("xor", Var("x"), Var("y"))
+
+    def test_unknown_unary_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown unary"):
+            Unary("sqrt", Var("x"))
+
+    def test_unknown_query_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown query operator"):
+            QueryOp("frobnicate", SourceExpr(0, "T"))
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            AggCall("median", Lambda(("s",), Var("s")))
+
+    def test_non_count_aggregate_requires_selector(self):
+        with pytest.raises(ValueError, match="requires a selector"):
+            AggCall("sum", None)
+
+    def test_count_aggregate_allows_no_selector(self):
+        assert AggCall("count", None).kind == "count"
+
+
+class TestTraversal:
+    def test_children_of_leaves_empty(self):
+        assert children(Constant(1)) == ()
+        assert children(Var("x")) == ()
+        assert children(Param("p")) == ()
+        assert children(SourceExpr(0, "T")) == ()
+
+    def test_children_order_binary(self):
+        left, right = Var("a"), Var("b")
+        assert children(Binary("add", left, right)) == (left, right)
+
+    def test_walk_visits_every_node(self):
+        expr = Binary("and", Binary("eq", Var("x"), Constant(1)), Unary("not", Var("y")))
+        kinds = [type(n).__name__ for n in walk(expr)]
+        assert kinds.count("Binary") == 2
+        assert kinds.count("Var") == 2
+        assert "Unary" in kinds
+        assert "Constant" in kinds
+
+    def test_walk_preorder_root_first(self):
+        expr = Binary("add", Var("a"), Var("b"))
+        assert next(iter(walk(expr))) is expr
+
+
+class TestStructuralKey:
+    def test_key_distinguishes_node_kinds(self):
+        assert structural_key(Var("x")) != structural_key(Param("x"))
+
+    def test_key_equal_for_equal_trees(self):
+        t1 = QueryOp(
+            "where",
+            SourceExpr(0, "City"),
+            (Lambda(("s",), Binary("eq", Member(Var("s"), "name"), Param("p"))),),
+        )
+        t2 = QueryOp(
+            "where",
+            SourceExpr(0, "City"),
+            (Lambda(("s",), Binary("eq", Member(Var("s"), "name"), Param("p"))),),
+        )
+        assert structural_key(t1) == structural_key(t2)
+
+    def test_key_differs_on_schema_token(self):
+        a = SourceExpr(0, "City")
+        b = SourceExpr(0, "Shop")
+        assert structural_key(a) != structural_key(b)
+
+    def test_key_differs_on_member_name(self):
+        a = Member(Var("s"), "population")
+        b = Member(Var("s"), "name")
+        assert structural_key(a) != structural_key(b)
+
+    def test_key_captures_new_field_order(self):
+        a = New((("x", Var("a")), ("y", Var("b"))))
+        b = New((("y", Var("b")), ("x", Var("a"))))
+        assert structural_key(a) != structural_key(b)
+
+    def test_new_field_names_property(self):
+        n = New((("x", Constant(1)), ("y", Constant(2))))
+        assert n.field_names == ("x", "y")

@@ -1,0 +1,183 @@
+"""Property tests: the optimizer never changes results, on any engine.
+
+Random query shapes over random datasets run twice — once with every
+rewrite enabled, once with everything off — and on multiple engines; all
+executions must produce identical results (modulo floating-point
+summation order, handled by rounding).
+"""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import P, new
+from repro.plans.optimizer import OptimizeOptions
+from repro.plans.translate import TranslateOptions
+from repro.query import QueryProvider, from_iterable, from_struct_array
+from repro.storage import Field, Schema, StructArray
+
+ROW = Schema(
+    [
+        Field("k", "int"),
+        Field("tag", "str", 4),
+        Field("v", "float"),
+    ],
+    name="Row",
+)
+
+_ALL_ON = QueryProvider()
+_ALL_OFF = QueryProvider(
+    translate_options=TranslateOptions(fuse_aggregates=True, share_aggregates=False),
+    optimize_options=OptimizeOptions(
+        pushdown=False, reorder_predicates=False, fuse_filters=False, fuse_topn=False
+    ),
+)
+
+
+@st.composite
+def dataset(draw):
+    n = draw(st.integers(1, 50))
+    rows = [
+        (
+            draw(st.integers(0, 5)),
+            draw(st.sampled_from(["aa", "bb", "cc"])),
+            round(draw(st.floats(-100, 100, allow_nan=False)), 3),
+        )
+        for _ in range(n)
+    ]
+    return StructArray.from_rows(ROW, rows)
+
+
+def _norm(rows):
+    out = []
+    for row in rows:
+        out.append(
+            tuple(
+                round(value, 6) if isinstance(value, float) else value
+                for value in tuple(row)
+            )
+        )
+    return out
+
+
+def _run_everywhere(build, array):
+    """Build + run the query on three engines × two optimizer settings."""
+    results = []
+    objects = array.to_objects()
+    for provider in (_ALL_ON, _ALL_OFF):
+        for engine in ("linq", "compiled"):
+            query = build(
+                from_iterable(objects, token="prop:Row").using(engine, provider)
+            )
+            results.append(_norm(query))
+        query = build(from_struct_array(array).using("native", provider))
+        results.append(_norm(query))
+    return results
+
+
+class TestOptimizerEquivalence:
+    @given(dataset(), st.integers(-5, 5), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_filter_sort_take(self, array, threshold, n):
+        def build(q):
+            return (
+                q.where(lambda s: (s.k > P("t")) & (s.tag == "aa"))
+                .order_by_desc(lambda s: s.v)
+                .take(n)
+                .select(lambda s: new(k=s.k, v=s.v))
+                .with_params(t=threshold)
+            )
+
+        results = _run_everywhere(build, array)
+        assert all(r == results[0] for r in results)
+
+    @given(dataset())
+    @settings(max_examples=30, deadline=None)
+    def test_group_aggregate_with_averages(self, array):
+        def build(q):
+            return q.group_by(
+                lambda s: s.k,
+                lambda g: new(
+                    k=g.key,
+                    total=g.sum(lambda s: s.v),
+                    mean=g.avg(lambda s: s.v),
+                    mean2=g.avg(lambda s: s.v),
+                    n=g.count(),
+                ),
+            )
+
+        results = _run_everywhere(build, array)
+        assert all(r == results[0] for r in results)
+
+    @given(dataset(), dataset())
+    @settings(max_examples=20, deadline=None)
+    def test_join_with_post_filter(self, left_arr, right_arr):
+        left_objects = left_arr.to_objects()
+        right_objects = right_arr.to_objects()
+        results = []
+        for provider in (_ALL_ON, _ALL_OFF):
+            for engine in ("linq", "compiled"):
+                left = from_iterable(left_objects, token="prop:L").using(
+                    engine, provider
+                )
+                right = from_iterable(right_objects, token="prop:R").using(
+                    engine, provider
+                )
+                query = (
+                    left.join(
+                        right,
+                        lambda a: a.k,
+                        lambda b: b.k,
+                        lambda a, b: new(a=a, b=b),
+                    )
+                    .where(lambda r: (r.a.v > 0) & (r.b.tag == "aa"))
+                    .select(lambda r: new(k=r.a.k, av=r.a.v, bv=r.b.v))
+                )
+                results.append(_norm(query))
+        assert all(r == results[0] for r in results)
+
+    @given(dataset(), st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_aggregates(self, array, threshold):
+        values = []
+        objects = array.to_objects()
+        for provider in (_ALL_ON, _ALL_OFF):
+            for engine in ("linq", "compiled"):
+                q = from_iterable(objects, token="prop:S").using(engine, provider)
+                values.append(
+                    round(
+                        q.where(lambda s: s.v > P("t"))
+                        .with_params(t=threshold)
+                        .sum(lambda s: s.v),
+                        6,
+                    )
+                )
+            q = from_struct_array(array).using("native", provider)
+            values.append(
+                round(
+                    q.where(lambda s: s.v > P("t"))
+                    .with_params(t=threshold)
+                    .sum(lambda s: s.v),
+                    6,
+                )
+            )
+        assert all(v == pytest.approx(values[0], abs=1e-5) for v in values)
+
+    @given(dataset())
+    @settings(max_examples=20, deadline=None)
+    def test_distinct_concat(self, array):
+        objects = array.to_objects()
+
+        def build(provider, engine):
+            a = from_iterable(objects, token="prop:D").using(engine, provider)
+            b = from_iterable(objects, token="prop:D2").using(engine, provider)
+            return a.select(lambda s: s.k).concat(b.select(lambda s: s.k)).distinct()
+
+        results = [
+            build(provider, engine).to_list()
+            for provider in (_ALL_ON, _ALL_OFF)
+            for engine in ("linq", "compiled")
+        ]
+        assert all(r == results[0] for r in results)

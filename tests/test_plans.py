@@ -1,0 +1,328 @@
+"""Tests for expression→plan translation and the heuristic optimizer."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.expressions import (
+    Binary,
+    Constant,
+    Lambda,
+    Member,
+    Param,
+    QueryOp,
+    SourceExpr,
+    Var,
+    new,
+    trace_lambda,
+)
+from repro.plans import (
+    AggregateSpec,
+    Distinct,
+    Filter,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    OptimizeOptions,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+    TranslateOptions,
+    optimize,
+    plan_key,
+    plan_to_text,
+    translate,
+)
+
+SRC = SourceExpr(0, "Item")
+SRC2 = SourceExpr(1, "Other")
+
+
+def q(name, source, *args):
+    return QueryOp(name, source, tuple(args))
+
+
+def lam(fn):
+    return trace_lambda(fn)
+
+
+class TestTranslateBasics:
+    def test_source_becomes_scan(self):
+        assert translate(SRC) == Scan(0, "Item")
+
+    def test_where(self):
+        plan = translate(q("where", SRC, lam(lambda s: s.x > 1)))
+        assert isinstance(plan, Filter)
+        assert isinstance(plan.child, Scan)
+
+    def test_select(self):
+        plan = translate(q("select", SRC, lam(lambda s: s.x)))
+        assert isinstance(plan, Project)
+
+    def test_join(self):
+        plan = translate(
+            q(
+                "join",
+                SRC,
+                SRC2,
+                lam(lambda o: o.key),
+                lam(lambda l: l.key),
+                lam(lambda o, l: new(o=o, l=l)),
+            )
+        )
+        assert isinstance(plan, Join)
+        assert plan.left == Scan(0, "Item")
+        assert plan.right == Scan(1, "Other")
+
+    def test_take_skip(self):
+        plan = translate(q("take", q("skip", SRC, Constant(5)), Constant(3)))
+        assert isinstance(plan, Limit) and plan.count == Constant(3)
+        assert isinstance(plan.child, Limit) and plan.child.offset == Constant(5)
+
+    def test_distinct(self):
+        assert isinstance(translate(q("distinct", SRC)), Distinct)
+
+    def test_non_lambda_argument_rejected(self):
+        with pytest.raises(TranslationError, match="expected a lambda"):
+            translate(q("where", SRC, Constant(True)))
+
+    def test_wrong_arity_lambda_rejected(self):
+        with pytest.raises(TranslationError, match="1-ary"):
+            translate(q("where", SRC, lam(lambda a, b: a == b)))
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(TranslationError, match="expected a query expression"):
+            translate(Constant(3))
+
+
+class TestSortTranslation:
+    def test_order_by(self):
+        plan = translate(q("order_by", SRC, lam(lambda s: s.x)))
+        assert isinstance(plan, Sort)
+        assert plan.descending == (False,)
+
+    def test_order_by_desc_then_by(self):
+        plan = translate(
+            q("then_by", q("order_by_desc", SRC, lam(lambda s: s.x)), lam(lambda s: s.y))
+        )
+        assert isinstance(plan, Sort)
+        assert len(plan.keys) == 2
+        assert plan.descending == (True, False)
+        assert isinstance(plan.child, Scan)  # keys merged, no nested Sort
+
+    def test_then_by_requires_order_by(self):
+        with pytest.raises(TranslationError, match="then_by"):
+            translate(q("then_by", SRC, lam(lambda s: s.x)))
+
+
+class TestAggregateTranslation:
+    def _grouped_select(self, selector):
+        return q("select", q("group_by", SRC, lam(lambda s: s.k)), lam(selector))
+
+    def test_group_select_fuses(self):
+        plan = translate(self._grouped_select(lambda g: new(k=g.key, t=g.sum(lambda s: s.v))))
+        assert isinstance(plan, GroupAggregate)
+        assert [a.kind for a in plan.aggregates] == ["sum"]
+        assert plan.fused
+
+    def test_output_references_key_and_slots(self):
+        plan = translate(self._grouped_select(lambda g: new(k=g.key, t=g.sum(lambda s: s.v))))
+        fields = dict(plan.output.fields)
+        assert fields["k"] == Var("__key")
+        assert fields["t"] == Var("__agg0")
+
+    def test_shared_aggregates_deduplicate(self):
+        plan = translate(
+            self._grouped_select(
+                lambda g: new(a=g.sum(lambda s: s.v), b=g.sum(lambda s: s.v))
+            )
+        )
+        assert len(plan.aggregates) == 1
+        fields = dict(plan.output.fields)
+        assert fields["a"] == fields["b"] == Var("__agg0")
+
+    def test_sharing_can_be_disabled(self):
+        opts = TranslateOptions(share_aggregates=False)
+        plan = translate(
+            self._grouped_select(
+                lambda g: new(a=g.sum(lambda s: s.v), b=g.sum(lambda s: s.v))
+            ),
+            opts,
+        )
+        assert len(plan.aggregates) == 2
+
+    def test_fusion_can_be_disabled(self):
+        opts = TranslateOptions(fuse_aggregates=False)
+        plan = translate(
+            self._grouped_select(lambda g: new(t=g.sum(lambda s: s.v))), opts
+        )
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, GroupBy)
+
+    def test_group_by_with_result_selector(self):
+        plan = translate(
+            q(
+                "group_by",
+                SRC,
+                lam(lambda s: s.k),
+                lam(lambda g: new(k=g.key, n=g.count())),
+            )
+        )
+        assert isinstance(plan, GroupAggregate)
+        assert plan.aggregates == (AggregateSpec("count", None),)
+
+    def test_bare_group_by(self):
+        plan = translate(q("group_by", SRC, lam(lambda s: s.k)))
+        assert isinstance(plan, GroupBy)
+
+    def test_group_var_misuse_rejected(self):
+        with pytest.raises(TranslationError, match="group itself"):
+            translate(self._grouped_select(lambda g: new(g=g, n=g.count())))
+
+    def test_aggregate_outside_group_rejected(self):
+        with pytest.raises(TranslationError, match="only valid in selectors"):
+            translate(q("select", SRC, lam(lambda g: new(n=g.count()))))
+
+    def test_terminal_count(self):
+        plan = translate(q("count", SRC))
+        assert isinstance(plan, ScalarAggregate)
+        assert plan.aggregates[0].kind == "count"
+
+    def test_terminal_count_with_predicate_inserts_filter(self):
+        plan = translate(q("count", SRC, lam(lambda s: s.x > 0)))
+        assert isinstance(plan.child, Filter)
+
+    def test_terminal_sum_with_selector(self):
+        plan = translate(q("sum", SRC, lam(lambda s: s.v)))
+        assert plan.aggregates[0].kind == "sum"
+
+    def test_terminal_average_without_selector(self):
+        plan = translate(q("average", SRC))
+        assert plan.aggregates[0].kind == "avg"
+
+
+class TestOptimizerTopN:
+    def test_sort_take_fuses(self):
+        expr = q("take", q("order_by", SRC, lam(lambda s: s.x)), Constant(10))
+        plan = optimize(translate(expr))
+        assert isinstance(plan, TopN)
+        assert plan.count == Constant(10)
+
+    def test_fusion_disabled(self):
+        expr = q("take", q("order_by", SRC, lam(lambda s: s.x)), Constant(10))
+        plan = optimize(translate(expr), OptimizeOptions(fuse_topn=False))
+        assert isinstance(plan, Limit)
+
+    def test_skip_blocks_fusion(self):
+        expr = q("take", q("skip", q("order_by", SRC, lam(lambda s: s.x)), Constant(1)), Constant(10))
+        plan = optimize(translate(expr))
+        assert isinstance(plan, Limit)
+
+
+class TestOptimizerFilters:
+    def test_adjacent_filters_fuse(self):
+        expr = q("where", q("where", SRC, lam(lambda s: s.x > 1)), lam(lambda s: s.y < 2))
+        plan = optimize(translate(expr))
+        assert isinstance(plan, Filter)
+        assert isinstance(plan.child, Scan)
+        assert plan.predicate.body.op == "and"
+
+    def test_predicate_reordering_puts_cheap_first(self):
+        # string comparison is pricier than the numeric one
+        expr = q(
+            "where",
+            SRC,
+            lam(lambda s: (s.name == "London") & (s.x > 1)),
+        )
+        plan = optimize(translate(expr))
+        first_conjunct = plan.predicate.body.left
+        assert isinstance(first_conjunct, Binary)
+        assert first_conjunct.op == "gt"
+
+    def test_reordering_disabled_preserves_order(self):
+        expr = q("where", SRC, lam(lambda s: (s.name == "London") & (s.x > 1)))
+        plan = optimize(translate(expr), OptimizeOptions(reorder_predicates=False))
+        assert plan.predicate.body.left.op == "eq"
+
+
+class TestOptimizerPushdown:
+    def _join_then_filter(self):
+        join = q(
+            "join",
+            SRC,
+            SRC2,
+            lam(lambda o: o.key),
+            lam(lambda l: l.key),
+            lam(lambda o, l: new(o=o, l=l)),
+        )
+        return q(
+            "where",
+            join,
+            lam(lambda r: (r.o.total > 10) & (r.l.qty < 5) & (r.o.total > r.l.qty)),
+        )
+
+    def test_single_side_conjuncts_pushed(self):
+        plan = optimize(translate(self._join_then_filter()))
+        # the cross-side conjunct stays above the join
+        assert isinstance(plan, Filter)
+        join = plan.child
+        assert isinstance(join, Join)
+        assert isinstance(join.left, Filter)
+        assert isinstance(join.right, Filter)
+
+    def test_pushdown_disabled(self):
+        plan = optimize(
+            translate(self._join_then_filter()), OptimizeOptions(pushdown=False)
+        )
+        assert isinstance(plan, Filter)
+        assert isinstance(plan.child, Join)
+        assert isinstance(plan.child.left, Scan)
+
+    def test_opaque_result_selector_blocks_pushdown(self):
+        join = q(
+            "join",
+            SRC,
+            SRC2,
+            lam(lambda o: o.key),
+            lam(lambda l: l.key),
+            lam(lambda o, l: new(total=o.total + l.qty)),
+        )
+        expr = q("where", join, lam(lambda r: r.total > 10))
+        plan = optimize(translate(expr))
+        assert isinstance(plan, Filter)
+        assert isinstance(plan.child, Join)
+        assert isinstance(plan.child.left, Scan)
+
+    def test_whole_row_use_blocks_pushdown(self):
+        join = q(
+            "join",
+            SRC,
+            SRC2,
+            lam(lambda o: o.key),
+            lam(lambda l: l.key),
+            lam(lambda o, l: new(o=o, l=l)),
+        )
+        # r.o compared as a whole — cannot push a bare reference
+        expr = q("where", join, lam(lambda r: r.o == r.l))
+        plan = optimize(translate(expr))
+        assert isinstance(plan, Filter)
+        assert isinstance(plan.child, Join)
+
+
+class TestPlanUtilities:
+    def test_plan_key_stable(self):
+        e = q("where", SRC, lam(lambda s: s.x > Param("p")))
+        assert plan_key(translate(e)) == plan_key(translate(e))
+
+    def test_plan_key_distinguishes(self):
+        p1 = translate(q("where", SRC, lam(lambda s: s.x > Param("p"))))
+        p2 = translate(q("where", SRC, lam(lambda s: s.x < Param("p"))))
+        assert plan_key(p1) != plan_key(p2)
+
+    def test_plan_to_text_shape(self):
+        plan = translate(q("where", SRC, lam(lambda s: s.x > 1)))
+        text = plan_to_text(plan)
+        assert "Filter" in text and "Scan" in text
+        assert text.index("Filter") < text.index("Scan")

@@ -1,0 +1,249 @@
+"""Tests for the cache simulator, memory model and phase breakdowns."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.profiling import (
+    CacheHierarchy,
+    CacheLevelConfig,
+    MemoryModel,
+    aggregation_breakdown,
+    default_hierarchy,
+    join_breakdown,
+    q1_trace,
+    q2_trace,
+    q3_trace,
+    sort_breakdown,
+)
+from repro.tpch import TPCHData
+
+
+class TestCacheSimulator:
+    def _tiny(self):
+        # 2 sets × 2 ways × 64B lines = 256B cache
+        return CacheHierarchy([CacheLevelConfig("L1", 256, ways=2)])
+
+    def test_repeat_access_hits(self):
+        cache = self._tiny()
+        assert cache.access(0) == "memory"
+        assert cache.access(0) == "L1"
+        assert cache.access(32) == "L1"  # same line
+
+    def test_lru_eviction(self):
+        cache = self._tiny()
+        # lines 0, 2, 4 map to set 0 (even lines); 2-way ⇒ 0 evicted
+        cache.access(0 * 64)
+        cache.access(2 * 64)
+        cache.access(4 * 64)
+        assert cache.access(0 * 64) == "memory"
+
+    def test_lru_refresh(self):
+        cache = self._tiny()
+        cache.access(0 * 64)
+        cache.access(2 * 64)
+        cache.access(0 * 64)  # refresh 0 ⇒ 2 is now LRU
+        cache.access(4 * 64)  # evicts 2
+        assert cache.access(0 * 64) == "L1"
+        assert cache.access(2 * 64) == "memory"
+
+    def test_hierarchy_fallthrough(self):
+        cache = CacheHierarchy(
+            [CacheLevelConfig("L1", 128, ways=1), CacheLevelConfig("L2", 1024, ways=2)]
+        )
+        cache.access(0)
+        cache.access(128)  # same L1 set (1 way) evicts line 0 from L1
+        assert cache.access(0) == "L2"
+
+    def test_replay_counts(self):
+        cache = self._tiny()
+        stats = cache.replay(np.array([0, 0, 64, 64]))
+        assert stats["accesses"] == 4
+        assert stats["L1_misses"] == 2
+
+    def test_sequential_beats_random(self):
+        n = 4000
+        seq = np.arange(n) * 8
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 64 * 1024 * 1024, n)
+        c1 = default_hierarchy()
+        c1.replay(seq)
+        c2 = default_hierarchy()
+        c2.replay(rand)
+        assert c1.llc_misses < c2.llc_misses
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig("L1", 100, ways=3)
+
+    def test_reset(self):
+        cache = self._tiny()
+        cache.access(0)
+        cache.reset()
+        assert cache.levels[0].misses == 0
+        assert cache.access(0) == "memory"
+
+
+class TestMemoryModel:
+    def test_regions_do_not_overlap(self):
+        model = MemoryModel()
+        a = model.allocate(1000)
+        b = model.allocate(1000)
+        assert b >= a + 1000
+
+    def test_scattered_layout_mostly_sequential_with_fragmentation(self):
+        model = MemoryModel()
+        addresses = model.scattered_layout(1000, 64, fragmentation=0.2)
+        ascending = (np.diff(addresses) > 0).mean()
+        assert 0.5 < ascending < 1.0  # compacted order, some displacement
+
+    def test_scattered_layout_zero_fragmentation_is_sequential(self):
+        model = MemoryModel()
+        addresses = model.scattered_layout(100, 64, fragmentation=0.0)
+        assert (np.diff(addresses) == 64).all()
+
+    def test_sequential_scan_trace(self):
+        model = MemoryModel()
+        base = model.allocate(800)
+        model.sequential_scan(base, 10, 80)
+        trace = model.build()
+        assert list(trace) == [base + i * 80 for i in range(10)]
+
+    def test_deterministic(self):
+        t1 = q1_trace("linq", {"n_input": 500, "n_selected": 300, "n_groups": 4})
+        t2 = q1_trace("linq", {"n_input": 500, "n_selected": 300, "n_groups": 4})
+        assert (t1 == t2).all()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            q1_trace("quantum", {"n_input": 10, "n_selected": 5, "n_groups": 1})
+
+
+class TestFigure14Orderings:
+    """The memory model must reproduce the paper's relative miss ordering.
+
+    Traces replay against :func:`scaled_hierarchy`: laptop-scale datasets
+    against full-size caches would fit entirely and flatten every curve.
+    """
+
+    def _misses(self, trace):
+        from repro.profiling import scaled_hierarchy
+
+        cache = scaled_hierarchy()
+        cache.replay(trace)
+        return cache.llc_misses
+
+    def test_q1_ordering(self):
+        counts = {"n_input": 20_000, "n_selected": 19_000, "n_groups": 4}
+        misses = {
+            engine: self._misses(q1_trace(engine, counts))
+            for engine in ("linq", "compiled", "native", "hybrid")
+        }
+        # Figure 14, Q1: LINQ worst (extra per-aggregate passes), native best
+        assert misses["linq"] > 3 * misses["compiled"]
+        assert misses["compiled"] > misses["native"]
+        assert misses["hybrid"] > misses["native"]
+        assert misses["hybrid"] < misses["linq"]
+
+    def test_q3_hybrid_tables_beat_native_when_probes_dominate(self):
+        # SF-1-like regime: the join hash table dwarfs the LLC for the
+        # native engine but is near-resident after the implicit projection
+        counts = {
+            "n_lineitem": 50_000,
+            "n_li_sel": 45_000,
+            "n_orders": 12_000,
+            "n_ord_sel": 9_000,
+            "n_customer": 1_500,
+            "n_cust_sel": 300,
+            "n_matches": 8_000,
+            "n_groups": 6_500,
+        }
+        misses = {
+            engine: self._misses(q3_trace(engine, counts))
+            for engine in ("linq", "native", "hybrid", "hybrid_buffered")
+        }
+        assert misses["linq"] > misses["native"]
+        # smaller projected hash tables: hybrid-full beats native on probing
+        assert misses["hybrid"] < misses["native"]
+        # full materialization reduces cache pressure vs interleaving
+        assert misses["hybrid"] < misses["hybrid_buffered"]
+
+    def test_q2_linq_worst(self):
+        counts = {
+            "n_part": 2000,
+            "n_partsupp": 8000,
+            "n_supplier": 100,
+            "n_regional_costs": 1600,
+            "n_candidates": 30,
+            "n_groups": 900,
+        }
+        misses = {
+            engine: self._misses(q2_trace(engine, counts))
+            for engine in ("linq", "compiled", "native")
+        }
+        assert misses["linq"] > misses["compiled"] >= misses["native"]
+
+    def test_proportional_hierarchy_scales(self):
+        from repro.profiling import proportional_hierarchy
+
+        cache = proportional_hierarchy(0.01)
+        sizes = [level.config.size_bytes for level in cache.levels]
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert sizes[2] <= 3 * 1024 * 1024 * 0.011
+        with pytest.raises(ValueError):
+            proportional_hierarchy(0)
+
+
+class TestBreakdowns:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return TPCHData(scale=0.002)
+
+    def test_aggregation_breakdown_phases(self, data):
+        result = aggregation_breakdown(data.objects("lineitem"), qmax=25.0)
+        assert set(result.phases) == {
+            "iterate",
+            "predicates",
+            "staging",
+            "aggregation",
+            "return_result",
+        }
+        assert all(v >= 0 for v in result.phases.values())
+        assert result.total > 0
+        assert "total=" in result.as_row()
+
+    def test_sort_breakdown_phases(self, data):
+        result = sort_breakdown(data.objects("lineitem"), qmax=25.0)
+        assert set(result.phases) == {
+            "iterate",
+            "predicates",
+            "staging",
+            "quicksort",
+            "return_result",
+        }
+        assert result.total > 0
+
+    def test_join_breakdown_phases(self, data):
+        result = join_breakdown(
+            data.objects("lineitem"),
+            data.objects("orders"),
+            data.objects("customer"),
+            qmax=25.0,
+            order_cutoff=datetime.date(1996, 1, 1),
+            segment="BUILDING",
+        )
+        assert set(result.phases) == {
+            "iterate",
+            "predicates",
+            "staging",
+            "build_hash_tables",
+            "probe_and_return",
+        }
+        assert result.total > 0
+
+    def test_staging_cost_grows_with_selectivity(self, data):
+        lineitems = data.objects("lineitem")
+        low = aggregation_breakdown(lineitems, qmax=5.0)
+        high = aggregation_breakdown(lineitems, qmax=50.0)
+        assert high.phases["staging"] > low.phases["staging"]

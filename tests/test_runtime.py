@@ -1,0 +1,252 @@
+"""Tests for runtime support structures (hash tables, sorting, top-N, aggregates)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    AggSpec,
+    GroupTable,
+    Grouping,
+    JoinTable,
+    TopNHeap,
+    argsort_indexes,
+    build_join_table,
+    multi_key_less,
+    plan_accumulators,
+    python_sorted_indexes,
+    quicksort_indexes,
+)
+
+
+class TestGrouping:
+    def test_iterates_elements(self):
+        g = Grouping("k", [1, 2, 3])
+        assert list(g) == [1, 2, 3]
+        assert len(g) == 3
+        assert g.key == "k"
+
+
+class TestGroupTable:
+    def test_groups_preserve_first_seen_order(self):
+        table = GroupTable()
+        for key, value in [("b", 1), ("a", 2), ("b", 3), ("c", 4)]:
+            table.add(key, value)
+        groups = list(table.groupings())
+        assert [g.key for g in groups] == ["b", "a", "c"]
+        assert list(groups[0]) == [1, 3]
+
+    def test_len_counts_groups(self):
+        table = GroupTable()
+        table.add("x", 1)
+        table.add("x", 2)
+        table.add("y", 3)
+        assert len(table) == 2
+
+
+class TestJoinTable:
+    def test_probe_hit_and_miss(self):
+        table = build_join_table([(1, "a"), (2, "b"), (1, "c")], key_fn=lambda t: t[0])
+        assert [v for _, v in table.probe(1)] == ["a", "c"]
+        assert table.probe(99) == []
+        assert 1 in table and 99 not in table
+
+    def test_probe_miss_returns_shared_empty_safely(self):
+        table = JoinTable()
+        miss1 = table.probe("x")
+        miss2 = table.probe("y")
+        assert miss1 == [] and miss2 == []
+
+
+class TestQuicksort:
+    def test_empty_and_single(self):
+        assert quicksort_indexes([]) == []
+        assert quicksort_indexes([5]) == [0]
+
+    def test_matches_sorted(self):
+        rng = random.Random(7)
+        keys = [rng.randint(0, 1000) for _ in range(500)]
+        order = quicksort_indexes(keys)
+        assert [keys[i] for i in order] == sorted(keys)
+
+    def test_descending(self):
+        keys = [3, 1, 4, 1, 5, 9, 2, 6]
+        order = quicksort_indexes(keys, descending=True)
+        assert [keys[i] for i in order] == sorted(keys, reverse=True)
+
+    def test_presorted_input_no_recursion_blowup(self):
+        keys = list(range(5000))
+        assert [keys[i] for i in quicksort_indexes(keys)] == keys
+
+    def test_reversed_input(self):
+        keys = list(range(2000, 0, -1))
+        order = quicksort_indexes(keys)
+        assert [keys[i] for i in order] == sorted(keys)
+
+    def test_all_equal_keys(self):
+        keys = [7] * 100
+        assert sorted(quicksort_indexes(keys)) == list(range(100))
+
+    def test_stable_on_ties(self):
+        # LINQ's OrderBy is stable: equal keys keep input order
+        keys = [1, 0, 1, 0, 1]
+        assert quicksort_indexes(keys) == [1, 3, 0, 2, 4]
+        assert quicksort_indexes(keys, descending=True) == [0, 2, 4, 1, 3]
+
+    @given(st.lists(st.integers(0, 5), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_stability(self, keys):
+        order = quicksort_indexes(keys)
+        expected = sorted(range(len(keys)), key=lambda i: (keys[i], i))
+        assert order == expected
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_agrees_with_sorted(self, keys):
+        order = quicksort_indexes(keys)
+        assert [keys[i] for i in order] == sorted(keys)
+        assert sorted(order) == list(range(len(keys)))
+
+    def test_argsort_agrees_with_quicksort_values(self):
+        keys = np.array([5.0, 1.0, 3.0, 3.0, 2.0])
+        py_vals = [keys[i] for i in quicksort_indexes(list(keys))]
+        np_vals = list(keys[argsort_indexes(keys)])
+        assert py_vals == np_vals
+
+
+class TestMultiKeySort:
+    def test_single_key(self):
+        keys = [3, 1, 2]
+        assert python_sorted_indexes(keys) == [1, 2, 0]
+
+    def test_two_keys_mixed_directions(self):
+        # sort by first asc, second desc
+        keys = [(1, "a"), (0, "b"), (1, "c"), (0, "a")]
+        order = python_sorted_indexes(keys, directions=[False, True])
+        assert [keys[i] for i in order] == [(0, "b"), (0, "a"), (1, "c"), (1, "a")]
+
+    def test_stability(self):
+        keys = [(1,), (1,), (0,)]
+        order = python_sorted_indexes(keys, directions=[False])
+        assert order == [2, 0, 1]
+
+    def test_multi_key_less(self):
+        assert multi_key_less((1, 2), (1, 3), [False, False])
+        assert not multi_key_less((1, 3), (1, 2), [False, False])
+        assert multi_key_less((1, 3), (1, 2), [False, True])
+        assert not multi_key_less((1, 2), (1, 2), [False, False])
+
+
+class TestTopNHeap:
+    def _topn(self, keys, limit, directions=(False,)):
+        heap = TopNHeap(limit, directions)
+        for i, k in enumerate(keys):
+            heap.offer((k,), f"e{i}")
+        return heap.results()
+
+    def test_keeps_n_smallest_ascending(self):
+        results = self._topn([5, 1, 4, 2, 3], limit=2)
+        assert results == ["e1", "e3"]
+
+    def test_keeps_n_largest_descending(self):
+        results = self._topn([5, 1, 4, 2, 3], limit=2, directions=(True,))
+        assert results == ["e0", "e2"]
+
+    def test_limit_exceeds_input(self):
+        assert self._topn([2, 1], limit=10) == ["e1", "e0"]
+
+    def test_zero_limit(self):
+        assert self._topn([1, 2, 3], limit=0) == []
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            TopNHeap(-1, (False,))
+
+    def test_stable_for_equal_keys(self):
+        results = self._topn([1, 1, 1, 1], limit=3)
+        assert results == ["e0", "e1", "e2"]
+
+    @given(st.lists(st.integers(0, 50), max_size=100), st.integers(0, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_sorted_take(self, keys, limit):
+        heap = TopNHeap(limit, (False,))
+        for i, k in enumerate(keys):
+            heap.offer((k,), (k, i))
+        expected = sorted(((k, i) for i, k in enumerate(keys)))[:limit]
+        assert heap.results() == expected
+
+
+class TestFusedAggregates:
+    def _run(self, specs, elements):
+        plan = plan_accumulators(specs)
+        acc = plan.new_accumulator()
+        for e in elements:
+            acc.update(e)
+        return plan.finalize(acc), plan
+
+    def test_single_sum(self):
+        results, _ = self._run([AggSpec("sum", "v", lambda e: e)], [1, 2, 3])
+        assert results == [6]
+
+    def test_count_without_selector(self):
+        results, _ = self._run([AggSpec("count", None)], ["a", "b"])
+        assert results == [2]
+
+    def test_min_max(self):
+        specs = [AggSpec("min", "v", lambda e: e), AggSpec("max", "v", lambda e: e)]
+        results, _ = self._run(specs, [3, 1, 2])
+        assert results == [1, 3]
+
+    def test_avg_decomposes_into_shared_sum_and_count(self):
+        specs = [
+            AggSpec("avg", "v", lambda e: e),
+            AggSpec("sum", "v", lambda e: e),
+            AggSpec("count", None),
+        ]
+        results, plan = self._run(specs, [2, 4])
+        assert results == [3.0, 6, 2]
+        # CSE: avg shares the sum and the count slots — only 2 physical slots
+        assert len(plan.slots) == 2
+
+    def test_duplicate_specs_share_slots(self):
+        specs = [
+            AggSpec("sum", "price", lambda e: e),
+            AggSpec("sum", "price", lambda e: e),
+        ]
+        results, plan = self._run(specs, [1, 2])
+        assert results == [3, 3]
+        assert len(plan.slots) == 1
+
+    def test_distinct_selectors_get_distinct_slots(self):
+        specs = [
+            AggSpec("sum", "a", lambda e: e[0]),
+            AggSpec("sum", "b", lambda e: e[1]),
+        ]
+        results, plan = self._run(specs, [(1, 10), (2, 20)])
+        assert results == [3, 30]
+        assert len(plan.slots) == 2
+
+    def test_avg_of_empty_group_is_none(self):
+        results, _ = self._run([AggSpec("avg", "v", lambda e: e)], [])
+        assert results == [None]
+
+    def test_only_one_count_slot_across_avgs(self):
+        specs = [
+            AggSpec("avg", "a", lambda e: e[0]),
+            AggSpec("avg", "b", lambda e: e[1]),
+        ]
+        results, plan = self._run(specs, [(2, 10), (4, 30)])
+        assert results == [3.0, 20.0]
+        kinds = [k for k, _ in plan.slots]
+        assert kinds.count("count") == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AggSpec("median", "v", lambda e: e)
+
+    def test_missing_selector_rejected(self):
+        with pytest.raises(ValueError):
+            AggSpec("sum", "v", None)

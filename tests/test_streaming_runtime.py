@@ -1,0 +1,116 @@
+"""Tests for the buffered-materialization merge structures (§6.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime.streaming import StreamingGroupAggregator, StreamingJoinProbe
+from repro.runtime.vectorized import hash_join_indexes
+
+
+class TestStreamingGroupAggregator:
+    def test_single_page_matches_kernel(self):
+        keys = np.array([1, 2, 1, 2, 1])
+        values = np.array([1.0, 10.0, 2.0, 20.0, 3.0])
+        merger = StreamingGroupAggregator(1, ["sum", "count"])
+        merger.consume_page((keys,), [values, None])
+        (gk,), (sums, counts) = merger.finalize()
+        assert list(gk) == [1, 2]
+        assert list(sums) == [6.0, 30.0]
+        assert list(counts) == [3, 2]
+
+    def test_multi_page_merge_equals_single_pass(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 10, 1000)
+        values = rng.random(1000)
+        merger = StreamingGroupAggregator(1, ["sum", "min", "max", "count"])
+        for start in range(0, 1000, 128):
+            page_keys = keys[start : start + 128]
+            page_values = values[start : start + 128]
+            merger.consume_page(
+                (page_keys,), [page_values, page_values, page_values, None]
+            )
+        (gk,), (sums, lows, highs, counts) = merger.finalize()
+        for i, key in enumerate(gk):
+            mask = keys == key
+            assert sums[i] == pytest.approx(values[mask].sum())
+            assert lows[i] == pytest.approx(values[mask].min())
+            assert highs[i] == pytest.approx(values[mask].max())
+            assert counts[i] == mask.sum()
+
+    def test_first_seen_order_across_pages(self):
+        merger = StreamingGroupAggregator(1, ["count"])
+        merger.consume_page((np.array([5, 3]),), [None])
+        merger.consume_page((np.array([9, 3]),), [None])
+        (gk,), _ = merger.finalize()
+        assert list(gk) == [5, 3, 9]
+
+    def test_composite_keys(self):
+        merger = StreamingGroupAggregator(2, ["count"])
+        merger.consume_page(
+            (np.array([1, 1, 2]), np.array([b"a", b"b", b"a"])), [None]
+        )
+        (k1, k2), (counts,) = merger.finalize()
+        assert list(zip(k1.tolist(), k2.tolist(), counts.tolist())) == [
+            (1, b"a", 1), (1, b"b", 1), (2, b"a", 1),
+        ]
+
+    def test_empty_page_ignored(self):
+        merger = StreamingGroupAggregator(1, ["sum"])
+        merger.consume_page((np.zeros(0, dtype=np.int64),), [np.zeros(0)])
+        (gk,), (sums,) = merger.finalize()
+        assert len(gk) == 0 and len(sums) == 0
+
+    def test_no_pages_finalizes_empty(self):
+        merger = StreamingGroupAggregator(2, ["sum", "count"])
+        keys, aggs = merger.finalize()
+        assert len(keys) == 2 and all(len(k) == 0 for k in keys)
+        assert all(len(a) == 0 for a in aggs)
+
+    def test_avg_rejected(self):
+        with pytest.raises(ExecutionError, match="cannot merge across pages"):
+            StreamingGroupAggregator(1, ["avg"])
+
+    def test_bytes_min_max_merge(self):
+        merger = StreamingGroupAggregator(1, ["min", "max"])
+        merger.consume_page(
+            (np.array([1, 1]),), [np.array([b"m", b"m"]), np.array([b"m", b"m"])]
+        )
+        merger.consume_page(
+            (np.array([1]),), [np.array([b"a"]), np.array([b"a"])]
+        )
+        (gk,), (lows, highs) = merger.finalize()
+        assert lows[0] == b"a" and highs[0] == b"m"
+
+
+class TestStreamingJoinProbe:
+    def test_page_probes_match_one_shot_join(self):
+        rng = np.random.default_rng(11)
+        build = rng.integers(0, 30, 200)
+        probe_keys = rng.integers(0, 30, 500)
+        one_li, one_ri = hash_join_indexes(probe_keys, build)
+        expected = set(zip(one_li.tolist(), one_ri.tolist()))
+
+        probe = StreamingJoinProbe(build)
+        got = set()
+        for start in range(0, 500, 64):
+            page = probe_keys[start : start + 64]
+            li, ri = probe.probe(page)
+            got.update(zip((li + start).tolist(), ri.tolist()))
+        assert got == expected
+
+    def test_empty_build(self):
+        probe = StreamingJoinProbe(np.zeros(0, dtype=np.int64))
+        li, ri = probe.probe(np.array([1, 2]))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_empty_page(self):
+        probe = StreamingJoinProbe(np.array([1, 2]))
+        li, ri = probe.probe(np.zeros(0, dtype=np.int64))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_duplicate_build_keys_expand(self):
+        probe = StreamingJoinProbe(np.array([7, 7, 7]))
+        li, ri = probe.probe(np.array([7]))
+        assert list(li) == [0, 0, 0]
+        assert sorted(ri.tolist()) == [0, 1, 2]

@@ -1,0 +1,159 @@
+"""TPC-H substrate tests: datagen determinism + Q1–Q3 on every engine."""
+
+import datetime
+
+import pytest
+
+from repro.query import QueryProvider
+from repro.tpch import (
+    TPCHData,
+    aggregation_micro,
+    join_micro,
+    q1,
+    q2,
+    q3,
+    reference_join_micro,
+    reference_q1,
+    reference_q2,
+    reference_q3,
+    relation_query,
+    sorting_micro,
+)
+
+SCALE = 0.003
+ENGINES = ("linq", "compiled", "native", "hybrid", "hybrid_buffered")
+
+
+@pytest.fixture(scope="module")
+def data():
+    return TPCHData(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def provider():
+    return QueryProvider()
+
+
+class TestDatagen:
+    def test_deterministic_across_instances(self, data):
+        other = TPCHData(scale=SCALE)
+        for name in ("lineitem", "orders", "part"):
+            assert (other.arrays(name).data == data.arrays(name).data).all()
+
+    def test_seed_changes_data(self, data):
+        other = TPCHData(scale=SCALE, seed=7)
+        a, b = other.arrays("lineitem").data, data.arrays("lineitem").data
+        assert len(a) != len(b) or not (a == b).all()
+
+    def test_row_counts_scale(self, data):
+        assert data.row_count("region") == 5
+        assert data.row_count("nation") == 25
+        assert data.row_count("orders") == int(1_500_000 * SCALE)
+        # ~4 lineitems per order
+        ratio = data.row_count("lineitem") / data.row_count("orders")
+        assert 3.0 < ratio < 5.0
+
+    def test_referential_integrity(self, data):
+        customers = set(data.arrays("customer").column("c_custkey").tolist())
+        for o in data.objects("orders")[:200]:
+            assert o.o_custkey in customers
+        orders = set(data.arrays("orders").column("o_orderkey").tolist())
+        for l in data.objects("lineitem")[:200]:
+            assert l.l_orderkey in orders
+
+    def test_date_correlations(self, data):
+        for l in data.objects("lineitem")[:200]:
+            assert l.l_shipdate < l.l_receiptdate
+            assert l.l_shipdate > datetime.date(1992, 1, 1)
+
+    def test_partsupp_pairs_unique(self, data):
+        ps = data.arrays("partsupp")
+        pairs = list(zip(ps.column("ps_partkey").tolist(), ps.column("ps_suppkey").tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TPCHData(scale=0)
+
+
+class TestQ1:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_matches_reference(self, data, provider, engine):
+        expected = reference_q1(data)
+        rows = q1(data, engine, provider).to_list()
+        assert len(rows) == len(expected)
+        for got, exp in zip(rows, expected):
+            assert (got.l_returnflag, got.l_linestatus) == (exp[0], exp[1])
+            assert got.sum_qty == pytest.approx(exp[2])
+            assert got.sum_base_price == pytest.approx(exp[3])
+            assert got.sum_disc_price == pytest.approx(exp[4])
+            assert got.sum_charge == pytest.approx(exp[5])
+            assert got.avg_qty == pytest.approx(exp[6])
+            assert got.avg_price == pytest.approx(exp[7])
+            assert got.avg_disc == pytest.approx(exp[8])
+            assert got.count_order == exp[9]
+
+
+class TestQ2:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_matches_reference(self, data, provider, engine):
+        expected = reference_q2(data)
+        rows = q2(data, engine, provider).to_list()
+        got = [(round(r.s_acctbal, 2), r.s_name, r.n_name, r.p_partkey, r.p_mfgr) for r in rows]
+        exp = [(round(a, 2), b, c, d, e) for a, b, c, d, e in expected]
+        assert got == exp
+
+
+class TestQ3:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_matches_reference(self, data, provider, engine):
+        expected = reference_q3(data)
+        rows = q3(data, engine, provider).to_list()
+        got = [(r.l_orderkey, round(r.revenue, 2), r.o_orderdate, r.o_shippriority) for r in rows]
+        exp = [(a, round(b, 2), c, d) for a, b, c, d in expected]
+        assert got == exp
+
+
+class TestMicros:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("selectivity", (0.2, 1.0))
+    def test_aggregation_micro_consistent(self, data, provider, engine, selectivity):
+        rows = aggregation_micro(data, engine, selectivity, provider).to_list()
+        baseline = aggregation_micro(data, "linq", selectivity, provider).to_list()
+        got = {(r.rf, r.ls): (round(r.sum_qty, 2), r.count_order) for r in rows}
+        exp = {(r.rf, r.ls): (round(r.sum_qty, 2), r.count_order) for r in baseline}
+        assert got == exp
+
+    @pytest.mark.parametrize("engine", ("compiled", "native", "hybrid_min"))
+    def test_sorting_micro_consistent(self, data, provider, engine):
+        got = [r.l_extendedprice for r in sorting_micro(data, engine, 0.3, provider)]
+        exp = [r.l_extendedprice for r in sorting_micro(data, "linq", 0.3, provider)]
+        assert got == pytest.approx(exp)
+
+    @pytest.mark.parametrize(
+        "engine",
+        ENGINES + ("hybrid_min", "hybrid_min_buffered"),
+    )
+    def test_join_micro_row_count(self, data, provider, engine):
+        rows = join_micro(data, engine, 0.5, provider).to_list()
+        assert len(rows) == reference_join_micro(data, 0.5)
+
+    def test_selectivity_monotone(self, data, provider):
+        counts = [
+            relation_query(data, "lineitem", "native", provider)
+            .where(lambda l: l.l_quantity <= 50.0 * s)
+            .count()
+            for s in (0.2, 0.5, 1.0)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+        assert counts[2] == data.row_count("lineitem")
+
+    def test_selectivity_approximates_target(self, data, provider):
+        total = data.row_count("lineitem")
+        for s in (0.1, 0.5, 0.9):
+            n = (
+                relation_query(data, "lineitem", "native", provider)
+                .where(lambda l: l.l_quantity <= 50.0 * s)
+                .count()
+            )
+            assert abs(n / total - s) < 0.05

@@ -1,0 +1,215 @@
+"""Tests for the NumPy kernels used by generated native code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.vectorized import (
+    distinct_indexes,
+    factorize,
+    group_aggregate,
+    hash_join_indexes,
+    semi_join_mask,
+    sort_indexes,
+    topn_indexes,
+)
+
+
+class TestFactorize:
+    def test_codes_rank_in_sorted_order(self):
+        codes, uniques = factorize(np.array([30, 10, 30, 20]))
+        assert list(uniques) == [10, 20, 30]
+        assert list(codes) == [2, 0, 2, 1]
+
+    def test_bytes(self):
+        codes, uniques = factorize(np.array([b"b", b"a", b"b"]))
+        assert list(uniques) == [b"a", b"b"]
+        assert list(codes) == [1, 0, 1]
+
+
+class TestGroupAggregate:
+    def test_single_key_sum_count(self):
+        keys = np.array([2, 1, 2, 1, 2])
+        vals = np.array([1.0, 10.0, 2.0, 20.0, 3.0])
+        (gk,), (sums, counts) = group_aggregate(
+            [keys], [("sum", vals), ("count", None)]
+        )
+        # first-seen order: group 2 first, then group 1
+        assert list(gk) == [2, 1]
+        assert list(sums) == [6.0, 30.0]
+        assert list(counts) == [3, 2]
+
+    def test_avg_min_max(self):
+        keys = np.array([1, 1, 2])
+        vals = np.array([4.0, 8.0, 5.0])
+        _, (avgs, lows, highs) = group_aggregate(
+            [keys], [("avg", vals), ("min", vals), ("max", vals)]
+        )
+        assert list(avgs) == [6.0, 5.0]
+        assert list(lows) == [4.0, 5.0]
+        assert list(highs) == [8.0, 5.0]
+
+    def test_int_min_max(self):
+        keys = np.array([1, 1, 2])
+        vals = np.array([4, 8, 5], dtype=np.int64)
+        _, (lows, highs) = group_aggregate([keys], [("min", vals), ("max", vals)])
+        assert list(lows) == [4, 5]
+        assert list(highs) == [8, 5]
+
+    def test_bytes_min_max(self):
+        keys = np.array([1, 1, 2])
+        vals = np.array([b"x", b"a", b"m"])
+        _, (lows, highs) = group_aggregate([keys], [("min", vals), ("max", vals)])
+        assert list(lows) == [b"a", b"m"]
+        assert list(highs) == [b"x", b"m"]
+
+    def test_composite_key(self):
+        k1 = np.array([1, 1, 2, 1])
+        k2 = np.array([b"a", b"b", b"a", b"a"])
+        (g1, g2), (counts,) = group_aggregate([k1, k2], [("count", None)])
+        groups = list(zip(g1.tolist(), g2.tolist()))
+        assert groups == [(1, b"a"), (1, b"b"), (2, b"a")]
+        assert list(counts) == [2, 1, 1]
+
+    def test_requires_key(self):
+        with pytest.raises(ValueError):
+            group_aggregate([], [("count", None)])
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(-100, 100)), min_size=1, max_size=100)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_python_grouping(self, pairs):
+        keys = np.array([k for k, _ in pairs])
+        vals = np.array([v for _, v in pairs], dtype=np.float64)
+        (gk,), (sums,) = group_aggregate([keys], [("sum", vals)])
+        expected = {}
+        order = []
+        for k, v in pairs:
+            if k not in expected:
+                order.append(k)
+                expected[k] = 0.0
+            expected[k] += v
+        assert list(gk) == order
+        assert [round(s, 6) for s in sums] == [round(expected[k], 6) for k in order]
+
+
+class TestHashJoin:
+    def test_basic_match(self):
+        li, ri = hash_join_indexes(np.array([1, 2, 3]), np.array([2, 3, 3]))
+        pairs = list(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(1, 0), (2, 1), (2, 2)]
+
+    def test_preserves_probe_order_and_build_order(self):
+        left = np.array([5, 1, 5])
+        right = np.array([5, 9, 5])
+        li, ri = hash_join_indexes(left, right)
+        assert li.tolist() == [0, 0, 2, 2]
+        assert ri.tolist() == [0, 2, 0, 2]
+
+    def test_empty_inputs(self):
+        li, ri = hash_join_indexes(np.array([], dtype=np.int64), np.array([1]))
+        assert len(li) == 0 and len(ri) == 0
+        li, ri = hash_join_indexes(np.array([1]), np.array([], dtype=np.int64))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_bytes_keys(self):
+        li, ri = hash_join_indexes(np.array([b"a", b"b"]), np.array([b"b"]))
+        assert li.tolist() == [1] and ri.tolist() == [0]
+
+    @given(
+        st.lists(st.integers(0, 8), max_size=40),
+        st.lists(st.integers(0, 8), max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_nested_loop(self, left, right):
+        la, ra = np.array(left, dtype=np.int64), np.array(right, dtype=np.int64)
+        li, ri = hash_join_indexes(la, ra)
+        got = list(zip(li.tolist(), ri.tolist()))
+        expected = [
+            (i, j) for i, lv in enumerate(left) for j, rv in enumerate(right) if lv == rv
+        ]
+        assert got == expected
+
+
+class TestSemiJoin:
+    def test_mask(self):
+        mask = semi_join_mask(np.array([1, 2, 3]), np.array([2, 9]))
+        assert mask.tolist() == [False, True, False]
+
+    def test_empty_right(self):
+        mask = semi_join_mask(np.array([1, 2]), np.array([], dtype=np.int64))
+        assert mask.tolist() == [False, False]
+
+
+class TestSortIndexes:
+    def test_single_ascending(self):
+        order = sort_indexes([np.array([3, 1, 2])], [False])
+        assert order.tolist() == [1, 2, 0]
+
+    def test_single_descending(self):
+        order = sort_indexes([np.array([3, 1, 2])], [True])
+        assert order.tolist() == [0, 2, 1]
+
+    def test_descending_bytes(self):
+        order = sort_indexes([np.array([b"a", b"c", b"b"])], [True])
+        assert order.tolist() == [1, 2, 0]
+
+    def test_multi_key_mixed_directions(self):
+        k1 = np.array([1, 0, 1, 0])
+        k2 = np.array([10.0, 20.0, 30.0, 40.0])
+        order = sort_indexes([k1, k2], [False, True])
+        assert order.tolist() == [3, 1, 2, 0]
+
+    def test_stability(self):
+        k = np.array([1, 1, 0])
+        order = sort_indexes([k], [False])
+        assert order.tolist() == [2, 0, 1]
+
+
+class TestTopN:
+    def test_numeric_fast_path(self):
+        keys = np.array([5.0, 1.0, 4.0, 2.0, 3.0])
+        idx = topn_indexes([keys], [False], 2)
+        assert idx.tolist() == [1, 3]
+
+    def test_descending(self):
+        keys = np.array([5.0, 1.0, 4.0])
+        idx = topn_indexes([keys], [True], 2)
+        assert idx.tolist() == [0, 2]
+
+    def test_n_larger_than_input(self):
+        keys = np.array([2, 1])
+        assert topn_indexes([keys], [False], 10).tolist() == [1, 0]
+
+    def test_zero(self):
+        assert len(topn_indexes([np.array([1, 2])], [False], 0)) == 0
+
+    def test_ties_stable(self):
+        keys = np.array([1.0, 1.0, 1.0, 0.0])
+        idx = topn_indexes([keys], [False], 3)
+        assert idx.tolist() == [3, 0, 1]
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=60), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_sorted_prefix(self, values, n):
+        keys = np.array(values, dtype=np.int64)
+        idx = topn_indexes([keys], [False], n)
+        expected = sorted(range(len(values)), key=lambda i: (values[i], i))[:n]
+        assert idx.tolist() == expected
+
+
+class TestDistinct:
+    def test_first_occurrences(self):
+        cols = [np.array([1, 2, 1, 3, 2])]
+        assert distinct_indexes(cols).tolist() == [0, 1, 3]
+
+    def test_composite(self):
+        c1 = np.array([1, 1, 1])
+        c2 = np.array([b"a", b"b", b"a"])
+        assert distinct_indexes([c1, c2]).tolist() == [0, 1]
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            distinct_indexes([])
