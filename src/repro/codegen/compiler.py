@@ -19,6 +19,10 @@ from ..errors import CodegenError
 
 __all__ = ["CompiledQuery", "compile_source", "timed"]
 
+#: module-level switch for the AST verifier gate (see codegen.verifier);
+#: benchmarks can flip this off, or set REPRO_VERIFY_GENERATED=0
+VERIFY_GENERATED: Optional[bool] = None
+
 #: name of the generated entry point, mirroring the paper's ``Execute``
 ENTRY_POINT = "execute"
 
@@ -39,6 +43,12 @@ class CompiledQuery:
     compile_seconds: float = 0.0
     #: True when fn returns a scalar instead of an iterator
     scalar: bool = False
+    #: static analysis of the originating query (set by the provider)
+    analysis: Any = None
+    #: engine capability report for the plan (set by the provider)
+    capability: Any = None
+    #: AST verifier report for the generated module (set by compile_source)
+    verifier_report: Any = None
 
     def execute(self, sources: List[Any], params: Dict[str, Any]) -> Any:
         return self.fn(sources, params)
@@ -49,20 +59,45 @@ def compile_source(
     namespace: Dict[str, Any],
     entry_point: str = ENTRY_POINT,
     filename: str = "<repro-generated>",
+    verify: Optional[bool] = None,
 ) -> tuple:
     """Compile *source* into *namespace* and return (entry_fn, seconds).
 
     The namespace already holds every runtime object the printer bound
     (record types, helper functions, numpy); it becomes the module globals
     of the generated function.
+
+    Before executing, the module is checked by the AST verifier (see
+    :mod:`repro.codegen.verifier`) — on by default, opt out per call with
+    ``verify=False``, per process with ``compiler.VERIFY_GENERATED =
+    False``, or via ``REPRO_VERIFY_GENERATED=0``.  Violations raise
+    :class:`~repro.errors.GeneratedCodeViolation` (a ``CodegenError``)
+    carrying the report and the offending source.
     """
+    from . import verifier as _verifier
+
+    if verify is None:
+        verify = (
+            VERIFY_GENERATED
+            if VERIFY_GENERATED is not None
+            else _verifier.verification_enabled()
+        )
+    report = None
+    if verify:
+        # raises GeneratedCodeViolation with the report chained in
+        report = _verifier.check_generated(source, namespace, entry_point)
+        # stash for the provider: fn.__globals__ carries it out
+        namespace["__verifier_report__"] = report
     started = time.perf_counter()
     try:
         code = compile(source, filename, "exec")
         exec(code, namespace)  # noqa: S102 - executing our own generated code
     except SyntaxError as exc:
         raise CodegenError(
-            f"generated source failed to compile: {exc}\n--- source ---\n{source}"
+            f"generated source failed to compile: {exc}"
+            f"\n--- verifier ---\n"
+            f"{report.describe() if report is not None else 'verifier not run'}"
+            f"\n--- source ---\n{source}"
         ) from exc
     elapsed = time.perf_counter() - started
     entry = namespace.get(entry_point)

@@ -70,6 +70,9 @@ from .source import NameAllocator, SourceWriter
 __all__ = ["NativeBackend", "VectorPrinter", "ColumnRef", "Frame", "schema_for_sources"]
 
 _BOOL_OPS = {"eq", "ne", "lt", "le", "gt", "ge", "and", "or"}
+
+#: kinds whose numpy arithmetic widens to int64
+_INT_FAMILY = {"int", "int32", "bool"}
 _NUMERIC_RESULT = {"add", "sub", "mul", "truediv", "floordiv", "mod", "pow"}
 
 
@@ -158,13 +161,17 @@ class VectorPrinter:
             left, right = self.kind_of(expr.left), self.kind_of(expr.right)
             if expr.op == "truediv" or "float" in (left, right):
                 return "float"
+            if left in _INT_FAMILY and right in _INT_FAMILY:
+                # int32 + int32 etc. widen to int64 under numpy arithmetic
+                return "int"
             if left == "int" or right == "int":
                 return "int"
             return "unknown"
         if isinstance(expr, Unary):
             return "bool" if expr.op == "not" else self.kind_of(expr.operand)
         if isinstance(expr, Conditional):
-            return self.kind_of(expr.then)
+            then = self.kind_of(expr.then)
+            return then if then != "unknown" else self.kind_of(expr.other)
         if isinstance(expr, Method):
             if expr.name in ("lower", "upper", "strip"):
                 return "str"

@@ -30,6 +30,22 @@ class UnsupportedExpressionError(ExpressionError):
     """An expression node is valid but not supported in this context."""
 
 
+class QueryAnalysisError(ReproError):
+    """The query is ill-typed: static analysis rejected it before codegen.
+
+    Raised by :mod:`repro.expressions.typing` (expression-level inference)
+    and :mod:`repro.plans.validate` (operator preconditions).  Carries the
+    printed path of the offending sub-expression so the user sees *which*
+    part of the query is wrong instead of a traceback out of generated
+    code.
+    """
+
+    def __init__(self, message: str, path: str = "", expression=None):
+        super().__init__(message)
+        self.path = path
+        self.expression = expression
+
+
 class TranslationError(ReproError):
     """The expression tree could not be translated into a logical plan."""
 
@@ -44,6 +60,20 @@ class UnsupportedQueryError(ReproError):
 
 class CodegenError(ReproError):
     """Source generation or compilation of generated code failed."""
+
+
+class GeneratedCodeViolation(CodegenError):
+    """Generated source failed the AST verifier gate.
+
+    Subclasses :class:`CodegenError` (itself under :class:`ReproError`) so
+    existing handlers keep working.  ``violations`` is the list of
+    human-readable findings; ``source`` is the offending generated module.
+    """
+
+    def __init__(self, message: str, violations=(), source: str = ""):
+        super().__init__(message)
+        self.violations = tuple(violations)
+        self.source = source
 
 
 class ExecutionError(ReproError):

@@ -136,19 +136,27 @@ _OP_COST = {
 }
 
 
-def predicate_cost(expr: Expr) -> float:
+def predicate_cost(expr: Expr, kind_of=None) -> float:
     """Heuristic per-element evaluation cost of a predicate.
 
     Used to reorder conjuncts so cheap comparisons run first (§2.3's
     "reordering selection predicates according to expected processing
     cost").  String operations are assumed an order of magnitude more
     expensive than numeric comparisons.
+
+    *kind_of*, when given, is a ``Expr -> str`` kind resolver built from
+    the type-inference pass (see
+    :func:`repro.expressions.typing.kind_resolver`); with it, comparisons
+    against string-typed *fields* (``l.returnflag == p``) are costed as
+    string work even though neither operand is a string constant.
     """
     cost = 0.0
     for node in walk(expr):
         if isinstance(node, Binary):
             base = _OP_COST.get(node.op, 1.0)
-            if _is_stringy(node.left) or _is_stringy(node.right):
+            if _is_stringy(node.left, kind_of) or _is_stringy(
+                node.right, kind_of
+            ):
                 base *= 10.0
             cost += base
         elif isinstance(node, Method):
@@ -162,8 +170,12 @@ def predicate_cost(expr: Expr) -> float:
     return cost
 
 
-def _is_stringy(expr: Expr) -> bool:
-    return isinstance(expr, Constant) and isinstance(expr.value, (str, bytes))
+def _is_stringy(expr: Expr, kind_of=None) -> bool:
+    if isinstance(expr, Constant) and isinstance(expr.value, (str, bytes)):
+        return True
+    if kind_of is not None:
+        return kind_of(expr) == "str"
+    return False
 
 
 def conjuncts(expr: Expr) -> list:

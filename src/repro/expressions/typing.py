@@ -1,0 +1,878 @@
+"""Expression-tree type inference (the static half of the provider).
+
+In the paper's C# setting the host compiler type-checks the quoted query
+before the provider ever sees it; "Effective Quotation" (Cheney et al.)
+makes the same point for language-integrated query in general: *type the
+quoted fragment before generating code*.  Our Python reproduction has no
+host compiler, so this module fills that role.  Given the element types of
+the query's sources it assigns a type to every :class:`Expr` node and
+rejects ill-typed queries — unknown members, mixed-type comparisons,
+arithmetic on strings, aggregate calls outside a group selector — with a
+:class:`~repro.errors.QueryAnalysisError` *before* translation and code
+generation, carrying the printed path of the offending sub-expression.
+
+The type language is deliberately small:
+
+* :class:`ScalarType` — one of the schema field kinds
+  (``int``/``int32``/``float``/``bool``/``str``/``date``), exactly the
+  kinds that map to NumPy dtypes in :mod:`repro.storage.schema`;
+* :class:`RecordType` — a named, ordered field map (a source schema, a
+  ``new(...)`` result, or a sampled object shape);
+* :class:`GroupType` — the value bound inside a ``group_by`` result
+  selector (exposes ``.key`` and the aggregate methods);
+* :class:`SequenceType` — a nested collection (``select_many`` input,
+  ``group_join`` inner sequence);
+* :data:`UNKNOWN` — no information; inference never *guesses*, it only
+  rejects what is provably wrong, so unknown types flow silently.
+
+Inference is *best effort by construction*: every rule that fires is a
+definite error, and anything the checker cannot see (opaque objects,
+unbound user parameters) degrades to :data:`UNKNOWN` rather than a false
+rejection.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import QueryAnalysisError
+from .nodes import (
+    AGGREGATE_KINDS,
+    ARITHMETIC_OPS,
+    AggCall,
+    Binary,
+    Call,
+    COMPARISON_OPS,
+    Conditional,
+    Constant,
+    Expr,
+    LOGICAL_OPS,
+    Lambda,
+    Member,
+    Method,
+    New,
+    Param,
+    QueryOp,
+    SourceExpr,
+    Unary,
+    Var,
+)
+
+__all__ = [
+    "Type",
+    "ScalarType",
+    "RecordType",
+    "GroupType",
+    "SequenceType",
+    "UNKNOWN",
+    "QueryAnalysis",
+    "analyze_query",
+    "infer_expr",
+    "type_from_schema",
+    "type_from_token",
+    "element_type_of",
+    "type_of_value",
+    "scalar_kind",
+    "kind_resolver",
+]
+
+
+# ---------------------------------------------------------------------------
+# The type language
+# ---------------------------------------------------------------------------
+
+
+class Type:
+    """Abstract base for inferred types."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """A flat value of one schema kind (maps 1:1 to a NumPy dtype)."""
+
+    kind: str  # int / int32 / float / bool / str / date
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    """A named record: ordered ``(field, type)`` pairs."""
+
+    name: str
+    fields: Tuple[Tuple[str, Type], ...]
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(n for n, _ in self.fields)
+
+    def field_type(self, name: str) -> Optional[Type]:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        return None
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{n}: {t}" for n, t in self.fields)
+        return f"{self.name}({parts})"
+
+
+@dataclass(frozen=True)
+class GroupType(Type):
+    """The value bound in a group result selector: ``.key`` + aggregates."""
+
+    key: Type
+    element: Type
+
+    def __str__(self) -> str:
+        return f"group(key={self.key})"
+
+
+@dataclass(frozen=True)
+class SequenceType(Type):
+    """A nested sequence of elements (select_many / group_join inner)."""
+
+    element: Type
+
+    def __str__(self) -> str:
+        return f"seq({self.element})"
+
+
+class _AnyType(Type):
+    """No information.  Inference rules treat it as compatible with all."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "UNKNOWN"
+
+    def __str__(self) -> str:
+        return "unknown"
+
+
+UNKNOWN = _AnyType()
+
+#: scalar kinds grouped into comparison families: values of one family are
+#: mutually comparable; cross-family comparison is a definite type error
+_NUMERIC = frozenset({"int", "int32", "float", "bool"})
+_FAMILIES = {
+    "int": "numeric",
+    "int32": "numeric",
+    "float": "numeric",
+    "bool": "numeric",
+    "str": "str",
+    "date": "date",
+}
+
+#: attributes usable on a date value (decoded to int on access)
+_DATE_MEMBERS = frozenset({"year", "month", "day"})
+
+#: string methods from the trace whitelist, with their result kinds
+_STR_METHODS = {
+    "startswith": "bool",
+    "endswith": "bool",
+    "contains": "bool",
+    "lower": "str",
+    "upper": "str",
+    "strip": "str",
+}
+
+
+def scalar_kind(inferred: Type) -> str:
+    """The schema kind of an inferred type, or ``'unknown'``."""
+    if isinstance(inferred, ScalarType):
+        return inferred.kind
+    return "unknown"
+
+
+# ---------------------------------------------------------------------------
+# Recovering element types from schemas, tokens and live sources
+# ---------------------------------------------------------------------------
+
+
+def type_from_schema(schema: Any) -> Type:
+    """A :class:`RecordType` mirroring a :class:`~repro.storage.schema.Schema`."""
+    return RecordType(
+        schema.name, tuple((f.name, ScalarType(f.kind)) for f in schema.fields)
+    )
+
+
+def type_from_token(token: str) -> Type:
+    """Parse a *parseable* schema token back into a type.
+
+    ``Schema.token`` has the reversible form ``Name(field:kind:size,...)``;
+    object-source tokens (``obj:Cls``, ``tpch:name``) carry no field
+    information and yield :data:`UNKNOWN`.
+    """
+    open_paren = token.find("(")
+    if open_paren <= 0 or not token.endswith(")"):
+        return UNKNOWN
+    name = token[:open_paren]
+    body = token[open_paren + 1 : -1]
+    if not body:
+        return UNKNOWN
+    fields = []
+    for part in body.split(","):
+        bits = part.split(":")
+        if len(bits) != 3 or bits[1] not in _FAMILIES:
+            return UNKNOWN
+        fields.append((bits[0], ScalarType(bits[1])))
+    return RecordType(name, tuple(fields))
+
+
+def type_of_value(value: Any) -> Type:
+    """The type of a runtime value (constants, parameter bindings)."""
+    if isinstance(value, bool):
+        return ScalarType("bool")
+    if isinstance(value, int):
+        return ScalarType("int")
+    if isinstance(value, float):
+        return ScalarType("float")
+    if isinstance(value, (str, bytes)):
+        return ScalarType("str")
+    if isinstance(value, datetime.date):
+        return ScalarType("date")
+    names = getattr(value, "_fields", None)  # namedtuples before tuples
+    if names is None and isinstance(value, (list, tuple, set, frozenset)):
+        return SequenceType(UNKNOWN)
+    if names is None and hasattr(type(value), "__getattr__"):
+        # dynamic attribute access: the instance dict does not enumerate
+        # the members the object actually answers to
+        return UNKNOWN
+    if names is None and hasattr(value, "__dict__"):
+        names = tuple(vars(value))
+    if names:
+        fields = tuple(
+            (n, type_of_value(getattr(value, n)))
+            for n in names
+            if not n.startswith("_")
+        )
+        if fields:
+            return RecordType(type(value).__name__, fields)
+    return UNKNOWN
+
+
+def element_type_of(source: Any) -> Type:
+    """Best-effort element type of a live source collection.
+
+    StructArrays (and any source exposing ``.schema``) are exact; plain
+    sequences are *sampled* — the first element's shape stands for all of
+    them, mirroring how the hybrid backend's ``infer_object_schema``
+    samples.  One-shot iterators are never consumed: no sample, no type.
+    """
+    schema = getattr(source, "schema", None)
+    if schema is not None and hasattr(schema, "fields"):
+        try:
+            return type_from_schema(schema)
+        except Exception:
+            return UNKNOWN
+    if isinstance(source, (list, tuple)):
+        if not source:
+            return UNKNOWN
+        return type_of_value(source[0])
+    return UNKNOWN
+
+
+def source_types_for(expr: Expr, sources: Sequence[Any]) -> Tuple[Type, ...]:
+    """Element types for the source list, refined by in-tree schema tokens."""
+    types = [element_type_of(s) for s in sources]
+    # a parseable SourceExpr token beats sampling (exact schema, no data)
+    from .nodes import walk
+
+    for node in walk(expr):
+        if isinstance(node, SourceExpr) and 0 <= node.ordinal < len(types):
+            from_token = type_from_token(node.schema_token)
+            if from_token is not UNKNOWN:
+                types[node.ordinal] = from_token
+    return tuple(types)
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueryAnalysis:
+    """Result of a successful analysis, cached alongside compiled code."""
+
+    #: element type for sequence queries; value type for scalar terminals
+    result: Type
+    #: True when the query is a terminal scalar aggregate
+    scalar: bool
+    #: element type of each source, in ordinal order
+    source_types: Tuple[Type, ...]
+
+
+def analyze_query(
+    expr: Expr,
+    sources: Sequence[Any] = (),
+    params: Optional[Mapping[str, Any]] = None,
+    source_types: Optional[Sequence[Type]] = None,
+) -> QueryAnalysis:
+    """Type-check a full query expression tree.
+
+    Raises :class:`~repro.errors.QueryAnalysisError` for definite type
+    errors; anything uncertain flows through as :data:`UNKNOWN`.
+    """
+    if source_types is None:
+        source_types = source_types_for(expr, sources)
+    checker = _Checker(tuple(source_types), dict(params or {}))
+    result = checker.infer_query(expr, path="query")
+    scalar = isinstance(expr, QueryOp) and expr.name in _SCALAR_TERMINALS
+    if scalar:
+        # infer_query returns the *value* type for scalar terminals
+        pass
+    return QueryAnalysis(
+        result=result, scalar=scalar, source_types=tuple(source_types)
+    )
+
+
+def infer_expr(
+    expr: Expr,
+    env: Mapping[str, Type],
+    params: Optional[Mapping[str, Any]] = None,
+) -> Type:
+    """Infer the type of a scalar expression under variable bindings *env*.
+
+    The entry point the plan validator and the optimizer's kind resolver
+    use; raises on definite errors like the full query checker.
+    """
+    checker = _Checker((), dict(params or {}))
+    return checker.infer_value(expr, dict(env), path="expr")
+
+
+def kind_resolver(element_type: Type, var_name: str, params=None):
+    """A ``kind_of(expr) -> str`` callable over one bound variable.
+
+    Feeds :func:`repro.expressions.analysis.predicate_cost` so predicate
+    reordering knows that comparisons against *string-typed fields* (not
+    just string constants) are expensive.  Never raises: resolution
+    failures report ``'unknown'``.
+    """
+    env = {var_name: element_type}
+    bindings = dict(params or {})
+
+    def kind_of(expr: Expr) -> str:
+        try:
+            return scalar_kind(infer_expr(expr, env, bindings))
+        except QueryAnalysisError:
+            return "unknown"
+
+    return kind_of
+
+
+#: terminal operators producing one value instead of a sequence
+_SCALAR_TERMINALS = frozenset(
+    {"count", "sum", "min", "max", "average", "any", "all", "contains",
+     "first", "first_or_default", "single", "element_at", "aggregate"}
+)
+
+
+class _Checker:
+    def __init__(self, source_types: Tuple[Type, ...], params: Dict[str, Any]):
+        self._source_types = source_types
+        self._params = params
+
+    # -- failure ----------------------------------------------------------------
+
+    def _fail(self, message: str, node: Expr, path: str) -> None:
+        from .printer import expression_to_text
+
+        rendered = expression_to_text(node, indent=1)
+        raise QueryAnalysisError(
+            f"{message}\n  at {path}:\n{rendered}", path=path, expression=node
+        )
+
+    # -- query spine ------------------------------------------------------------
+
+    def infer_query(self, expr: Expr, path: str) -> Type:
+        """Element type of a query expression (value type for terminals)."""
+        if isinstance(expr, SourceExpr):
+            if 0 <= expr.ordinal < len(self._source_types):
+                return self._source_types[expr.ordinal]
+            return UNKNOWN
+        if not isinstance(expr, QueryOp):
+            # a constant collection or other opaque source
+            return UNKNOWN
+        handler = getattr(self, f"_op_{expr.name}", None)
+        elem = self.infer_query(expr.source, path)
+        op_path = f"{path}.{expr.name}"
+        if handler is None:
+            return self._op_default(expr, elem, op_path)
+        return handler(expr, elem, op_path)
+
+    # each handler: (op_expr, child_element_type, path) -> result element type
+
+    def _op_default(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        # operators with no special rule: check any lambda args as 1-ary
+        # predicates/selectors over the element, keep the element type
+        for arg in expr.args:
+            if isinstance(arg, Lambda) and len(arg.params) == 1:
+                self._check_selector(arg, elem, path)
+        return elem
+
+    def _check_selector(self, lam: Lambda, elem: Type, path: str) -> Type:
+        env = {lam.params[0]: elem}
+        return self.infer_value(lam.body, env, f"{path}.selector")
+
+    def _check_predicate(self, lam: Lambda, elem: Type, path: str) -> None:
+        env = {lam.params[0]: elem}
+        result = self.infer_value(lam.body, env, f"{path}.predicate")
+        kind = scalar_kind(result)
+        if kind in ("str", "date") or isinstance(
+            result, (RecordType, GroupType, SequenceType)
+        ):
+            self._fail(
+                f"predicate must produce a boolean, got {result}",
+                lam.body,
+                f"{path}.predicate",
+            )
+
+    def _op_where(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        self._check_predicate(expr.args[0], elem, path)
+        return elem
+
+    def _op_select(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        return self._check_selector(expr.args[0], elem, path)
+
+    def _op_select_many(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        collection = expr.args[0]
+        env = {collection.params[0]: elem}
+        coll_type = self.infer_value(
+            collection.body, env, f"{path}.collection"
+        )
+        if isinstance(coll_type, (ScalarType, GroupType)):
+            self._fail(
+                f"select_many requires a sequence-valued selector, got "
+                f"{coll_type}",
+                collection.body,
+                f"{path}.collection",
+            )
+        inner = (
+            coll_type.element if isinstance(coll_type, SequenceType) else UNKNOWN
+        )
+        if len(expr.args) > 1:
+            result = expr.args[1]
+            env2 = {result.params[0]: elem, result.params[1]: inner}
+            return self.infer_value(result.body, env2, f"{path}.result")
+        return inner
+
+    def _op_join(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        inner_src, outer_key, inner_key, result = expr.args
+        inner = self.infer_query(inner_src, f"{path}.inner")
+        lk = self._check_selector(outer_key, elem, f"{path}.outer_key")
+        rk = self._check_selector(inner_key, inner, f"{path}.inner_key")
+        self._require_comparable(lk, rk, "eq", result, f"{path}.keys")
+        env = {result.params[0]: elem, result.params[1]: inner}
+        return self.infer_value(result.body, env, f"{path}.result")
+
+    def _op_group_join(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        inner_src, outer_key, inner_key, result = expr.args
+        inner = self.infer_query(inner_src, f"{path}.inner")
+        lk = self._check_selector(outer_key, elem, f"{path}.outer_key")
+        rk = self._check_selector(inner_key, inner, f"{path}.inner_key")
+        self._require_comparable(lk, rk, "eq", result, f"{path}.keys")
+        env = {result.params[0]: elem, result.params[1]: SequenceType(inner)}
+        return self.infer_value(result.body, env, f"{path}.result")
+
+    def _op_group_by(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        key = expr.args[0]
+        if any(isinstance(n, AggCall) for n in _walk(key)):
+            self._fail(
+                "aggregate calls cannot appear in a group_by key",
+                key,
+                f"{path}.key",
+            )
+        key_type = self._check_selector(key, elem, f"{path}.key")
+        group = GroupType(key_type, elem)
+        if len(expr.args) == 1:
+            return group
+        result = expr.args[1]
+        env = {result.params[0]: group}
+        return self.infer_value(result.body, env, f"{path}.result")
+
+    def _op_order_by(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        self._check_order_key(expr.args[0], elem, path)
+        return elem
+
+    _op_order_by_desc = _op_order_by
+    _op_then_by = _op_order_by
+    _op_then_by_desc = _op_order_by
+
+    def _check_order_key(self, lam: Lambda, elem: Type, path: str) -> None:
+        key_type = self._check_selector(lam, elem, f"{path}.key")
+        if isinstance(key_type, (GroupType, SequenceType)):
+            self._fail(
+                f"ordering key must be a comparable value, got {key_type}",
+                lam.body,
+                f"{path}.key",
+            )
+
+    def _op_take(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        self._check_count(expr.args[0], f"{path}.count")
+        return elem
+
+    _op_skip = _op_take
+
+    def _op_element_at(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        self._check_count(expr.args[0], f"{path}.index")
+        return elem
+
+    def _check_count(self, arg: Expr, path: str) -> None:
+        count_type = self.infer_value(arg, {}, path)
+        kind = scalar_kind(count_type)
+        if count_type is not UNKNOWN and kind not in ("int", "int32", "unknown"):
+            self._fail(
+                f"take/skip requires an integer count, got {count_type}",
+                arg,
+                path,
+            )
+
+    def _op_concat(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        other = self.infer_query(expr.args[0], f"{path}.other")
+        if (
+            isinstance(elem, RecordType)
+            and isinstance(other, RecordType)
+            and set(elem.field_names) != set(other.field_names)
+        ):
+            self._fail(
+                f"concat/union of mismatched record shapes: "
+                f"{elem} vs {other}",
+                expr,
+                path,
+            )
+        return elem if elem is not UNKNOWN else other
+
+    _op_union = _op_concat
+    _op_intersect = _op_concat
+    _op_except_ = _op_concat
+
+    def _op_contains(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        value_type = self.infer_value(expr.args[0], {}, f"{path}.value")
+        self._require_comparable(elem, value_type, "eq", expr, path)
+        return ScalarType("bool")
+
+    # -- scalar terminals ---------------------------------------------------------
+
+    def _op_count(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        if expr.args:
+            self._check_predicate(expr.args[0], elem, path)
+        return ScalarType("int")
+
+    def _agg_value_type(
+        self, expr: QueryOp, elem: Type, path: str, kind: str
+    ) -> Type:
+        if expr.args:
+            value = self._check_selector(expr.args[0], elem, path)
+        else:
+            value = elem
+        return self._aggregate_result(kind, value, expr, path)
+
+    def _aggregate_result(
+        self, kind: str, value: Type, node: Expr, path: str
+    ) -> Type:
+        value_kind = scalar_kind(value)
+        if kind in ("sum", "avg") and (
+            value_kind in ("str", "date")
+            or isinstance(value, (RecordType, GroupType, SequenceType))
+        ):
+            self._fail(
+                f"cannot {kind} values of type {value}", node, path
+            )
+        if kind == "avg":
+            return ScalarType("float")
+        if kind == "sum":
+            if value_kind in ("int", "int32", "bool"):
+                return ScalarType("int")
+            if value_kind == "float":
+                return ScalarType("float")
+            return UNKNOWN
+        # min / max preserve the value type
+        return value
+
+    def _op_sum(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        return self._agg_value_type(expr, elem, path, "sum")
+
+    def _op_min(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        return self._agg_value_type(expr, elem, path, "min")
+
+    def _op_max(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        return self._agg_value_type(expr, elem, path, "max")
+
+    def _op_average(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        return self._agg_value_type(expr, elem, path, "avg")
+
+    def _op_any(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        if expr.args:
+            self._check_predicate(expr.args[0], elem, path)
+        return ScalarType("bool")
+
+    _op_all = _op_any
+
+    def _op_first(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        if expr.args:
+            self._check_predicate(expr.args[0], elem, path)
+        return elem
+
+    _op_first_or_default = _op_first
+    _op_single = _op_first
+
+    # -- scalar expressions -------------------------------------------------------
+
+    def infer_value(
+        self, expr: Expr, env: Dict[str, Type], path: str
+    ) -> Type:
+        if isinstance(expr, Constant):
+            return type_of_value(expr.value)
+        if isinstance(expr, Param):
+            if expr.name in self._params:
+                return type_of_value(self._params[expr.name])
+            return UNKNOWN
+        if isinstance(expr, Var):
+            return env.get(expr.name, UNKNOWN)
+        if isinstance(expr, Member):
+            return self._member(expr, env, path)
+        if isinstance(expr, Binary):
+            return self._binary(expr, env, path)
+        if isinstance(expr, Unary):
+            return self._unary(expr, env, path)
+        if isinstance(expr, Conditional):
+            return self._conditional(expr, env, path)
+        if isinstance(expr, Method):
+            return self._method(expr, env, path)
+        if isinstance(expr, Call):
+            return self._call(expr, env, path)
+        if isinstance(expr, New):
+            fields = tuple(
+                (name, self.infer_value(e, env, f"{path}.{name}"))
+                for name, e in expr.fields
+            )
+            return RecordType(expr.type_name or "record", fields)
+        if isinstance(expr, AggCall):
+            return self._agg_call(expr, env, path)
+        if isinstance(expr, (QueryOp, SourceExpr)):
+            return SequenceType(self.infer_query(expr, path))
+        if isinstance(expr, Lambda):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _member(self, expr: Member, env: Dict[str, Type], path: str) -> Type:
+        target = self.infer_value(expr.target, env, path)
+        if isinstance(target, RecordType):
+            field_type = target.field_type(expr.name)
+            if field_type is None:
+                self._fail(
+                    f"record {target.name!r} has no member {expr.name!r}; "
+                    f"available: {', '.join(target.field_names)}",
+                    expr,
+                    path,
+                )
+            return field_type
+        if isinstance(target, GroupType):
+            if expr.name == "key":
+                return target.key
+            self._fail(
+                f"groups expose only '.key' and aggregate methods, "
+                f"not {expr.name!r}",
+                expr,
+                path,
+            )
+        if isinstance(target, ScalarType):
+            if target.kind == "date":
+                if expr.name in _DATE_MEMBERS:
+                    return ScalarType("int")
+                self._fail(
+                    f"date values have no member {expr.name!r}", expr, path
+                )
+            self._fail(
+                f"cannot access member {expr.name!r} on a value of type "
+                f"{target}",
+                expr,
+                path,
+            )
+        return UNKNOWN
+
+    def _binary(self, expr: Binary, env: Dict[str, Type], path: str) -> Type:
+        left = self.infer_value(expr.left, env, path)
+        right = self.infer_value(expr.right, env, path)
+        if expr.op in ARITHMETIC_OPS:
+            for side in (left, right):
+                if scalar_kind(side) == "str":
+                    self._fail(
+                        f"arithmetic operator {expr.op!r} is not defined on "
+                        f"strings",
+                        expr,
+                        path,
+                    )
+                if isinstance(side, (RecordType, GroupType, SequenceType)):
+                    self._fail(
+                        f"arithmetic operator {expr.op!r} is not defined on "
+                        f"{side}",
+                        expr,
+                        path,
+                    )
+            lk, rk = scalar_kind(left), scalar_kind(right)
+            if expr.op == "truediv":
+                return ScalarType("float")
+            if "float" in (lk, rk):
+                return ScalarType("float")
+            if lk in _NUMERIC and rk in _NUMERIC:
+                return ScalarType("int")
+            return UNKNOWN
+        if expr.op in COMPARISON_OPS:
+            self._require_comparable(left, right, expr.op, expr, path)
+            return ScalarType("bool")
+        if expr.op in LOGICAL_OPS:
+            for side_expr, side in ((expr.left, left), (expr.right, right)):
+                kind = scalar_kind(side)
+                if kind in ("str", "date") or isinstance(
+                    side, (RecordType, GroupType, SequenceType)
+                ):
+                    self._fail(
+                        f"logical operator {expr.op!r} requires boolean "
+                        f"operands, got {side}",
+                        side_expr,
+                        path,
+                    )
+            return ScalarType("bool")
+        return UNKNOWN
+
+    def _require_comparable(
+        self, left: Type, right: Type, op: str, node: Expr, path: str
+    ) -> None:
+        # records compare with records (tuple equality); a record against a
+        # scalar, or scalars of different families, is a definite error
+        structured = (RecordType, GroupType, SequenceType)
+        if isinstance(left, structured) or isinstance(right, structured):
+            if isinstance(left, ScalarType) or isinstance(right, ScalarType):
+                self._fail(
+                    f"cannot compare {left} with {right}", node, path
+                )
+            return
+        lf = _FAMILIES.get(scalar_kind(left))
+        rf = _FAMILIES.get(scalar_kind(right))
+        if lf is not None and rf is not None and lf != rf:
+            self._fail(
+                f"mixed-type comparison ({op}): {left} vs {right}",
+                node,
+                path,
+            )
+
+    def _unary(self, expr: Unary, env: Dict[str, Type], path: str) -> Type:
+        operand = self.infer_value(expr.operand, env, path)
+        if expr.op == "not":
+            return ScalarType("bool")
+        if scalar_kind(operand) in ("str", "date"):
+            self._fail(
+                f"unary {expr.op!r} is not defined on {operand}", expr, path
+            )
+        if expr.op == "abs":
+            return operand
+        return operand
+
+    def _conditional(
+        self, expr: Conditional, env: Dict[str, Type], path: str
+    ) -> Type:
+        self.infer_value(expr.cond, env, path)
+        then = self.infer_value(expr.then, env, path)
+        other = self.infer_value(expr.other, env, path)
+        then_kind, other_kind = scalar_kind(then), scalar_kind(other)
+        if then_kind != "unknown" and other_kind != "unknown":
+            lf, rf = _FAMILIES.get(then_kind), _FAMILIES.get(other_kind)
+            if lf != rf:
+                self._fail(
+                    f"conditional branches have incompatible types: "
+                    f"{then} vs {other}",
+                    expr,
+                    path,
+                )
+            if "float" in (then_kind, other_kind):
+                return ScalarType("float")
+            return then
+        if then is not UNKNOWN:
+            return then
+        return other
+
+    def _method(self, expr: Method, env: Dict[str, Type], path: str) -> Type:
+        target = self.infer_value(expr.target, env, path)
+        target_kind = scalar_kind(target)
+        for arg in expr.args:
+            self.infer_value(arg, env, path)
+        if expr.name in _STR_METHODS:
+            if expr.name == "contains" and isinstance(target, SequenceType):
+                return ScalarType("bool")  # membership test on a collection
+            if target_kind not in ("str", "unknown"):
+                self._fail(
+                    f"string method {expr.name!r} requires a str value, "
+                    f"got {target}",
+                    expr,
+                    path,
+                )
+            return ScalarType(_STR_METHODS[expr.name])
+        if expr.name == "round":
+            if target_kind in ("str", "date"):
+                self._fail(
+                    f"round() is not defined on {target}", expr, path
+                )
+            return ScalarType("float")
+        return UNKNOWN
+
+    def _call(self, expr: Call, env: Dict[str, Type], path: str) -> Type:
+        arg_types = [self.infer_value(a, env, path) for a in expr.args]
+        if expr.name == "len":
+            return ScalarType("int")
+        if expr.name in ("int",):
+            return ScalarType("int")
+        if expr.name in ("float", "round"):
+            return ScalarType("float")
+        if expr.name == "str":
+            return ScalarType("str")
+        if expr.name == "abs" and arg_types:
+            return arg_types[0]
+        return UNKNOWN
+
+    def _agg_call(self, expr: AggCall, env: Dict[str, Type], path: str) -> Type:
+        group_type = UNKNOWN
+        if isinstance(expr.group, Var):
+            group_type = env.get(expr.group.name, UNKNOWN)
+        if not isinstance(group_type, GroupType):
+            if group_type is UNKNOWN and _has_group_binding(env):
+                # aggregate over something other than the group parameter
+                self._fail(
+                    f"aggregate {expr.kind!r} must be called on the group "
+                    f"parameter",
+                    expr,
+                    path,
+                )
+            self._fail(
+                f"aggregate call {expr.kind!r} outside a group selector; "
+                f"aggregates are only valid in selectors over group_by "
+                f"results",
+                expr,
+                path,
+            )
+        if expr.kind == "count":
+            return ScalarType("int")
+        selector = expr.arg
+        env2 = dict(env)
+        env2[selector.params[0]] = group_type.element
+        value = self.infer_value(
+            selector.body, env2, f"{path}.{expr.kind}"
+        )
+        return self._aggregate_result(expr.kind, value, expr, path)
+
+
+def _has_group_binding(env: Dict[str, Type]) -> bool:
+    return any(isinstance(t, GroupType) for t in env.values())
+
+
+def _walk(expr: Expr):
+    from .nodes import walk
+
+    return walk(expr)

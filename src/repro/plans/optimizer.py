@@ -181,9 +181,10 @@ def _reorder_predicates(plan: Filter, context: "_Context") -> Plan:
     parts = conjuncts(plan.predicate.body)
     if len(parts) < 2:
         return plan
+    kind_of = _predicate_kind_resolver(plan, context)
     stats = _scan_statistics(plan, context)
     if stats is None:
-        ordered = sorted(parts, key=predicate_cost)
+        ordered = sorted(parts, key=lambda p: predicate_cost(p, kind_of))
     else:
         (var,) = plan.predicate.params
         resolved = [
@@ -193,7 +194,7 @@ def _reorder_predicates(plan: Filter, context: "_Context") -> Plan:
             zip(parts, resolved),
             key=lambda pair: (
                 estimate_selectivity(pair[1], var, stats),
-                predicate_cost(pair[0]),
+                predicate_cost(pair[0], kind_of),
             ),
         )
         ordered = [part for part, _ in ordered_pairs]
@@ -201,6 +202,26 @@ def _reorder_predicates(plan: Filter, context: "_Context") -> Plan:
         return plan
     body = reduce(lambda a, b: Binary("and", a, b), ordered)
     return Filter(plan.child, Lambda(plan.predicate.params, body))
+
+
+def _predicate_kind_resolver(plan: Filter, context: "_Context"):
+    """A ``Expr -> kind`` resolver for the filtered relation, if typable.
+
+    Built from the scanned relation's schema token via the type-inference
+    pass, so ``_is_stringy`` recognises string-typed *fields* (not just
+    string constants) when ranking conjuncts.  Returns ``None`` when the
+    scan's element type is unknown (object sources with opaque tokens).
+    """
+    child = plan.child
+    if not isinstance(child, Scan):
+        return None
+    from ..expressions.typing import UNKNOWN, kind_resolver, type_from_token
+
+    element = type_from_token(child.schema_token)
+    if element is UNKNOWN:
+        return None
+    (var,) = plan.predicate.params
+    return kind_resolver(element, var, context.param_values)
 
 
 def _scan_statistics(plan: Filter, context: "_Context"):

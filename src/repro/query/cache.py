@@ -27,6 +27,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: static-analysis results cached alongside compiled artifacts
+    analysis_hits: int = 0
+    analysis_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -42,6 +45,9 @@ class QueryCache:
             raise ValueError("cache size must be positive")
         self._max_entries = max_entries
         self._entries: "OrderedDict[Any, CompiledQuery]" = OrderedDict()
+        # static-analysis results (engine-independent, so keyed separately
+        # from compiled artifacts but evicted under the same budget)
+        self._analyses: "OrderedDict[Any, Any]" = OrderedDict()
         self.stats = CacheStats()
 
     def find(self, key: Any) -> Optional[CompiledQuery]:
@@ -61,6 +67,22 @@ class QueryCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def find_analysis(self, key: Any) -> Optional[Any]:
+        """Look up a cached static-analysis result (QueryAnalysis)."""
+        entry = self._analyses.get(key)
+        if entry is None:
+            self.stats.analysis_misses += 1
+            return None
+        self._analyses.move_to_end(key)
+        self.stats.analysis_hits += 1
+        return entry
+
+    def store_analysis(self, key: Any, analysis: Any) -> None:
+        self._analyses[key] = analysis
+        self._analyses.move_to_end(key)
+        while len(self._analyses) > self._max_entries:
+            self._analyses.popitem(last=False)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -69,4 +91,5 @@ class QueryCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._analyses.clear()
         self.stats = CacheStats()

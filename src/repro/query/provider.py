@@ -26,9 +26,11 @@ from ..codegen.compiler import CompiledQuery
 from ..errors import ExecutionError, UnsupportedQueryError
 from ..expressions.canonical import CanonicalQuery, cache_key, canonicalize
 from ..expressions.nodes import Expr
+from ..expressions.typing import QueryAnalysis, analyze_query
 from ..plans.logical import ScalarAggregate, plan_to_text
 from ..plans.optimizer import OptimizeOptions, optimize
 from ..plans.translate import TranslateOptions, translate
+from ..plans.validate import capability_report, validate_plan
 from .cache import QueryCache
 from .enumerable import enumerate_query, scalar_query
 
@@ -82,6 +84,9 @@ class QueryProvider:
     ) -> Iterator[Any]:
         """Run *expr* and return a lazy iterator over its results."""
         if engine == "linq":
+            # the interpreted baseline skips codegen but not analysis: an
+            # ill-typed query fails the same way on every engine
+            self._analysis_for(canonicalize(expr), sources)
             return enumerate_query(expr, sources, params)
         compiled, bindings = self._compiled_for(expr, sources, engine)
         if compiled.scalar:
@@ -99,6 +104,7 @@ class QueryProvider:
     ) -> Any:
         """Run a terminal aggregate and return its single value."""
         if engine == "linq":
+            self._analysis_for(canonicalize(expr), sources)
             return scalar_query(expr, sources, params)
         compiled, bindings = self._compiled_for(expr, sources, engine)
         if not compiled.scalar:
@@ -149,19 +155,54 @@ class QueryProvider:
             self._statistics_version,
         ) + self.optimize_options.token
 
+    def _analysis_for(
+        self, canonical: CanonicalQuery, sources: List[Any]
+    ) -> QueryAnalysis:
+        """Type-check the canonical tree, caching alongside compiled code.
+
+        Raises :class:`~repro.errors.QueryAnalysisError` for ill-typed
+        queries — the same error on every engine, before any codegen.
+        """
+        key = cache_key(canonical, "::analysis", _source_signature(sources))
+        analysis = self.cache.find_analysis(key)
+        if analysis is None:
+            analysis = analyze_query(
+                canonical.tree, sources, params=canonical.bindings
+            )
+            self.cache.store_analysis(key, analysis)
+        return analysis
+
     def _compile(
         self, canonical: CanonicalQuery, sources: List[Any], engine: str
     ) -> CompiledQuery:
+        # layer 1: expression-tree type inference (QueryAnalysisError on
+        # ill-typed queries, before any plan or source exists)
+        analysis = self._analysis_for(canonical, sources)
         plan = optimize(
             translate(canonical.tree, self.translate_options),
             self.optimize_options,
             statistics=self._statistics,
             param_values=canonical.bindings,
         )
-        backend = _make_backend(engine)
+        backend = _make_backend(engine)  # raises for unknown engines
+        # layer 2: operator preconditions + one capability report per
+        # engine (replaces scattered in-backend fragment checks)
+        plan_types = validate_plan(
+            plan, analysis.source_types, params=canonical.bindings
+        )
+        report = capability_report(plan, engine, sources, plan_types)
+        if not report.supported:
+            raise UnsupportedQueryError(report.describe())
         compiled = backend.compile(plan, sources)
         compiled.plan_text = plan_to_text(plan)
         compiled.engine = engine
+        compiled.analysis = analysis
+        compiled.capability = report
+        # layer 3 ran inside compile_source; recover the verifier report
+        if compiled.verifier_report is None and compiled.fn is not None:
+            compiled.verifier_report = getattr(
+                compiled.fn, "__globals__", {}
+            ).get("__verifier_report__")
         return compiled
 
 

@@ -72,6 +72,24 @@ def _combined_codes(
     return lookup, key_values, first_rows
 
 
+def _group_sum(
+    codes: np.ndarray, values: np.ndarray, ngroups: int
+) -> np.ndarray:
+    """Per-group sums with a dtype-exact accumulator.
+
+    ``np.bincount(weights=...)`` always accumulates in float64, which
+    silently loses exactness for int64 values above 2**53.  Integer and
+    boolean inputs therefore get an int64 accumulator instead; floats
+    keep the bincount fast path.
+    """
+    assert values is not None
+    if np.issubdtype(values.dtype, np.integer) or values.dtype == np.bool_:
+        out = np.zeros(ngroups, dtype=np.int64)
+        np.add.at(out, codes, values)
+        return out
+    return np.bincount(codes, weights=values, minlength=ngroups)
+
+
 def group_aggregate(
     keys: Sequence[np.ndarray],
     aggs: Sequence[Tuple[str, Optional[np.ndarray]]],
@@ -94,7 +112,7 @@ def group_aggregate(
                 counts = np.bincount(codes, minlength=ngroups)
             results.append(counts)
         elif kind == "sum":
-            results.append(np.bincount(codes, weights=values, minlength=ngroups))
+            results.append(_group_sum(codes, values, ngroups))
         elif kind == "avg":
             if counts is None:
                 counts = np.bincount(codes, minlength=ngroups)

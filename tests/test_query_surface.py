@@ -199,9 +199,14 @@ class TestErrorPropagation:
         with pytest.raises(KeyError):
             q.to_list()
 
-    def test_missing_attribute_at_execution(self):
+    def test_missing_attribute_at_analysis(self):
+        # the static analyzer rejects the unknown member before codegen
+        # (previously this surfaced as an AttributeError out of the
+        # generated code at execution time)
+        from repro.errors import QueryAnalysisError
+
         q = from_iterable(ITEMS).using("compiled").select(lambda s: s.nope)
-        with pytest.raises(AttributeError):
+        with pytest.raises(QueryAnalysisError, match="no member 'nope'"):
             q.to_list()
 
     def test_repr(self):
