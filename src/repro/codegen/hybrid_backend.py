@@ -54,6 +54,9 @@ from ..plans.logical import (
     TopN,
 )
 from ..runtime import vectorized as _vec
+from ..runtime.parallel import MORSEL_START as _MORSEL_START
+from ..runtime.parallel import MORSEL_STOP as _MORSEL_STOP
+from ..runtime.parallel import morsel_slice
 from ..runtime.streaming import StreamingGroupAggregator, StreamingJoinProbe
 from ..storage.buffers import DEFAULT_PAGE_BYTES, BufferList, StreamingBuffer
 from ..storage.schema import Field, Schema, date_to_days
@@ -104,9 +107,19 @@ class HybridBackend:
             parts.append("buffered")
         return "_".join(parts)
 
-    def compile(self, plan: Plan, sources: Sequence[Any]) -> CompiledQuery:
+    def compile(
+        self,
+        plan: Plan,
+        sources: Sequence[Any],
+        morsel_ordinal: Optional[int] = None,
+    ) -> CompiledQuery:
         with timed() as gen_time:
             if self.minimal:
+                if morsel_ordinal is not None:
+                    raise UnsupportedQueryError(
+                        "the minimal hybrid engines do not emit "
+                        "morsel-parameterized kernels"
+                    )
                 emitter = _MinEmitter(self.page_bytes, self.buffered)
                 source_code, namespace, scalar = emitter.emit_module(plan, sources)
             else:
@@ -114,7 +127,12 @@ class HybridBackend:
                 for ordinal, spec in staged.items():
                     if spec.fields:  # field-less sources only stage a count
                         spec.schema = staged_schema_for(sources[ordinal], spec)
-                emitter = _HybridEmitter(staged, self.buffered, self.page_bytes)
+                emitter = _HybridEmitter(
+                    staged,
+                    self.buffered,
+                    self.page_bytes,
+                    morsel_ordinal=morsel_ordinal,
+                )
                 source_code, namespace, scalar = emitter.emit_module(stripped)
         entry, compile_seconds = compile_source(source_code, namespace)
         return CompiledQuery(
@@ -140,9 +158,10 @@ class _HybridEmitter(_VectorEmitter):
         staged: Dict[int, StagedSource],
         buffered: bool,
         page_bytes: int,
+        morsel_ordinal: Optional[int] = None,
     ):
         schemas = {ordinal: spec.schema for ordinal, spec in staged.items()}
-        super().__init__(schemas)
+        super().__init__(schemas, morsel_ordinal=morsel_ordinal)
         self._staged = staged
         self._buffered = buffered
         self._page_bytes = page_bytes
@@ -205,8 +224,18 @@ class _HybridEmitter(_VectorEmitter):
             _StreamingJoinProbe=StreamingJoinProbe,
             _enc_str=_enc_str,
             _to_days=date_to_days,
+            _morsel_slice=morsel_slice,
         )
         return namespace
+
+    def _staging_source(self, ordinal: int) -> str:
+        """The managed iterable staging reads: morsel-sliced on the driver."""
+        source = f"sources[{ordinal}]"
+        if ordinal == self._morsel_ordinal:
+            lo = self._render_param(_MORSEL_START)
+            hi = self._render_param(_MORSEL_STOP)
+            source = f"_morsel_slice({source}, {lo}, {hi})"
+        return source
 
     # -- staging ---------------------------------------------------------------
 
@@ -250,7 +279,7 @@ class _HybridEmitter(_VectorEmitter):
             # nothing to copy: only the qualifying-row count survives
             counter = self.names.fresh("count")
             self.writer.line(f"{counter} = 0")
-            with self.writer.block(f"for {elem} in sources[{spec.ordinal}]:"):
+            with self.writer.block(f"for {elem} in {self._staging_source(spec.ordinal)}:"):
                 if predicate:
                     with self.writer.block(f"if {predicate}:"):
                         self.writer.line(f"{counter} += 1")
@@ -263,7 +292,7 @@ class _HybridEmitter(_VectorEmitter):
         append = self.names.fresh("append")
         self.writer.line(f"{rows} = []")
         self.writer.line(f"{append} = {rows}.append")
-        with self.writer.block(f"for {elem} in sources[{spec.ordinal}]:"):
+        with self.writer.block(f"for {elem} in {self._staging_source(spec.ordinal)}:"):
             stage = f"{append}({self._encoded_fields(spec, elem)})"
             if predicate:
                 with self.writer.block(f"if {predicate}:"):
@@ -293,7 +322,7 @@ class _HybridEmitter(_VectorEmitter):
         self.writer.line(f"{append} = {page}.append")
         elem = self.names.fresh("elem")
         predicate = self._staging_predicate_code(spec, elem)
-        with self.writer.block(f"for {elem} in sources[{spec.ordinal}]:"):
+        with self.writer.block(f"for {elem} in {self._staging_source(spec.ordinal)}:"):
             def emit_stage() -> None:
                 self.writer.line(f"{append}({self._encoded_fields(spec, elem)})")
                 with self.writer.block(f"if len({page}) >= {capacity}:"):

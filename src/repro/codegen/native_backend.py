@@ -62,6 +62,8 @@ from ..plans.logical import (
     TopN,
 )
 from ..runtime import vectorized as _vec
+from ..runtime.parallel import MORSEL_START as _MORSEL_START
+from ..runtime.parallel import MORSEL_STOP as _MORSEL_STOP
 from ..storage.schema import Schema, date_to_days
 from ..storage.struct_array import StructArray
 from .compiler import CompiledQuery, compile_source, timed
@@ -350,10 +352,17 @@ class NativeBackend:
 
     name = "native"
 
-    def compile(self, plan: Plan, sources: Sequence[Any]) -> CompiledQuery:
+    def compile(
+        self,
+        plan: Plan,
+        sources: Sequence[Any],
+        morsel_ordinal: Optional[int] = None,
+    ) -> CompiledQuery:
         schemas = schema_for_sources(sources)
         with timed() as gen_time:
-            emitter = _VectorEmitter(schemas, exemplars=sources)
+            emitter = _VectorEmitter(
+                schemas, exemplars=sources, morsel_ordinal=morsel_ordinal
+            )
             source_code, namespace, scalar = emitter.emit_module(plan)
         entry, compile_seconds = compile_source(source_code, namespace)
         return CompiledQuery(
@@ -369,9 +378,15 @@ class NativeBackend:
 class _VectorEmitter:
     """Walks the plan bottom-up, emitting one frame per stage."""
 
-    def __init__(self, schemas: Sequence[Schema], exemplars: Sequence[Any] = ()):
+    def __init__(
+        self,
+        schemas: Sequence[Schema],
+        exemplars: Sequence[Any] = (),
+        morsel_ordinal: Optional[int] = None,
+    ):
         self._schemas = schemas
         self._exemplars = exemplars
+        self._morsel_ordinal = morsel_ordinal
         self.names = NameAllocator()
         self.writer = SourceWriter()
         self.namespace: Dict[str, Any] = {}
@@ -491,7 +506,14 @@ class _VectorEmitter:
     def _emit_Scan(self, plan: Scan, needed: Optional[Set[str]]) -> Frame:
         schema = self._schemas[plan.ordinal]
         src = self.names.fresh("src")
-        self.writer.line(f"{src} = sources[{plan.ordinal}].data")
+        if plan.ordinal == self._morsel_ordinal:
+            lo = self._render_param(_MORSEL_START)
+            hi = self._render_param(_MORSEL_STOP)
+            self.writer.line(
+                f"{src} = sources[{plan.ordinal}].data[{lo}:{hi}]"
+            )
+        else:
+            self.writer.line(f"{src} = sources[{plan.ordinal}].data")
         columns = {
             f.name: ColumnRef(f"{src}[{f.name!r}]", f.kind)
             for f in schema.fields
@@ -500,7 +522,9 @@ class _VectorEmitter:
         return Frame(columns, f"{src}.shape[0]")
 
     def _emit_Filter(self, plan: Filter, needed: Optional[Set[str]]) -> Frame:
-        if isinstance(plan.child, Scan):
+        # the index/cluster fast paths re-read the whole source, so they
+        # are disabled on the morsel-sliced driver scan
+        if isinstance(plan.child, Scan) and plan.child.ordinal != self._morsel_ordinal:
             opportunity = self._index_opportunity(plan)
             if opportunity is not None:
                 return self._emit_index_filter(plan, opportunity, needed)

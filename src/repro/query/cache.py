@@ -9,10 +9,19 @@ parameters in the query differ."
 The canonicalizer guarantees the second property (constants are lifted to
 parameters before keying), so this module only needs to be an LRU map with
 hit/miss statistics — the statistics feed ``bench_compile_cost``.
+
+The cache is shared mutable state between every thread that executes
+queries (the provider, and under parallel execution the worker pool's
+clients too), so all operations — including the statistics updates, which
+would otherwise lose increments under read-modify-write races — hold one
+internal re-entrant lock.  Compilation itself is *not* serialized here;
+the provider holds a per-key lock around its find-or-compile sequence so
+two threads never duplicate the same compilation.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -38,12 +47,16 @@ class CacheStats:
 
 
 class QueryCache:
-    """LRU cache of :class:`CompiledQuery` keyed by canonical query shape."""
+    """LRU cache of :class:`CompiledQuery` keyed by canonical query shape.
+
+    Thread-safe: every operation holds the cache's internal lock.
+    """
 
     def __init__(self, max_entries: int = 256):
         if max_entries <= 0:
             raise ValueError("cache size must be positive")
         self._max_entries = max_entries
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Any, CompiledQuery]" = OrderedDict()
         # static-analysis results (engine-independent, so keyed separately
         # from compiled artifacts but evicted under the same budget)
@@ -52,44 +65,52 @@ class QueryCache:
 
     def find(self, key: Any) -> Optional[CompiledQuery]:
         """Look up a compiled query, refreshing its LRU position."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def store(self, key: Any, compiled: CompiledQuery) -> None:
-        self._entries[key] = compiled
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def find_analysis(self, key: Any) -> Optional[Any]:
         """Look up a cached static-analysis result (QueryAnalysis)."""
-        entry = self._analyses.get(key)
-        if entry is None:
-            self.stats.analysis_misses += 1
-            return None
-        self._analyses.move_to_end(key)
-        self.stats.analysis_hits += 1
-        return entry
+        with self._lock:
+            entry = self._analyses.get(key)
+            if entry is None:
+                self.stats.analysis_misses += 1
+                return None
+            self._analyses.move_to_end(key)
+            self.stats.analysis_hits += 1
+            return entry
 
     def store_analysis(self, key: Any, analysis: Any) -> None:
-        self._analyses[key] = analysis
-        self._analyses.move_to_end(key)
-        while len(self._analyses) > self._max_entries:
-            self._analyses.popitem(last=False)
+        with self._lock:
+            self._analyses[key] = analysis
+            self._analyses.move_to_end(key)
+            while len(self._analyses) > self._max_entries:
+                self._analyses.popitem(last=False)
+                self.stats.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._analyses.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self._analyses.clear()
+            self.stats = CacheStats()

@@ -19,6 +19,7 @@ optimizes nor compiles, and the baseline must not either.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -30,7 +31,13 @@ from ..expressions.typing import QueryAnalysis, analyze_query
 from ..plans.logical import ScalarAggregate, plan_to_text
 from ..plans.optimizer import OptimizeOptions, optimize
 from ..plans.translate import TranslateOptions, translate
-from ..plans.validate import capability_report, validate_plan
+from ..plans.validate import capability_report, parallel_split, validate_plan
+from ..runtime.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    ParallelQuery,
+    build_parallel_query,
+    source_length,
+)
 from .cache import QueryCache
 from .enumerable import enumerate_query, scalar_query
 
@@ -47,6 +54,14 @@ ENGINES = (
     "hybrid_min_buffered",
 )
 
+#: engines whose backends emit morsel-parameterized kernels; linq stays the
+#: interpreted yardstick and the Min hybrids retain whole-source object
+#: identity, so both always run sequentially
+PARALLEL_ENGINES = ("compiled", "native", "hybrid", "hybrid_buffered")
+
+#: cached marker: "this plan/engine pair falls back to sequential"
+_SEQUENTIAL = object()
+
 
 class QueryProvider:
     """Compiles and executes queries for every non-baseline engine."""
@@ -62,6 +77,14 @@ class QueryProvider:
         self.translate_options = translate_options or TranslateOptions()
         self.optimize_options = optimize_options or OptimizeOptions()
         self._lock = threading.Lock()
+        #: one lock per cache key, so concurrent misses on the same query
+        #: compile once while distinct queries compile concurrently
+        self._key_locks: Dict[Any, threading.Lock] = {}
+        #: morsel-kernel artifacts (or the sequential-fallback marker),
+        #: keyed like compiled entries plus the worker count; kept apart
+        #: from the QueryCache so parallel lookups don't perturb the
+        #: compiled-code hit/miss statistics the benchmarks report
+        self._parallel_entries: Dict[Any, Any] = {}
         #: schema token → TableStats (§9 extension); versioned for caching
         self._statistics: Dict[str, Any] = {}
         self._statistics_version = 0
@@ -81,17 +104,36 @@ class QueryProvider:
         sources: List[Any],
         engine: str,
         params: Dict[str, Any],
+        parallelism: Optional[int] = None,
+        morsel_size: Optional[int] = None,
     ) -> Iterator[Any]:
         """Run *expr* and return a lazy iterator over its results."""
         if engine == "linq":
             # the interpreted baseline skips codegen but not analysis: an
-            # ill-typed query fails the same way on every engine
+            # ill-typed query fails the same way on every engine (its
+            # parallelism knob is a no-op: interpretation stays sequential)
             self._analysis_for(canonicalize(expr), sources)
             return enumerate_query(expr, sources, params)
+        # the sequential artifact compiles first even under parallelism:
+        # it is the fallback, and it guarantees exact error parity (a
+        # query the engine rejects is rejected with or without workers)
         compiled, bindings = self._compiled_for(expr, sources, engine)
         if compiled.scalar:
             raise ExecutionError(
                 "this query is a scalar aggregate; use the terminal method"
+            )
+        parallel = self._parallel_plan(
+            expr, sources, engine, parallelism, scalar=False
+        )
+        if parallel is not None:
+            workers, morsel_rows, artifact = parallel
+            return iter(
+                artifact.execute(
+                    sources,
+                    {**bindings, **params},
+                    workers,
+                    morsel_size or morsel_rows,
+                )
             )
         return iter(compiled.execute(sources, {**bindings, **params}))
 
@@ -101,6 +143,8 @@ class QueryProvider:
         sources: List[Any],
         engine: str,
         params: Dict[str, Any],
+        parallelism: Optional[int] = None,
+        morsel_size: Optional[int] = None,
     ) -> Any:
         """Run a terminal aggregate and return its single value."""
         if engine == "linq":
@@ -109,6 +153,17 @@ class QueryProvider:
         compiled, bindings = self._compiled_for(expr, sources, engine)
         if not compiled.scalar:
             raise ExecutionError("not a scalar query")
+        parallel = self._parallel_plan(
+            expr, sources, engine, parallelism, scalar=True
+        )
+        if parallel is not None:
+            workers, morsel_rows, artifact = parallel
+            return artifact.execute(
+                sources,
+                {**bindings, **params},
+                workers,
+                morsel_size or morsel_rows,
+            )
         return compiled.execute(sources, {**bindings, **params})
 
     def explain(self, expr: Expr, engine: str) -> str:
@@ -133,6 +188,14 @@ class QueryProvider:
 
     # -- internals --------------------------------------------------------------
 
+    def _key_lock(self, key: Any) -> threading.Lock:
+        with self._lock:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = threading.Lock()
+                self._key_locks[key] = lock
+            return lock
+
     def _compiled_for(
         self, expr: Expr, sources: List[Any], engine: str
     ) -> tuple:
@@ -140,12 +203,100 @@ class QueryProvider:
         key = cache_key(
             canonical, engine, self._options_token() + _source_signature(sources)
         )
-        with self._lock:
+        # per-key locking: concurrent requests for the same query block
+        # until its single compilation finishes (no duplicated work, and
+        # exactly one cache miss per compilation); unrelated queries
+        # compile in parallel
+        with self._key_lock(key):
             compiled = self.cache.find(key)
             if compiled is None:
                 compiled = self._compile(canonical, sources, engine)
                 self.cache.store(key, compiled)
         return compiled, canonical.bindings
+
+    # -- parallel execution (morsel-driven; departure from the paper) ------------
+
+    def _resolve_parallelism(self, parallelism: Optional[int]) -> int:
+        if parallelism is not None:
+            return max(1, int(parallelism))
+        env = os.environ.get("REPRO_PARALLELISM", "").strip()
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                return 1
+        return 1
+
+    def _parallel_plan(
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        parallelism: Optional[int],
+        scalar: bool,
+    ) -> Optional[tuple]:
+        """(workers, default morsel size, ParallelQuery) — or None to run
+        the already-compiled sequential artifact."""
+        workers = self._resolve_parallelism(parallelism)
+        if workers < 2 or engine not in PARALLEL_ENGINES:
+            return None
+        artifact = self._parallel_for(expr, sources, engine, workers)
+        if artifact is None or artifact.scalar != scalar:
+            return None
+        if source_length(sources[artifact.morsel_ordinal]) is None:
+            return None  # unsized source: cannot partition
+        return workers, DEFAULT_MORSEL_ROWS, artifact
+
+    def _parallel_for(
+        self, expr: Expr, sources: List[Any], engine: str, workers: int
+    ) -> Optional[ParallelQuery]:
+        canonical = canonicalize(expr)
+        key = cache_key(
+            canonical,
+            f"{engine}::parallel",
+            (workers,) + self._options_token() + _source_signature(sources),
+        )
+        with self._key_lock(key):
+            entry = self._parallel_entries.get(key)
+            if entry is None:
+                entry = self._build_parallel(canonical, sources, engine)
+                if entry is None:
+                    entry = _SEQUENTIAL
+                with self._lock:
+                    self._parallel_entries[key] = entry
+        return None if entry is _SEQUENTIAL else entry
+
+    def _build_parallel(
+        self, canonical: CanonicalQuery, sources: List[Any], engine: str
+    ) -> Optional[ParallelQuery]:
+        """Build morsel kernels for a plan, or None for sequential fallback.
+
+        Runs after the sequential artifact compiled successfully, so the
+        plan is already analyzed, validated, and inside the engine's
+        fragment; anything the *partial* plans still trip over (or a shape
+        :func:`parallel_split` rejects) downgrades to sequential execution
+        rather than erroring.
+        """
+        self._analysis_for(canonical, sources)
+        plan = optimize(
+            translate(canonical.tree, self.translate_options),
+            self.optimize_options,
+            statistics=self._statistics,
+            param_values=canonical.bindings,
+        )
+        split = parallel_split(plan)
+        if not split.parallel:
+            return None
+        backend = _make_backend(engine)
+        try:
+            return build_parallel_query(
+                split,
+                lambda partial: backend.compile(
+                    partial, sources, morsel_ordinal=split.morsel_ordinal
+                ),
+            )
+        except UnsupportedQueryError:
+            return None
 
     def _options_token(self) -> tuple:
         topts = self.translate_options

@@ -64,7 +64,15 @@ def _source_token(items: Sequence[Any], explicit: Optional[str]) -> str:
 class Query:
     """An immutable, composable, lazily-executed query."""
 
-    __slots__ = ("expr", "sources", "engine", "params", "_provider")
+    __slots__ = (
+        "expr",
+        "sources",
+        "engine",
+        "params",
+        "parallelism",
+        "morsel_size",
+        "_provider",
+    )
 
     def __init__(
         self,
@@ -73,11 +81,15 @@ class Query:
         engine: str = DEFAULT_ENGINE,
         params: Optional[Dict[str, Any]] = None,
         provider: Any = None,
+        parallelism: Optional[int] = None,
+        morsel_size: Optional[int] = None,
     ):
         self.expr = expr
         self.sources = sources
         self.engine = engine
         self.params = dict(params or {})
+        self.parallelism = parallelism
+        self.morsel_size = morsel_size
         self._provider = provider
 
     # -- construction helpers ---------------------------------------------------
@@ -92,6 +104,8 @@ class Query:
             engine=kw.get("engine", self.engine),
             params=kw.get("params", self.params),
             provider=kw.get("provider", self._provider),
+            parallelism=kw.get("parallelism", self.parallelism),
+            morsel_size=kw.get("morsel_size", self.morsel_size),
         )
 
     def _merge(self, other: "Query") -> tuple:
@@ -101,9 +115,32 @@ class Query:
 
     # -- configuration ------------------------------------------------------------
 
-    def using(self, engine: str, provider: Any = None) -> "Query":
-        """Select the execution strategy (and optionally a shared provider)."""
-        return self._replace(engine=engine, provider=provider or self._provider)
+    def using(
+        self,
+        engine: str,
+        provider: Any = None,
+        parallelism: Optional[int] = None,
+    ) -> "Query":
+        """Select the execution strategy (and optionally a shared provider
+        and a worker count for morsel-driven parallel execution)."""
+        return self._replace(
+            engine=engine,
+            provider=provider or self._provider,
+            parallelism=(
+                parallelism if parallelism is not None else self.parallelism
+            ),
+        )
+
+    def in_parallel(
+        self, workers: int, morsel_size: Optional[int] = None
+    ) -> "Query":
+        """Execute with *workers* threads over fixed-size morsels.
+
+        Results are exactly those of sequential execution; queries outside
+        the parallel-safe fragment silently run sequentially.
+        ``workers=1`` restores plain sequential execution.
+        """
+        return self._replace(parallelism=workers, morsel_size=morsel_size)
 
     def with_params(self, **params: Any) -> "Query":
         """Bind values for :func:`~repro.expressions.builder.P` parameters."""
@@ -157,7 +194,7 @@ class Query:
                 trace_lambda(result, arity=2),
             ),
         )
-        return Query(expr, sources, self.engine, params, self._provider)
+        return self._replace(expr=expr, sources=sources, params=params)
 
     def group_by(self, key: Callable, result: Optional[Callable] = None) -> "Query":
         """Group by *key*; optional group result selector (sees ``g.key``,
@@ -191,18 +228,23 @@ class Query:
     def concat(self, other: "Query") -> "Query":
         other_expr, sources, params = self._merge(other)
         expr = QueryOp("concat", self.expr, (other_expr,))
-        return Query(expr, sources, self.engine, params, self._provider)
+        return self._replace(expr=expr, sources=sources, params=params)
 
     def union(self, other: "Query") -> "Query":
         other_expr, sources, params = self._merge(other)
         expr = QueryOp("union", self.expr, (other_expr,))
-        return Query(expr, sources, self.engine, params, self._provider)
+        return self._replace(expr=expr, sources=sources, params=params)
 
     # -- execution (deferred until here) ------------------------------------------
 
     def __iter__(self) -> Iterator[Any]:
         return self.provider.execute(
-            self.expr, list(self.sources), self.engine, self.params
+            self.expr,
+            list(self.sources),
+            self.engine,
+            self.params,
+            parallelism=self.parallelism,
+            morsel_size=self.morsel_size,
         )
 
     def to_list(self) -> List[Any]:
@@ -218,7 +260,12 @@ class Query:
     def _scalar(self, name: str, *args: Expr) -> Any:
         expr = QueryOp(name, self.expr, tuple(args))
         return self.provider.execute_scalar(
-            expr, list(self.sources), self.engine, self.params
+            expr,
+            list(self.sources),
+            self.engine,
+            self.params,
+            parallelism=self.parallelism,
+            morsel_size=self.morsel_size,
         )
 
     def count(self, predicate: Optional[Callable] = None) -> int:

@@ -99,17 +99,28 @@ class RecyclingProvider(QueryProvider):
         sources: List[Any],
         engine: str,
         params: Dict[str, Any],
+        parallelism: Optional[int] = None,
+        morsel_size: Optional[int] = None,
     ) -> Iterator[Any]:
+        # parallelism is deliberately absent from the result key: parallel
+        # results are bit-identical to sequential ones, so recycling
+        # across worker counts is sound
         key = self._result_key(expr, sources, engine, params)
         if key is None:
-            return super().execute(expr, sources, engine, params)
+            return super().execute(
+                expr, sources, engine, params, parallelism, morsel_size
+            )
         cached = self._results.get(key)
         if cached is not None:
             self._results.move_to_end(key)
             self.recycler_stats.hits += 1
             return iter(cached)
         self.recycler_stats.misses += 1
-        materialized = list(super().execute(expr, sources, engine, params))
+        materialized = list(
+            super().execute(
+                expr, sources, engine, params, parallelism, morsel_size
+            )
+        )
         self._store(key, materialized)
         return iter(materialized)
 
@@ -119,17 +130,23 @@ class RecyclingProvider(QueryProvider):
         sources: List[Any],
         engine: str,
         params: Dict[str, Any],
+        parallelism: Optional[int] = None,
+        morsel_size: Optional[int] = None,
     ) -> Any:
         key = self._result_key(expr, sources, engine, params)
         if key is None:
-            return super().execute_scalar(expr, sources, engine, params)
+            return super().execute_scalar(
+                expr, sources, engine, params, parallelism, morsel_size
+            )
         cached = self._results.get(key)
         if cached is not None:
             self._results.move_to_end(key)
             self.recycler_stats.hits += 1
             return cached[0]
         self.recycler_stats.misses += 1
-        value = super().execute_scalar(expr, sources, engine, params)
+        value = super().execute_scalar(
+            expr, sources, engine, params, parallelism, morsel_size
+        )
         self._store(key, [value])
         return value
 

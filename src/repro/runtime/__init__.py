@@ -9,6 +9,13 @@ from .sorting import (
     python_sorted_indexes,
     quicksort_indexes,
 )
+from .parallel import (
+    DEFAULT_MORSEL_ROWS,
+    ParallelQuery,
+    build_parallel_query,
+    morsel_bounds,
+    morsel_slice,
+)
 from .streaming import StreamingGroupAggregator, StreamingJoinProbe
 from .topn import TopNHeap
 
@@ -29,4 +36,9 @@ __all__ = [
     "TopNHeap",
     "StreamingGroupAggregator",
     "StreamingJoinProbe",
+    "DEFAULT_MORSEL_ROWS",
+    "ParallelQuery",
+    "build_parallel_query",
+    "morsel_bounds",
+    "morsel_slice",
 ]

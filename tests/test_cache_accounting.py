@@ -1,0 +1,176 @@
+"""CacheStats accounting: hits, misses, and evictions for both entry kinds.
+
+``store`` always counted its evictions; ``store_analysis`` historically did
+not, so a cache holding analyses under-reported evictions.  These tests pin
+the corrected accounting for compiled entries, analysis entries, and the
+two combined, at both the unit (QueryCache) and provider level.
+"""
+
+from repro.query import QueryCache, QueryProvider, from_iterable
+from repro.storage import Field, Schema, StructArray
+
+SCHEMA = Schema([Field("x", "int"), Field("y", "float")], name="Acct")
+OBJECTS = StructArray.from_rows(
+    SCHEMA, [(i, i * 0.5) for i in range(20)]
+).to_objects()
+
+
+class _FakeCompiled:
+    """Stand-in artifact; the cache never inspects what it stores."""
+
+
+class TestCompiledEntryAccounting:
+    def test_miss_then_hit(self):
+        cache = QueryCache()
+        assert cache.find("k") is None
+        cache.store("k", _FakeCompiled())
+        assert cache.find("k") is not None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_eviction_counted_per_entry(self):
+        cache = QueryCache(max_entries=2)
+        for i in range(5):
+            cache.store(i, _FakeCompiled())
+        assert len(cache) == 2
+        assert cache.stats.evictions == 3
+
+    def test_lru_refresh_protects_from_eviction(self):
+        cache = QueryCache(max_entries=2)
+        cache.store("a", _FakeCompiled())
+        cache.store("b", _FakeCompiled())
+        cache.find("a")  # refresh: b is now the LRU victim
+        cache.store("c", _FakeCompiled())
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+
+class TestAnalysisEntryAccounting:
+    def test_analysis_miss_then_hit(self):
+        cache = QueryCache()
+        assert cache.find_analysis("k") is None
+        cache.store_analysis("k", object())
+        assert cache.find_analysis("k") is not None
+        assert cache.stats.analysis_misses == 1
+        assert cache.stats.analysis_hits == 1
+
+    def test_store_analysis_counts_evictions(self):
+        # the historical bug: analysis evictions silently dropped entries
+        cache = QueryCache(max_entries=2)
+        for i in range(5):
+            cache.store_analysis(i, object())
+        assert cache.stats.evictions == 3
+
+    def test_both_kinds_share_the_eviction_counter(self):
+        cache = QueryCache(max_entries=1)
+        cache.store("a", _FakeCompiled())
+        cache.store("b", _FakeCompiled())  # evicts compiled a
+        cache.store_analysis("x", object())
+        cache.store_analysis("y", object())  # evicts analysis x
+        assert cache.stats.evictions == 2
+
+    def test_budgets_are_independent(self):
+        # one compiled entry and one analysis entry coexist at max=1:
+        # the kinds are keyed separately and evict within their own store
+        cache = QueryCache(max_entries=1)
+        cache.store("a", _FakeCompiled())
+        cache.store_analysis("a", object())
+        assert cache.stats.evictions == 0
+        assert cache.find("a") is not None
+        assert cache.find_analysis("a") is not None
+
+
+class TestStatsLifecycle:
+    def test_hit_rate(self):
+        cache = QueryCache()
+        cache.find("missing")
+        cache.store("k", _FakeCompiled())
+        cache.find("k")
+        assert cache.stats.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert QueryCache().stats.hit_rate == 0.0
+
+    def test_clear_resets_everything(self):
+        cache = QueryCache(max_entries=1)
+        cache.store("a", _FakeCompiled())
+        cache.store("b", _FakeCompiled())
+        cache.store_analysis("c", object())
+        cache.find("b")
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats
+        assert (
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.analysis_hits,
+            stats.analysis_misses,
+        ) == (0, 0, 0, 0, 0)
+
+
+class TestProviderLevelAccounting:
+    def test_linq_reuses_cached_analysis(self):
+        provider = QueryProvider()
+        q = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("linq", provider)
+            .where(lambda r: r.x > 3)
+        )
+        list(q)
+        list(q)
+        stats = provider.cache.stats
+        assert stats.analysis_misses == 1
+        assert stats.analysis_hits == 1
+        assert stats.misses == 0  # linq never touches the compiled store
+
+    def test_compiled_engine_counts_both_kinds(self):
+        # pinned sequential: a parallel-artifact build would consult the
+        # analysis cache again and perturb the exact counts below
+        provider = QueryProvider()
+        q = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .where(lambda r: r.x > 3)
+            .in_parallel(1)
+        )
+        list(q)  # compiled miss + analysis miss (inside _compile)
+        list(q)  # compiled hit; analysis not consulted again
+        stats = provider.cache.stats
+        assert (stats.misses, stats.hits) == (1, 1)
+        assert (stats.analysis_misses, stats.analysis_hits) == (1, 0)
+
+    def test_analysis_shared_across_engines(self):
+        provider = QueryProvider()
+
+        def q(engine):
+            return (
+                from_iterable(OBJECTS, schema=SCHEMA)
+                .using(engine, provider)
+                .where(lambda r: r.x > 3)
+                .select(lambda r: r.y)
+                .in_parallel(1)  # exact counts need the sequential path
+            )
+
+        list(q("compiled"))
+        list(q("hybrid"))  # second engine: new compilation, cached analysis
+        stats = provider.cache.stats
+        assert stats.misses == 2
+        assert stats.analysis_misses == 1
+        assert stats.analysis_hits == 1
+
+    def test_provider_eviction_covers_analyses(self):
+        provider = QueryProvider(cache=QueryCache(max_entries=1))
+        base = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .in_parallel(1)  # exact counts need the sequential path
+        )
+        base.where(lambda r: r.x > 3).to_list()
+        base.select(lambda r: r.y).to_list()
+        base.where(lambda r: r.x < 2).to_list()
+        stats = provider.cache.stats
+        # compiled entries: 3 stored, 1 resident; analyses: 3 stored,
+        # 1 resident — four total evictions, all counted
+        assert len(provider.cache) == 1
+        assert stats.evictions == 4

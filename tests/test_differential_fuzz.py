@@ -1,0 +1,315 @@
+"""Differential fuzz harness: every engine × every parallelism agrees.
+
+A seeded random query generator draws shapes over the expression builder
+(filters, projections, joins, group-by + aggregates, sort, take, distinct,
+scalar terminals) and executes each query on all four compiled engines and
+every parallelism / morsel-size combination, asserting **exact** agreement
+with the interpreted ``linq`` baseline.  Seeds are deterministic, so a CI
+failure reproduces locally by running the same test id.
+
+Float columns hold multiples of 0.25 in a small range, so every sum any
+engine can form is exactly representable and summation order cannot perturb
+results — bit-identity across morsel boundaries is a fair requirement.
+"""
+
+import random
+
+import pytest
+
+from repro import new
+from repro.errors import ExecutionError, UnsupportedQueryError
+from repro.query import QueryProvider, from_iterable, from_struct_array
+from repro.storage import Field, Schema, StructArray
+
+# ---------------------------------------------------------------------------
+# Fixed datasets (one seeded draw at import; the corpus varies queries)
+# ---------------------------------------------------------------------------
+
+T1 = Schema(
+    [
+        Field("id", "int"),
+        Field("g", "int"),
+        Field("v", "float"),
+        Field("s", "str", 4),
+    ],
+    name="FuzzA",
+)
+T2 = Schema(
+    [Field("k", "int"), Field("w", "float"), Field("t", "str", 4)],
+    name="FuzzB",
+)
+
+_VOCAB = ["aa", "bb", "cc", "dd"]
+
+
+def _exact_float(rng: random.Random) -> float:
+    return rng.randrange(-200, 200) * 0.25
+
+
+def _build_datasets():
+    rng = random.Random(1234)
+    rows_a = [
+        (i, rng.randrange(6), _exact_float(rng), rng.choice(_VOCAB))
+        for i in range(160)
+    ]
+    rows_b = [
+        (rng.randrange(9), _exact_float(rng), rng.choice(_VOCAB))
+        for _ in range(80)
+    ]
+    return StructArray.from_rows(T1, rows_a), StructArray.from_rows(T2, rows_b)
+
+
+ARR_A, ARR_B = _build_datasets()
+OBJ_A, OBJ_B = ARR_A.to_objects(), ARR_B.to_objects()
+
+PROVIDER = QueryProvider()
+
+ENGINES = ("compiled", "native", "hybrid", "hybrid_buffered")
+
+#: (workers, morsel_size); morsel sizes deliberately coprime-ish with the
+#: dataset sizes so boundaries fall mid-group, mid-tie, mid-everything
+PARALLEL_CONFIGS = ((2, 37), (3, 64), (4, 13), (5, None))
+
+SEEDS = range(60)
+QUERIES_PER_SEED = 4  # 60 × 4 = 240 ≥ the 200-query acceptance floor
+
+#: populated by the corpus test, asserted by test_corpus_size at the end
+_COVERAGE = []
+
+
+def _sources(engine):
+    if engine == "native":
+        outer = from_struct_array(ARR_A).using(engine, PROVIDER)
+        inner = from_struct_array(ARR_B).using(engine, PROVIDER)
+    else:
+        outer = from_iterable(OBJ_A, schema=T1).using(engine, PROVIDER)
+        inner = from_iterable(OBJ_B, schema=T2).using(engine, PROVIDER)
+    return outer, inner
+
+
+# ---------------------------------------------------------------------------
+# Random query shapes — ALL randomness is drawn inside shape(rng), so the
+# returned builder applies identical structure to every engine's sources
+# ---------------------------------------------------------------------------
+
+
+def _shape_filter(rng):
+    c = rng.randrange(-1, 7)
+    x = _exact_float(rng)
+    word = rng.choice(_VOCAB)
+    pred_mode = rng.randrange(3)
+    out_mode = rng.randrange(3)
+
+    def apply(outer, inner):
+        if pred_mode == 0:
+            q = outer.where(lambda r: r.g > c)
+        elif pred_mode == 1:
+            q = outer.where(lambda r: (r.v <= x) & (r.g != c))
+        else:
+            q = outer.where(lambda r: (r.v > x) | (r.s == word))
+        if out_mode == 0:
+            return q, None  # whole rows
+        if out_mode == 1:
+            return q.select(lambda r: new(i=r.id, y=r.v + r.v, s=r.s)), None
+        return q.select(lambda r: r.v), None
+
+    return apply
+
+
+def _shape_join(rng):
+    c = rng.randrange(0, 6)
+    x = _exact_float(rng)
+    filter_side = rng.randrange(3)
+
+    def apply(outer, inner):
+        left = outer.where(lambda r: r.g >= c) if filter_side == 0 else outer
+        right = inner.where(lambda b: b.w < x) if filter_side == 1 else inner
+        return (
+            left.join(
+                right,
+                lambda r: r.g,
+                lambda b: b.k,
+                lambda r, b: new(i=r.id, v=r.v, w=b.w, t=b.t),
+            ),
+            None,
+        )
+
+    return apply
+
+
+def _shape_group(rng):
+    key_mode = rng.randrange(3)
+    with_filter = rng.randrange(2)
+    c = rng.randrange(0, 6)
+    agg_mode = rng.randrange(3)
+
+    def apply(outer, inner):
+        q = outer.where(lambda r: r.g != c) if with_filter else outer
+        key = (
+            (lambda r: r.g)
+            if key_mode == 0
+            else (lambda r: r.s)
+            if key_mode == 1
+            else (lambda r: new(a=r.g, b=r.s))
+        )
+        if agg_mode == 0:
+            result = lambda grp: new(
+                k=grp.key, n=grp.count(), t=grp.sum(lambda r: r.v)
+            )
+        elif agg_mode == 1:
+            result = lambda grp: new(
+                k=grp.key,
+                lo=grp.min(lambda r: r.v),
+                hi=grp.max(lambda r: r.id),
+            )
+        else:
+            result = lambda grp: new(
+                k=grp.key,
+                a=grp.avg(lambda r: r.v),
+                t=grp.sum(lambda r: r.v),
+                n=grp.count(),
+            )
+        return q.group_by(key, result), None
+
+    return apply
+
+
+def _shape_sort(rng):
+    x = _exact_float(rng)
+    n = rng.randrange(1, 40)
+    desc = rng.randrange(2)
+    with_take = rng.randrange(2)
+
+    def apply(outer, inner):
+        q = outer.where(lambda r: r.v > x).select(
+            lambda r: new(g=r.g, v=r.v, i=r.id)
+        )
+        # ties abound: g has six values, so morsel merges must preserve
+        # the sequential tie order exactly
+        q = q.order_by_desc(lambda p: p.g) if desc else q.order_by(lambda p: p.g)
+        q = q.then_by(lambda p: p.v)
+        return (q.take(n) if with_take else q), None
+
+    return apply
+
+
+def _shape_scalar(rng):
+    terminal = rng.choice(["count", "sum", "min", "max", "average"])
+    field = rng.randrange(2)
+    c = rng.randrange(-1, 8)
+
+    def apply(outer, inner):
+        q = outer.where(lambda r: r.g < c)
+        selector = None
+        if terminal != "count":
+            selector = (lambda r: r.v) if field else (lambda r: r.id)
+        return q, (terminal, selector)
+
+    return apply
+
+
+def _shape_distinct(rng):
+    pick = rng.randrange(2)
+
+    def apply(outer, inner):
+        if pick:
+            return outer.select(lambda r: new(g=r.g, s=r.s)).distinct(), None
+        return outer.select(lambda r: r.g).distinct(), None
+
+    return apply
+
+
+def _shape_group_sorted(rng):
+    c = rng.randrange(0, 6)
+
+    def apply(outer, inner):
+        return (
+            outer.where(lambda r: r.g <= c)
+            .group_by(
+                lambda r: r.s,
+                lambda grp: new(k=grp.key, t=grp.sum(lambda r: r.v)),
+            )
+            .order_by(lambda p: p.k),
+            None,
+        )
+
+    return apply
+
+
+SHAPES = (
+    _shape_filter,
+    _shape_join,
+    _shape_group,
+    _shape_sort,
+    _shape_scalar,
+    _shape_distinct,
+    _shape_group_sorted,
+)
+
+
+# ---------------------------------------------------------------------------
+# Execution + comparison
+# ---------------------------------------------------------------------------
+
+
+def _run(query, terminal, workers=None, morsel=None):
+    """Outcome triple: kind + payload, errors folded in deterministically."""
+    if workers is not None:
+        query = query.in_parallel(workers, morsel)
+    try:
+        if terminal is None:
+            return ("rows", list(query))
+        name, selector = terminal
+        args = [selector] if selector is not None else []
+        return ("scalar", getattr(query, name)(*args))
+    except UnsupportedQueryError:
+        return ("unsupported", None)
+    except ExecutionError as exc:
+        return ("error", str(exc))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_corpus(seed):
+    rng = random.Random(seed)
+    for _ in range(QUERIES_PER_SEED):
+        shape = rng.choice(SHAPES)
+        apply = shape(rng)
+
+        baseline_outer, baseline_inner = _sources("linq")
+        baseline_q, baseline_t = apply(baseline_outer, baseline_inner)
+        baseline = _run(baseline_q, baseline_t)
+        assert baseline[0] in ("rows", "scalar", "error")
+
+        for engine in ENGINES:
+            outer, inner = _sources(engine)
+            query, term = apply(outer, inner)
+            sequential = _run(query, term)
+            for workers, morsel in PARALLEL_CONFIGS:
+                parallel = _run(query, term, workers, morsel)
+                # the tentpole invariant: bit-identical to sequential for
+                # every engine, worker count, and morsel size
+                assert parallel == sequential, (
+                    f"seed={seed} shape={shape.__name__} engine={engine} "
+                    f"workers={workers} morsel={morsel}: "
+                    f"parallel {parallel!r} != sequential {sequential!r}"
+                )
+            if sequential[0] == "error":
+                # errors agree with the baseline by class; messages are
+                # engine-worded except the shared empty-aggregate one
+                assert baseline[0] == "error", (
+                    f"seed={seed} shape={shape.__name__} engine={engine}: "
+                    f"raised {sequential[1]!r} but linq returned {baseline!r}"
+                )
+            elif sequential[0] != "unsupported":
+                assert sequential == baseline, (
+                    f"seed={seed} shape={shape.__name__} engine={engine}: "
+                    f"{sequential!r} != linq {baseline!r}"
+                )
+        _COVERAGE.append((seed, shape.__name__))
+
+
+def test_corpus_size():
+    """Runs after the corpus (file order): the acceptance floor held."""
+    assert len(_COVERAGE) >= 200, len(_COVERAGE)
+    # every shape family actually exercised
+    assert {name for _, name in _COVERAGE} == {s.__name__ for s in SHAPES}
