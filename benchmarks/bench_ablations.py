@@ -17,7 +17,7 @@ import pytest
 from repro import P, new
 from repro.plans import TableStats
 from repro.plans.optimizer import OptimizeOptions
-from repro.query import QueryProvider, from_iterable, from_struct_array
+from repro.query import QueryProvider, from_struct_array
 from repro.query.recycler import RecyclingProvider
 from repro.tpch import relation_query
 
@@ -73,7 +73,6 @@ def test_ablation_buffer_page_size(benchmark, data, page_kb):
 
 @pytest.mark.parametrize("indexed", (False, True), ids=("scan", "index"))
 def test_ablation_index_point_lookup(benchmark, data, indexed):
-    import copy
 
     array = data.arrays("orders")
     if indexed:

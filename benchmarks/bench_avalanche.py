@@ -25,7 +25,7 @@ import time
 import pytest
 
 from repro import P, new
-from repro.query import QueryProvider, from_iterable
+from repro.query import from_iterable
 from repro.tpch import Q2_DEFAULTS, relation_query
 
 from conftest import write_report

@@ -14,7 +14,7 @@ import pytest
 from repro.query import QueryCache, QueryProvider
 from repro.tpch import q1, q3
 
-from conftest import drain, write_report
+from conftest import write_report
 
 CODEGEN_ENGINES = ("compiled", "native", "hybrid", "hybrid_buffered")
 

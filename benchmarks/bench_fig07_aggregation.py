@@ -27,7 +27,7 @@ def test_fig07_aggregation(benchmark, data, provider, engine, selectivity):
     benchmark.pedantic(drain, args=(query,), rounds=3, iterations=1, warmup_rounds=1)
 
 
-def test_fig07_report(benchmark, data, provider, results_dir):
+def test_fig07_report(benchmark, data, provider, results_dir, bench_recorder):
     """One full selectivity sweep; writes results/fig07_aggregation.txt."""
 
     def sweep():
@@ -42,7 +42,9 @@ def test_fig07_report(benchmark, data, provider, results_dir):
                 drain(query)  # warm the query cache / compile once
                 started = time.perf_counter()
                 drain(query)
-                cells.append((time.perf_counter() - started) * 1e3)
+                ms = (time.perf_counter() - started) * 1e3
+                cells.append(ms)
+                bench_recorder.record("fig07_aggregation", engine, selectivity, ms)
             lines.append(
                 f"{selectivity:>11.1f}  " + "  ".join(f"{c:>16.1f}" for c in cells)
             )

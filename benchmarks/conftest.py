@@ -13,6 +13,7 @@ rows, laptop-friendly; the shapes already show clearly there — use 0.01+
 for slower, smoother curves).
 """
 
+import json
 import os
 import pathlib
 
@@ -26,6 +27,52 @@ DEFAULT_SCALE = 0.003
 
 def tpch_scale() -> float:
     return float(os.environ.get("REPRO_TPCH_SCALE", DEFAULT_SCALE))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write the report sweeps' cells to PATH as machine-readable JSON "
+        "(consumed by scripts/check_bench_regression.py)",
+    )
+
+
+class BenchRecorder:
+    """Collects (figure, engine, selectivity, ms) cells from report sweeps."""
+
+    def __init__(self):
+        self.cells = []
+
+    def record(self, figure: str, engine: str, selectivity: float, ms: float) -> None:
+        self.cells.append(
+            {
+                "figure": figure,
+                "engine": engine,
+                "selectivity": selectivity,
+                "ms": round(ms, 4),
+            }
+        )
+
+
+_RECORDER = BenchRecorder()
+
+
+@pytest.fixture(scope="session")
+def bench_recorder():
+    return _RECORDER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json", default=None)
+    if not path or not _RECORDER.cells:
+        return
+    payload = {"scale": tpch_scale(), "cells": _RECORDER.cells}
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions.
+
+Compares a fresh benchmark run (``BENCH_ci.json``, written by the report
+sweeps via ``pytest --bench-json``) against the committed baseline
+(``benchmarks/baseline.json``).
+
+Raw wall-clock numbers are useless across heterogeneous CI runners, so the
+default ``ratio`` mode normalizes every engine's time by the interpreted
+``linq`` engine measured *in the same run* — the paper's own presentation
+(speedup over LINQ-to-objects) and a machine-independent quantity.  For
+each (figure, engine) the median ratio across the selectivity sweep is
+compared; the job fails when the current median is more than ``tolerance``
+(default 30%) worse than the baseline's.
+
+``--mode absolute`` compares raw milliseconds instead, for same-machine
+comparisons (e.g. a local before/after check).
+
+Exit status: 0 = no regression, non-zero = regression, coverage loss, or
+unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+BASELINE_ENGINE = "linq"
+
+
+def load_cells(path: Path):
+    """Return {(figure, engine): {selectivity: ms}} from a bench JSON file."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    table: dict = defaultdict(dict)
+    for cell in payload.get("cells", []):
+        table[(cell["figure"], cell["engine"])][cell["selectivity"]] = cell["ms"]
+    if not table:
+        sys.exit(f"error: {path} contains no benchmark cells")
+    return dict(table)
+
+
+def median_metric(table, figure: str, engine: str, mode: str):
+    """Median ms (absolute) or median ms/linq-ms ratio across the sweep."""
+    cells = table.get((figure, engine))
+    if not cells:
+        return None
+    if mode == "absolute":
+        return statistics.median(cells.values())
+    base = table.get((figure, BASELINE_ENGINE))
+    if not base:
+        return None
+    ratios = [ms / base[sel] for sel, ms in cells.items() if base.get(sel)]
+    return statistics.median(ratios) if ratios else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baseline.json"),
+        help="committed reference run (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("BENCH_ci.json"),
+        help="fresh run to validate (default: BENCH_ci.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown before failing (default: 0.30)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("ratio", "absolute"),
+        default="ratio",
+        help="ratio: normalize by the linq engine within each run "
+        "(machine-independent, default); absolute: raw milliseconds",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_cells(args.baseline)
+    current = load_cells(args.current)
+
+    unit = "x linq" if args.mode == "ratio" else "ms"
+    regressions = []
+    missing = []
+    print(
+        f"benchmark regression check (mode={args.mode}, "
+        f"tolerance={args.tolerance:.0%})"
+    )
+    print(
+        f"{'figure':<20} {'engine':<20} {'baseline':>10} {'current':>10} "
+        f"{'delta':>8}"
+    )
+    for figure, engine in sorted(baseline):
+        if args.mode == "ratio" and engine == BASELINE_ENGINE:
+            continue  # ratio of linq to itself is 1.0 by construction
+        ref = median_metric(baseline, figure, engine, args.mode)
+        cur = median_metric(current, figure, engine, args.mode)
+        if ref is None:
+            continue
+        if cur is None:
+            missing.append((figure, engine))
+            print(f"{figure:<20} {engine:<20} {ref:>10.3f} {'MISSING':>10}")
+            continue
+        delta = cur / ref - 1.0 if ref else 0.0
+        flag = ""
+        if delta > args.tolerance:
+            regressions.append((figure, engine, ref, cur, delta))
+            flag = "  <-- REGRESSION"
+        print(
+            f"{figure:<20} {engine:<20} {ref:>10.3f} {cur:>10.3f} {delta:>+7.1%}"
+            f"{flag}"
+        )
+    print(f"(values are median {unit} across the selectivity sweep)")
+
+    new_cells = sorted(set(current) - set(baseline))
+    for figure, engine in new_cells:
+        print(f"note: {figure}/{engine} has no baseline (new engine?) — skipped")
+
+    if missing:
+        print(f"FAIL: {len(missing)} baseline cell(s) missing from the current run")
+        return 1
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} engine(s) regressed "
+            f"beyond {args.tolerance:.0%}"
+        )
+        return 1
+    print("OK: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import CodegenError
+from ..observability.metrics import METRICS
+from ..observability.tracer import TRACER
 
 __all__ = ["CompiledQuery", "compile_source", "timed"]
 
@@ -89,17 +91,20 @@ def compile_source(
         # stash for the provider: fn.__globals__ carries it out
         namespace["__verifier_report__"] = report
     started = time.perf_counter()
-    try:
-        code = compile(source, filename, "exec")
-        exec(code, namespace)  # noqa: S102 - executing our own generated code
-    except SyntaxError as exc:
-        raise CodegenError(
-            f"generated source failed to compile: {exc}"
-            f"\n--- verifier ---\n"
-            f"{report.describe() if report is not None else 'verifier not run'}"
-            f"\n--- source ---\n{source}"
-        ) from exc
+    with TRACER.span("codegen.compile_source", entry=entry_point):
+        try:
+            code = compile(source, filename, "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own generated code
+        except SyntaxError as exc:
+            raise CodegenError(
+                f"generated source failed to compile: {exc}"
+                f"\n--- verifier ---\n"
+                f"{report.describe() if report is not None else 'verifier not run'}"
+                f"\n--- source ---\n{source}"
+            ) from exc
     elapsed = time.perf_counter() - started
+    METRICS.counter("compile_source.count").add()
+    METRICS.histogram("compile_source.seconds").observe(elapsed)
     entry = namespace.get(entry_point)
     if entry is None:
         raise CodegenError(

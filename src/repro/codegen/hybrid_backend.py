@@ -38,9 +38,9 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import CodegenError, SchemaError, UnsupportedQueryError
-from ..expressions.nodes import Expr, Lambda, New, Var
-from ..expressions.printer import ScalarPrinter
+from ..errors import SchemaError, UnsupportedQueryError
+from ..observability.tracer import TRACER
+from ..expressions.nodes import Lambda, New, Var
 from ..expressions.visitor import substitute
 from ..plans.logical import (
     Filter,
@@ -59,14 +59,13 @@ from ..runtime.parallel import MORSEL_STOP as _MORSEL_STOP
 from ..runtime.parallel import morsel_slice
 from ..runtime.streaming import StreamingGroupAggregator, StreamingJoinProbe
 from ..storage.buffers import DEFAULT_PAGE_BYTES, BufferList, StreamingBuffer
-from ..storage.schema import Field, Schema, date_to_days
+from ..storage.schema import date_to_days
 from .compiler import CompiledQuery, compile_source, timed
 from .mapping import StagedSource, split_staging, staged_schema_for
 from .native_backend import (
     ColumnRef,
     Frame,
     _VectorEmitter,
-    _union,
 )
 from .python_backend import _CodeVarPrinter
 from .source import SourceWriter
@@ -113,7 +112,7 @@ class HybridBackend:
         sources: Sequence[Any],
         morsel_ordinal: Optional[int] = None,
     ) -> CompiledQuery:
-        with timed() as gen_time:
+        with TRACER.span("codegen.generate", engine=self.name), timed() as gen_time:
             if self.minimal:
                 if morsel_ordinal is not None:
                     raise UnsupportedQueryError(

@@ -287,7 +287,7 @@ def split_staging(plan: Plan) -> Tuple[Plan, Dict[int, StagedSource]]:
 
     def strip(node: Plan) -> Plan:
         if isinstance(node, Filter):
-            child = strip_chain = node
+            strip_chain = node
             predicates: List[Lambda] = []
             while isinstance(strip_chain, Filter):
                 predicates.append(strip_chain.predicate)

@@ -24,12 +24,13 @@ that drives §6's implicit projection).
 from __future__ import annotations
 
 import datetime
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import CodegenError, UnsupportedQueryError
+from ..errors import UnsupportedQueryError
+from ..observability.tracer import TRACER
 from ..expressions.analysis import member_usage
 from ..expressions.nodes import (
     Binary,
@@ -313,7 +314,7 @@ class VectorPrinter:
             )
         if not isinstance(target, Var):
             raise UnsupportedQueryError(
-                f"member access on a computed value is not supported natively"
+                "member access on a computed value is not supported natively"
             )
         frame_index = self.env.get(target.name)
         if frame_index is None:
@@ -359,11 +360,12 @@ class NativeBackend:
         morsel_ordinal: Optional[int] = None,
     ) -> CompiledQuery:
         schemas = schema_for_sources(sources)
-        with timed() as gen_time:
-            emitter = _VectorEmitter(
-                schemas, exemplars=sources, morsel_ordinal=morsel_ordinal
-            )
-            source_code, namespace, scalar = emitter.emit_module(plan)
+        with TRACER.span("codegen.generate", engine=self.name):
+            with timed() as gen_time:
+                emitter = _VectorEmitter(
+                    schemas, exemplars=sources, morsel_ordinal=morsel_ordinal
+                )
+                source_code, namespace, scalar = emitter.emit_module(plan)
         entry, compile_seconds = compile_source(source_code, namespace)
         return CompiledQuery(
             source_code=source_code,

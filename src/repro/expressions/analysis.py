@@ -20,9 +20,7 @@ from .nodes import (
     Lambda,
     Member,
     Method,
-    New,
     Param,
-    Unary,
     Var,
     children,
     walk,

@@ -26,7 +26,6 @@ from .nodes import (
     AGGREGATE_KINDS,
     AggCall,
     Binary,
-    Call,
     Conditional,
     Constant,
     Expr,

@@ -39,7 +39,6 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import QueryAnalysisError
 from .nodes import (
-    AGGREGATE_KINDS,
     ARITHMETIC_OPS,
     AggCall,
     Binary,

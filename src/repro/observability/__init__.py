@@ -1,0 +1,51 @@
+"""Query-lifecycle observability: tracing, metrics, and EXPLAIN.
+
+The flight recorder for the canonicalize → analyze → optimize → codegen →
+compile → execute pipeline (and the morsel-parallel runtime riding on
+it).  Three instruments:
+
+* :mod:`~repro.observability.tracer` — nested, monotonic-clock spans,
+  near-free while disabled (``REPRO_TRACE=1`` or ``using(trace=True)``
+  turns them on);
+* :mod:`~repro.observability.metrics` — always-on counters/histograms
+  (cache hits, compile wall time per engine, lock contention, recycler
+  reuse), exportable as a dict or JSON lines;
+* :mod:`~repro.observability.explain` — ``Query.explain()`` /
+  ``Query.explain_analyze()``, the user-facing fold of plan + capability
+  verdicts + measured spans.
+
+``explain`` is imported lazily: it reaches into the query package, which
+itself imports the tracer — eager import here would cycle.
+"""
+
+from .metrics import METRICS, Counter, Histogram, MetricsRegistry
+from .tracer import TRACER, SpanRecord, Tracer
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "SpanRecord",
+    "METRICS",
+    "MetricsRegistry",
+    "Counter",
+    "Histogram",
+    "ExplainReport",
+    "ExplainAnalysis",
+    "explain_report",
+    "explain_analyze",
+]
+
+_EXPLAIN_NAMES = {
+    "ExplainReport",
+    "ExplainAnalysis",
+    "explain_report",
+    "explain_analyze",
+}
+
+
+def __getattr__(name):
+    if name in _EXPLAIN_NAMES:
+        from . import explain as _explain
+
+        return getattr(_explain, name)
+    raise AttributeError(f"module 'repro.observability' has no attribute {name!r}")

@@ -17,7 +17,7 @@ substitution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from ..expressions.nodes import Expr, Lambda, structural_key

@@ -20,7 +20,6 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from ..expressions.analysis import predicate_cost
 from ..expressions.nodes import Binary, Constant, Expr, Member, Method, Unary, Var
 from ..storage.schema import date_to_days
 from ..storage.struct_array import StructArray

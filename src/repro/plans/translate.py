@@ -26,14 +26,12 @@ from typing import Dict, List, Tuple
 from ..errors import TranslationError
 from ..expressions.nodes import (
     AggCall,
-    Constant,
     Expr,
     Lambda,
     Member,
     QueryOp,
     SourceExpr,
     Var,
-    structural_key,
 )
 from ..expressions.analysis import contains_aggregate
 from ..expressions.visitor import Transformer
@@ -52,7 +50,6 @@ from .logical import (
     Scan,
     ScalarAggregate,
     Sort,
-    TopN,
 )
 
 __all__ = ["TranslateOptions", "translate"]

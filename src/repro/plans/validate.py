@@ -30,7 +30,6 @@ from ..expressions.analysis import member_usage
 from ..expressions.nodes import Expr, Lambda, Member, walk
 from ..expressions.typing import (
     GroupType,
-    QueryAnalysis,
     RecordType,
     ScalarType,
     SequenceType,

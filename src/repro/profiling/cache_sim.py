@@ -13,7 +13,7 @@ the simulation preserves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 import numpy as np

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..codegen.compiler import CompiledQuery
+from ..observability.metrics import METRICS, MetricsRegistry
 
 __all__ = ["QueryCache", "CacheStats"]
 
@@ -52,7 +53,11 @@ class QueryCache:
     Thread-safe: every operation holds the cache's internal lock.
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(
+        self,
+        max_entries: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if max_entries <= 0:
             raise ValueError("cache size must be positive")
         self._max_entries = max_entries
@@ -62,6 +67,16 @@ class QueryCache:
         # from compiled artifacts but evicted under the same budget)
         self._analyses: "OrderedDict[Any, Any]" = OrderedDict()
         self.stats = CacheStats()
+        # the same accounting, mirrored into the observability registry
+        # (process-global by default; tests inject private registries)
+        registry = metrics if metrics is not None else METRICS
+        self._m_hits = registry.counter("query_cache.hits")
+        self._m_misses = registry.counter("query_cache.misses")
+        self._m_evictions = registry.counter("query_cache.evictions")
+        self._m_analysis_hits = registry.counter("query_cache.analysis_hits")
+        self._m_analysis_misses = registry.counter(
+            "query_cache.analysis_misses"
+        )
 
     def find(self, key: Any) -> Optional[CompiledQuery]:
         """Look up a compiled query, refreshing its LRU position."""
@@ -69,9 +84,11 @@ class QueryCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                self._m_misses.add()
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._m_hits.add()
             return entry
 
     def store(self, key: Any, compiled: CompiledQuery) -> None:
@@ -81,6 +98,7 @@ class QueryCache:
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                self._m_evictions.add()
 
     def find_analysis(self, key: Any) -> Optional[Any]:
         """Look up a cached static-analysis result (QueryAnalysis)."""
@@ -88,9 +106,11 @@ class QueryCache:
             entry = self._analyses.get(key)
             if entry is None:
                 self.stats.analysis_misses += 1
+                self._m_analysis_misses.add()
                 return None
             self._analyses.move_to_end(key)
             self.stats.analysis_hits += 1
+            self._m_analysis_hits.add()
             return entry
 
     def store_analysis(self, key: Any, analysis: Any) -> None:
@@ -100,6 +120,7 @@ class QueryCache:
             while len(self._analyses) > self._max_entries:
                 self._analyses.popitem(last=False)
                 self.stats.evictions += 1
+                self._m_evictions.add()
 
     def __len__(self) -> int:
         with self._lock:

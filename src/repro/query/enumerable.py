@@ -27,7 +27,7 @@ from typing import Any, Dict, Iterator, List, Sequence
 from ..errors import ExecutionError, UnsupportedQueryError
 from ..expressions.evaluator import interpret, make_callable
 from ..expressions.nodes import Expr, Lambda, QueryOp, SourceExpr
-from ..runtime.hashtable import GroupTable, Grouping, JoinTable
+from ..runtime.hashtable import GroupTable, JoinTable
 from ..runtime.sorting import CompositeKey, quicksort_indexes
 
 __all__ = ["enumerate_query", "scalar_query"]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..codegen.compiler import CompiledQuery
@@ -28,7 +29,9 @@ from ..errors import ExecutionError, UnsupportedQueryError
 from ..expressions.canonical import CanonicalQuery, cache_key, canonicalize
 from ..expressions.nodes import Expr
 from ..expressions.typing import QueryAnalysis, analyze_query
-from ..plans.logical import ScalarAggregate, plan_to_text
+from ..observability.metrics import METRICS
+from ..observability.tracer import TRACER, traced_rows
+from ..plans.logical import plan_to_text
 from ..plans.optimizer import OptimizeOptions, optimize
 from ..plans.translate import TranslateOptions, translate
 from ..plans.validate import capability_report, parallel_split, validate_plan
@@ -77,9 +80,13 @@ class QueryProvider:
         self.translate_options = translate_options or TranslateOptions()
         self.optimize_options = optimize_options or OptimizeOptions()
         self._lock = threading.Lock()
-        #: one lock per cache key, so concurrent misses on the same query
-        #: compile once while distinct queries compile concurrently
-        self._key_locks: Dict[Any, threading.Lock] = {}
+        #: one lock per *in-flight* cache key, so concurrent misses on the
+        #: same query compile once while distinct queries compile
+        #: concurrently.  Entries are reference-counted and pruned as the
+        #: last holder releases, so the table is bounded by the number of
+        #: concurrent compilations — a long-lived provider serving many
+        #: distinct queries no longer grows it forever
+        self._key_locks: Dict[Any, _KeyLockEntry] = {}
         #: morsel-kernel artifacts (or the sequential-fallback marker),
         #: keyed like compiled entries plus the worker count; kept apart
         #: from the QueryCache so parallel lookups don't perturb the
@@ -112,8 +119,13 @@ class QueryProvider:
             # the interpreted baseline skips codegen but not analysis: an
             # ill-typed query fails the same way on every engine (its
             # parallelism knob is a no-op: interpretation stays sequential)
-            self._analysis_for(canonicalize(expr), sources)
-            return enumerate_query(expr, sources, params)
+            with TRACER.span("query.canonicalize", engine="linq"):
+                canonical = canonicalize(expr)
+            self._analysis_for(canonical, sources)
+            iterator = enumerate_query(expr, sources, params)
+            if TRACER.active:
+                return traced_rows(TRACER, iterator, engine="linq")
+            return iterator
         # the sequential artifact compiles first even under parallelism:
         # it is the fallback, and it guarantees exact error parity (a
         # query the engine rejects is rejected with or without workers)
@@ -127,15 +139,26 @@ class QueryProvider:
         )
         if parallel is not None:
             workers, morsel_rows, artifact = parallel
-            return iter(
-                artifact.execute(
-                    sources,
-                    {**bindings, **params},
-                    workers,
-                    morsel_size or morsel_rows,
-                )
+            started = time.perf_counter()
+            rows = artifact.execute(
+                sources,
+                {**bindings, **params},
+                workers,
+                morsel_size or morsel_rows,
             )
-        return iter(compiled.execute(sources, {**bindings, **params}))
+            TRACER.record(
+                "query.execute",
+                started,
+                time.perf_counter(),
+                rows=len(rows),
+                engine=engine,
+                parallel=True,
+            )
+            return iter(rows)
+        iterator = iter(compiled.execute(sources, {**bindings, **params}))
+        if TRACER.active:
+            return traced_rows(TRACER, iterator, engine=engine)
+        return iterator
 
     def execute_scalar(
         self,
@@ -148,8 +171,11 @@ class QueryProvider:
     ) -> Any:
         """Run a terminal aggregate and return its single value."""
         if engine == "linq":
-            self._analysis_for(canonicalize(expr), sources)
-            return scalar_query(expr, sources, params)
+            with TRACER.span("query.canonicalize", engine="linq"):
+                canonical = canonicalize(expr)
+            self._analysis_for(canonical, sources)
+            with TRACER.span("query.execute", engine="linq", scalar=True):
+                return scalar_query(expr, sources, params)
         compiled, bindings = self._compiled_for(expr, sources, engine)
         if not compiled.scalar:
             raise ExecutionError("not a scalar query")
@@ -158,13 +184,17 @@ class QueryProvider:
         )
         if parallel is not None:
             workers, morsel_rows, artifact = parallel
-            return artifact.execute(
-                sources,
-                {**bindings, **params},
-                workers,
-                morsel_size or morsel_rows,
-            )
-        return compiled.execute(sources, {**bindings, **params})
+            with TRACER.span(
+                "query.execute", engine=engine, scalar=True, parallel=True
+            ):
+                return artifact.execute(
+                    sources,
+                    {**bindings, **params},
+                    workers,
+                    morsel_size or morsel_rows,
+                )
+        with TRACER.span("query.execute", engine=engine, scalar=True):
+            return compiled.execute(sources, {**bindings, **params})
 
     def explain(self, expr: Expr, engine: str) -> str:
         """The optimized logical plan, as indented text."""
@@ -188,18 +218,41 @@ class QueryProvider:
 
     # -- internals --------------------------------------------------------------
 
-    def _key_lock(self, key: Any) -> threading.Lock:
+    def _acquire_key_lock(self, key: Any) -> "_KeyLockEntry":
+        """Reference-count and lock the per-key compile entry.
+
+        Contended acquisitions (another thread already compiling this
+        key) are counted in ``provider.compile_lock.contended``.
+        """
         with self._lock:
-            lock = self._key_locks.get(key)
-            if lock is None:
-                lock = threading.Lock()
-                self._key_locks[key] = lock
-            return lock
+            entry = self._key_locks.get(key)
+            if entry is None:
+                entry = self._key_locks[key] = _KeyLockEntry()
+            entry.refs += 1
+        if not entry.lock.acquire(blocking=False):
+            METRICS.counter("provider.compile_lock.contended").add()
+            entry.lock.acquire()
+        return entry
+
+    def _release_key_lock(self, key: Any, entry: "_KeyLockEntry") -> None:
+        """Unlock, and prune the table entry once the last holder leaves.
+
+        Pruning bounds the lock table to the number of *concurrent*
+        compilations; a later request for the same key simply creates a
+        fresh lock and finds the artifact already cached.
+        """
+        entry.lock.release()
+        with self._lock:
+            entry.refs -= 1
+            if entry.refs == 0 and self._key_locks.get(key) is entry:
+                del self._key_locks[key]
+                METRICS.counter("provider.compile_lock.pruned").add()
 
     def _compiled_for(
         self, expr: Expr, sources: List[Any], engine: str
     ) -> tuple:
-        canonical = canonicalize(expr)
+        with TRACER.span("query.canonicalize", engine=engine):
+            canonical = canonicalize(expr)
         key = cache_key(
             canonical, engine, self._options_token() + _source_signature(sources)
         )
@@ -207,11 +260,16 @@ class QueryProvider:
         # until its single compilation finishes (no duplicated work, and
         # exactly one cache miss per compilation); unrelated queries
         # compile in parallel
-        with self._key_lock(key):
-            compiled = self.cache.find(key)
+        entry = self._acquire_key_lock(key)
+        try:
+            with TRACER.span("query.cache_lookup", engine=engine) as span:
+                compiled = self.cache.find(key)
+                span.set(hit=compiled is not None)
             if compiled is None:
                 compiled = self._compile(canonical, sources, engine)
                 self.cache.store(key, compiled)
+        finally:
+            self._release_key_lock(key, entry)
         return compiled, canonical.bindings
 
     # -- parallel execution (morsel-driven; departure from the paper) ------------
@@ -256,7 +314,8 @@ class QueryProvider:
             f"{engine}::parallel",
             (workers,) + self._options_token() + _source_signature(sources),
         )
-        with self._key_lock(key):
+        lock_entry = self._acquire_key_lock(key)
+        try:
             entry = self._parallel_entries.get(key)
             if entry is None:
                 entry = self._build_parallel(canonical, sources, engine)
@@ -264,6 +323,8 @@ class QueryProvider:
                     entry = _SEQUENTIAL
                 with self._lock:
                     self._parallel_entries[key] = entry
+        finally:
+            self._release_key_lock(key, lock_entry)
         return None if entry is _SEQUENTIAL else entry
 
     def _build_parallel(
@@ -315,12 +376,16 @@ class QueryProvider:
         queries — the same error on every engine, before any codegen.
         """
         key = cache_key(canonical, "::analysis", _source_signature(sources))
-        analysis = self.cache.find_analysis(key)
-        if analysis is None:
-            analysis = analyze_query(
-                canonical.tree, sources, params=canonical.bindings
-            )
-            self.cache.store_analysis(key, analysis)
+        with TRACER.span("query.analyze") as span:
+            analysis = self.cache.find_analysis(key)
+            if analysis is None:
+                analysis = analyze_query(
+                    canonical.tree, sources, params=canonical.bindings
+                )
+                self.cache.store_analysis(key, analysis)
+                span.set(cached=False)
+            else:
+                span.set(cached=True)
         return analysis
 
     def _compile(
@@ -329,22 +394,36 @@ class QueryProvider:
         # layer 1: expression-tree type inference (QueryAnalysisError on
         # ill-typed queries, before any plan or source exists)
         analysis = self._analysis_for(canonical, sources)
-        plan = optimize(
-            translate(canonical.tree, self.translate_options),
-            self.optimize_options,
-            statistics=self._statistics,
-            param_values=canonical.bindings,
-        )
+        with TRACER.span("query.optimize", engine=engine):
+            plan = optimize(
+                translate(canonical.tree, self.translate_options),
+                self.optimize_options,
+                statistics=self._statistics,
+                param_values=canonical.bindings,
+            )
         backend = _make_backend(engine)  # raises for unknown engines
         # layer 2: operator preconditions + one capability report per
         # engine (replaces scattered in-backend fragment checks)
-        plan_types = validate_plan(
-            plan, analysis.source_types, params=canonical.bindings
-        )
-        report = capability_report(plan, engine, sources, plan_types)
+        with TRACER.span("query.validate", engine=engine):
+            plan_types = validate_plan(
+                plan, analysis.source_types, params=canonical.bindings
+            )
+            report = capability_report(plan, engine, sources, plan_types)
         if not report.supported:
             raise UnsupportedQueryError(report.describe())
-        compiled = backend.compile(plan, sources)
+        with TRACER.span("query.compile", engine=engine) as span:
+            compiled = backend.compile(plan, sources)
+            span.set(
+                codegen_seconds=compiled.codegen_seconds,
+                compile_seconds=compiled.compile_seconds,
+            )
+        METRICS.counter(f"compile.{engine}.count").add()
+        METRICS.histogram(f"compile.{engine}.codegen_seconds").observe(
+            compiled.codegen_seconds
+        )
+        METRICS.histogram(f"compile.{engine}.compile_seconds").observe(
+            compiled.compile_seconds
+        )
         compiled.plan_text = plan_to_text(plan)
         compiled.engine = engine
         compiled.analysis = analysis
@@ -355,6 +434,16 @@ class QueryProvider:
                 compiled.fn, "__globals__", {}
             ).get("__verifier_report__")
         return compiled
+
+
+class _KeyLockEntry:
+    """A per-key compile lock plus the count of threads holding/awaiting it."""
+
+    __slots__ = ("lock", "refs")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.refs = 0
 
 
 def _source_signature(sources: List[Any]) -> tuple:

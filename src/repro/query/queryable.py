@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from ..errors import ExecutionError, TranslationError
 from ..expressions.builder import trace_lambda, unwrap
-from ..expressions.nodes import Constant, Expr, Lambda, QueryOp, SourceExpr
+from ..expressions.nodes import Expr, Lambda, QueryOp, SourceExpr
 from ..expressions.visitor import Transformer
 from ..storage.struct_array import StructArray
 
@@ -71,6 +71,7 @@ class Query:
         "params",
         "parallelism",
         "morsel_size",
+        "trace",
         "_provider",
     )
 
@@ -83,6 +84,7 @@ class Query:
         provider: Any = None,
         parallelism: Optional[int] = None,
         morsel_size: Optional[int] = None,
+        trace: Optional[bool] = None,
     ):
         self.expr = expr
         self.sources = sources
@@ -90,6 +92,7 @@ class Query:
         self.params = dict(params or {})
         self.parallelism = parallelism
         self.morsel_size = morsel_size
+        self.trace = trace
         self._provider = provider
 
     # -- construction helpers ---------------------------------------------------
@@ -106,6 +109,7 @@ class Query:
             provider=kw.get("provider", self._provider),
             parallelism=kw.get("parallelism", self.parallelism),
             morsel_size=kw.get("morsel_size", self.morsel_size),
+            trace=kw.get("trace", self.trace),
         )
 
     def _merge(self, other: "Query") -> tuple:
@@ -120,15 +124,25 @@ class Query:
         engine: str,
         provider: Any = None,
         parallelism: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> "Query":
-        """Select the execution strategy (and optionally a shared provider
-        and a worker count for morsel-driven parallel execution)."""
+        """Select the execution strategy (and optionally a shared provider,
+        a worker count for morsel-driven parallel execution, and a
+        per-query tracing override).
+
+        ``trace=True`` records lifecycle spans for this query even when
+        ``REPRO_TRACE`` is off (inspect them via
+        ``repro.observability.TRACER.spans()``); ``trace=False`` silences
+        an otherwise-enabled tracer for this query.  ``None`` (default)
+        defers to the process-wide switch.
+        """
         return self._replace(
             engine=engine,
             provider=provider or self._provider,
             parallelism=(
                 parallelism if parallelism is not None else self.parallelism
             ),
+            trace=trace if trace is not None else self.trace,
         )
 
     def in_parallel(
@@ -238,7 +252,65 @@ class Query:
     # -- execution (deferred until here) ------------------------------------------
 
     def __iter__(self) -> Iterator[Any]:
-        return self.provider.execute(
+        if self.trace is None:
+            return self.provider.execute(
+                self.expr,
+                list(self.sources),
+                self.engine,
+                self.params,
+                parallelism=self.parallelism,
+                morsel_size=self.morsel_size,
+            )
+        from ..observability.tracer import TRACER
+
+        # a per-query trace override must cover the drain, not just the
+        # dispatch — materialize inside the scope (the execute span is
+        # recorded at iterator exhaustion)
+        with TRACER.scope(self.trace):
+            return iter(
+                list(
+                    self.provider.execute(
+                        self.expr,
+                        list(self.sources),
+                        self.engine,
+                        self.params,
+                        parallelism=self.parallelism,
+                        morsel_size=self.morsel_size,
+                    )
+                )
+            )
+
+    def to_list(self) -> List[Any]:
+        """Run the query and materialize every result element."""
+        return list(self)
+
+    def explain(self) -> str:
+        """What *would* run: the optimized logical plan, the chosen
+        engine, its capability verdict (with fallback reasons), and the
+        morsel-parallelism decision.  The first line is the plan root.
+        """
+        from ..observability.explain import explain_report
+
+        return explain_report(
+            self.provider,
+            self.expr,
+            list(self.sources),
+            self.engine,
+            parallelism=self.parallelism,
+        ).render()
+
+    def explain_analyze(self) -> Any:
+        """What actually ran: **executes the query** and returns an
+        :class:`~repro.observability.explain.ExplainAnalysis` — the plan
+        annotated with measured per-phase wall times, the result row
+        count, compiled-code cache status, and (under parallel
+        execution) the morsel dispatch/merge accounting.  ``str()`` it
+        for the rendered report.
+        """
+        from ..observability.explain import explain_analyze
+
+        return explain_analyze(
+            self.provider,
             self.expr,
             list(self.sources),
             self.engine,
@@ -247,26 +319,30 @@ class Query:
             morsel_size=self.morsel_size,
         )
 
-    def to_list(self) -> List[Any]:
-        """Run the query and materialize every result element."""
-        return list(self)
-
-    def explain(self) -> str:
-        """The optimized logical plan as text (not available for ``linq``)."""
-        return self.provider.explain(self.expr, self.engine)
-
     # -- terminal scalar aggregates (single compiled pass) -------------------------
 
     def _scalar(self, name: str, *args: Expr) -> Any:
         expr = QueryOp(name, self.expr, tuple(args))
-        return self.provider.execute_scalar(
-            expr,
-            list(self.sources),
-            self.engine,
-            self.params,
-            parallelism=self.parallelism,
-            morsel_size=self.morsel_size,
-        )
+        if self.trace is None:
+            return self.provider.execute_scalar(
+                expr,
+                list(self.sources),
+                self.engine,
+                self.params,
+                parallelism=self.parallelism,
+                morsel_size=self.morsel_size,
+            )
+        from ..observability.tracer import TRACER
+
+        with TRACER.scope(self.trace):
+            return self.provider.execute_scalar(
+                expr,
+                list(self.sources),
+                self.engine,
+                self.params,
+                parallelism=self.parallelism,
+                morsel_size=self.morsel_size,
+            )
 
     def count(self, predicate: Optional[Callable] = None) -> int:
         args = (trace_lambda(predicate),) if predicate else ()

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..expressions.canonical import canonicalize
-from ..expressions.nodes import Expr, structural_key
+from ..expressions.nodes import Expr
+from ..observability.metrics import METRICS
 from .provider import QueryProvider
 
 __all__ = ["RecyclingProvider", "RecyclerStats"]
@@ -114,8 +115,10 @@ class RecyclingProvider(QueryProvider):
         if cached is not None:
             self._results.move_to_end(key)
             self.recycler_stats.hits += 1
+            METRICS.counter("recycler.hits").add()
             return iter(cached)
         self.recycler_stats.misses += 1
+        METRICS.counter("recycler.misses").add()
         materialized = list(
             super().execute(
                 expr, sources, engine, params, parallelism, morsel_size
@@ -142,8 +145,10 @@ class RecyclingProvider(QueryProvider):
         if cached is not None:
             self._results.move_to_end(key)
             self.recycler_stats.hits += 1
+            METRICS.counter("recycler.hits").add()
             return cached[0]
         self.recycler_stats.misses += 1
+        METRICS.counter("recycler.misses").add()
         value = super().execute_scalar(
             expr, sources, engine, params, parallelism, morsel_size
         )
@@ -178,6 +183,7 @@ class RecyclingProvider(QueryProvider):
                 del self._results[key]
             dropped = len(doomed)
         self.recycler_stats.invalidations += dropped
+        METRICS.counter("recycler.invalidations").add(dropped)
         return dropped
 
     @property

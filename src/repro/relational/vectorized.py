@@ -50,7 +50,7 @@ from ..plans.logical import (
 from ..runtime import vectorized as _vec
 from ..runtime.streaming import StreamingGroupAggregator, StreamingJoinProbe
 from ..storage.columns import ColumnSet
-from ..storage.schema import Schema, date_to_days
+from ..storage.schema import date_to_days
 from ..storage.struct_array import StructArray
 
 __all__ = ["VectorizedExecutor", "VBatch", "vec_eval", "DEFAULT_BATCH_SIZE"]

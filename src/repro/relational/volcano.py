@@ -14,9 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Sequence
 
 from ..errors import ExecutionError
-from ..expressions.evaluator import interpret, make_callable, make_record_type
-from ..expressions.nodes import New, Var
-from ..expressions.visitor import substitute
+from ..expressions.evaluator import interpret, make_callable
 from ..plans.logical import (
     AggregateSpec,
     Concat,

@@ -9,7 +9,7 @@ per-element path stays short.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List
 
 __all__ = ["Grouping", "GroupTable", "JoinTable", "build_join_table"]
 

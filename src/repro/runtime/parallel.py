@@ -46,6 +46,8 @@ import numpy as np
 
 from ..errors import ExecutionError
 from ..expressions.evaluator import interpret, make_record_type
+from ..observability.metrics import METRICS
+from ..observability.tracer import TRACER
 from ..expressions.nodes import Expr, Lambda, Member, New, Var, structural_key
 from ..plans.logical import (
     AggregateSpec,
@@ -228,16 +230,26 @@ class ParallelQuery:
                 "should have fallen back to sequential execution"
             )
         bounds = morsel_bounds(total, morsel_rows)
-        partials = self._run_morsels(sources, params, bounds, workers)
-        if self.mode == "scalar":
-            return self._merge_scalar(partials, params)
-        if self.mode == "group":
-            rows = self._merge_groups(partials, params)
-        else:
-            rows = [row for part in partials for row in part]
-        for op in reversed(self.post_ops):
-            rows = _apply_post_op(op, rows, params)
-        return rows
+        METRICS.counter("parallel.executions").add()
+        METRICS.counter("parallel.morsels_dispatched").add(len(bounds))
+        with TRACER.span(
+            "parallel.execute",
+            mode=self.mode,
+            workers=workers,
+            morsels=len(bounds),
+        ):
+            with TRACER.span("parallel.dispatch", morsels=len(bounds)):
+                partials = self._run_morsels(sources, params, bounds, workers)
+            with TRACER.span("parallel.merge", mode=self.mode):
+                if self.mode == "scalar":
+                    return self._merge_scalar(partials, params)
+                if self.mode == "group":
+                    rows = self._merge_groups(partials, params)
+                else:
+                    rows = [row for part in partials for row in part]
+                for op in reversed(self.post_ops):
+                    rows = _apply_post_op(op, rows, params)
+                return rows
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -253,16 +265,21 @@ class ParallelQuery:
             morsel_params = dict(params)
             morsel_params[MORSEL_START] = start
             morsel_params[MORSEL_STOP] = stop
-            if self.mode == "scalar":
-                return [
-                    self._run_scalar_kernel(kernel, kind, sources, morsel_params)
-                    for kernel, kind in zip(
-                        self.kernels, self.scalar_spec.slot_kinds
-                    )
-                ]
-            # materialize inside the worker: the kernel (and any generator
-            # it returns) runs off the main thread
-            return list(self.kernels[0].execute(sources, morsel_params))
+            with TRACER.span(
+                "parallel.morsel", start=start, stop=stop, mode=self.mode
+            ):
+                if self.mode == "scalar":
+                    return [
+                        self._run_scalar_kernel(
+                            kernel, kind, sources, morsel_params
+                        )
+                        for kernel, kind in zip(
+                            self.kernels, self.scalar_spec.slot_kinds
+                        )
+                    ]
+                # materialize inside the worker: the kernel (and any
+                # generator it returns) runs off the main thread
+                return list(self.kernels[0].execute(sources, morsel_params))
 
         if workers <= 1 or len(bounds) <= 1:
             return [run(bound) for bound in bounds]

@@ -17,7 +17,7 @@ Two protocols exist, matching the paper exactly:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Sequence, Tuple
+from typing import Callable, Iterator, List, Tuple
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from typing import Any, Dict
 
 import numpy as np
 
-from ..errors import SchemaError
 from .schema import encode_value
 from .struct_array import StructArray
 

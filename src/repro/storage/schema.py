@@ -25,8 +25,8 @@ kind        Python value             native dtype
 from __future__ import annotations
 
 import datetime
-from dataclasses import dataclass, field as dc_field
-from typing import Any, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ Default parameter values follow the TPC-H reference parameters.
 from __future__ import annotations
 
 import datetime
-from typing import Any, Optional
+from typing import Optional
 
 from ..expressions.builder import P, new
 from ..query.provider import QueryProvider

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import datetime
 from collections import defaultdict
-from typing import Any, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from .datagen import TPCHData
 from .queries import Q1_DEFAULTS, Q2_DEFAULTS, Q3_DEFAULTS

@@ -4,7 +4,13 @@
 not, so a cache holding analyses under-reported evictions.  These tests pin
 the corrected accounting for compiled entries, analysis entries, and the
 two combined, at both the unit (QueryCache) and provider level.
+
+Also pins the per-key compile-lock table: locks exist only while a
+compilation is in flight, so the table stays bounded by concurrency — it
+historically grew by one entry per distinct query, forever.
 """
+
+import threading
 
 from repro.query import QueryCache, QueryProvider, from_iterable
 from repro.storage import Field, Schema, StructArray
@@ -158,6 +164,58 @@ class TestProviderLevelAccounting:
         assert stats.misses == 2
         assert stats.analysis_misses == 1
         assert stats.analysis_hits == 1
+
+    def test_key_lock_table_pruned_after_each_compilation(self):
+        # the regression: one lock per distinct query key, never removed —
+        # a provider fed an endless stream of fresh shapes leaked locks
+        provider = QueryProvider()
+        base = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .in_parallel(1)  # exact counts need the sequential path
+        )
+        shapes = [
+            lambda q: q.where(lambda r: r.x > 3),
+            lambda q: q.where(lambda r: r.x < 3),
+            lambda q: q.where(lambda r: r.x >= 3),
+            lambda q: q.select(lambda r: r.y),
+            lambda q: q.where(lambda r: r.x > 3).select(lambda r: r.y),
+            lambda q: q.order_by(lambda r: r.y),
+        ]
+        for shape in shapes:
+            shape(base).to_list()
+        assert provider.cache.stats.misses == len(shapes)
+        assert provider._key_locks == {}
+
+    def test_key_lock_pruning_keeps_compilation_exactly_once(self):
+        # ten threads race the same cold query; pruning must not break the
+        # serialize-per-key guarantee (one compile, everyone else hits)
+        provider = QueryProvider()
+        query = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .where(lambda r: r.x > 3)
+            .in_parallel(1)
+        )
+        barrier = threading.Barrier(10)
+        errors = []
+
+        def run():
+            try:
+                barrier.wait()
+                assert query.to_list()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run) for _ in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert provider.cache.stats.misses == 1
+        assert provider.cache.stats.hits == 9
+        assert provider._key_locks == {}
 
     def test_provider_eviction_covers_analyses(self):
         provider = QueryProvider(cache=QueryCache(max_entries=1))

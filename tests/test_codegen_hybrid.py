@@ -18,7 +18,6 @@ from repro.expressions import Var, new, trace_lambda
 from repro.plans import (
     AggregateSpec,
     Filter,
-    GroupAggregate,
     Join,
     Project,
     Scan,

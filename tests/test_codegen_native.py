@@ -2,7 +2,6 @@
 
 import datetime
 
-import numpy as np
 import pytest
 
 from repro.codegen.native_backend import (
@@ -17,13 +16,11 @@ from repro.plans import (
     Distinct,
     Filter,
     GroupAggregate,
-    Join,
     Limit,
     Project,
     Scan,
     ScalarAggregate,
     Sort,
-    TopN,
 )
 from repro.runtime.vectorized import RowView
 from repro.storage import Field, Schema, StructArray

@@ -22,7 +22,6 @@ from repro.plans import (
     Sort,
     TopN,
     translate,
-    optimize,
 )
 from repro.expressions.nodes import QueryOp, SourceExpr
 

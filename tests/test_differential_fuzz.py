@@ -153,22 +153,28 @@ def _shape_group(rng):
             else (lambda r: new(a=r.g, b=r.s))
         )
         if agg_mode == 0:
-            result = lambda grp: new(
-                k=grp.key, n=grp.count(), t=grp.sum(lambda r: r.v)
-            )
+
+            def result(grp):
+                return new(k=grp.key, n=grp.count(), t=grp.sum(lambda r: r.v))
+
         elif agg_mode == 1:
-            result = lambda grp: new(
-                k=grp.key,
-                lo=grp.min(lambda r: r.v),
-                hi=grp.max(lambda r: r.id),
-            )
+
+            def result(grp):
+                return new(
+                    k=grp.key,
+                    lo=grp.min(lambda r: r.v),
+                    hi=grp.max(lambda r: r.id),
+                )
+
         else:
-            result = lambda grp: new(
-                k=grp.key,
-                a=grp.avg(lambda r: r.v),
-                t=grp.sum(lambda r: r.v),
-                n=grp.count(),
-            )
+
+            def result(grp):
+                return new(
+                    k=grp.key,
+                    a=grp.avg(lambda r: r.v),
+                    t=grp.sum(lambda r: r.v),
+                    n=grp.count(),
+                )
         return q.group_by(key, result), None
 
     return apply

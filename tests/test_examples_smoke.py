@@ -4,7 +4,6 @@ import pathlib
 import runpy
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 

@@ -11,7 +11,6 @@ Three invariants, each checked on hypothesis-generated trees:
 
 from types import SimpleNamespace
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

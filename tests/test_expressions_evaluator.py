@@ -6,10 +6,8 @@ import pytest
 
 from repro.errors import ExecutionError, UnsupportedExpressionError
 from repro.expressions import (
-    Binary,
     Call,
     Constant,
-    Lambda,
     Member,
     Param,
     ScalarPrinter,

@@ -5,9 +5,9 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro import P, new
+from repro import P
 from repro.plans import ColumnStats, TableStats, estimate_selectivity
-from repro.plans.optimizer import OptimizeOptions, optimize
+from repro.plans.optimizer import optimize
 from repro.plans.translate import translate
 from repro.query import QueryProvider, from_iterable, from_struct_array
 from repro.query.recycler import RecyclingProvider
@@ -221,7 +221,7 @@ class TestStatisticsDrivenReordering:
         assert first.left.name == "rare"  # 1/1000 ranked before 1/2
 
     def test_parameter_sniffing_resolves_ranges(self):
-        from repro.expressions.nodes import Param, QueryOp, SourceExpr
+        from repro.expressions.nodes import QueryOp, SourceExpr
         from repro.expressions import trace_lambda
 
         stats = {

@@ -1,0 +1,509 @@
+"""The query flight recorder: spans, metrics, EXPLAIN, and its cost.
+
+Four contracts pinned here:
+
+* **Tracer** — spans nest correctly (parent/depth links never cross
+  threads), the buffer survives a 10-thread stress run, and the disabled
+  fast path is cheap enough that default-off tracing costs <2% of a
+  fig07-style query.
+* **Metrics** — counters registered by :class:`QueryCache` agree exactly
+  with its own ``CacheStats`` accounting (same locks, same increments).
+* **explain()** — byte-exact goldens for TPC-H Q1/Q3 across all four
+  engines (parallelism pinned to 1; the text is deterministic).
+* **explain_analyze()** — executes the query and reports measured
+  per-phase wall times, row counts, cache status, and morsel accounting.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.observability import METRICS, TRACER, MetricsRegistry, Tracer
+from repro.observability.tracer import traced_rows
+from repro.query import QueryCache, QueryProvider, from_iterable
+from repro.storage import Field, Schema, StructArray
+from repro.tpch import TPCHData, aggregation_micro
+from repro.tpch.queries import q1, q3
+
+ENGINES = ("linq", "compiled", "native", "hybrid")
+
+SCHEMA = Schema([Field("x", "int"), Field("y", "float")], name="Obs")
+OBJECTS = StructArray.from_rows(
+    SCHEMA, [(i, i * 0.5) for i in range(40)]
+).to_objects()
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return TPCHData(scale=0.001)
+
+
+# ---------------------------------------------------------------------------
+# tracer mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestTracerSpans:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a"):
+            pass
+        assert tracer.spans() == []
+
+    def test_disabled_span_is_the_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_nesting_links(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # inner closes first
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.parent_id == outer.span_id
+        assert (outer.depth, inner.depth) == (0, 1)
+        assert outer.parent_id is None
+
+    def test_durations_are_monotonic_and_ordered(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.001)
+        inner, outer = tracer.spans()
+        assert inner.duration >= 0.001
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration
+
+    def test_attrs_via_set(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", engine="native") as sp:
+            sp.set(rows=7)
+        (record,) = tracer.spans()
+        assert record.attrs == {"engine": "native", "rows": 7}
+
+    def test_buffer_is_bounded(self):
+        tracer = Tracer(enabled=True, max_records=10)
+        for _ in range(25):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans()) == 10
+
+    def test_scope_restores_previous_state(self):
+        tracer = Tracer(enabled=False)
+        with tracer.scope(True):
+            with tracer.span("on"):
+                pass
+        with tracer.span("off"):
+            pass
+        assert [r.name for r in tracer.spans()] == ["on"]
+        assert not tracer.enabled
+
+    def test_capture_sees_spans_without_enabling(self):
+        tracer = Tracer(enabled=False)
+        with tracer.capture() as sink:
+            with tracer.span("observed"):
+                pass
+        assert [r.name for r in sink] == ["observed"]
+        assert tracer.spans() == []  # retained buffer untouched when off
+
+    def test_traced_rows_counts_and_flags_completion(self):
+        tracer = Tracer(enabled=True)
+        assert list(traced_rows(tracer, iter(range(5)))) == list(range(5))
+        (record,) = tracer.spans()
+        assert record.attrs["rows"] == 5
+        assert record.attrs["complete"] is True
+
+    def test_traced_rows_partial_drain(self):
+        tracer = Tracer(enabled=True)
+        it = traced_rows(tracer, iter(range(100)))
+        next(it), next(it)
+        it.close()
+        (record,) = tracer.spans()
+        assert record.attrs["rows"] == 2
+        assert record.attrs["complete"] is False
+
+    def test_to_json_lines(self):
+        import json
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("a", k=1):
+            pass
+        (line,) = tracer.to_json_lines().splitlines()
+        decoded = json.loads(line)
+        assert decoded["name"] == "a"
+        assert decoded["attrs"] == {"k": 1}
+        assert decoded["duration"] >= 0
+
+
+class TestTracerThreadSafety:
+    def test_ten_thread_stress_preserves_per_thread_nesting(self):
+        tracer = Tracer(enabled=True)
+        n_threads, reps = 10, 200
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def work():
+            try:
+                barrier.wait()
+                for _ in range(reps):
+                    with tracer.span("a"):
+                        with tracer.span("b"):
+                            with tracer.span("c"):
+                                pass
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+        records = tracer.spans()
+        assert len(records) == n_threads * reps * 3
+        by_id = {r.span_id: r for r in records}
+        for r in records:
+            # parent links never cross threads, depths follow the nesting
+            expected_depth = {"a": 0, "b": 1, "c": 2}[r.name]
+            assert r.depth == expected_depth
+            if r.parent_id is None:
+                assert r.name == "a"
+            else:
+                parent = by_id[r.parent_id]
+                assert parent.thread == r.thread
+                assert parent.name == {"b": "a", "c": "b"}[r.name]
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_and_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add()
+        reg.counter("c").add(4)
+        reg.histogram("h").observe(2.0)
+        reg.histogram("h").observe(4.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 5
+        assert snap["h"] == {
+            "count": 2,
+            "sum": 6.0,
+            "min": 2.0,
+            "max": 4.0,
+            "mean": 3.0,
+        }
+
+    def test_counter_thread_safety(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("n")
+
+        def work():
+            for _ in range(10_000):
+                counter.add()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 80_000
+
+    def test_json_lines_roundtrip(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("a.count").add(3)
+        reg.histogram("a.seconds").observe(0.5)
+        lines = [json.loads(line) for line in reg.to_json_lines().splitlines()]
+        by_name = {entry["metric"]: entry for entry in lines}
+        assert by_name["a.count"]["value"] == 3
+        assert by_name["a.seconds"]["count"] == 1
+
+    def test_cache_counters_match_cache_stats_exactly(self):
+        # the acceptance contract: METRICS mirrors CacheStats 1:1 because
+        # both are incremented under the same lock, in the same branch
+        reg = MetricsRegistry()
+        cache = QueryCache(max_entries=2, metrics=reg)
+        cache.find("k")  # miss
+        cache.store("k", object())
+        cache.find("k")  # hit
+        for i in range(4):
+            cache.store(i, object())  # 3 evictions at max_entries=2
+        cache.find_analysis("a")  # analysis miss
+        cache.store_analysis("a", object())
+        cache.find_analysis("a")  # analysis hit
+
+        stats = cache.stats
+        snap = reg.snapshot()
+        assert snap["query_cache.hits"] == stats.hits == 1
+        assert snap["query_cache.misses"] == stats.misses == 1
+        assert snap["query_cache.evictions"] == stats.evictions == 3
+        assert snap["query_cache.analysis_hits"] == stats.analysis_hits == 1
+        assert snap["query_cache.analysis_misses"] == stats.analysis_misses == 1
+
+    def test_provider_level_cache_metrics_accuracy(self):
+        reg = MetricsRegistry()
+        provider = QueryProvider(cache=QueryCache(metrics=reg))
+        query = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .where(lambda r: r.x > 3)
+            .in_parallel(1)
+        )
+        query.to_list()
+        query.to_list()
+        stats = provider.cache.stats
+        snap = reg.snapshot()
+        assert snap["query_cache.hits"] == stats.hits == 1
+        assert snap["query_cache.misses"] == stats.misses == 1
+
+    def test_compile_metrics_registered_per_engine(self):
+        from repro.query import from_struct_array
+
+        array = StructArray.from_rows(SCHEMA, [(i, i * 0.5) for i in range(40)])
+        provider = QueryProvider()
+        before = METRICS.counter("compile.native.count").value
+        (
+            from_struct_array(array)
+            .using("native", provider)
+            .where(lambda r: r.x > 3)
+            .to_list()
+        )
+        assert METRICS.counter("compile.native.count").value == before + 1
+        hist = METRICS.histogram("compile.native.compile_seconds").snapshot()
+        assert hist["count"] >= 1
+        assert hist["sum"] > 0
+
+
+# ---------------------------------------------------------------------------
+# explain() goldens — deterministic text, parallelism pinned to 1
+# ---------------------------------------------------------------------------
+
+_SEQ = (
+    "parallel: sequential (workers=1; request workers with in_parallel(n), "
+    "using(parallelism=n) or REPRO_PARALLELISM)"
+)
+
+Q1_GOLDENS = {
+    "linq": (
+        "(linq engine: interpreted operator chain, no plan)\n"
+        "engine: linq\n"
+        "capability: supported\n"
+        "parallel: sequential (the interpreted baseline never parallelizes)"
+    ),
+    "compiled": (
+        "Sort(keys=2, desc=(False, False))\n"
+        "  GroupAggregate(aggs=[sum,sum,sum,sum,avg,avg,avg,count], fused=True)\n"
+        "    Filter(on l_shipdate)\n"
+        "      Scan(source_0: tpch:lineitem)\n"
+        "engine: compiled\n"
+        "capability: supported\n" + _SEQ
+    ),
+    "native": (
+        "Sort(keys=2, desc=(False, False))\n"
+        "  GroupAggregate(aggs=[sum,sum,sum,sum,avg,avg,avg,count], fused=True)\n"
+        "    Filter(on l_shipdate)\n"
+        "      Scan(source_0: Lineitem)\n"
+        "engine: native\n"
+        "capability: supported\n" + _SEQ
+    ),
+    "hybrid": (
+        "Sort(keys=2, desc=(False, False))\n"
+        "  GroupAggregate(aggs=[sum,sum,sum,sum,avg,avg,avg,count], fused=True)\n"
+        "    Filter(on l_shipdate)\n"
+        "      Scan(source_0: tpch:lineitem)\n"
+        "engine: hybrid\n"
+        "capability: supported\n" + _SEQ
+    ),
+}
+
+_Q3_PLAN = (
+    "TopN(keys=2, desc=(True, False))\n"
+    "  GroupAggregate(aggs=[sum], fused=True)\n"
+    "    Join\n"
+    "      Filter(on l_shipdate)\n"
+    "        Scan(source_0: {lineitem})\n"
+    "      Join\n"
+    "        Filter(on o_orderdate)\n"
+    "          Scan(source_1: {orders})\n"
+    "        Filter(on c_mktsegment)\n"
+    "          Scan(source_2: {customer})\n"
+)
+
+Q3_GOLDENS = {
+    "linq": Q1_GOLDENS["linq"],
+    "compiled": _Q3_PLAN.format(
+        lineitem="tpch:lineitem", orders="tpch:orders", customer="tpch:customer"
+    )
+    + "engine: compiled\ncapability: supported\n" + _SEQ,
+    "native": _Q3_PLAN.format(
+        lineitem="Lineitem", orders="Orders", customer="Customer"
+    )
+    + "engine: native\ncapability: supported\n" + _SEQ,
+    "hybrid": _Q3_PLAN.format(
+        lineitem="tpch:lineitem", orders="tpch:orders", customer="tpch:customer"
+    )
+    + "engine: hybrid\ncapability: supported\n" + _SEQ,
+}
+
+
+class TestExplainGoldens:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_q1(self, tpch, engine):
+        query = q1(tpch, engine=engine, provider=QueryProvider()).in_parallel(1)
+        assert query.explain() == Q1_GOLDENS[engine]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_q3(self, tpch, engine):
+        query = q3(tpch, engine=engine, provider=QueryProvider()).in_parallel(1)
+        assert query.explain() == Q3_GOLDENS[engine]
+
+    def test_first_line_remains_the_plan_root(self, tpch):
+        # pre-observability contract: callers slice splitlines()[0]
+        query = q1(tpch, engine="compiled", provider=QueryProvider())
+        assert query.explain().splitlines()[0].startswith("Sort(")
+
+    def test_parallel_eligibility_reported(self, tpch):
+        query = q1(tpch, engine="compiled", provider=QueryProvider())
+        text = query.in_parallel(4).explain()
+        assert "parallel: eligible (mode=group" in text
+        assert "workers=4" in text
+
+    def test_unsupported_engine_lists_reasons(self):
+        provider = QueryProvider()
+        query = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("native", provider)
+            .select(lambda r: (r.x, r.y))  # tuples aren't native-layout
+        )
+        text = query.explain()
+        assert "capability: unsupported" in text
+        assert "\n  - " in text  # at least one reason line
+
+
+# ---------------------------------------------------------------------------
+# explain_analyze() — the acceptance criterion
+# ---------------------------------------------------------------------------
+
+
+class TestExplainAnalyze:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_q1_reports_per_phase_timings(self, tpch, engine):
+        query = q1(tpch, engine=engine, provider=QueryProvider()).in_parallel(1)
+        analysis = query.explain_analyze()
+        assert analysis.engine == engine
+        assert analysis.rows == 4  # Q1's four (returnflag, linestatus) groups
+        assert analysis.phase_seconds("query.execute") > 0
+        if engine == "linq":
+            assert analysis.cache == "n/a (linq never compiles)"
+        else:
+            assert analysis.cache == "miss"
+            for phase in (
+                "query.canonicalize",
+                "query.cache_lookup",
+                "query.optimize",
+                "query.validate",
+                "codegen.generate",
+                "codegen.compile_source",
+                "query.compile",
+            ):
+                assert analysis.phase_seconds(phase) > 0, phase
+        rendered = analysis.render()
+        assert "phases (wall ms):" in rendered
+        assert "query.execute" in rendered
+
+    def test_warm_cache_reported_as_hit(self, tpch):
+        provider = QueryProvider()
+        query = q1(tpch, engine="compiled", provider=provider).in_parallel(1)
+        query.explain_analyze()
+        warm = query.explain_analyze()
+        assert warm.cache == "hit"
+        assert warm.phase_seconds("query.compile") == 0  # nothing recompiled
+
+    def test_parallel_run_reports_morsels(self, tpch):
+        provider = QueryProvider()
+        query = q1(tpch, engine="compiled", provider=provider)
+        analysis = query.in_parallel(2, 1000).explain_analyze()
+        assert analysis.morsels >= 1
+        assert "workers x" in analysis.parallel
+        assert analysis.phase_seconds("parallel.merge") > 0
+
+    def test_rows_match_actual_execution(self, tpch):
+        provider = QueryProvider()
+        query = q3(tpch, engine="native", provider=provider)
+        assert query.explain_analyze().rows == len(query.to_list())
+
+
+# ---------------------------------------------------------------------------
+# the trace switch and its cost
+# ---------------------------------------------------------------------------
+
+
+class TestTraceSwitch:
+    def test_using_trace_records_spans(self):
+        TRACER.reset()
+        provider = QueryProvider()
+        (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider, trace=True)
+            .where(lambda r: r.x > 3)
+            .to_list()
+        )
+        names = {r.name for r in TRACER.spans()}
+        assert "query.execute" in names
+        TRACER.reset()
+
+    def test_untraced_query_records_nothing(self):
+        TRACER.reset()
+        provider = QueryProvider()
+        (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .where(lambda r: r.x > 3)
+            .to_list()
+        )
+        assert TRACER.spans() == []
+
+    def test_default_off_overhead_under_two_percent(self, tpch):
+        # The disabled fast path costs one attribute read + one `or` per
+        # span() call.  Comparing two noisy end-to-end timings would flake,
+        # so bound the overhead analytically: (cost of a no-op span) x
+        # (spans per query) must be <2% of a fig07 query's wall time.
+        provider = QueryProvider()
+        query = aggregation_micro(tpch, "compiled", 0.6, provider).in_parallel(1)
+        query.to_list()  # warm: compile once, like the fig07 harness
+
+        # spans a warm traced run would emit
+        with TRACER.capture() as spans:
+            query.to_list()
+        spans_per_query = len(spans)
+        assert spans_per_query >= 3  # canonicalize, cache lookup, execute
+
+        # per-call cost of the disabled span() fast path
+        reps = 50_000
+        start = time.perf_counter()
+        for _ in range(reps):
+            with TRACER.span("noop"):
+                pass
+        per_span = (time.perf_counter() - start) / reps
+
+        # wall time of the untraced query (median of 5)
+        times = []
+        for _ in range(5):
+            start = time.perf_counter()
+            query.to_list()
+            times.append(time.perf_counter() - start)
+        query_time = sorted(times)[2]
+
+        overhead = per_span * spans_per_query
+        assert overhead < 0.02 * query_time, (
+            f"tracing overhead {overhead * 1e6:.2f}us exceeds 2% of "
+            f"query time {query_time * 1e3:.3f}ms"
+        )

@@ -6,7 +6,6 @@ executions must produce identical results (modulo floating-point
 summation order, handled by rounding).
 """
 
-import datetime
 
 import pytest
 from hypothesis import given, settings

@@ -8,7 +8,6 @@ sequential result of the same engine.
 """
 
 import datetime
-import itertools
 
 import pytest
 
@@ -308,11 +307,12 @@ class TestWorkerInvariance:
         results = []
         for engine in PARALLEL_ENGINES:
             base = _query_pair(rows, engine)
-            build = lambda q: list(
-                q.group_by(
-                    lambda r: r.s, lambda g: new(k=g.key, t=g.sum(lambda r: r.v))
+            def build(q):
+                return list(
+                    q.group_by(
+                        lambda r: r.s, lambda g: new(k=g.key, t=g.sum(lambda r: r.v))
+                    )
                 )
-            )
             outcomes = [build(base)] + [
                 build(base.in_parallel(w, 17)) for w in range(1, 6)
             ]

@@ -6,8 +6,6 @@ from repro.errors import TranslationError
 from repro.expressions import (
     Binary,
     Constant,
-    Lambda,
-    Member,
     Param,
     QueryOp,
     SourceExpr,
