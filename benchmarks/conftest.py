@@ -19,6 +19,7 @@ import pathlib
 
 import pytest
 
+from repro.observability.metrics import METRICS
 from repro.query import QueryProvider
 from repro.tpch import TPCHData
 
@@ -65,11 +66,36 @@ def bench_recorder():
     return _RECORDER
 
 
+def _phase_snapshot():
+    """Per-engine codegen/compile phase times accumulated this session.
+
+    The provider records ``compile.<engine>.codegen_seconds`` (emitting the
+    module) and ``compile.<engine>.compile_seconds`` (the whole
+    lower+generate+exec path) histograms; their means go into the bench
+    JSON so ``scripts/check_bench_regression.py`` can gate compile-time
+    regressions alongside execution time.
+    """
+    phases = {}
+    for name, value in METRICS.snapshot().items():
+        if not isinstance(value, dict):
+            continue
+        if name.endswith(".codegen_seconds") or name.endswith(".compile_seconds"):
+            phases[name] = {
+                "count": value["count"],
+                "mean_ms": round(value["mean"] * 1e3, 4),
+            }
+    return phases
+
+
 def pytest_sessionfinish(session, exitstatus):
     path = session.config.getoption("--bench-json", default=None)
     if not path or not _RECORDER.cells:
         return
-    payload = {"scale": tpch_scale(), "cells": _RECORDER.cells}
+    payload = {
+        "scale": tpch_scale(),
+        "cells": _RECORDER.cells,
+        "phases": _phase_snapshot(),
+    }
     out = pathlib.Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -16,6 +16,13 @@ compared; the job fails when the current median is more than ``tolerance``
 ``--mode absolute`` compares raw milliseconds instead, for same-machine
 comparisons (e.g. a local before/after check).
 
+Beyond execution time, the gate also covers **compile-time phases**: the
+bench JSON carries the per-engine ``compile.<engine>.codegen_seconds`` /
+``compile.<engine>.compile_seconds`` means (from the provider's metrics),
+and the job fails when a phase's mean is more than ``--phase-tolerance``
+(default 1.0, i.e. 2x — wall-clock across heterogeneous runners is noisy)
+worse than the baseline's.
+
 Exit status: 0 = no regression, non-zero = regression, coverage loss, or
 unreadable input.
 """
@@ -32,18 +39,51 @@ from pathlib import Path
 BASELINE_ENGINE = "linq"
 
 
-def load_cells(path: Path):
-    """Return {(figure, engine): {selectivity: ms}} from a bench JSON file."""
+def load_payload(path: Path) -> dict:
     try:
-        payload = json.loads(path.read_text())
+        return json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         sys.exit(f"error: cannot read {path}: {exc}")
+
+
+def load_cells(payload: dict, path: Path):
+    """Return {(figure, engine): {selectivity: ms}} from a bench payload."""
     table: dict = defaultdict(dict)
     for cell in payload.get("cells", []):
         table[(cell["figure"], cell["engine"])][cell["selectivity"]] = cell["ms"]
     if not table:
         sys.exit(f"error: {path} contains no benchmark cells")
     return dict(table)
+
+
+def check_phases(baseline: dict, current: dict, tolerance: float):
+    """Compare compile-phase means; returns (regressions, missing)."""
+    base_phases = baseline.get("phases") or {}
+    cur_phases = current.get("phases") or {}
+    regressions = []
+    missing = []
+    if not base_phases:
+        return regressions, missing
+    print(f"\ncompile-phase check (tolerance={tolerance:.0%})")
+    print(f"{'phase':<36} {'baseline':>10} {'current':>10} {'delta':>8}")
+    for name in sorted(base_phases):
+        ref = base_phases[name].get("mean_ms")
+        entry = cur_phases.get(name)
+        if not ref:
+            continue
+        if entry is None or not entry.get("count"):
+            missing.append(name)
+            print(f"{name:<36} {ref:>10.3f} {'MISSING':>10}")
+            continue
+        cur = entry["mean_ms"]
+        delta = cur / ref - 1.0
+        flag = ""
+        if delta > tolerance:
+            regressions.append((name, ref, cur, delta))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<36} {ref:>10.3f} {cur:>10.3f} {delta:>+7.1%}{flag}")
+    print("(values are mean ms per compile, codegen and whole-compile phases)")
+    return regressions, missing
 
 
 def median_metric(table, figure: str, engine: str, mode: str):
@@ -87,10 +127,19 @@ def main(argv=None) -> int:
         help="ratio: normalize by the linq engine within each run "
         "(machine-independent, default); absolute: raw milliseconds",
     )
+    parser.add_argument(
+        "--phase-tolerance",
+        type=float,
+        default=1.0,
+        help="allowed fractional slowdown of compile-phase means before "
+        "failing (default: 1.0, i.e. 2x — absolute wall times are noisy)",
+    )
     args = parser.parse_args(argv)
 
-    baseline = load_cells(args.baseline)
-    current = load_cells(args.current)
+    baseline_payload = load_payload(args.baseline)
+    current_payload = load_payload(args.current)
+    baseline = load_cells(baseline_payload, args.baseline)
+    current = load_cells(current_payload, args.current)
 
     unit = "x linq" if args.mode == "ratio" else "ms"
     regressions = []
@@ -129,6 +178,10 @@ def main(argv=None) -> int:
     for figure, engine in new_cells:
         print(f"note: {figure}/{engine} has no baseline (new engine?) — skipped")
 
+    phase_regressions, phase_missing = check_phases(
+        baseline_payload, current_payload, args.phase_tolerance
+    )
+
     if missing:
         print(f"FAIL: {len(missing)} baseline cell(s) missing from the current run")
         return 1
@@ -136,6 +189,18 @@ def main(argv=None) -> int:
         print(
             f"FAIL: {len(regressions)} engine(s) regressed "
             f"beyond {args.tolerance:.0%}"
+        )
+        return 1
+    if phase_missing:
+        print(
+            f"FAIL: {len(phase_missing)} compile phase(s) missing from the "
+            f"current run"
+        )
+        return 1
+    if phase_regressions:
+        print(
+            f"FAIL: {len(phase_regressions)} compile phase(s) regressed "
+            f"beyond {args.phase_tolerance:.0%}"
         )
         return 1
     print("OK: no regressions")

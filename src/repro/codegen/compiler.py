@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..errors import CodegenError
 from ..observability.metrics import METRICS
 from ..observability.tracer import TRACER
+from . import verifier as _verifier
 
 __all__ = ["CompiledQuery", "compile_source", "timed"]
 
@@ -76,8 +77,6 @@ def compile_source(
     :class:`~repro.errors.GeneratedCodeViolation` (a ``CodegenError``)
     carrying the report and the offending source.
     """
-    from . import verifier as _verifier
-
     if verify is None:
         verify = (
             VERIFY_GENERATED

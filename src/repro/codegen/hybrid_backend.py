@@ -9,6 +9,15 @@ generated program has two halves:
 * the **native half** — the same vectorized NumPy codegen as the §5
   backend — running over the staged arrays.
 
+Both halves are derived from the shared pipeline IR
+(:mod:`repro.codegen.ir`): every scan-driven pipeline's leading
+scan-adjacent filters become the managed staging predicates, its staging
+buffer layout comes from the IR's shared required-fields annotation
+(``staging_fields``), and the rest of the pipeline chain lowers through
+the same frame/kernel emitter as the native backend.  Each pipeline thus
+has a *placement*: scan-driven pipelines start managed (staging) and
+finish native; breaker-driven pipelines are fully native.
+
 Materialization policy (paper §6.1):
 
 * ``buffered=False`` → full materialization: every page is kept
@@ -34,11 +43,12 @@ Result construction policy:
 
 from __future__ import annotations
 
+import datetime
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import SchemaError, UnsupportedQueryError
+from ..errors import ExecutionError, SchemaError, UnsupportedQueryError
 from ..observability.tracer import TRACER
 from ..expressions.nodes import Lambda, New, Var
 from ..expressions.visitor import substitute
@@ -52,6 +62,7 @@ from ..plans.logical import (
     ScalarAggregate,
     Sort,
     TopN,
+    plan_children,
 )
 from ..runtime import vectorized as _vec
 from ..runtime.parallel import MORSEL_START as _MORSEL_START
@@ -59,16 +70,18 @@ from ..runtime.parallel import MORSEL_STOP as _MORSEL_STOP
 from ..runtime.parallel import morsel_slice
 from ..runtime.streaming import StreamingGroupAggregator, StreamingJoinProbe
 from ..storage.buffers import DEFAULT_PAGE_BYTES, BufferList, StreamingBuffer
-from ..storage.schema import date_to_days
+from ..storage.schema import date_to_days, days_to_date
 from .compiler import CompiledQuery, compile_source, timed
-from .mapping import StagedSource, split_staging, staged_schema_for
+from .ir import Pipeline, PipelineBreaker, QueryIR, physical_slots
+from .lower import lower_plan
+from .mapping import StagedSource, staged_schema_for
 from .native_backend import (
     ColumnRef,
     Frame,
     _VectorEmitter,
 )
 from .python_backend import _CodeVarPrinter
-from .source import SourceWriter
+from .source import NameAllocator, SourceWriter
 
 __all__ = ["HybridBackend"]
 
@@ -111,6 +124,7 @@ class HybridBackend:
         plan: Plan,
         sources: Sequence[Any],
         morsel_ordinal: Optional[int] = None,
+        ir: Optional[QueryIR] = None,
     ) -> CompiledQuery:
         with TRACER.span("codegen.generate", engine=self.name), timed() as gen_time:
             if self.minimal:
@@ -122,17 +136,16 @@ class HybridBackend:
                 emitter = _MinEmitter(self.page_bytes, self.buffered)
                 source_code, namespace, scalar = emitter.emit_module(plan, sources)
             else:
-                stripped, staged = split_staging(plan)
+                if ir is None:
+                    ir = lower_plan(plan, morsel_ordinal=morsel_ordinal)
+                staged, peeled = _staging_from_ir(ir)
                 for ordinal, spec in staged.items():
                     if spec.fields:  # field-less sources only stage a count
                         spec.schema = staged_schema_for(sources[ordinal], spec)
                 emitter = _HybridEmitter(
-                    staged,
-                    self.buffered,
-                    self.page_bytes,
-                    morsel_ordinal=morsel_ordinal,
+                    staged, peeled, self.buffered, self.page_bytes, ir
                 )
-                source_code, namespace, scalar = emitter.emit_module(stripped)
+                source_code, namespace, scalar = emitter.emit_module()
         entry, compile_seconds = compile_source(source_code, namespace)
         return CompiledQuery(
             source_code=source_code,
@@ -144,24 +157,72 @@ class HybridBackend:
         )
 
 
+def _staging_from_ir(
+    ir: QueryIR,
+) -> Tuple[Dict[int, StagedSource], Dict[int, int]]:
+    """Derive the staging specs from the shared IR annotations.
+
+    A scan-driven pipeline's leading scan-adjacent filters run managed-side
+    (they are *peeled* out of the native chain), and the staging buffer
+    copies exactly the IR's ``staging_fields`` for that source — the
+    implicit projection of §6.2, computed once by the shared
+    required-fields pass.  Returns the specs plus pid → peeled-op count.
+    """
+    staged: Dict[int, StagedSource] = {}
+    peeled: Dict[int, int] = {}
+    for pipeline in ir.pipelines:
+        if not isinstance(pipeline.driver, Scan):
+            continue
+        ops = pipeline.operators
+        prev: Plan = pipeline.driver
+        predicates: List[Lambda] = []
+        n = 0
+        while n < len(ops) and isinstance(ops[n], Filter) and ops[n].child is prev:
+            predicates.append(ops[n].predicate)
+            prev = ops[n]
+            n += 1
+        peeled[pipeline.pid] = n
+        ordinal = pipeline.driver.ordinal
+        fields = ir.staging_fields.get(ordinal, set())
+        if fields is None:
+            raise UnsupportedQueryError(
+                f"the query uses whole elements of source_{ordinal} beyond "
+                f"the staging boundary; the hybrid engine requires flat "
+                f"field access (use the compiled engine)"
+            )
+        if ordinal not in staged:
+            staged[ordinal] = StagedSource(
+                ordinal=ordinal,
+                predicates=tuple(predicates),
+                fields=tuple(sorted(fields)),
+            )
+    return staged, peeled
+
+
 # ---------------------------------------------------------------------------
 # Max variants (full + buffered)
 # ---------------------------------------------------------------------------
 
 
 class _HybridEmitter(_VectorEmitter):
-    """Vector emitter whose scans read staged arrays instead of sources."""
+    """Vector emitter whose scan-driven pipelines start managed.
+
+    Scans read staged arrays instead of sources; the peeled leading
+    filters of each pipeline become the staging loop's predicate.
+    """
 
     def __init__(
         self,
         staged: Dict[int, StagedSource],
+        peeled: Dict[int, int],
         buffered: bool,
         page_bytes: int,
-        morsel_ordinal: Optional[int] = None,
+        ir: QueryIR,
     ):
         schemas = {ordinal: spec.schema for ordinal, spec in staged.items()}
-        super().__init__(schemas, morsel_ordinal=morsel_ordinal)
+        super().__init__(schemas, exemplars=(), ir=ir)
         self._staged = staged
+        self._peeled = peeled
         self._buffered = buffered
         self._page_bytes = page_bytes
         #: ordinal → ("array", var) or ("count", var)
@@ -171,11 +232,10 @@ class _HybridEmitter(_VectorEmitter):
 
     # -- module assembly --------------------------------------------------------
 
-    def emit_module(self, plan: Plan) -> Tuple[str, Dict[str, Any], bool]:
-        scalar = isinstance(plan, ScalarAggregate)
+    def emit_module(self) -> Tuple[str, Dict[str, Any], bool]:
         if self._buffered:
             self._stream_node, self._stream_ordinal = _find_stream_target(
-                plan, self._staged
+                self.ir.plan, self._staged
             )
 
         body = SourceWriter()
@@ -184,10 +244,12 @@ class _HybridEmitter(_VectorEmitter):
             if ordinal == self._stream_ordinal:
                 continue  # staged page-by-page inside the stream operator
             self._emit_full_staging(spec)
-        if scalar:
-            body.line(f"return {self._emit_scalar_root(plan)}")
+        for pipeline in self.ir.pipelines:
+            self._emit_pipeline(pipeline)
+        if self.ir.scalar:
+            body.line(f"return {self._scalar_result(self.ir.plan)}")
         else:
-            frame = self.emit(plan, needed=None)
+            frame = self._concat_frames(self._terminal_frames)
             body.line(f"return {self._emit_result(frame)}")
 
         header = SourceWriter()
@@ -200,7 +262,7 @@ class _HybridEmitter(_VectorEmitter):
                 header.line(line) if line.strip() else header.line()
 
         namespace = self._base_namespace()
-        return header.text(), namespace, scalar
+        return header.text(), namespace, self.ir.scalar
 
     def _base_namespace(self) -> Dict[str, Any]:
         namespace = dict(self.namespace)
@@ -216,7 +278,7 @@ class _HybridEmitter(_VectorEmitter):
             _coerce_str=_vec.coerce_str,
             _coerce_date=_vec.coerce_date,
             _EmptyAggregateError=_hybrid_empty_error,
-            _days_to_date=_hybrid_days_to_date,
+            _days_to_date=days_to_date,
             _BufferList=BufferList,
             _StreamingBuffer=StreamingBuffer,
             _StreamingGroupAggregator=StreamingGroupAggregator,
@@ -243,19 +305,27 @@ class _HybridEmitter(_VectorEmitter):
         printer.namespace = self.namespace
         return printer
 
-    def _staging_predicate_code(
+    def _staging_predicate(
         self, spec: StagedSource, elem: str
-    ) -> Optional[str]:
+    ) -> Optional[Tuple[List[str], str]]:
+        """CSE binding lines + combined predicate expression, or None.
+
+        The staged predicates inherit the IR's per-pipeline CSE pass: each
+        hoisted subexpression is assigned once per element, before the
+        combined test.
+        """
         if not spec.predicates:
             return None
         printer = self._python_printer()
-        parts = []
+        lines: List[str] = []
+        parts: List[str] = []
         for predicate in spec.predicates:
-            body = substitute(
-                predicate.body, {predicate.params[0]: Var(elem)}
-            )
-            parts.append(printer.emit(body))
-        return " and ".join(parts)
+            mapping = {predicate.params[0]: Var(elem)}
+            for binding in self.ir.bindings_for(predicate):
+                code = printer.emit(substitute(binding.expr, mapping))
+                lines.append(f"{binding.name} = {code}")
+            parts.append(printer.emit(substitute(predicate.body, mapping)))
+        return lines, " and ".join(parts)
 
     def _encoded_fields(self, spec: StagedSource, elem: str) -> str:
         parts = []
@@ -273,14 +343,17 @@ class _HybridEmitter(_VectorEmitter):
     def _emit_full_staging(self, spec: StagedSource) -> None:
         """Stage one source completely into a page list (§6.1.1)."""
         elem = self.names.fresh("elem")
-        predicate = self._staging_predicate_code(spec, elem)
+        predicate = self._staging_predicate(spec, elem)
         if not spec.fields:
             # nothing to copy: only the qualifying-row count survives
             counter = self.names.fresh("count")
             self.writer.line(f"{counter} = 0")
             with self.writer.block(f"for {elem} in {self._staging_source(spec.ordinal)}:"):
                 if predicate:
-                    with self.writer.block(f"if {predicate}:"):
+                    lines, test = predicate
+                    for line in lines:
+                        self.writer.line(line)
+                    with self.writer.block(f"if {test}:"):
                         self.writer.line(f"{counter} += 1")
                 else:
                     self.writer.line(f"{counter} += 1")
@@ -294,7 +367,10 @@ class _HybridEmitter(_VectorEmitter):
         with self.writer.block(f"for {elem} in {self._staging_source(spec.ordinal)}:"):
             stage = f"{append}({self._encoded_fields(spec, elem)})"
             if predicate:
-                with self.writer.block(f"if {predicate}:"):
+                lines, test = predicate
+                for line in lines:
+                    self.writer.line(line)
+                with self.writer.block(f"if {test}:"):
                     self.writer.line(stage)
             else:
                 self.writer.line(stage)
@@ -320,7 +396,7 @@ class _HybridEmitter(_VectorEmitter):
         self.writer.line(f"{page} = []")
         self.writer.line(f"{append} = {page}.append")
         elem = self.names.fresh("elem")
-        predicate = self._staging_predicate_code(spec, elem)
+        predicate = self._staging_predicate(spec, elem)
         with self.writer.block(f"for {elem} in {self._staging_source(spec.ordinal)}:"):
             def emit_stage() -> None:
                 self.writer.line(f"{append}({self._encoded_fields(spec, elem)})")
@@ -331,20 +407,52 @@ class _HybridEmitter(_VectorEmitter):
                     self.writer.line(f"del {page}[:]")
 
             if predicate:
-                with self.writer.block(f"if {predicate}:"):
+                lines, test = predicate
+                for line in lines:
+                    self.writer.line(line)
+                with self.writer.block(f"if {test}:"):
                     emit_stage()
             else:
                 emit_stage()
         with self.writer.block(f"if {page}:"):
             self.writer.line(f"{consumer}(_np.array({page}, dtype={dtype_var}))")
 
-    # -- scan override -------------------------------------------------------------
+    # -- pipeline head: placement of the managed→native boundary --------------------
 
-    def _emit_Scan(self, plan: Scan, needed: Optional[Set[str]]) -> Frame:
-        kind, var = self._bindings[plan.ordinal]
+    def _skip_pipeline(self, pipeline: Pipeline) -> bool:
+        """The stream target's feed pipeline is emitted *inside* the
+        streaming operator (page-by-page), not as a separate loop."""
+        return (
+            self._stream_node is not None
+            and pipeline.sink is not None
+            and pipeline.sink.node is self._stream_node
+            and isinstance(pipeline.driver, Scan)
+            and pipeline.driver.ordinal == self._stream_ordinal
+        )
+
+    def _pipeline_head(
+        self, pipeline: Pipeline, demands: List[Optional[Set[str]]]
+    ) -> Tuple[int, Frame]:
+        if not isinstance(pipeline.driver, Scan):
+            return super()._pipeline_head(pipeline, demands)
+        start = self._peeled.get(pipeline.pid, 0)
+        ops = pipeline.operators
+        if (
+            self._stream_node is not None
+            and start < len(ops)
+            and ops[start] is self._stream_node
+        ):
+            # streaming join probe: staging pages feed the probe directly
+            return start + 1, self._emit_stream_join(ops[start], demands[start + 1])
+        return start, self._scan_frame(pipeline.driver, pipeline, demands[start])
+
+    def _scan_frame(
+        self, scan: Scan, pipeline: Pipeline, needed: Optional[Set[str]]
+    ) -> Frame:
+        kind, var = self._bindings[scan.ordinal]
         if kind == "count":
             return Frame({}, var)
-        schema = self._staged[plan.ordinal].schema
+        schema = self._staged[scan.ordinal].schema
         columns = {
             f.name: ColumnRef(f"{var}[{f.name!r}]", f.kind)
             for f in schema.fields
@@ -363,33 +471,25 @@ class _HybridEmitter(_VectorEmitter):
 
     # -- streaming group aggregation -------------------------------------------------
 
-    def _emit_GroupAggregate(self, plan: GroupAggregate, needed):
-        if plan is not self._stream_node:
-            return super()._emit_GroupAggregate(plan, needed)
+    def _breaker_output(
+        self, breaker: PipelineBreaker, need: Optional[Set[str]]
+    ) -> Frame:
+        if breaker.node is self._stream_node and breaker.kind == "group-aggregate":
+            frame = self._breaker_frames.get(breaker.bid)
+            if frame is None:
+                frame = self._emit_stream_group(breaker.node, need)
+                self._breaker_frames[breaker.bid] = frame
+            return frame
+        return super()._breaker_output(breaker, need)
+
+    def _emit_stream_group(
+        self, plan: GroupAggregate, needed: Optional[Set[str]]
+    ) -> Frame:
         spec = self._staged[self._stream_ordinal]
 
-        # decompose avg into mergeable sum + shared count (page merging)
-        physical: List[Tuple[str, Optional[Lambda]]] = []
-        index_of: Dict[Any, int] = {}
-
-        def slot_for(kind: str, selector: Optional[Lambda]) -> int:
-            from ..expressions.nodes import structural_key
-
-            sel_key = structural_key(selector) if selector is not None else None
-            key = (kind, sel_key)
-            if key not in index_of:
-                index_of[key] = len(physical)
-                physical.append((kind, selector))
-            return index_of[key]
-
-        extract: List[Tuple[str, int, int]] = []  # (mode, i, j)
-        for agg in plan.aggregates:
-            if agg.kind == "avg":
-                si = slot_for("sum", agg.selector)
-                ci = slot_for("count", None)
-                extract.append(("avg", si, ci))
-            else:
-                extract.append(("direct", slot_for(agg.kind, agg.selector), -1))
+        # decompose avg into mergeable sum + shared count (page merging);
+        # the slot plan is the shared one used by the parallel merge too
+        physical, extract = physical_slots(plan.aggregates)
 
         key_body = plan.key.body
         key_fields = (
@@ -465,9 +565,9 @@ class _HybridEmitter(_VectorEmitter):
 
     # -- streaming scalar aggregation ----------------------------------------------
 
-    def _emit_scalar_root(self, plan: ScalarAggregate) -> str:
+    def _scalar_result(self, plan: ScalarAggregate) -> str:
         if plan is not self._stream_node:
-            return super()._emit_scalar_root(plan)
+            return super()._scalar_result(plan)
         spec = self._staged[self._stream_ordinal]
         if len(plan.aggregates) != 1:
             raise UnsupportedQueryError("streaming scalar supports one aggregate")
@@ -521,9 +621,9 @@ class _HybridEmitter(_VectorEmitter):
 
     # -- streaming join probe ---------------------------------------------------------
 
-    def _emit_Join(self, plan: Join, needed):
-        if plan is not self._stream_node:
-            return super()._emit_Join(plan, needed)
+    def _emit_stream_join(
+        self, plan: Join, needed: Optional[Set[str]]
+    ) -> Frame:
         spec = self._staged[self._stream_ordinal]
         left_var, right_var = plan.result.params
         if not isinstance(plan.result.body, New):
@@ -531,7 +631,7 @@ class _HybridEmitter(_VectorEmitter):
                 "streaming joins require a record-constructing result selector"
             )
 
-        right = self.emit(plan.right, None)
+        right = self._join_build_frame(self.ir.breaker_for(plan))
         rk = self._vector(
             self._printer({plan.right_key.params[0]: (right, None)}).emit(
                 plan.right_key.body
@@ -594,15 +694,7 @@ def _placeholder_dtype(kind: str) -> str:
 
 
 def _hybrid_empty_error():
-    from ..errors import ExecutionError
-
     return ExecutionError("aggregate of an empty sequence has no value")
-
-
-def _hybrid_days_to_date(days: int):
-    from ..storage.schema import days_to_date
-
-    return days_to_date(days)
 
 
 def _find_stream_target(
@@ -610,15 +702,13 @@ def _find_stream_target(
 ) -> Tuple[Optional[Plan], Optional[int]]:
     """Pick the blocking operator (and its scan) that consumes pages.
 
-    Only a scan feeding its parent *directly* (filters were already peeled
-    into staging) can stream, and only when the parent merges across pages:
-    group/scalar aggregation, or a join probing that scan.
+    Only a scan feeding its parent *directly* (any scan-adjacent filters
+    run in staging) can stream, and only when the parent merges across
+    pages: group/scalar aggregation, or a join probing that scan.
     """
     scan_counts: Dict[int, int] = {}
 
     def count(node: Plan) -> None:
-        from ..plans.logical import plan_children
-
         if isinstance(node, Scan):
             scan_counts[node.ordinal] = scan_counts.get(node.ordinal, 0) + 1
         for child in plan_children(node):
@@ -626,21 +716,26 @@ def _find_stream_target(
 
     count(plan)
 
-    def find(node: Plan) -> Tuple[Optional[Plan], Optional[int]]:
-        from ..plans.logical import plan_children
+    def scan_below(node: Plan) -> Optional[Scan]:
+        while isinstance(node, Filter):
+            node = node.child
+        return node if isinstance(node, Scan) else None
 
+    def streamable(scan: Optional[Scan]) -> bool:
+        if scan is None or scan_counts.get(scan.ordinal) != 1:
+            return False
+        spec = staged.get(scan.ordinal)
+        return spec is not None and bool(spec.fields)
+
+    def find(node: Plan) -> Tuple[Optional[Plan], Optional[int]]:
         if isinstance(node, (GroupAggregate, ScalarAggregate)):
-            child = node.child
-            if isinstance(child, Scan) and scan_counts.get(child.ordinal) == 1:
-                spec = staged.get(child.ordinal)
-                if spec is not None and spec.fields:
-                    return node, child.ordinal
+            scan = scan_below(node.child)
+            if streamable(scan):
+                return node, scan.ordinal
         if isinstance(node, Join):
-            left = node.left
-            if isinstance(left, Scan) and scan_counts.get(left.ordinal) == 1:
-                spec = staged.get(left.ordinal)
-                if spec is not None and spec.fields:
-                    return node, left.ordinal
+            scan = scan_below(node.left)
+            if streamable(scan):
+                return node, scan.ordinal
         for child in plan_children(node):
             found = find(child)
             if found[0] is not None:
@@ -664,8 +759,6 @@ class _MinEmitter:
         self.writer = SourceWriter()
         self.namespace: Dict[str, Any] = {}
         self._param_names: Dict[str, str] = {}
-        from .source import NameAllocator
-
         self.names = NameAllocator()
 
     def _render_param(self, name: str) -> str:
@@ -900,8 +993,6 @@ class _MinEmitter:
 
 def _native_key(value: Any) -> Any:
     """Convert a managed key value to its native (sortable) form."""
-    import datetime
-
     if isinstance(value, datetime.date):
         return date_to_days(value)
     return value

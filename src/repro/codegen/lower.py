@@ -1,0 +1,478 @@
+"""Lowering: optimized logical plan → pipeline IR.
+
+:func:`lower_plan` runs the passes every backend used to re-implement
+privately, once, in a fixed order:
+
+1. **predicate reordering** — re-applies the optimizer's conjunct
+   ordering (cheapest/most-selective first, reusing ``predicate_cost``).
+   Idempotent over already-optimized plans; plans handed directly to a
+   backend get the ordering here.
+2. **common-subexpression elimination** — repeated subexpressions inside
+   filter predicates and projection selectors hoist into per-lambda
+   ``__cse<N>`` bindings (see :mod:`repro.codegen.ir`), evaluated once
+   per element by every backend.
+3. **predicate decomposition** — multi-conjunct filters split into a
+   cascade of single-conjunct filters (order preserved from pass 1), so
+   vectorized backends evaluate later conjuncts over already-shrunk
+   intermediates.  Scan-adjacent filters stay fused: their conjunction
+   participates in access-path selection (index/cluster fast paths) and
+   forms the hybrid staging predicate; filters that gained CSE bindings
+   also stay fused so the binding spans its conjuncts.
+4. **segmentation** — the plan splits into :class:`~repro.codegen.ir.
+   Pipeline` objects at blocking operators, in dependency order (the
+   paper's "each loop either produces the final result of a query or an
+   intermediate result of a blocking operation").
+5. **annotation** — each pipeline gets its required-fields set (the
+   shared field-usage pass of ``ir``), parallel-eligibility (subsuming the old
+   ``plans/validate.parallel_split`` capability logic, which now
+   delegates here) and its morsel-slice point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CodegenError
+from ..expressions.analysis import conjuncts, contains_aggregate
+from ..expressions.nodes import Lambda
+from ..plans.logical import (
+    Concat,
+    Distinct,
+    Filter,
+    FlatMap,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    ScalarAggregate,
+    Sort,
+    TopN,
+    is_blocking,
+    plan_children,
+)
+from ..plans.optimizer import OptimizeOptions, _Context, _reorder_predicates
+from ..plans.validate import PARALLEL_MERGEABLE_AGGREGATES, ParallelSplit
+from .ir import (
+    CseAllocator,
+    Pipeline,
+    PipelineBreaker,
+    QueryIR,
+    breaker_kind,
+    eliminate_common_subexpressions,
+    rebuild_plan,
+    required_source_fields,
+    strip_scan_filters,
+)
+
+__all__ = ["lower_plan", "decide_parallel", "hybrid_placements"]
+
+#: every plan node kind the lowering passes understand
+_KNOWN_NODES = (
+    Scan,
+    Filter,
+    Project,
+    FlatMap,
+    Join,
+    GroupBy,
+    GroupAggregate,
+    ScalarAggregate,
+    Sort,
+    TopN,
+    Limit,
+    Distinct,
+    Concat,
+)
+
+
+def _check_known(node: Plan) -> None:
+    if not isinstance(node, _KNOWN_NODES):
+        raise CodegenError(
+            f"no pipeline lowering for plan node {type(node).__name__}"
+        )
+
+
+def lower_plan(
+    plan: Plan,
+    morsel_ordinal: Optional[int] = None,
+    statistics: Optional[Dict[str, Any]] = None,
+    param_values: Optional[Dict[str, Any]] = None,
+) -> QueryIR:
+    """Lower an optimized plan into the pipeline IR all backends consume."""
+    plan = _reorder_filters(plan, statistics, param_values)
+    split = decide_parallel(plan)
+    plan, cse = _eliminate_subexpressions(plan)
+    plan = _decompose_filters(plan, cse)
+    pipelines, breakers = _segment(plan)
+    source_fields = required_source_fields(plan, cse)
+    stripped, _ = strip_scan_filters(plan)
+    staging_fields = required_source_fields(stripped, cse)
+    for pipeline in pipelines:
+        if isinstance(pipeline.driver, Scan):
+            ordinal = pipeline.driver.ordinal
+            pipeline.driver_ordinal = ordinal
+            pipeline.required_fields = source_fields.get(ordinal)
+            pipeline.morsel_driver = (
+                morsel_ordinal is not None and ordinal == morsel_ordinal
+            )
+            pipeline.parallel_ok = (
+                split.parallel and ordinal == split.morsel_ordinal
+            )
+    return QueryIR(
+        plan=plan,
+        pipelines=tuple(pipelines),
+        breakers=tuple(breakers),
+        cse=cse,
+        source_fields=source_fields,
+        staging_fields=staging_fields,
+        split=split,
+        morsel_ordinal=morsel_ordinal,
+        scalar=isinstance(plan, ScalarAggregate),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: predicate reordering (reuses the optimizer's machinery)
+# ---------------------------------------------------------------------------
+
+
+def _reorder_filters(
+    plan: Plan,
+    statistics: Optional[Dict[str, Any]],
+    param_values: Optional[Dict[str, Any]],
+) -> Plan:
+    """Sort every filter's conjuncts cheapest-first.
+
+    Delegates to :func:`repro.plans.optimizer._reorder_predicates` with
+    the same statistics/parameters the optimizer saw, so re-sorting an
+    already-optimized plan is a stable no-op (statistics-driven orderings
+    are preserved, not clobbered).
+    """
+    context = _Context(OptimizeOptions(), statistics or {}, param_values or {})
+
+    def visit(node: Plan) -> Plan:
+        _check_known(node)
+        rebuilt = (
+            node
+            if isinstance(node, Scan)
+            else rebuild_plan(node, [visit(c) for c in plan_children(node)])
+        )
+        if isinstance(rebuilt, Filter):
+            rebuilt = _reorder_predicates(rebuilt, context)
+        return rebuilt
+
+    return visit(plan)
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: common-subexpression elimination
+# ---------------------------------------------------------------------------
+
+
+def _eliminate_subexpressions(plan: Plan) -> Tuple[Plan, Dict[int, tuple]]:
+    """Hoist repeated subexpressions in predicates and selectors.
+
+    Applied to filter predicates and aggregate-free projection selectors
+    (the 1-ary lambdas every backend inlines per element).  Returns the
+    rewritten plan plus the binding table keyed by the identity of the
+    rewritten lambdas.
+    """
+    allocator = CseAllocator()
+    cse: Dict[int, tuple] = {}
+
+    def rewrite(lam: Lambda) -> Lambda:
+        new_lam, bindings = eliminate_common_subexpressions(lam, allocator)
+        if bindings:
+            cse[id(new_lam)] = bindings
+        return new_lam
+
+    def visit(node: Plan) -> Plan:
+        children = [visit(c) for c in plan_children(node)]
+        if isinstance(node, Filter):
+            return Filter(children[0], rewrite(node.predicate))
+        if isinstance(node, Project) and not contains_aggregate(
+            node.selector.body
+        ):
+            return Project(children[0], rewrite(node.selector))
+        if isinstance(node, Scan):
+            return node
+        return rebuild_plan(node, children)
+
+    return visit(plan), cse
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: predicate decomposition
+# ---------------------------------------------------------------------------
+
+
+def _decompose_filters(plan: Plan, cse: Dict[int, tuple]) -> Plan:
+    """Split multi-conjunct filters into single-conjunct cascades.
+
+    Conjunct order (established by pass 1) is preserved: the first
+    conjunct becomes the innermost filter.  Scan-adjacent filters and
+    filters carrying CSE bindings stay fused (see module docstring).
+    """
+
+    def visit(node: Plan) -> Plan:
+        if isinstance(node, Scan):
+            return node
+        node = rebuild_plan(node, [visit(c) for c in plan_children(node)])
+        if (
+            isinstance(node, Filter)
+            and not isinstance(node.child, Scan)
+            and id(node.predicate) not in cse
+        ):
+            parts = conjuncts(node.predicate.body)
+            if len(parts) > 1:
+                rebuilt = node.child
+                for part in parts:
+                    rebuilt = Filter(
+                        rebuilt, Lambda(node.predicate.params, part)
+                    )
+                return rebuilt
+        return node
+
+    return visit(plan)
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: segmentation into pipelines
+# ---------------------------------------------------------------------------
+
+#: non-blocking operators that fuse into a pipeline's operator chain
+_CHAIN_OPS = (Filter, Project, FlatMap, Limit)
+
+
+def _segment(
+    plan: Plan,
+) -> Tuple[List[Pipeline], List[PipelineBreaker]]:
+    """Split *plan* into pipelines at blocking operators.
+
+    Pipelines are created in dependency order (producers before their
+    consumer), which is also the schedule every backend emits: pipeline
+    ids are a topological order of the DAG.
+    """
+    pipelines: List[Pipeline] = []
+    breakers: List[PipelineBreaker] = []
+    breaker_of: Dict[int, PipelineBreaker] = {}
+
+    def new_breaker(node: Plan) -> PipelineBreaker:
+        breaker = PipelineBreaker(
+            bid=len(breakers), kind=breaker_kind(node), node=node
+        )
+        breakers.append(breaker)
+        breaker_of[id(node)] = breaker
+        return breaker
+
+    def make_pipeline(
+        driver: Any,
+        ops: List[Plan],
+        sink: Optional[PipelineBreaker],
+        inputs: List[int],
+    ) -> Pipeline:
+        if isinstance(driver, PipelineBreaker):
+            inputs = inputs + driver.producers
+        pipeline = Pipeline(
+            pid=len(pipelines),
+            driver=driver,
+            operators=tuple(ops),
+            sink=sink,
+            inputs=tuple(sorted(set(inputs))),
+        )
+        pipelines.append(pipeline)
+        if sink is not None:
+            sink.producers.append(pipeline.pid)
+        if isinstance(driver, PipelineBreaker):
+            driver.consumer = pipeline.pid
+        for op in ops:
+            if isinstance(op, Join):
+                breaker_of[id(op)].consumer = pipeline.pid
+        return pipeline
+
+    def chains(node: Plan) -> List[Tuple[Any, List[Plan], List[int]]]:
+        """(driver, operator chain innermost-first, dependency pids)."""
+        if isinstance(node, Scan):
+            return [(node, [], [])]
+        if isinstance(node, ScalarAggregate):
+            raise CodegenError(
+                "scalar aggregates must be the plan root; found one mid-plan"
+            )
+        if is_blocking(node):
+            breaker = breaker_of.get(id(node))
+            if breaker is None:
+                breaker = new_breaker(node)
+                for driver, ops, inputs in chains(node.child):
+                    make_pipeline(driver, ops, breaker, inputs)
+            return [(breaker, [], [])]
+        if isinstance(node, Join):
+            breaker = breaker_of.get(id(node))
+            if breaker is None:
+                breaker = new_breaker(node)
+                for driver, ops, inputs in chains(node.right):
+                    make_pipeline(driver, ops, breaker, inputs)
+            build_pids = list(breaker.producers)
+            return [
+                (driver, ops + [node], inputs + build_pids)
+                for driver, ops, inputs in chains(node.left)
+            ]
+        if isinstance(node, Concat):
+            return chains(node.left) + chains(node.right)
+        if isinstance(node, _CHAIN_OPS):
+            return [
+                (driver, ops + [node], inputs)
+                for driver, ops, inputs in chains(node.child)
+            ]
+        raise CodegenError(
+            f"no pipeline lowering for plan node {type(node).__name__}"
+        )
+
+    if isinstance(plan, ScalarAggregate):
+        breaker = new_breaker(plan)
+        for driver, ops, inputs in chains(plan.child):
+            make_pipeline(driver, ops, breaker, inputs)
+    else:
+        for driver, ops, inputs in chains(plan):
+            make_pipeline(driver, ops, None, inputs)
+    return pipelines, breakers
+
+
+# ---------------------------------------------------------------------------
+# Parallel eligibility (moved here from plans/validate.py, which delegates)
+# ---------------------------------------------------------------------------
+
+
+def decide_parallel(plan: Plan):
+    """Classify *plan* for morsel-driven execution, operator by operator.
+
+    The morselized scan is the driver: the leftmost-deepest scan of the
+    core pipeline, which must occur exactly once in the whole plan.
+    Pipelined operators (filter/project/flat-map) are trivially
+    parallel-safe; blocking roots are safe when their partials merge
+    deterministically (group/scalar aggregation); everything else —
+    order-sensitive operators without a merge, joins (build side not yet
+    shared across morsels), direct group materialization, concatenation —
+    falls back to sequential execution.
+    """
+    #: order-sensitive root operators with a deterministic managed-side
+    #: merge: peeled off the morsel kernel, re-applied after concatenation
+    post_op_types = (Sort, TopN, Limit, Distinct)
+
+    post_ops: List[Plan] = []
+    node = plan
+    while isinstance(node, post_op_types):
+        post_ops.append(node)
+        node = node.child
+
+    if isinstance(node, ScalarAggregate):
+        mode, pipeline = "scalar", node.child
+    elif isinstance(node, GroupAggregate):
+        if not node.fused:
+            return ParallelSplit(
+                False,
+                reasons=(
+                    "unfused group aggregation re-scans materialized groups; "
+                    "no deterministic partial merge",
+                ),
+            )
+        mode, pipeline = "group", node.child
+    else:
+        mode, pipeline = "rows", node
+
+    if mode in ("scalar", "group"):
+        for spec in node.aggregates:
+            if spec.kind not in PARALLEL_MERGEABLE_AGGREGATES:
+                return ParallelSplit(
+                    False,
+                    reasons=(
+                        f"aggregate {spec.kind!r} has no deterministic "
+                        f"partial merge",
+                    ),
+                )
+
+    blocker = _pipeline_blocker(pipeline)
+    if blocker is not None:
+        return ParallelSplit(
+            False,
+            reasons=(
+                f"plan node {type(blocker).__name__} inside the morsel "
+                f"pipeline is order-sensitive or blocking; no per-morsel "
+                f"decomposition",
+            ),
+        )
+
+    ordinal = _driver_ordinal(pipeline)
+    occurrences = sum(
+        1
+        for n in _walk_plan(plan)
+        if isinstance(n, Scan) and n.ordinal == ordinal
+    )
+    if occurrences != 1:
+        return ParallelSplit(
+            False,
+            reasons=(
+                f"source {ordinal} is scanned {occurrences} times; "
+                f"morselizing one scan would desynchronize the others",
+            ),
+        )
+    return ParallelSplit(
+        True,
+        mode=mode,
+        core=node,
+        post_ops=tuple(post_ops),
+        morsel_ordinal=ordinal,
+    )
+
+
+def _walk_plan(plan: Plan):
+    yield plan
+    for child in plan_children(plan):
+        yield from _walk_plan(child)
+
+
+def _pipeline_blocker(node: Plan) -> Optional[Plan]:
+    """First operator on the morsel path that cannot run per-morsel.
+
+    Joins are correct to morselize (probe side sliced, build side
+    recomputed per morsel) but a morsel kernel is monolithic, so every
+    invocation would rebuild the build-side hash state from scratch —
+    measured 3–20× slower than one sequential pass.  Until the build
+    phase is shared across morsels, joins fall back to sequential.
+    """
+    if isinstance(node, Scan):
+        return None
+    if isinstance(node, (Filter, Project, FlatMap)):
+        return _pipeline_blocker(node.child)
+    return node
+
+
+def _driver_ordinal(node: Plan) -> int:
+    """Ordinal of the leftmost-deepest scan: the morselized driver."""
+    while not isinstance(node, Scan):
+        node = node.left if isinstance(node, Join) else node.child
+    return node.ordinal
+
+
+# ---------------------------------------------------------------------------
+# Hybrid placement assignment (used by the hybrid backend and EXPLAIN)
+# ---------------------------------------------------------------------------
+
+
+def hybrid_placements(ir: QueryIR) -> Dict[int, str]:
+    """Per-pipeline managed/native placement for the hybrid engine (§6).
+
+    Scan-driven pipelines start managed: their driver is the staging loop
+    copying objects into native memory (scan-adjacent predicates run
+    managed-side), while the fused operator chain runs over staged
+    arrays.  Breaker-driven pipelines consume already-native
+    intermediates and stay native end to end.
+    """
+    placements: Dict[int, str] = {}
+    for pipeline in ir.pipelines:
+        if isinstance(pipeline.driver, Scan):
+            placements[pipeline.pid] = "managed staging -> native"
+        else:
+            placements[pipeline.pid] = "native"
+    return placements

@@ -24,27 +24,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SchemaError, UnsupportedQueryError
-from ..expressions.analysis import member_usage
 from ..expressions.nodes import Lambda
-from ..plans.logical import (
-    Concat,
-    Distinct,
-    Filter,
-    FlatMap,
-    GroupAggregate,
-    GroupBy,
-    Join,
-    Limit,
-    Plan,
-    Project,
-    Scan,
-    ScalarAggregate,
-    Sort,
-    TopN,
-    plan_children,
-)
+from ..plans.logical import Plan
 from ..storage.schema import Field, Schema
 from ..storage.struct_array import StructArray
+from .ir import required_source_fields, strip_scan_filters
 
 __all__ = [
     "infer_object_schema",
@@ -158,105 +142,11 @@ def source_field_usage(plan: Plan) -> Dict[int, Optional[Set[str]]]:
     """Map scan ordinal → fields used above it (None = whole element).
 
     The per-source *source mapping* of Figure 6: staging copies exactly
-    these fields.
+    these fields.  This is the shared required-fields pass of the pipeline
+    IR (:func:`repro.codegen.ir.required_source_fields`); kept here as the
+    schema-facing entry point.
     """
-    usage: Dict[int, Optional[Set[str]]] = {}
-
-    def lam_usage(lam: Lambda, index: int = 0) -> Optional[Set[str]]:
-        fields: Set[str] = set()
-        paths = member_usage(lam.body).get(lam.params[index], set())
-        for path in paths:
-            if path == "":
-                return None
-            fields.add(path.split(".")[0])
-        return fields
-
-    def merge(ordinal: int, fields: Optional[Set[str]]) -> None:
-        if ordinal in usage and usage[ordinal] is None:
-            return
-        if fields is None:
-            usage[ordinal] = None
-        else:
-            usage.setdefault(ordinal, set())
-            usage[ordinal] |= fields  # type: ignore[operator]
-
-    def walk(plan: Plan, needed: Optional[Set[str]]) -> None:
-        if isinstance(plan, Scan):
-            merge(plan.ordinal, needed)
-            return
-        if isinstance(plan, Filter):
-            walk(plan.child, _merge_sets(needed, lam_usage(plan.predicate)))
-            return
-        if isinstance(plan, Project):
-            walk(plan.child, lam_usage(plan.selector))
-            return
-        if isinstance(plan, FlatMap):
-            inner = lam_usage(plan.collection)
-            if plan.result is not None:
-                inner = _merge_sets(inner, lam_usage(plan.result, 0))
-            walk(plan.child, inner)
-            return
-        if isinstance(plan, Join):
-            left_var, right_var = plan.result.params
-            res_usage = member_usage(plan.result.body)
-            left_fields = _paths_to_fields(res_usage.get(left_var, set()))
-            right_fields = _paths_to_fields(res_usage.get(right_var, set()))
-            walk(plan.left, _merge_sets(left_fields, lam_usage(plan.left_key)))
-            walk(plan.right, _merge_sets(right_fields, lam_usage(plan.right_key)))
-            return
-        if isinstance(plan, (GroupAggregate,)):
-            fields = lam_usage(plan.key)
-            for spec in plan.aggregates:
-                if spec.selector is not None:
-                    fields = _merge_sets(fields, lam_usage(spec.selector))
-            walk(plan.child, fields)
-            return
-        if isinstance(plan, GroupBy):
-            walk(plan.child, None)  # groups carry whole elements
-            return
-        if isinstance(plan, ScalarAggregate):
-            fields: Optional[Set[str]] = set()
-            for spec in plan.aggregates:
-                if spec.selector is not None:
-                    fields = _merge_sets(fields, lam_usage(spec.selector))
-            walk(plan.child, fields)
-            return
-        if isinstance(plan, (Sort, TopN)):
-            fields = needed
-            for key in plan.keys:
-                fields = _merge_sets(fields, lam_usage(key))
-            walk(plan.child, fields)
-            return
-        if isinstance(plan, (Limit,)):
-            walk(plan.child, needed)
-            return
-        if isinstance(plan, Distinct):
-            walk(plan.child, None)  # value semantics need every field
-            return
-        if isinstance(plan, Concat):
-            walk(plan.left, needed)
-            walk(plan.right, needed)
-            return
-        for child in plan_children(plan):
-            walk(child, None)
-
-    walk(plan, None)
-    return usage
-
-
-def _paths_to_fields(paths: Set[str]) -> Optional[Set[str]]:
-    fields: Set[str] = set()
-    for path in paths:
-        if path == "":
-            return None
-        fields.add(path.split(".")[0])
-    return fields
-
-
-def _merge_sets(a: Optional[Set[str]], b: Optional[Set[str]]) -> Optional[Set[str]]:
-    if a is None or b is None:
-        return None
-    return a | b
+    return required_source_fields(plan)
 
 
 # -- staging split ----------------------------------------------------------------
@@ -279,38 +169,17 @@ def split_staging(plan: Plan) -> Tuple[Plan, Dict[int, StagedSource]]:
     """Peel scan-adjacent filters off the plan into staging specs.
 
     Returns the remaining (native) plan, whose Scans now refer to staged
-    arrays, plus one :class:`StagedSource` per input.  Field lists are
-    filled in from :func:`source_field_usage` of the *stripped* plan —
-    after stripping, predicate-only fields no longer force staging.
+    arrays, plus one :class:`StagedSource` per input.  Both the peel and
+    the field lists come from the shared IR passes
+    (:func:`repro.codegen.ir.strip_scan_filters` /
+    :func:`~repro.codegen.ir.required_source_fields` of the *stripped*
+    plan — after stripping, predicate-only fields no longer force
+    staging).
     """
+    stripped, peeled = strip_scan_filters(plan)
+    usage = required_source_fields(stripped)
     staged: Dict[int, StagedSource] = {}
-
-    def strip(node: Plan) -> Plan:
-        if isinstance(node, Filter):
-            strip_chain = node
-            predicates: List[Lambda] = []
-            while isinstance(strip_chain, Filter):
-                predicates.append(strip_chain.predicate)
-                strip_chain = strip_chain.child
-            if isinstance(strip_chain, Scan):
-                staged[strip_chain.ordinal] = StagedSource(
-                    ordinal=strip_chain.ordinal,
-                    predicates=tuple(reversed(predicates)),
-                    fields=(),
-                )
-                return strip_chain
-            return Filter(strip(node.child), node.predicate)
-        if isinstance(node, Scan):
-            staged.setdefault(
-                node.ordinal,
-                StagedSource(ordinal=node.ordinal, predicates=(), fields=()),
-            )
-            return node
-        return _rebuild(node, [strip(c) for c in plan_children(node)])
-
-    stripped = strip(plan)
-    usage = source_field_usage(stripped)
-    for ordinal, spec in staged.items():
+    for ordinal, predicates in peeled.items():
         fields = usage.get(ordinal, set())
         if fields is None:
             raise UnsupportedQueryError(
@@ -318,37 +187,12 @@ def split_staging(plan: Plan) -> Tuple[Plan, Dict[int, StagedSource]]:
                 f"the staging boundary; the hybrid engine requires flat "
                 f"field access (use the compiled engine)"
             )
-        spec.fields = tuple(sorted(fields))
-    return stripped, staged
-
-
-def _rebuild(node: Plan, children: List[Plan]) -> Plan:
-    """Reconstruct *node* with new children (same arity/order)."""
-    if isinstance(node, Join):
-        return Join(children[0], children[1], node.left_key, node.right_key, node.result)
-    if isinstance(node, Concat):
-        return Concat(children[0], children[1])
-    if isinstance(node, Project):
-        return Project(children[0], node.selector)
-    if isinstance(node, FlatMap):
-        return FlatMap(children[0], node.collection, node.result)
-    if isinstance(node, GroupBy):
-        return GroupBy(children[0], node.key)
-    if isinstance(node, GroupAggregate):
-        return GroupAggregate(
-            children[0], node.key, node.aggregates, node.output, node.fused, node.share
+        staged[ordinal] = StagedSource(
+            ordinal=ordinal,
+            predicates=predicates,
+            fields=tuple(sorted(fields)),
         )
-    if isinstance(node, ScalarAggregate):
-        return ScalarAggregate(children[0], node.aggregates, node.output)
-    if isinstance(node, Sort):
-        return Sort(children[0], node.keys, node.descending)
-    if isinstance(node, TopN):
-        return TopN(children[0], node.keys, node.descending, node.count)
-    if isinstance(node, Limit):
-        return Limit(children[0], node.count, node.offset)
-    if isinstance(node, Distinct):
-        return Distinct(children[0])
-    raise UnsupportedQueryError(f"cannot rebuild plan node {type(node).__name__}")
+    return stripped, staged
 
 
 def staged_schema_for(

@@ -14,24 +14,30 @@ same restrictions hold here and are enforced at code-generation time with
 :class:`~repro.errors.UnsupportedQueryError` — queries outside the fragment
 must use the compiled or hybrid engines.
 
-Codegen model: every plan node produces a *frame* — a set of named,
-symbolic column expressions plus a row-count expression.  Index-producing
-operators (filter, sort, join, ...) materialize exactly the columns their
-ancestors need (computed by a required-fields pre-pass: the same analysis
-that drives §6's implicit projection).
+Codegen model: the backend lowers the shared pipeline IR
+(:mod:`repro.codegen.ir`).  Every pipeline maps to a frame/kernel
+sequence: the driver yields a *frame* — a set of named, symbolic column
+expressions plus a row-count expression — the chain operators transform
+it, and the sink either materializes a :class:`~repro.codegen.ir.
+PipelineBreaker` (one kernel call: sort/top-N/distinct indexes, grouped
+aggregation, join build) or delivers the terminal result.  Materializing
+operators produce exactly the columns their consumers need — the demand
+sets are propagated over the IR DAG with the shared required-fields
+analysis (the same pass that drives §6's implicit projection).
 """
 
 from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass
+from functools import reduce
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import UnsupportedQueryError
+from ..errors import ExecutionError, UnsupportedQueryError
 from ..observability.tracer import TRACER
-from ..expressions.analysis import member_usage
+from ..expressions.analysis import conjuncts
 from ..expressions.nodes import (
     Binary,
     Call,
@@ -61,13 +67,24 @@ from ..plans.logical import (
     ScalarAggregate,
     Sort,
     TopN,
+    plan_children,
 )
 from ..runtime import vectorized as _vec
 from ..runtime.parallel import MORSEL_START as _MORSEL_START
 from ..runtime.parallel import MORSEL_STOP as _MORSEL_STOP
-from ..storage.schema import Schema, date_to_days
+from ..storage.schema import Schema, date_to_days, days_to_date
 from ..storage.struct_array import StructArray
 from .compiler import CompiledQuery, compile_source, timed
+from .ir import (
+    Pipeline,
+    PipelineBreaker,
+    QueryIR,
+    lambda_fields,
+    lambda_usage,
+    merge_fields,
+    paths_to_fields,
+)
+from .lower import lower_plan
 from .source import NameAllocator, SourceWriter
 
 __all__ = ["NativeBackend", "VectorPrinter", "ColumnRef", "Frame", "schema_for_sources"]
@@ -349,7 +366,7 @@ def _encode_constant(value: Any, target_kind: str) -> Any:
 
 
 class NativeBackend:
-    """Compiles a logical plan into vectorized NumPy source."""
+    """Lowers the pipeline IR into vectorized NumPy source."""
 
     name = "native"
 
@@ -358,14 +375,15 @@ class NativeBackend:
         plan: Plan,
         sources: Sequence[Any],
         morsel_ordinal: Optional[int] = None,
+        ir: Optional[QueryIR] = None,
     ) -> CompiledQuery:
         schemas = schema_for_sources(sources)
         with TRACER.span("codegen.generate", engine=self.name):
             with timed() as gen_time:
-                emitter = _VectorEmitter(
-                    schemas, exemplars=sources, morsel_ordinal=morsel_ordinal
-                )
-                source_code, namespace, scalar = emitter.emit_module(plan)
+                if ir is None:
+                    ir = lower_plan(plan, morsel_ordinal=morsel_ordinal)
+                emitter = _VectorEmitter(schemas, exemplars=sources, ir=ir)
+                source_code, namespace, scalar = emitter.emit_module()
         entry, compile_seconds = compile_source(source_code, namespace)
         return CompiledQuery(
             source_code=source_code,
@@ -378,35 +396,43 @@ class NativeBackend:
 
 
 class _VectorEmitter:
-    """Walks the plan bottom-up, emitting one frame per stage."""
+    """Walks the IR pipelines in schedule order, one frame sequence each."""
 
     def __init__(
         self,
-        schemas: Sequence[Schema],
+        schemas,
         exemplars: Sequence[Any] = (),
-        morsel_ordinal: Optional[int] = None,
+        ir: Optional[QueryIR] = None,
     ):
         self._schemas = schemas
         self._exemplars = exemplars
-        self._morsel_ordinal = morsel_ordinal
+        self.ir = ir
+        self._morsel_ordinal = ir.morsel_ordinal if ir is not None else None
         self.names = NameAllocator()
         self.writer = SourceWriter()
         self.namespace: Dict[str, Any] = {}
         self._param_names: Dict[str, str] = {}
+        #: breaker bid → frames fed by its producer pipelines
+        self._feeds: Dict[int, List[Frame]] = {}
+        #: breaker bid → materialized output frame (memoized)
+        self._breaker_frames: Dict[int, Frame] = {}
+        #: frames of terminal (sink-less) pipelines, concatenated at the end
+        self._terminal_frames: List[Frame] = []
+        self._demand_cache: Dict[int, List[Optional[Set[str]]]] = {}
 
     # -- module assembly ----------------------------------------------------------
 
-    def emit_module(self, plan: Plan) -> Tuple[str, Dict[str, Any], bool]:
-        scalar = isinstance(plan, ScalarAggregate)
+    def emit_module(self) -> Tuple[str, Dict[str, Any], bool]:
         body = SourceWriter()
         self.writer = body
-        if scalar:
-            result_code = self._emit_scalar_root(plan)
-            body.line(f"return {result_code}")
+        for pipeline in self.ir.pipelines:
+            self._emit_pipeline(pipeline)
+        if self.ir.scalar:
+            body.line(f"return {self._scalar_result(self.ir.plan)}")
         else:
-            frame = self.emit(plan, needed=None)
+            frame = self._concat_frames(self._terminal_frames)
             body.line(
-                f"return {self._emit_result(frame, _preserves_rows(plan))}"
+                f"return {self._emit_result(frame, _preserves_rows(self.ir.plan))}"
             )
 
         header = SourceWriter()
@@ -432,9 +458,9 @@ class _VectorEmitter:
             _coerce_str=_vec.coerce_str,
             _coerce_date=_vec.coerce_date,
             _EmptyAggregateError=_empty_aggregate_error,
-            _days_to_date=_days_to_date,
+            _days_to_date=days_to_date,
         )
-        return header.text(), namespace, scalar
+        return header.text(), namespace, self.ir.scalar
 
     def _render_param(self, name: str) -> str:
         code_name = self._param_names.get(name)
@@ -480,42 +506,157 @@ class _VectorEmitter:
         self.writer.line(f"{var} = {code}")
         return var
 
-    # -- required-fields analysis ---------------------------------------------------
+    def _concat_frames(self, frames: List[Frame]) -> Frame:
+        """Merge producer frames column-wise (the Concat path of the IR)."""
+        if not frames:
+            raise UnsupportedQueryError("pipeline produced no native frame")
+        if len(frames) == 1:
+            return frames[0]
+        columns: Dict[str, ColumnRef] = {}
+        for name, col in frames[0].columns.items():
+            parts = ", ".join(f.column(name).code for f in frames)
+            var = self.names.fresh("col")
+            self.writer.line(f"{var} = _np.concatenate([{parts}])")
+            columns[name] = ColumnRef(var, col.kind)
+        if not columns:
+            raise UnsupportedQueryError("concat of empty projections")
+        first = next(iter(columns.values()))
+        return Frame(columns, f"{first.code}.shape[0]")
 
-    @staticmethod
-    def _usage_of(lam: Lambda, param_index: int = 0) -> Set[str]:
-        usage = member_usage(lam.body)
-        param = lam.params[param_index]
-        fields = set()
-        for path in usage.get(param, set()):
-            if path == "":
-                fields.add("")
-            else:
-                fields.add(path.split(".")[0])
-        return fields
+    # -- demand propagation (shared required-fields pass over the IR DAG) -----------
 
-    # -- plan dispatch -------------------------------------------------------------
+    def _fields_of(
+        self, lam: Lambda, param_index: int = 0
+    ) -> Optional[Set[str]]:
+        return lambda_fields(lam, param_index, self.ir.cse)
 
-    def emit(self, plan: Plan, needed: Optional[Set[str]]) -> Frame:
-        handler = getattr(self, f"_emit_{type(plan).__name__}", None)
-        if handler is None:
-            raise UnsupportedQueryError(
-                f"plan node {type(plan).__name__} is outside the native "
-                f"fragment (§5 restrictions); use the compiled engine"
+    def _demands(self, pipeline: Pipeline) -> List[Optional[Set[str]]]:
+        """``demands[i]`` = fields needed of the frame entering operator *i*
+        (``demands[0]`` is the demand on the driver frame, the last entry
+        the demand on the pipeline's output)."""
+        cached = self._demand_cache.get(pipeline.pid)
+        if cached is not None:
+            return cached
+        need = self._sink_demand(pipeline)
+        out: List[Optional[Set[str]]] = [need]
+        for op in reversed(pipeline.operators):
+            need = self._op_demand(op, need)
+            out.append(need)
+        out.reverse()
+        self._demand_cache[pipeline.pid] = out
+        return out
+
+    def _op_demand(
+        self, op: Plan, need: Optional[Set[str]]
+    ) -> Optional[Set[str]]:
+        if isinstance(op, Filter):
+            return merge_fields(need, self._fields_of(op.predicate))
+        if isinstance(op, Project):
+            return self._fields_of(op.selector)
+        if isinstance(op, Join):
+            usage = lambda_usage(op.result, self.ir.cse)
+            left_fields = paths_to_fields(usage.get(op.result.params[0], set()))
+            return merge_fields(left_fields, self._fields_of(op.left_key))
+        if isinstance(op, Limit):
+            return need
+        return None
+
+    def _sink_demand(self, pipeline: Pipeline) -> Optional[Set[str]]:
+        breaker = pipeline.sink
+        if breaker is None:
+            return None  # terminal results may take the whole-row path
+        node = breaker.node
+        if breaker.kind == "join-build":
+            usage = lambda_usage(node.result, self.ir.cse)
+            right_fields = paths_to_fields(
+                usage.get(node.result.params[1], set())
             )
-        return handler(plan, needed)
+            return merge_fields(right_fields, self._fields_of(node.right_key))
+        if breaker.kind == "group-aggregate":
+            fields = self._fields_of(node.key)
+            for spec in node.aggregates:
+                if spec.selector is not None:
+                    fields = merge_fields(fields, self._fields_of(spec.selector))
+            return fields
+        if breaker.kind == "scalar-aggregate":
+            fields: Optional[Set[str]] = set()
+            for spec in node.aggregates:
+                if spec.selector is not None:
+                    fields = merge_fields(fields, self._fields_of(spec.selector))
+            return fields
+        if breaker.kind in ("sort", "topn"):
+            need = self._consumer_demand(breaker)
+            for key in node.keys:
+                need = merge_fields(need, self._fields_of(key))
+            return need
+        if breaker.kind == "distinct-materialize":
+            return None  # distinct compares whole rows: every column participates
+        raise UnsupportedQueryError(
+            f"plan node {type(node).__name__} is outside the native "
+            f"fragment (§5 restrictions); use the compiled engine"
+        )
 
-    def _emit_Scan(self, plan: Scan, needed: Optional[Set[str]]) -> Frame:
-        schema = self._schemas[plan.ordinal]
+    def _consumer_demand(self, breaker: PipelineBreaker) -> Optional[Set[str]]:
+        if breaker.consumer is None:
+            return None
+        return self._demands(self.ir.pipelines[breaker.consumer])[0]
+
+    # -- pipeline emission ----------------------------------------------------------
+
+    def _emit_pipeline(self, pipeline: Pipeline) -> None:
+        if self._skip_pipeline(pipeline):
+            return
+        self.writer.line(f"# pipeline p{pipeline.pid}: {pipeline.describe()}")
+        demands = self._demands(pipeline)
+        start, frame = self._pipeline_head(pipeline, demands)
+        for i in range(start, len(pipeline.operators)):
+            frame = self._apply_op(pipeline.operators[i], frame, demands[i + 1])
+        self._deliver(pipeline, frame)
+
+    def _skip_pipeline(self, pipeline: Pipeline) -> bool:
+        return False  # hook for the hybrid streaming feeds
+
+    def _pipeline_head(
+        self, pipeline: Pipeline, demands: List[Optional[Set[str]]]
+    ) -> Tuple[int, Frame]:
+        """Emit the driver (plus any fused scan-adjacent fast path)."""
+        ops = pipeline.operators
+        if (
+            isinstance(pipeline.driver, Scan)
+            and ops
+            and isinstance(ops[0], Filter)
+            and isinstance(ops[0].child, Scan)
+            and not pipeline.morsel_driver
+        ):
+            # the index/cluster fast paths re-read the whole source, so they
+            # are disabled on the morsel-sliced driver scan
+            opportunity = self._index_opportunity(ops[0])
+            if opportunity is not None:
+                return 1, self._emit_index_filter(ops[0], opportunity, demands[1])
+            clustered = self._cluster_opportunity(ops[0])
+            if clustered is not None:
+                return 1, self._emit_cluster_filter(ops[0], clustered, demands[1])
+        if isinstance(pipeline.driver, Scan):
+            return 0, self._scan_frame(pipeline.driver, pipeline, demands[0])
+        return 0, self._breaker_output(pipeline.driver, demands[0])
+
+    def _deliver(self, pipeline: Pipeline, frame: Frame) -> None:
+        if pipeline.sink is None:
+            self._terminal_frames.append(frame)
+        else:
+            self._feeds.setdefault(pipeline.sink.bid, []).append(frame)
+
+    def _scan_frame(
+        self, scan: Scan, pipeline: Pipeline, needed: Optional[Set[str]]
+    ) -> Frame:
+        schema = self._schemas[scan.ordinal]
         src = self.names.fresh("src")
-        if plan.ordinal == self._morsel_ordinal:
+        if pipeline.morsel_driver:
             lo = self._render_param(_MORSEL_START)
             hi = self._render_param(_MORSEL_STOP)
-            self.writer.line(
-                f"{src} = sources[{plan.ordinal}].data[{lo}:{hi}]"
-            )
+            self.writer.line(f"{src} = sources[{scan.ordinal}].data[{lo}:{hi}]")
         else:
-            self.writer.line(f"{src} = sources[{plan.ordinal}].data")
+            self.writer.line(f"{src} = sources[{scan.ordinal}].data")
         columns = {
             f.name: ColumnRef(f"{src}[{f.name!r}]", f.kind)
             for f in schema.fields
@@ -523,25 +664,140 @@ class _VectorEmitter:
         }
         return Frame(columns, f"{src}.shape[0]")
 
-    def _emit_Filter(self, plan: Filter, needed: Optional[Set[str]]) -> Frame:
-        # the index/cluster fast paths re-read the whole source, so they
-        # are disabled on the morsel-sliced driver scan
-        if isinstance(plan.child, Scan) and plan.child.ordinal != self._morsel_ordinal:
-            opportunity = self._index_opportunity(plan)
-            if opportunity is not None:
-                return self._emit_index_filter(plan, opportunity, needed)
-            clustered = self._cluster_opportunity(plan)
-            if clustered is not None:
-                return self._emit_cluster_filter(plan, clustered, needed)
-        child_needed = _union(needed, self._usage_of(plan.predicate))
-        child = self.emit(plan.child, child_needed)
-        (param,) = plan.predicate.params
-        printer = self._printer({param: (child, None)})
-        mask = self._vector(printer.emit(plan.predicate.body))
-        out = self._materialize(child, f"[{mask}]", needed)
+    # -- pipelined (chain) operators -------------------------------------------------
+
+    def _apply_op(
+        self, op: Plan, frame: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        handler = getattr(self, f"_apply_{type(op).__name__}", None)
+        if handler is None:
+            raise UnsupportedQueryError(
+                f"plan node {type(op).__name__} is outside the native "
+                f"fragment (§5 restrictions); use the compiled engine"
+            )
+        return handler(op, frame, need)
+
+    def _bind_cse(
+        self, lam: Lambda, env: Dict[str, Tuple[Frame, Optional[str]]]
+    ) -> Dict[str, Tuple[Frame, Optional[str]]]:
+        """Emit this lambda's CSE bindings as vectors and extend the env."""
+        for binding in self.ir.bindings_for(lam):
+            printer = self._printer(env)
+            var = self._vector(printer.emit(binding.expr))
+            single = Frame(
+                {Frame.SINGLE: ColumnRef(var, printer.kind_of(binding.expr))},
+                f"{var}.shape[0]",
+            )
+            env = {**env, binding.name: (single, None)}
+        return env
+
+    def _apply_Filter(
+        self, op: Filter, frame: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        (param,) = op.predicate.params
+        env = self._bind_cse(op.predicate, {param: (frame, None)})
+        printer = self._printer(env)
+        mask = self._vector(printer.emit(op.predicate.body))
+        out = self._materialize(frame, f"[{mask}]", need)
         if not out.columns:
             out.length_code = f"int({mask}.sum())"
         return out
+
+    def _apply_Project(
+        self, op: Project, frame: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        (param,) = op.selector.params
+        env = self._bind_cse(op.selector, {param: (frame, None)})
+        printer = self._printer(env)
+        return self._build_output_frame(
+            op.selector.body, printer, frame.length_code, need
+        )
+
+    def _apply_Join(
+        self, op: Join, frame: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        """Probe the hash table materialized by this join's build pipeline."""
+        left_var, right_var = op.result.params
+        usage = lambda_usage(op.result, self.ir.cse)
+        if paths_to_fields(usage.get(left_var, set())) is None or (
+            paths_to_fields(usage.get(right_var, set())) is None
+        ):
+            raise UnsupportedQueryError(
+                "native join results cannot embed whole input records "
+                "(the §5 'no references' rule); project explicit fields"
+            )
+        breaker = self.ir.breaker_for(op)
+        right = self._join_build_frame(breaker)
+        lk = self._vector(
+            self._printer({op.left_key.params[0]: (frame, None)}).emit(
+                op.left_key.body
+            )
+        )
+        rk = self._vector(
+            self._printer({op.right_key.params[0]: (right, None)}).emit(
+                op.right_key.body
+            )
+        )
+        li = self.names.fresh("li")
+        ri = self.names.fresh("ri")
+        self.writer.line(f"{li}, {ri} = _hash_join({lk}, {rk})")
+        printer = self._printer({left_var: (frame, li), right_var: (right, ri)})
+        return self._build_output_frame(
+            op.result.body, printer, f"{li}.shape[0]", need
+        )
+
+    def _join_build_frame(self, breaker: PipelineBreaker) -> Frame:
+        frame = self._breaker_frames.get(breaker.bid)
+        if frame is None:
+            frame = self._concat_frames(self._feeds.get(breaker.bid, []))
+            self._breaker_frames[breaker.bid] = frame
+        return frame
+
+    def _apply_Limit(
+        self, op: Limit, frame: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        printer = self._printer({})
+        start = printer.emit(op.offset) if op.offset is not None else "0"
+        if op.count is not None:
+            stop = f"({start}) + ({printer.emit(op.count)})"
+        else:
+            stop = ""
+        out = self._materialize(
+            frame, f"[{start}:{stop}]" if stop else f"[{start}:]", need
+        )
+        if not out.columns:
+            # e.g. take(n).count(): compute the surviving row count directly
+            length = self.names.fresh("n")
+            child_len = frame.length_code
+            if op.count is not None:
+                self.writer.line(
+                    f"{length} = max(0, min(({child_len}) - ({start}), "
+                    f"{printer.emit(op.count)}))"
+                )
+            else:
+                self.writer.line(f"{length} = max(0, ({child_len}) - ({start}))")
+            out.length_code = length
+        return out
+
+    def _build_output_frame(
+        self,
+        body: Expr,
+        printer: VectorPrinter,
+        length_code: str,
+        needed: Optional[Set[str]],
+    ) -> Frame:
+        if isinstance(body, New):
+            columns = {}
+            for name, expr in body.fields:
+                if needed is not None and name not in needed:
+                    continue
+                var = self._vector(printer.emit(expr))
+                columns[name] = ColumnRef(var, printer.kind_of(expr))
+            return Frame(columns, length_code)
+        var = self._vector(printer.emit(body))
+        return Frame(
+            {Frame.SINGLE: ColumnRef(var, printer.kind_of(body))}, length_code
+        )
 
     # -- index-accelerated point selection (§9 extension) -------------------------
 
@@ -552,9 +808,6 @@ class _VectorEmitter:
         The value side must be data-independent (Param/Constant) so the
         lookup can run once per execution.
         """
-        from ..expressions.analysis import conjuncts
-        from ..expressions.nodes import Binary, Constant as ConstNode, Param as ParamNode
-
         scan: Scan = plan.child  # type: ignore[assignment]
         if scan.ordinal >= len(self._exemplars):
             return None
@@ -573,7 +826,7 @@ class _VectorEmitter:
                     and member.target == Var(var)
                     and get_index(member.name) is not None
                 )
-                if is_column and isinstance(value, (ConstNode, ParamNode)):
+                if is_column and isinstance(value, (Constant, Param)):
                     remaining = parts[:i] + parts[i + 1 :]
                     return member.name, value, remaining
         return None
@@ -585,9 +838,6 @@ class _VectorEmitter:
         comparison compiles to binary-search bounds on the physically
         ordered data instead of a full mask.
         """
-        from ..expressions.analysis import conjuncts
-        from ..expressions.nodes import Binary, Constant as ConstNode, Param as ParamNode
-
         scan: Scan = plan.child  # type: ignore[assignment]
         if scan.ordinal >= len(self._exemplars):
             return None
@@ -610,7 +860,7 @@ class _VectorEmitter:
                     and member.target == Var(var)
                     and member.name == clustering
                 )
-                if is_clustered_column and isinstance(value, (ConstNode, ParamNode)):
+                if is_clustered_column and isinstance(value, (Constant, Param)):
                     remaining = parts[:i] + parts[i + 1 :]
                     return clustering, op, value, remaining
         return None
@@ -654,7 +904,7 @@ class _VectorEmitter:
             self.writer.line(
                 f"{stop} = int(_np.searchsorted({column}, {value_code}, side='right'))"
             )
-        child_needed = _union(needed, self._usage_of(plan.predicate))
+        child_needed = merge_fields(needed, self._fields_of(plan.predicate))
         columns = {
             f.name: ColumnRef(f"{src}[{f.name!r}][{start}:{stop}]", f.kind)
             for f in schema.fields
@@ -666,14 +916,10 @@ class _VectorEmitter:
             if not out.columns:
                 out.length_code = f"({stop} - {start})"
             return out
-        from functools import reduce
-
-        from ..expressions.nodes import Binary
-
         (var,) = plan.predicate.params
         rest = reduce(lambda a, b: Binary("and", a, b), remaining)
-        printer = self._printer({var: (frame, None)})
-        mask = self._vector(printer.emit(rest))
+        env = self._bind_cse(plan.predicate, {var: (frame, None)})
+        mask = self._vector(self._printer(env).emit(rest))
         out = self._materialize(frame, f"[{mask}]", needed)
         if not out.columns:
             out.length_code = f"int({mask}.sum())"
@@ -696,7 +942,7 @@ class _VectorEmitter:
             f"{sel} = sources[{scan.ordinal}].get_index({field_name!r})"
             f".lookup({value_code})"
         )
-        child_needed = _union(needed, self._usage_of(plan.predicate))
+        child_needed = merge_fields(needed, self._fields_of(plan.predicate))
         columns = {
             f.name: ColumnRef(f"{src}[{f.name!r}][{sel}]", f.kind)
             for f in schema.fields
@@ -708,99 +954,83 @@ class _VectorEmitter:
             if not out.columns:
                 out.length_code = f"{sel}.shape[0]"
             return out
-        from functools import reduce
-
-        from ..expressions.nodes import Binary
-
         (var,) = plan.predicate.params
         rest = reduce(lambda a, b: Binary("and", a, b), remaining)
-        printer = self._printer({var: (frame, None)})
-        mask = self._vector(printer.emit(rest))
+        env = self._bind_cse(plan.predicate, {var: (frame, None)})
+        mask = self._vector(self._printer(env).emit(rest))
         out = self._materialize(frame, f"[{mask}]", needed)
         if not out.columns:
             out.length_code = f"int({mask}.sum())"
         return out
 
-    def _emit_Project(self, plan: Project, needed: Optional[Set[str]]) -> Frame:
-        child_needed = _union(set(), self._usage_of(plan.selector))
-        child = self.emit(plan.child, child_needed)
-        (param,) = plan.selector.params
-        printer = self._printer({param: (child, None)})
-        return self._build_output_frame(
-            plan.selector.body, printer, child.length_code, needed
-        )
+    # -- breaker materialization ----------------------------------------------------
 
-    def _build_output_frame(
-        self,
-        body: Expr,
-        printer: VectorPrinter,
-        length_code: str,
-        needed: Optional[Set[str]],
+    def _breaker_output(
+        self, breaker: PipelineBreaker, need: Optional[Set[str]]
     ) -> Frame:
-        if isinstance(body, New):
-            columns = {}
-            for name, expr in body.fields:
-                if needed is not None and name not in needed:
-                    continue
-                var = self._vector(printer.emit(expr))
-                columns[name] = ColumnRef(var, printer.kind_of(expr))
-            return Frame(columns, length_code)
-        var = self._vector(printer.emit(body))
-        return Frame(
-            {Frame.SINGLE: ColumnRef(var, printer.kind_of(body))}, length_code
-        )
+        frame = self._breaker_frames.get(breaker.bid)
+        if frame is None:
+            handler = getattr(self, f"_out_{breaker.kind.replace('-', '_')}", None)
+            if handler is None:
+                raise UnsupportedQueryError(
+                    f"plan node {type(breaker.node).__name__} is outside the "
+                    f"native fragment (§5 restrictions); use the compiled engine"
+                )
+            fed = self._concat_frames(self._feeds.get(breaker.bid, []))
+            frame = handler(breaker.node, fed, need)
+            self._breaker_frames[breaker.bid] = frame
+        return frame
 
-    def _emit_Join(self, plan: Join, needed: Optional[Set[str]]) -> Frame:
-        left_var, right_var = plan.result.params
-        result_usage = member_usage(plan.result.body)
-        left_needed = _union(
-            {p.split(".")[0] for p in result_usage.get(left_var, set()) if p},
-            self._usage_of(plan.left_key),
-        )
-        right_needed = _union(
-            {p.split(".")[0] for p in result_usage.get(right_var, set()) if p},
-            self._usage_of(plan.right_key),
-        )
-        if "" in result_usage.get(left_var, set()) or "" in result_usage.get(
-            right_var, set()
-        ):
-            raise UnsupportedQueryError(
-                "native join results cannot embed whole input records "
-                "(the §5 'no references' rule); project explicit fields"
-            )
-        left = self.emit(plan.left, left_needed)
-        right = self.emit(plan.right, right_needed)
-
-        lk = self._vector(
-            self._printer({plan.left_key.params[0]: (left, None)}).emit(
-                plan.left_key.body
-            )
-        )
-        rk = self._vector(
-            self._printer({plan.right_key.params[0]: (right, None)}).emit(
-                plan.right_key.body
-            )
-        )
-        li = self.names.fresh("li")
-        ri = self.names.fresh("ri")
-        self.writer.line(f"{li}, {ri} = _hash_join({lk}, {rk})")
-        printer = self._printer({left_var: (left, li), right_var: (right, ri)})
-        return self._build_output_frame(
-            plan.result.body, printer, f"{li}.shape[0]", needed
-        )
-
-    def _emit_GroupAggregate(
-        self, plan: GroupAggregate, needed: Optional[Set[str]]
+    def _out_sort(
+        self, node: Sort, fed: Frame, need: Optional[Set[str]]
     ) -> Frame:
-        usage = self._usage_of(plan.key)
-        for spec in plan.aggregates:
-            if spec.selector is not None:
-                usage |= self._usage_of(spec.selector)
-        child = self.emit(plan.child, _union(set(), usage))
-        (key_param,) = plan.key.params
-        key_printer = self._printer({key_param: (child, None)})
+        key_vars = []
+        for key in node.keys:
+            printer = self._printer({key.params[0]: (fed, None)})
+            key_vars.append(self._vector(printer.emit(key.body)))
+        order = self.names.fresh("order")
+        dirs = repr(tuple(node.descending))
+        self.writer.line(
+            f"{order} = _sort_indexes(({', '.join(key_vars)},), {dirs})"
+        )
+        out = self._materialize(fed, f"[{order}]", need)
+        if not out.columns:
+            out.length_code = f"{order}.shape[0]"
+        return out
 
-        key_body = plan.key.body
+    def _out_topn(
+        self, node: TopN, fed: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        key_vars = []
+        for key in node.keys:
+            printer = self._printer({key.params[0]: (fed, None)})
+            key_vars.append(self._vector(printer.emit(key.body)))
+        count_code = self._printer({}).emit(node.count)
+        idx = self.names.fresh("topidx")
+        dirs = repr(tuple(node.descending))
+        self.writer.line(
+            f"{idx} = _topn_indexes(({', '.join(key_vars)},), {dirs}, {count_code})"
+        )
+        out = self._materialize(fed, f"[{idx}]", need)
+        if not out.columns:
+            out.length_code = f"{idx}.shape[0]"
+        return out
+
+    def _out_distinct_materialize(
+        self, node: Distinct, fed: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        cols = ", ".join(col.code for col in fed.columns.values())
+        idx = self.names.fresh("didx")
+        self.writer.line(f"{idx} = _distinct_indexes(({cols},))")
+        return self._materialize(fed, f"[{idx}]", need)
+
+    def _out_group_aggregate(
+        self, node: GroupAggregate, fed: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        (key_param,) = node.key.params
+        key_printer = self._printer({key_param: (fed, None)})
+
+        key_body = node.key.body
         if isinstance(key_body, New):
             key_fields = [(name, expr) for name, expr in key_body.fields]
         else:
@@ -813,13 +1043,13 @@ class _VectorEmitter:
 
         agg_args = []
         agg_kinds = []
-        for spec in plan.aggregates:
+        for spec in node.aggregates:
             if spec.selector is None:
                 agg_args.append(f"({spec.kind!r}, None)")
                 agg_kinds.append("int")
             else:
                 (p,) = spec.selector.params
-                printer = self._printer({p: (child, None)})
+                printer = self._printer({p: (fed, None)})
                 values = self._vector(printer.emit(spec.selector.body))
                 agg_args.append(f"({spec.kind!r}, {values})")
                 value_kind = printer.kind_of(spec.selector.body)
@@ -847,22 +1077,22 @@ class _VectorEmitter:
             env[f"__agg{i}"] = (slot_frame, None)
         printer = self._printer(env)
         return self._build_output_frame(
-            plan.output, printer, f"{gkeys}[0].shape[0]", needed
+            node.output, printer, f"{gkeys}[0].shape[0]", need
         )
 
-    def _emit_scalar_root(self, plan: ScalarAggregate) -> str:
-        usage: Set[str] = set()
-        for spec in plan.aggregates:
-            if spec.selector is not None:
-                usage |= self._usage_of(spec.selector)
-        needed = _union(set(), usage) if usage else set()
-        child = self.emit(plan.child, needed)
+    # -- scalar finalization ---------------------------------------------------------
+
+    def _scalar_result(self, plan: ScalarAggregate) -> str:
+        breaker = self.ir.breaker_for(plan)
+        child = self._concat_frames(self._feeds.get(breaker.bid, []))
         slot_codes = []
         for spec in plan.aggregates:
             slot_codes.append(self._emit_scalar_agg(spec, child))
         if plan.output == Var("__agg0"):
             return slot_codes[0]
-        raise UnsupportedQueryError("composite scalar outputs are not supported natively")
+        raise UnsupportedQueryError(
+            "composite scalar outputs are not supported natively"
+        )
 
     def _emit_scalar_agg(self, spec: AggregateSpec, child: Frame) -> str:
         if spec.kind == "count":
@@ -887,92 +1117,6 @@ class _VectorEmitter:
         if kind == "date":
             return f"_days_to_date(int({result}))"
         return f"{result}.item()"
-
-    def _emit_Sort(self, plan: Sort, needed: Optional[Set[str]]) -> Frame:
-        key_usage: Set[str] = set()
-        for key in plan.keys:
-            key_usage |= self._usage_of(key)
-        child = self.emit(plan.child, _union(needed, key_usage))
-        key_vars = []
-        for key in plan.keys:
-            printer = self._printer({key.params[0]: (child, None)})
-            key_vars.append(self._vector(printer.emit(key.body)))
-        order = self.names.fresh("order")
-        dirs = repr(tuple(plan.descending))
-        self.writer.line(
-            f"{order} = _sort_indexes(({', '.join(key_vars)},), {dirs})"
-        )
-        out = self._materialize(child, f"[{order}]", needed)
-        if not out.columns:
-            out.length_code = f"{order}.shape[0]"
-        return out
-
-    def _emit_TopN(self, plan: TopN, needed: Optional[Set[str]]) -> Frame:
-        key_usage: Set[str] = set()
-        for key in plan.keys:
-            key_usage |= self._usage_of(key)
-        child = self.emit(plan.child, _union(needed, key_usage))
-        key_vars = []
-        for key in plan.keys:
-            printer = self._printer({key.params[0]: (child, None)})
-            key_vars.append(self._vector(printer.emit(key.body)))
-        count_code = self._printer({}).emit(plan.count)
-        idx = self.names.fresh("topidx")
-        dirs = repr(tuple(plan.descending))
-        self.writer.line(
-            f"{idx} = _topn_indexes(({', '.join(key_vars)},), {dirs}, {count_code})"
-        )
-        out = self._materialize(child, f"[{idx}]", needed)
-        if not out.columns:
-            out.length_code = f"{idx}.shape[0]"
-        return out
-
-    def _emit_Limit(self, plan: Limit, needed: Optional[Set[str]]) -> Frame:
-        child = self.emit(plan.child, needed)
-        printer = self._printer({})
-        start = printer.emit(plan.offset) if plan.offset is not None else "0"
-        if plan.count is not None:
-            stop = f"({start}) + ({printer.emit(plan.count)})"
-        else:
-            stop = ""
-        out = self._materialize(child, f"[{start}:{stop}]" if stop else f"[{start}:]", needed)
-        if not out.columns:
-            # e.g. take(n).count(): compute the surviving row count directly
-            length = self.names.fresh("n")
-            child_len = child.length_code
-            if plan.count is not None:
-                self.writer.line(
-                    f"{length} = max(0, min(({child_len}) - ({start}), "
-                    f"{printer.emit(plan.count)}))"
-                )
-            else:
-                self.writer.line(f"{length} = max(0, ({child_len}) - ({start}))")
-            out.length_code = length
-        return out
-
-    def _emit_Distinct(self, plan: Distinct, needed: Optional[Set[str]]) -> Frame:
-        # distinct compares whole rows: every column participates
-        child = self.emit(plan.child, None)
-        cols = ", ".join(col.code for col in child.columns.values())
-        idx = self.names.fresh("didx")
-        self.writer.line(f"{idx} = _distinct_indexes(({cols},))")
-        return self._materialize(child, f"[{idx}]", needed)
-
-    def _emit_Concat(self, plan: Concat, needed: Optional[Set[str]]) -> Frame:
-        left = self.emit(plan.left, needed)
-        right = self.emit(plan.right, needed)
-        columns = {}
-        for name, col in left.columns.items():
-            other = right.column(name)
-            var = self.names.fresh("col")
-            self.writer.line(
-                f"{var} = _np.concatenate([{col.code}, {other.code}])"
-            )
-            columns[name] = ColumnRef(var, col.kind)
-        if not columns:
-            raise UnsupportedQueryError("concat of empty projections")
-        first = next(iter(columns.values()))
-        return Frame(columns, f"{first.code}.shape[0]")
 
     # -- result delivery ---------------------------------------------------------
 
@@ -1005,29 +1149,11 @@ def _preserves_rows(plan: Plan) -> bool:
     sort, limit or deduplicate hand back views into the arrays instead of
     materialized record copies.
     """
-    from ..plans.logical import plan_children
-
     row_preserving = (Scan, Filter, Sort, TopN, Limit, Distinct, Concat)
     if not isinstance(plan, row_preserving):
         return False
     return all(_preserves_rows(child) for child in plan_children(plan))
 
 
-def _union(needed: Optional[Set[str]], extra: Set[str]) -> Optional[Set[str]]:
-    if "" in extra:
-        return None  # whole-element use: keep every column
-    if needed is None:
-        return None
-    return needed | extra
-
-
 def _empty_aggregate_error():
-    from ..errors import ExecutionError
-
     return ExecutionError("aggregate of an empty sequence has no value")
-
-
-def _days_to_date(days: int):
-    from ..storage.schema import days_to_date
-
-    return days_to_date(days)

@@ -25,8 +25,15 @@ checked for
 is wired into :func:`repro.codegen.compiler.compile_source` and is on by
 default (set ``REPRO_VERIFY_GENERATED=0`` to skip it in benchmarks).
 
+The same net covers the layer *above* the printers: :func:`verify_ir`
+checks the pipeline IR every backend lowers from (every breaker
+materializes exactly once and is consumed downstream exactly once, the
+schedule is topologically ordered, and no pipeline reads a source field
+outside its required-field annotation).
+
 ``python -m repro.codegen.verifier --selftest`` generates TPC-H Q1–Q3 on
-every codegen engine and verifies each emitted module.
+every codegen engine, verifies each emitted module, and exercises the IR
+invariants (including deliberately corrupted IRs that must be caught).
 """
 
 from __future__ import annotations
@@ -37,11 +44,26 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import GeneratedCodeViolation
+from ..plans.logical import (
+    Filter,
+    FlatMap,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    Project,
+    ScalarAggregate,
+    Sort,
+    TopN,
+)
+from .ir import PipelineBreaker, lambda_fields, merge_fields
 
 __all__ = [
     "VerifierReport",
     "verify_source",
+    "verify_ir",
     "check_generated",
+    "check_ir",
     "verification_enabled",
     "SAFE_BUILTINS",
 ]
@@ -128,6 +150,170 @@ def check_generated(
             f"{report.describe()}\n--- generated source ---\n{source}",
             violations=report.violations,
             source=source,
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Pipeline IR invariants
+# ---------------------------------------------------------------------------
+
+
+def _pipeline_reads(pipeline: Any, cse: Any) -> Optional[Set[str]]:
+    """Fields *pipeline* reads from its driver scan's elements.
+
+    ``None`` means the whole element is used.  Collection stops at the
+    first element-transforming operator (Project/FlatMap/Join probe) —
+    beyond it the stream no longer carries driver elements — so this is
+    a sound under-approximation of the pipeline's true driver demand.
+    """
+    reads: Optional[Set[str]] = set()
+
+    def add(lam: Any, param_index: int = 0) -> None:
+        nonlocal reads
+        if lam is None:
+            return
+        reads = merge_fields(reads, lambda_fields(lam, param_index, cse))
+
+    for op in pipeline.operators:
+        if isinstance(op, Filter):
+            add(op.predicate)
+            continue
+        if isinstance(op, Limit):
+            continue
+        if isinstance(op, Project):
+            add(op.selector)
+            return reads
+        if isinstance(op, Join):  # probe: driver elements are the left side
+            add(op.left_key)
+            add(op.result, 0)
+            return reads
+        if isinstance(op, FlatMap):
+            add(op.collection)
+            return reads
+        return reads  # unknown operator: stop collecting
+    sink = pipeline.sink
+    if sink is None:
+        return reads
+    node = sink.node
+    if isinstance(node, Join):  # build: driver elements are the right side
+        add(node.right_key)
+        add(node.result, 1)
+    elif isinstance(node, GroupAggregate):
+        add(node.key)
+        for spec in node.aggregates:
+            add(spec.selector)
+    elif isinstance(node, ScalarAggregate):
+        for spec in node.aggregates:
+            add(spec.selector)
+    elif isinstance(node, (Sort, TopN)):
+        for key in node.keys:
+            add(key)
+    elif isinstance(node, GroupBy):
+        reads = None  # group-materialize keeps whole elements
+    return reads
+
+
+def verify_ir(ir: Any) -> VerifierReport:
+    """Check the structural invariants of a lowered :class:`QueryIR`.
+
+    * every breaker is materialized exactly once: it is the sink of the
+      pipelines its ``producers`` list names (at least one), and its
+      materialized output is read by exactly one downstream pipeline;
+    * the schedule is topological — every producer runs before the
+      consumer that re-reads the materialization;
+    * field closure — no scan-driven pipeline reads a field of its
+      driver's elements outside its ``required_fields`` annotation.
+    """
+    violations: List[str] = []
+    pids = {p.pid for p in ir.pipelines}
+
+    sink_of: Dict[int, List[int]] = {}
+    for pipeline in ir.pipelines:
+        if pipeline.sink is not None:
+            sink_of.setdefault(pipeline.sink.bid, []).append(pipeline.pid)
+
+    driver_consumers: Dict[int, List[int]] = {}
+    for pipeline in ir.pipelines:
+        if isinstance(pipeline.driver, PipelineBreaker):
+            driver_consumers.setdefault(
+                pipeline.driver.bid, []
+            ).append(pipeline.pid)
+
+    for breaker in ir.breakers:
+        producers = sorted(sink_of.get(breaker.bid, []))
+        if not producers:
+            violations.append(
+                f"breaker {breaker.label()} is never materialized: no "
+                f"pipeline has it as sink"
+            )
+        if producers != sorted(breaker.producers):
+            violations.append(
+                f"breaker {breaker.label()} claims producers "
+                f"{sorted(breaker.producers)} but is the sink of "
+                f"{producers}"
+            )
+        read_by = driver_consumers.get(breaker.bid, [])
+        if len(read_by) > 1:
+            violations.append(
+                f"breaker {breaker.label()} drives multiple pipelines "
+                f"{read_by}; a materialization is consumed exactly once"
+            )
+        if breaker.consumer is None:
+            if not (ir.scalar and breaker.node is ir.plan):
+                violations.append(
+                    f"breaker {breaker.label()} has no consumer pipeline "
+                    f"(only the root breaker of a scalar query may)"
+                )
+        elif breaker.consumer not in pids:
+            violations.append(
+                f"breaker {breaker.label()} names unknown consumer "
+                f"p{breaker.consumer}"
+            )
+        else:
+            late = [pid for pid in producers if pid >= breaker.consumer]
+            if late:
+                violations.append(
+                    f"breaker {breaker.label()} is consumed by "
+                    f"p{breaker.consumer} before producer(s) "
+                    f"{late} have run (schedule is not topological)"
+                )
+
+    for pipeline in ir.pipelines:
+        if pipeline.driver_ordinal is None:
+            continue
+        if pipeline.required_fields is None:
+            continue  # whole elements: everything is in the required set
+        reads = _pipeline_reads(pipeline, ir.cse)
+        if reads is None:
+            violations.append(
+                f"pipeline p{pipeline.pid} uses whole elements of "
+                f"source_{pipeline.driver_ordinal} but its required-field "
+                f"set is {sorted(pipeline.required_fields)}"
+            )
+        else:
+            extra = reads - pipeline.required_fields
+            if extra:
+                violations.append(
+                    f"pipeline p{pipeline.pid} reads fields "
+                    f"{sorted(extra)} of source_{pipeline.driver_ordinal} "
+                    f"outside its required set "
+                    f"{sorted(pipeline.required_fields)}"
+                )
+
+    return VerifierReport(tuple(violations), entry_point="<ir>")
+
+
+def check_ir(ir: Any) -> VerifierReport:
+    """Verify and raise :class:`GeneratedCodeViolation` on any finding."""
+    report = verify_ir(ir)
+    if not report.ok:
+        details = "\n".join(f"  - {v}" for v in report.violations)
+        raise GeneratedCodeViolation(
+            f"pipeline IR failed verification "
+            f"({len(report.violations)} violation(s)):\n{details}",
+            violations=report.violations,
+            source="",
         )
     return report
 
@@ -405,6 +591,82 @@ class _ScopeChecker:
 # ---------------------------------------------------------------------------
 
 
+def _ir_selftest() -> int:
+    """Verify the lowered IR of Q1–Q3 and catch deliberately broken IRs."""
+    from ..codegen.lower import lower_plan
+    from ..expressions.canonical import canonicalize
+    from ..plans.optimizer import optimize
+    from ..plans.translate import translate
+    from ..query.provider import QueryProvider
+    from ..tpch.datagen import TPCHData
+    from ..tpch import queries as tpch_queries
+
+    data = TPCHData(scale=0.01, seed=7)
+    provider = QueryProvider()
+    failures = 0
+    irs = []
+    for label, builder in (
+        ("Q1", tpch_queries.q1),
+        ("Q2", tpch_queries.q2),
+        ("Q3", tpch_queries.q3),
+    ):
+        query = builder(data, "native", provider=provider)
+        canonical = canonicalize(query.expr)
+        plan = optimize(
+            translate(canonical.tree, provider.translate_options),
+            provider.optimize_options,
+            statistics=provider._statistics,
+            param_values=canonical.bindings,
+        )
+        ir = lower_plan(
+            plan,
+            statistics=provider._statistics,
+            param_values=canonical.bindings,
+        )
+        report = verify_ir(ir)
+        status = "ok" if report.ok else "FAIL"
+        print(f"{label} IR invariants       {status}")
+        if not report.ok:
+            failures += 1
+            for violation in report.violations:
+                print(f"    {violation}")
+        irs.append((label, ir))
+
+    # corrupted IRs must be caught: mutate one invariant at a time, check,
+    # then restore the original value
+    label, ir = irs[0]
+    cases = []
+
+    breaker = ir.breakers[0]
+    saved_producers = breaker.producers
+    breaker.producers = list(saved_producers) + [99]
+    cases.append(("phantom producer", verify_ir(ir)))
+    breaker.producers = saved_producers
+
+    saved_consumer = breaker.consumer
+    breaker.consumer = None
+    cases.append(("missing consumer", verify_ir(ir)))
+    breaker.consumer = saved_consumer
+
+    scan_pipe = next(
+        p for p in ir.pipelines
+        if p.driver_ordinal is not None and p.required_fields
+    )
+    saved_fields = scan_pipe.required_fields
+    scan_pipe.required_fields = set()
+    cases.append(("field read outside required set", verify_ir(ir)))
+    scan_pipe.required_fields = saved_fields
+
+    for name, report in cases:
+        caught = not report.ok
+        status = "ok" if caught else "FAIL"
+        print(f"{label} IR corruption: {name:32s} {status}")
+        if not caught:
+            failures += 1
+            print("    corrupted IR passed verification")
+    return failures
+
+
 def _selftest() -> int:
     """Generate TPC-H Q1–Q3 on every codegen engine and verify each module."""
     from ..query.provider import QueryProvider
@@ -436,10 +698,11 @@ def _selftest() -> int:
                 failures += 1
                 for violation in report.violations:
                     print(f"    {violation}")
+    failures += _ir_selftest()
     if failures:
-        print(f"selftest: {failures} module(s) failed verification")
+        print(f"selftest: {failures} check(s) failed verification")
         return 1
-    print("selftest: all generated modules verified clean")
+    print("selftest: all generated modules and IR invariants verified clean")
     return 0
 
 

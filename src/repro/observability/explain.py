@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..codegen.lower import hybrid_placements
+from ..errors import UnsupportedQueryError
 from ..expressions.canonical import canonicalize
 from ..plans.logical import plan_to_text
 from ..plans.optimizer import optimize
@@ -104,6 +106,35 @@ def _parallel_verdict(
     return f"sequential — {reason}"
 
 
+def _pipeline_section(
+    provider: Any,
+    canonical: Any,
+    sources: List[Any],
+    plan: Any,
+    engine: str,
+) -> Tuple[str, ...]:
+    """Render the pipeline schedule of the shared IR, one line per
+    pipeline (id, driver, fused operators, sink breaker); the hybrid
+    engines additionally show each pipeline's managed/native placement."""
+    try:
+        ir = provider._ir_for(canonical, sources, plan, engine)
+    except UnsupportedQueryError:
+        return ()
+    placements: Dict[int, str] = (
+        hybrid_placements(ir)
+        if engine in ("hybrid", "hybrid_buffered")
+        else {}
+    )
+    lines = []
+    for pipeline in ir.pipelines:
+        text = f"p{pipeline.pid}: {pipeline.describe()}"
+        placement = placements.get(pipeline.pid)
+        if placement is not None:
+            text += f" [{placement}]"
+        lines.append(text)
+    return tuple(lines)
+
+
 @dataclass
 class ExplainReport:
     """What *would* run: plan, engine, capability, parallel decision."""
@@ -112,6 +143,7 @@ class ExplainReport:
     plan_text: str
     supported: bool
     capability_reasons: Tuple[str, ...] = ()
+    pipelines: Tuple[str, ...] = ()
     parallel: str = ""
 
     def render(self) -> str:
@@ -123,6 +155,10 @@ class ExplainReport:
             lines.append("capability: unsupported")
             for reason in self.capability_reasons:
                 lines.append(f"  - {reason}")
+        if self.pipelines:
+            lines.append("pipelines:")
+            for line in self.pipelines:
+                lines.append(f"  {line}")
         if self.parallel:
             lines.append(f"parallel: {self.parallel}")
         return "\n".join(lines)
@@ -155,6 +191,7 @@ def explain_report(
         plan_text=plan_to_text(plan),
         supported=report.supported,
         capability_reasons=tuple(report.reasons),
+        pipelines=_pipeline_section(provider, canonical, sources, plan, engine),
         parallel=_parallel_verdict(provider, plan, engine, parallelism),
     )
 

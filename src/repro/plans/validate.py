@@ -493,10 +493,6 @@ def _min_subtree_ok(node: Plan) -> bool:
 #: aggregate kinds with a deterministic partial-merge (avg via sum+count)
 PARALLEL_MERGEABLE_AGGREGATES = frozenset({"sum", "count", "min", "max", "avg"})
 
-#: order-sensitive root operators with a deterministic managed-side merge:
-#: they are peeled off the morsel kernel and re-applied after concatenation
-_PARALLEL_POST_OPS = (Sort, TopN, Limit, Distinct)
-
 
 @dataclass(frozen=True)
 class ParallelSplit:
@@ -523,102 +519,15 @@ class ParallelSplit:
 def parallel_split(plan: Plan) -> ParallelSplit:
     """Classify *plan* for morsel-driven execution, operator by operator.
 
-    The morselized scan is the driver: the leftmost-deepest scan of the
-    core pipeline, which must occur exactly once in the whole plan.
-    Pipelined operators (filter/project/flat-map) are trivially
-    parallel-safe; blocking roots are safe when their partials merge
-    deterministically (group/scalar aggregation); everything else —
-    order-sensitive operators without a merge, joins (build side not yet
-    shared across morsels), direct group materialization, concatenation —
-    falls back to sequential execution.
+    The decision itself lives with the pipeline IR — it is the
+    parallel-eligibility annotation :func:`repro.codegen.lower.lower_plan`
+    attaches to every lowered query — and this function delegates there
+    (lazily, to keep ``plans`` importable without ``codegen``).  See
+    :func:`repro.codegen.lower.decide_parallel` for the rules.
     """
-    post_ops: List[Plan] = []
-    node = plan
-    while isinstance(node, _PARALLEL_POST_OPS):
-        post_ops.append(node)
-        node = node.child
+    from ..codegen.lower import decide_parallel
 
-    if isinstance(node, ScalarAggregate):
-        mode, pipeline = "scalar", node.child
-    elif isinstance(node, GroupAggregate):
-        if not node.fused:
-            return ParallelSplit(
-                False,
-                reasons=(
-                    "unfused group aggregation re-scans materialized groups; "
-                    "no deterministic partial merge",
-                ),
-            )
-        mode, pipeline = "group", node.child
-    else:
-        mode, pipeline = "rows", node
-
-    if mode in ("scalar", "group"):
-        for spec in node.aggregates:
-            if spec.kind not in PARALLEL_MERGEABLE_AGGREGATES:
-                return ParallelSplit(
-                    False,
-                    reasons=(
-                        f"aggregate {spec.kind!r} has no deterministic "
-                        f"partial merge",
-                    ),
-                )
-
-    blocker = _pipeline_blocker(pipeline)
-    if blocker is not None:
-        return ParallelSplit(
-            False,
-            reasons=(
-                f"plan node {type(blocker).__name__} inside the morsel "
-                f"pipeline is order-sensitive or blocking; no per-morsel "
-                f"decomposition",
-            ),
-        )
-
-    ordinal = _driver_ordinal(pipeline)
-    occurrences = sum(
-        1
-        for n in _walk_plan(plan)
-        if isinstance(n, Scan) and n.ordinal == ordinal
-    )
-    if occurrences != 1:
-        return ParallelSplit(
-            False,
-            reasons=(
-                f"source {ordinal} is scanned {occurrences} times; "
-                f"morselizing one scan would desynchronize the others",
-            ),
-        )
-    return ParallelSplit(
-        True,
-        mode=mode,
-        core=node,
-        post_ops=tuple(post_ops),
-        morsel_ordinal=ordinal,
-    )
-
-
-def _pipeline_blocker(node: Plan) -> Optional[Plan]:
-    """First operator on the morsel path that cannot run per-morsel.
-
-    Joins are correct to morselize (probe side sliced, build side
-    recomputed per morsel) but a morsel kernel is monolithic, so every
-    invocation would rebuild the build-side hash state from scratch —
-    measured 3–20× slower than one sequential pass.  Until the build
-    phase is shared across morsels, joins fall back to sequential.
-    """
-    if isinstance(node, Scan):
-        return None
-    if isinstance(node, (Filter, Project, FlatMap)):
-        return _pipeline_blocker(node.child)
-    return node
-
-
-def _driver_ordinal(node: Plan) -> int:
-    """Ordinal of the leftmost-deepest scan: the morselized driver."""
-    while not isinstance(node, Scan):
-        node = node.left if isinstance(node, Join) else node.child
-    return node.ordinal
+    return decide_parallel(plan)
 
 
 def _vector_fragment_reasons(

@@ -25,6 +25,9 @@ import time
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..codegen.compiler import CompiledQuery
+from ..codegen.ir import QueryIR
+from ..codegen.lower import lower_plan
+from ..codegen.verifier import check_ir, verification_enabled
 from ..errors import ExecutionError, UnsupportedQueryError
 from ..expressions.canonical import CanonicalQuery, cache_key, canonicalize
 from ..expressions.nodes import Expr
@@ -34,7 +37,7 @@ from ..observability.tracer import TRACER, traced_rows
 from ..plans.logical import plan_to_text
 from ..plans.optimizer import OptimizeOptions, optimize
 from ..plans.translate import TranslateOptions, translate
-from ..plans.validate import capability_report, parallel_split, validate_plan
+from ..plans.validate import capability_report, validate_plan
 from ..runtime.parallel import (
     DEFAULT_MORSEL_ROWS,
     ParallelQuery,
@@ -95,6 +98,9 @@ class QueryProvider:
         #: schema token → TableStats (§9 extension); versioned for caching
         self._statistics: Dict[str, Any] = {}
         self._statistics_version = 0
+        #: pipeline IR per canonical query (engine-independent), cached
+        #: alongside analysis so every backend lowers the same IR once
+        self._ir_cache: Dict[Any, QueryIR] = {}
 
     def register_statistics(self, token: str, statistics: Any) -> None:
         """Attach :class:`~repro.plans.statistics.TableStats` to a schema
@@ -345,17 +351,30 @@ class QueryProvider:
             statistics=self._statistics,
             param_values=canonical.bindings,
         )
-        split = parallel_split(plan)
+        split = self._ir_for(canonical, sources, plan, engine).split
         if not split.parallel:
             return None
         backend = _make_backend(engine)
-        try:
-            return build_parallel_query(
-                split,
-                lambda partial: backend.compile(
-                    partial, sources, morsel_ordinal=split.morsel_ordinal
-                ),
+
+        def compile_kernel(partial):
+            # partial plans differ from the cached sequential IR, so each
+            # lowers its own — with the same statistics, so conjunct order
+            # (and therefore kernel code) matches the sequential artifact
+            partial_ir = lower_plan(
+                partial,
+                morsel_ordinal=split.morsel_ordinal,
+                statistics=self._statistics,
+                param_values=canonical.bindings,
             )
+            return backend.compile(
+                partial,
+                sources,
+                morsel_ordinal=split.morsel_ordinal,
+                ir=partial_ir,
+            )
+
+        try:
+            return build_parallel_query(split, compile_kernel)
         except UnsupportedQueryError:
             return None
 
@@ -388,6 +407,37 @@ class QueryProvider:
                 span.set(cached=True)
         return analysis
 
+    def _ir_for(
+        self,
+        canonical: CanonicalQuery,
+        sources: List[Any],
+        plan: Any,
+        engine: str,
+    ) -> QueryIR:
+        """Lower *plan* to the pipeline IR, caching per canonical query.
+
+        The IR is engine-independent (morsel parameterization happens on
+        the partial plans), so one lowering serves every backend.
+        """
+        key = cache_key(
+            canonical, "::ir", self._options_token() + _source_signature(sources)
+        )
+        with self._lock:
+            ir = self._ir_cache.get(key)
+        if ir is not None:
+            return ir
+        with TRACER.span("query.lower", engine=engine):
+            ir = lower_plan(
+                plan,
+                statistics=self._statistics,
+                param_values=canonical.bindings,
+            )
+            if verification_enabled():
+                check_ir(ir)
+        with self._lock:
+            self._ir_cache[key] = ir
+        return ir
+
     def _compile(
         self, canonical: CanonicalQuery, sources: List[Any], engine: str
     ) -> CompiledQuery:
@@ -411,8 +461,9 @@ class QueryProvider:
             report = capability_report(plan, engine, sources, plan_types)
         if not report.supported:
             raise UnsupportedQueryError(report.describe())
+        ir = self._ir_for(canonical, sources, plan, engine)
         with TRACER.span("query.compile", engine=engine) as span:
-            compiled = backend.compile(plan, sources)
+            compiled = backend.compile(plan, sources, ir=ir)
             span.set(
                 codegen_seconds=compiled.codegen_seconds,
                 compile_seconds=compiled.compile_seconds,

@@ -48,7 +48,8 @@ from ..errors import ExecutionError
 from ..expressions.evaluator import interpret, make_record_type
 from ..observability.metrics import METRICS
 from ..observability.tracer import TRACER
-from ..expressions.nodes import Expr, Lambda, Member, New, Var, structural_key
+from ..codegen.ir import physical_slots
+from ..expressions.nodes import Expr, Lambda, Member, New, Var
 from ..plans.logical import (
     AggregateSpec,
     Distinct,
@@ -142,29 +143,11 @@ def _physical_slots(
 
     ``avg`` cannot merge across morsels, so it decomposes into a ``sum``
     slot and a shared ``count`` slot (re-divided at finalization) — the
-    same rule :class:`StreamingGroupAggregator` imposes on pages.
-    Identical (kind, selector) pairs share one slot.
+    same rule :class:`StreamingGroupAggregator` imposes on pages.  The
+    slot plan is the shared one from :func:`repro.codegen.ir.
+    physical_slots`, so the merge layout always matches the backends'.
     """
-    slots: List[Tuple[str, Optional[Lambda]]] = []
-    index_of: Dict[Any, int] = {}
-
-    def slot_for(kind: str, selector: Optional[Lambda]) -> int:
-        sel_key = structural_key(selector) if selector is not None else None
-        key = (kind, sel_key)
-        if key not in index_of:
-            index_of[key] = len(slots)
-            slots.append((kind, selector))
-        return index_of[key]
-
-    extract: List[Tuple[str, int, int]] = []
-    for spec in specs:
-        if spec.kind == "avg":
-            extract.append(
-                ("avg", slot_for("sum", spec.selector), slot_for("count", None))
-            )
-        else:
-            extract.append(("direct", slot_for(spec.kind, spec.selector), -1))
-    return slots, extract
+    return physical_slots(specs)
 
 
 # ---------------------------------------------------------------------------

@@ -84,7 +84,7 @@ class TestGeneratedStructure:
         class Alien:
             pass
 
-        with pytest.raises(CodegenError, match="no python codegen"):
+        with pytest.raises(CodegenError, match="no pipeline lowering"):
             compile_plan(Alien())
 
 

@@ -319,3 +319,114 @@ def test_corpus_size():
     assert len(_COVERAGE) >= 200, len(_COVERAGE)
     # every shape family actually exercised
     assert {name for _, name in _COVERAGE} == {s.__name__ for s in SHAPES}
+
+
+# ---------------------------------------------------------------------------
+# CSE + predicate-reorder equivalence — the shared-IR optimization pass
+# (subexpression hoisting, conjunct decomposition, cost-based reordering)
+# must never change results on any engine
+# ---------------------------------------------------------------------------
+
+
+def _shape_cse(rng):
+    """Shared-subexpression predicates and selectors."""
+    x = _exact_float(rng)
+    c = rng.randrange(0, 6)
+    hi = x + rng.randrange(1, 80) * 0.25
+    mode = rng.randrange(3)
+
+    def apply(outer, inner):
+        if mode == 0:
+            # the same subexpression across two conjuncts of one predicate
+            q = outer.where(
+                lambda r: ((r.v + r.v) > x) & ((r.v + r.v) < hi)
+            )
+            return q.select(lambda r: r.id), None
+        if mode == 1:
+            # a subexpression repeated inside one conjunct
+            q = outer.where(
+                lambda r: ((r.v * 0.5 + r.g) > x) & ((r.v * 0.5 + r.g) != hi)
+            )
+            return q.select(lambda r: new(i=r.id, v=r.v)), None
+        # duplicated subexpression inside one projection selector
+        q = outer.where(lambda r: r.g != c)
+        return (
+            q.select(lambda r: new(a=(r.v + r.v) * 0.25, b=(r.v + r.v) * 0.5)),
+            None,
+        )
+
+    return apply
+
+
+def _shape_multi_conjunct(rng):
+    """Many-conjunct predicates: decomposition + cheapest-first reorder."""
+    c = rng.randrange(0, 6)
+    x = _exact_float(rng)
+    word = rng.choice(_VOCAB)
+    lo = rng.randrange(0, 120)
+
+    def apply(outer, inner):
+        # mixes string equality (expensive) with integer/float comparisons
+        # (cheap): the reorder pass runs the cheap conjuncts first
+        q = outer.where(
+            lambda r: (r.s == word) & (r.v > x) & (r.g != c) & (r.id >= lo)
+        )
+        return q.select(lambda r: new(i=r.id, v=r.v, s=r.s)), None
+
+    return apply
+
+
+CSE_SHAPES = (_shape_cse, _shape_multi_conjunct)
+CSE_SEEDS = range(12)
+
+
+@pytest.mark.parametrize("seed", CSE_SEEDS)
+def test_cse_and_reorder_equivalence(seed):
+    """Seeded batch: every engine agrees with linq on CSE/reorder shapes."""
+    rng = random.Random(7000 + seed)
+    for shape in CSE_SHAPES:
+        apply = shape(rng)
+        baseline_q, baseline_t = apply(*_sources("linq"))
+        baseline = _run(baseline_q, baseline_t)
+        assert baseline[0] in ("rows", "scalar", "error")
+        for engine in ENGINES:
+            query, term = apply(*_sources(engine))
+            sequential = _run(query, term)
+            if sequential[0] == "unsupported":
+                continue
+            assert sequential == baseline, (
+                f"seed={seed} shape={shape.__name__} engine={engine}: "
+                f"{sequential!r} != linq {baseline!r}"
+            )
+            for workers, morsel in PARALLEL_CONFIGS[:2]:
+                parallel = _run(query, term, workers, morsel)
+                assert parallel == sequential, (
+                    f"seed={seed} shape={shape.__name__} engine={engine} "
+                    f"workers={workers}: parallel disagrees"
+                )
+
+
+def test_cse_temp_hoisted_in_generated_source():
+    """Acceptance: a duplicated subexpression is hoisted once in both the
+    python (``__cse`` temp) and the native (single bound vector) module."""
+    import re
+
+    def build(engine):
+        outer, _ = _sources(engine)
+        return outer.where(
+            lambda r: ((r.v + r.v) > 1.0) & ((r.v + r.v) < 50.0)
+        ).select(lambda r: r.id)
+
+    q = build("compiled")
+    compiled = PROVIDER.compile_info(q.expr, q.sources, "compiled")
+    assert re.search(r"__cse\d+ = ", compiled.source_code), compiled.source_code
+    # the subexpression itself is emitted exactly once
+    assert compiled.source_code.count(".v + ") == 1, compiled.source_code
+
+    q = build("native")
+    native = PROVIDER.compile_info(q.expr, q.sources, "native")
+    # without CSE the column 'v' would be gathered four times; the hoisted
+    # vector reads it twice (the two operands of the one shared addition)
+    assert len(re.findall(r"\['v'\]", native.source_code)) == 2, (
+        native.source_code
+    )

@@ -291,6 +291,22 @@ _SEQ = (
     "using(parallelism=n) or REPRO_PARALLELISM)"
 )
 
+# pipeline segmentation from the shared IR: id, driver, fused chain, sink
+# breaker — plus, on the hybrid engines, per-pipeline placement
+_Q1_PIPELINES = (
+    "pipelines:\n"
+    "  p0: scan(source_0) | filter => group-aggregate#1 [parallel-eligible]\n"
+    "  p1: group-aggregate#1 => sort#0\n"
+    "  p2: sort#0 => result\n"
+)
+_Q1_PIPELINES_HYBRID = (
+    "pipelines:\n"
+    "  p0: scan(source_0) | filter => group-aggregate#1 [parallel-eligible]"
+    " [managed staging -> native]\n"
+    "  p1: group-aggregate#1 => sort#0 [native]\n"
+    "  p2: sort#0 => result [native]\n"
+)
+
 Q1_GOLDENS = {
     "linq": (
         "(linq engine: interpreted operator chain, no plan)\n"
@@ -304,7 +320,7 @@ Q1_GOLDENS = {
         "    Filter(on l_shipdate)\n"
         "      Scan(source_0: tpch:lineitem)\n"
         "engine: compiled\n"
-        "capability: supported\n" + _SEQ
+        "capability: supported\n" + _Q1_PIPELINES + _SEQ
     ),
     "native": (
         "Sort(keys=2, desc=(False, False))\n"
@@ -312,7 +328,7 @@ Q1_GOLDENS = {
         "    Filter(on l_shipdate)\n"
         "      Scan(source_0: Lineitem)\n"
         "engine: native\n"
-        "capability: supported\n" + _SEQ
+        "capability: supported\n" + _Q1_PIPELINES + _SEQ
     ),
     "hybrid": (
         "Sort(keys=2, desc=(False, False))\n"
@@ -320,7 +336,7 @@ Q1_GOLDENS = {
         "    Filter(on l_shipdate)\n"
         "      Scan(source_0: tpch:lineitem)\n"
         "engine: hybrid\n"
-        "capability: supported\n" + _SEQ
+        "capability: supported\n" + _Q1_PIPELINES_HYBRID + _SEQ
     ),
 }
 
@@ -337,20 +353,40 @@ _Q3_PLAN = (
     "          Scan(source_2: {customer})\n"
 )
 
+_Q3_PIPELINES = (
+    "pipelines:\n"
+    "  p0: scan(source_2) | filter => join-build#3\n"
+    "  p1: scan(source_1) | filter | join-probe => join-build#2\n"
+    "  p2: scan(source_0) | filter | join-probe => group-aggregate#1\n"
+    "  p3: group-aggregate#1 => topn#0\n"
+    "  p4: topn#0 => result\n"
+)
+_Q3_PIPELINES_HYBRID = (
+    "pipelines:\n"
+    "  p0: scan(source_2) | filter => join-build#3"
+    " [managed staging -> native]\n"
+    "  p1: scan(source_1) | filter | join-probe => join-build#2"
+    " [managed staging -> native]\n"
+    "  p2: scan(source_0) | filter | join-probe => group-aggregate#1"
+    " [managed staging -> native]\n"
+    "  p3: group-aggregate#1 => topn#0 [native]\n"
+    "  p4: topn#0 => result [native]\n"
+)
+
 Q3_GOLDENS = {
     "linq": Q1_GOLDENS["linq"],
     "compiled": _Q3_PLAN.format(
         lineitem="tpch:lineitem", orders="tpch:orders", customer="tpch:customer"
     )
-    + "engine: compiled\ncapability: supported\n" + _SEQ,
+    + "engine: compiled\ncapability: supported\n" + _Q3_PIPELINES + _SEQ,
     "native": _Q3_PLAN.format(
         lineitem="Lineitem", orders="Orders", customer="Customer"
     )
-    + "engine: native\ncapability: supported\n" + _SEQ,
+    + "engine: native\ncapability: supported\n" + _Q3_PIPELINES + _SEQ,
     "hybrid": _Q3_PLAN.format(
         lineitem="tpch:lineitem", orders="tpch:orders", customer="tpch:customer"
     )
-    + "engine: hybrid\ncapability: supported\n" + _SEQ,
+    + "engine: hybrid\ncapability: supported\n" + _Q3_PIPELINES_HYBRID + _SEQ,
 }
 
 
