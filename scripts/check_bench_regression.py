@@ -21,7 +21,9 @@ bench JSON carries the per-engine ``compile.<engine>.codegen_seconds`` /
 ``compile.<engine>.compile_seconds`` means (from the provider's metrics),
 and the job fails when a phase's mean is more than ``--phase-tolerance``
 (default 1.0, i.e. 2x — wall-clock across heterogeneous runners is noisy)
-worse than the baseline's.
+worse than the baseline's.  Phase keys missing from either payload (an
+older baseline, or a sweep that didn't exercise an engine) only warn:
+cross-version payloads must not crash or block the gate.
 
 Exit status: 0 = no regression, non-zero = regression, coverage loss, or
 unreadable input.
@@ -47,10 +49,27 @@ def load_payload(path: Path) -> dict:
 
 
 def load_cells(payload: dict, path: Path):
-    """Return {(figure, engine): {selectivity: ms}} from a bench payload."""
+    """Return {(figure, engine): {selectivity: ms}} from a bench payload.
+
+    Cells missing any of the required keys (older bench JSON, or a sweep
+    that died mid-write) are skipped with a warning rather than crashing
+    the gate — the coverage checks downstream still catch anything the
+    skips leave unmeasured.
+    """
     table: dict = defaultdict(dict)
+    skipped = 0
     for cell in payload.get("cells", []):
-        table[(cell["figure"], cell["engine"])][cell["selectivity"]] = cell["ms"]
+        try:
+            table[(cell["figure"], cell["engine"])][cell["selectivity"]] = (
+                cell["ms"]
+            )
+        except (KeyError, TypeError):
+            skipped += 1
+    if skipped:
+        print(
+            f"warning: {path}: skipped {skipped} malformed cell(s) "
+            "(missing figure/engine/selectivity/ms)"
+        )
     if not table:
         sys.exit(f"error: {path} contains no benchmark cells")
     return dict(table)
@@ -67,11 +86,21 @@ def check_phases(baseline: dict, current: dict, tolerance: float):
     print(f"\ncompile-phase check (tolerance={tolerance:.0%})")
     print(f"{'phase':<36} {'baseline':>10} {'current':>10} {'delta':>8}")
     for name in sorted(base_phases):
-        ref = base_phases[name].get("mean_ms")
+        base_entry = base_phases[name]
+        if not isinstance(base_entry, dict):
+            print(f"warning: baseline phase {name!r} is malformed — skipped")
+            continue
+        ref = base_entry.get("mean_ms")
         entry = cur_phases.get(name)
         if not ref:
+            # a baseline entry without mean_ms can't anchor a comparison
+            print(f"warning: baseline phase {name!r} has no mean_ms — skipped")
             continue
-        if entry is None or not entry.get("count"):
+        if (
+            not isinstance(entry, dict)
+            or not entry.get("count")
+            or entry.get("mean_ms") is None
+        ):
             missing.append(name)
             print(f"{name:<36} {ref:>10.3f} {'MISSING':>10}")
             continue
@@ -192,11 +221,13 @@ def main(argv=None) -> int:
         )
         return 1
     if phase_missing:
+        # a benchmark-cell gap is coverage loss and fails above; a phase
+        # gap usually means the run (or baseline) predates a phase key —
+        # warn so the sweep config gets fixed, but don't block merges
         print(
-            f"FAIL: {len(phase_missing)} compile phase(s) missing from the "
-            f"current run"
+            f"warning: {len(phase_missing)} compile phase(s) missing from "
+            f"the current run: {', '.join(phase_missing)}"
         )
-        return 1
     if phase_regressions:
         print(
             f"FAIL: {len(phase_regressions)} compile phase(s) regressed "

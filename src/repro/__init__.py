@@ -18,11 +18,16 @@ Public surface (stable):
 """
 
 from .errors import (
+    AdmissionRejected,
     CodegenError,
     ExecutionError,
     ExpressionError,
+    QueryCancelled,
+    QueryTimeoutError,
     ReproError,
     SchemaError,
+    ServiceError,
+    SessionClosed,
     TraceError,
     TranslationError,
     UnsupportedQueryError,
@@ -43,6 +48,11 @@ __all__ = [
     "CodegenError",
     "ExecutionError",
     "SchemaError",
+    "QueryCancelled",
+    "QueryTimeoutError",
+    "ServiceError",
+    "AdmissionRejected",
+    "SessionClosed",
     "__version__",
 ]
 
@@ -57,4 +67,8 @@ def __getattr__(name):
         from .storage.struct_array import StructArray
 
         return StructArray
+    if name in {"QueryService", "QuerySession", "PreparedStatement"}:
+        from . import service as _service
+
+        return getattr(_service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

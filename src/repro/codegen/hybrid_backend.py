@@ -65,6 +65,7 @@ from ..plans.logical import (
     plan_children,
 )
 from ..runtime import vectorized as _vec
+from ..runtime.cancellation import cancel_check
 from ..runtime.parallel import MORSEL_START as _MORSEL_START
 from ..runtime.parallel import MORSEL_STOP as _MORSEL_STOP
 from ..runtime.parallel import morsel_slice
@@ -286,6 +287,7 @@ class _HybridEmitter(_VectorEmitter):
             _enc_str=_enc_str,
             _to_days=date_to_days,
             _morsel_slice=morsel_slice,
+            _cancel_check=cancel_check,
         )
         return namespace
 
@@ -342,6 +344,9 @@ class _HybridEmitter(_VectorEmitter):
 
     def _emit_full_staging(self, spec: StagedSource) -> None:
         """Stage one source completely into a page list (§6.1.1)."""
+        # staging precedes every pipeline (and can dominate the runtime),
+        # so it gets its own cancellation checkpoint
+        self.writer.line("_cancel_check(_params)")
         elem = self.names.fresh("elem")
         predicate = self._staging_predicate(spec, elem)
         if not spec.fields:
@@ -794,6 +799,9 @@ class _MinEmitter:
 
         body = SourceWriter()
         self.writer = body
+        # the Min program is one staged native operation; a single
+        # entry checkpoint keeps it cancellable like the IR pipelines
+        body.line("_cancel_check(_params)")
         if isinstance(node, (Sort, TopN)):
             self._emit_sort_min(node, post_ops)
         elif isinstance(node, Join):
@@ -822,6 +830,7 @@ class _MinEmitter:
             _hash_join=_vec.hash_join_indexes,
             _StreamingJoinProbe=StreamingJoinProbe,
             _native_key=_native_key,
+            _cancel_check=cancel_check,
         )
         return header.text(), namespace, False
 

@@ -567,6 +567,11 @@ class Pipeline:
     morsel_driver: bool = False
     #: True when this pipeline sits on a morsel-parallelizable path
     parallel_ok: bool = False
+    #: True when backends should emit a cooperative-cancellation
+    #: checkpoint (``_cancel_check(_params)``) at this pipeline's head;
+    #: deliberately excluded from :meth:`describe` so EXPLAIN output —
+    #: and its byte-exact goldens — stay unchanged
+    cancel_checkpoint: bool = False
 
     def driver_label(self) -> str:
         if isinstance(self.driver, PipelineBreaker):

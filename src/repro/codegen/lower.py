@@ -110,6 +110,10 @@ def lower_plan(
     stripped, _ = strip_scan_filters(plan)
     staging_fields = required_source_fields(stripped, cse)
     for pipeline in pipelines:
+        # every pipeline head is a cancellation checkpoint: the coarsest
+        # granularity that still bounds how long a cancelled query keeps
+        # running (one fused loop) without touching any per-element path
+        pipeline.cancel_checkpoint = True
         if isinstance(pipeline.driver, Scan):
             ordinal = pipeline.driver.ordinal
             pipeline.driver_ordinal = ordinal

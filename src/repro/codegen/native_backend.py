@@ -70,6 +70,7 @@ from ..plans.logical import (
     plan_children,
 )
 from ..runtime import vectorized as _vec
+from ..runtime.cancellation import cancel_check
 from ..runtime.parallel import MORSEL_START as _MORSEL_START
 from ..runtime.parallel import MORSEL_STOP as _MORSEL_STOP
 from ..storage.schema import Schema, date_to_days, days_to_date
@@ -459,6 +460,7 @@ class _VectorEmitter:
             _coerce_date=_vec.coerce_date,
             _EmptyAggregateError=_empty_aggregate_error,
             _days_to_date=days_to_date,
+            _cancel_check=cancel_check,
         )
         return header.text(), namespace, self.ir.scalar
 
@@ -607,6 +609,8 @@ class _VectorEmitter:
         if self._skip_pipeline(pipeline):
             return
         self.writer.line(f"# pipeline p{pipeline.pid}: {pipeline.describe()}")
+        if pipeline.cancel_checkpoint:
+            self.writer.line("_cancel_check(_params)")
         demands = self._demands(pipeline)
         start, frame = self._pipeline_head(pipeline, demands)
         for i in range(start, len(pipeline.operators)):

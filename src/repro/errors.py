@@ -80,5 +80,45 @@ class ExecutionError(ReproError):
     """A compiled or interpreted query failed while producing results."""
 
 
+class QueryCancelled(ExecutionError):
+    """A query observed its cancellation token and stopped cooperatively.
+
+    Subclasses :class:`ExecutionError`: to callers, a cancelled query is a
+    query that failed to produce results, and existing handlers keep
+    working.  ``reason`` distinguishes an explicit cancel from a deadline.
+    """
+
+    def __init__(self, message: str = "query cancelled", reason: str = "cancelled"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class QueryTimeoutError(QueryCancelled):
+    """A query exceeded its per-request deadline.
+
+    Raised by the serving executor when the deadline elapses, and from the
+    query's own cancellation checkpoints once the shared token expires.
+    """
+
+    def __init__(self, message: str = "query deadline exceeded"):
+        super().__init__(message, reason="deadline")
+
+
+class ServiceError(ReproError):
+    """A problem in the query serving layer (sessions, admission)."""
+
+
+class AdmissionRejected(ServiceError):
+    """The admission controller fast-failed a request: queue full.
+
+    Backpressure, not an internal fault — the caller should retry later
+    or shed the request.
+    """
+
+
+class SessionClosed(ServiceError):
+    """An operation was attempted on a closed :class:`QuerySession`."""
+
+
 class SchemaError(ReproError):
     """A schema definition or a value did not match its declared schema."""

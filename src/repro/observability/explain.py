@@ -43,6 +43,7 @@ _LINQ_PLAN = "(linq engine: interpreted operator chain, no plan)"
 #: canonical lifecycle ordering for the phase table; unknown span names
 #: sort after these, by first appearance
 _PHASE_ORDER = (
+    "service.queue_wait",
     "query.canonicalize",
     "query.cache_lookup",
     "query.analyze",
@@ -56,6 +57,7 @@ _PHASE_ORDER = (
     "parallel.dispatch",
     "parallel.morsel",
     "parallel.merge",
+    "service.execute",
 )
 
 
@@ -251,6 +253,7 @@ def explain_analyze(
     params: Dict[str, Any],
     parallelism: Optional[int] = None,
     morsel_size: Optional[int] = None,
+    runner: Optional[Any] = None,
 ) -> ExplainAnalysis:
     """Execute the query under a span capture and fold the evidence.
 
@@ -258,19 +261,28 @@ def explain_analyze(
     and interpreted execution).  Spans from worker threads — morsel
     kernels — land in the same capture, so parallel runs report their
     dispatch/merge accounting too.
+
+    *runner*, when given, replaces the direct ``provider.execute`` call
+    with an arbitrary zero-argument callable returning the materialized
+    rows — ``QuerySession.explain_analyze`` passes its serving path
+    here, so the phase table gains the ``service.queue_wait`` /
+    ``service.execute`` rows.
     """
     with TRACER.capture() as spans:
-        iterator = provider.execute(
-            expr,
-            sources,
-            engine,
-            params,
-            parallelism=parallelism,
-            morsel_size=morsel_size,
-        )
-        rows = 0
-        for _ in iterator:
-            rows += 1
+        if runner is not None:
+            rows = len(runner())
+        else:
+            iterator = provider.execute(
+                expr,
+                sources,
+                engine,
+                params,
+                parallelism=parallelism,
+                morsel_size=morsel_size,
+            )
+            rows = 0
+            for _ in iterator:
+                rows += 1
     phases = _fold_phases(spans)
 
     cache = "n/a (linq never compiles)" if engine == "linq" else "miss"

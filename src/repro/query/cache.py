@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, List, Optional
 
 from ..codegen.compiler import CompiledQuery
 from ..observability.metrics import METRICS, MetricsRegistry
@@ -66,6 +66,10 @@ class QueryCache:
         # static-analysis results (engine-independent, so keyed separately
         # from compiled artifacts but evicted under the same budget)
         self._analyses: "OrderedDict[Any, Any]" = OrderedDict()
+        #: called with each evicted *compiled-entry* key, outside the
+        #: cache lock — the provider uses this to keep its own per-query
+        #: side tables (pipeline IR, analysis associations) coherent
+        self._eviction_listeners: List[Callable[[Any], None]] = []
         self.stats = CacheStats()
         # the same accounting, mirrored into the observability registry
         # (process-global by default; tests inject private registries)
@@ -91,14 +95,29 @@ class QueryCache:
             self._m_hits.add()
             return entry
 
+    def add_eviction_listener(self, listener: Callable[[Any], None]) -> None:
+        """Subscribe to compiled-entry evictions (called with the key).
+
+        Listeners run after the cache lock is released, so they may take
+        other locks (the provider's) without ordering hazards.
+        """
+        with self._lock:
+            self._eviction_listeners.append(listener)
+
     def store(self, key: Any, compiled: CompiledQuery) -> None:
+        evicted: List[Any] = []
         with self._lock:
             self._entries[key] = compiled
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_entries:
-                self._entries.popitem(last=False)
+                victim, _ = self._entries.popitem(last=False)
+                evicted.append(victim)
                 self.stats.evictions += 1
                 self._m_evictions.add()
+            listeners = list(self._eviction_listeners) if evicted else ()
+        for victim in evicted:
+            for listener in listeners:
+                listener(victim)
 
     def find_analysis(self, key: Any) -> Optional[Any]:
         """Look up a cached static-analysis result (QueryAnalysis)."""
@@ -121,6 +140,21 @@ class QueryCache:
                 self._analyses.popitem(last=False)
                 self.stats.evictions += 1
                 self._m_evictions.add()
+
+    def discard_analysis(self, key: Any) -> bool:
+        """Drop one analysis entry if present (eviction-coherence hook).
+
+        Returns True when something was removed; a removal counts as an
+        eviction (it is one — initiated by the provider rather than the
+        LRU budget).
+        """
+        with self._lock:
+            if key not in self._analyses:
+                return False
+            del self._analyses[key]
+            self.stats.evictions += 1
+            self._m_evictions.add()
+            return True
 
     def __len__(self) -> int:
         with self._lock:

@@ -101,6 +101,13 @@ class QueryProvider:
         #: pipeline IR per canonical query (engine-independent), cached
         #: alongside analysis so every backend lowers the same IR once
         self._ir_cache: Dict[Any, QueryIR] = {}
+        #: eviction coherence: compiled-entry key → (analysis key, IR key)
+        #: plus refcounts on the shared keys — several engines' compiled
+        #: entries reference one analysis/IR, which must survive until the
+        #: *last* referencing compiled entry leaves the cache
+        self._associations: Dict[Any, tuple] = {}
+        self._shared_refs: Dict[Any, int] = {}
+        self.cache.add_eviction_listener(self._on_compiled_eviction)
 
     def register_statistics(self, token: str, statistics: Any) -> None:
         """Attach :class:`~repro.plans.statistics.TableStats` to a schema
@@ -273,10 +280,58 @@ class QueryProvider:
                 span.set(hit=compiled is not None)
             if compiled is None:
                 compiled = self._compile(canonical, sources, engine)
+                # register before store: store() may evict other entries
+                # (whose associations are already registered), and a
+                # concurrent store could evict *this* key right away
+                self._register_association(key, canonical, sources)
                 self.cache.store(key, compiled)
         finally:
             self._release_key_lock(key, entry)
         return compiled, canonical.bindings
+
+    # -- cache-eviction coherence ------------------------------------------------
+
+    def _register_association(
+        self, key: Any, canonical: CanonicalQuery, sources: List[Any]
+    ) -> None:
+        """Record which analysis/IR entries *key*'s compiled entry uses."""
+        sig = _source_signature(sources)
+        analysis_key = cache_key(canonical, "::analysis", sig)
+        ir_key = cache_key(canonical, "::ir", self._options_token() + sig)
+        with self._lock:
+            if key in self._associations:
+                return  # re-store of a live entry: refcounts already held
+            self._associations[key] = (analysis_key, ir_key)
+            for shared in (analysis_key, ir_key):
+                self._shared_refs[shared] = self._shared_refs.get(shared, 0) + 1
+
+    def _on_compiled_eviction(self, key: Any) -> None:
+        """QueryCache evicted a compiled entry: drop orphaned side state.
+
+        When the last compiled entry referencing an analysis or IR key is
+        evicted, the cached analysis and the ``_ir_cache`` entry go too —
+        otherwise a bounded compiled cache would anchor unbounded
+        engine-independent state for queries that can no longer hit.
+        """
+        doomed_analysis = None
+        with self._lock:
+            assoc = self._associations.pop(key, None)
+            if assoc is None:
+                return
+            analysis_key, ir_key = assoc
+            for shared in assoc:
+                refs = self._shared_refs.get(shared, 0) - 1
+                if refs > 0:
+                    self._shared_refs[shared] = refs
+                    continue
+                self._shared_refs.pop(shared, None)
+                if shared == ir_key:
+                    self._ir_cache.pop(ir_key, None)
+                if shared == analysis_key:
+                    doomed_analysis = analysis_key
+        # outside self._lock: discard_analysis takes the cache's lock
+        if doomed_analysis is not None:
+            self.cache.discard_analysis(doomed_analysis)
 
     # -- parallel execution (morsel-driven; departure from the paper) ------------
 

@@ -25,9 +25,16 @@ from typing import Any, Dict, Iterator, List, Optional
 from ..expressions.canonical import canonicalize
 from ..expressions.nodes import Expr
 from ..observability.metrics import METRICS
+from ..runtime.cancellation import CANCEL_PARAM
+from ..runtime.parallel import MORSEL_START, MORSEL_STOP
 from .provider import QueryProvider
 
 __all__ = ["RecyclingProvider", "RecyclerStats"]
+
+#: runtime-plumbing parameters (cancellation token, morsel bounds) never
+#: affect *what* a query computes, so they must not key the result cache —
+#: a fresh per-request token would otherwise defeat recycling entirely
+_EPHEMERAL_PARAMS = frozenset((CANCEL_PARAM, MORSEL_START, MORSEL_STOP))
 
 
 @dataclass
@@ -77,7 +84,11 @@ class RecyclingProvider(QueryProvider):
         self, expr: Expr, sources: List[Any], engine: str, params: Dict[str, Any]
     ) -> Optional[Any]:
         canonical = canonicalize(expr)
-        merged = {**canonical.bindings, **params}
+        merged = {
+            k: v
+            for k, v in {**canonical.bindings, **params}.items()
+            if k not in _EPHEMERAL_PARAMS
+        }
         try:
             frozen_params = tuple(
                 sorted((k, _freeze_value(v)) for k, v in merged.items())

@@ -1,6 +1,7 @@
 """Runtime support structures called from generated and interpreted code."""
 
 from .aggregates import AccumulatorPlan, AggSpec, FusedAccumulator, plan_accumulators
+from .cancellation import CANCEL_PARAM, CancellationToken, cancel_check
 from .hashtable import GroupTable, Grouping, JoinTable, build_join_table
 from .sorting import (
     CompositeKey,
@@ -20,6 +21,9 @@ from .streaming import StreamingGroupAggregator, StreamingJoinProbe
 from .topn import TopNHeap
 
 __all__ = [
+    "CANCEL_PARAM",
+    "CancellationToken",
+    "cancel_check",
     "AggSpec",
     "AccumulatorPlan",
     "FusedAccumulator",

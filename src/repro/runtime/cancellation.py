@@ -1,0 +1,135 @@
+"""Cooperative cancellation for running queries (serving-layer support).
+
+Generated code is straight-line Python or vectorized NumPy — there is no
+scheduler that can preempt it.  Instead, every execution path carries a
+shared :class:`CancellationToken` in its parameter dictionary under the
+reserved name :data:`CANCEL_PARAM` (exactly how the morsel runtime passes
+``__morsel_start`` / ``__morsel_stop``), and checks it at well-defined
+**checkpoints**:
+
+* each pipeline of the IR emits one ``_cancel_check(_params)`` call at
+  its head (all three code-generating backends — see
+  ``Pipeline.cancel_checkpoint`` set by :func:`repro.codegen.lower.
+  lower_plan`);
+* the morsel scheduler checks before dispatching each morsel kernel
+  (:mod:`repro.runtime.parallel`);
+* the serving executor checks while draining lazy result iterators, so
+  the interpreted ``linq`` engine participates too.
+
+Checkpoints are deliberately coarse — per pipeline and per morsel, never
+per element — so the generated hot loops stay exactly as fast as before;
+the check itself is one dict lookup when no token is present.
+
+A token may carry a **deadline** (absolute :func:`time.monotonic` time):
+the token reports itself cancelled once the deadline passes even if
+nobody called :meth:`CancellationToken.cancel`, so a worker thread whose
+caller already timed out and left still stops at its next checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import QueryCancelled, QueryTimeoutError
+
+__all__ = [
+    "CANCEL_PARAM",
+    "CancellationToken",
+    "cancel_check",
+]
+
+#: reserved parameter name the executor smuggles the token under; like the
+#: morsel bounds, it never collides with user parameters (P() names are
+#: identifiers, and identifiers cannot start with ``__`` here by contract)
+CANCEL_PARAM = "__cancel"
+
+
+class CancellationToken:
+    """A thread-safe cancel/deadline flag shared by one query execution.
+
+    The caller-facing side (:meth:`cancel`) and the query-side
+    (:meth:`check`, called from checkpoints) may run on different
+    threads; the flag only ever transitions unset → set.
+    """
+
+    __slots__ = ("_cancelled", "_reason", "_deadline", "_lock")
+
+    def __init__(self, deadline: Optional[float] = None):
+        self._cancelled = False
+        self._reason = ""
+        self._deadline = deadline
+        self._lock = threading.Lock()
+
+    @classmethod
+    def with_timeout(cls, seconds: Optional[float]) -> "CancellationToken":
+        """A token that self-expires *seconds* from now (None = never)."""
+        if seconds is None:
+            return cls()
+        return cls(deadline=time.monotonic() + seconds)
+
+    # -- caller side -------------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Flag the token; the query stops at its next checkpoint."""
+        with self._lock:
+            if not self._cancelled:
+                self._cancelled = True
+                self._reason = reason
+
+    # -- query side --------------------------------------------------------------
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self._deadline
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled explicitly or past the deadline."""
+        if self._cancelled:
+            return True
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            return True
+        return False
+
+    @property
+    def reason(self) -> str:
+        if self._cancelled:
+            return self._reason
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            return "deadline"
+        return ""
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (None = no deadline; >= 0 always)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise if cancelled — the checkpoint primitive.
+
+        :class:`~repro.errors.QueryTimeoutError` for a deadline,
+        :class:`~repro.errors.QueryCancelled` for an explicit cancel.
+        """
+        if self._cancelled:
+            if self._reason == "deadline":
+                raise QueryTimeoutError()
+            raise QueryCancelled(
+                f"query cancelled: {self._reason}", reason=self._reason
+            )
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self.cancel("deadline")
+            raise QueryTimeoutError()
+
+
+def cancel_check(params: Dict[str, Any]) -> None:
+    """Checkpoint helper injected into generated-code namespaces.
+
+    One dict lookup when no token travels with the query — cheap enough
+    to sit at every pipeline head without moving the benchmarks.
+    """
+    token = params.get(CANCEL_PARAM)
+    if token is not None:
+        token.check()

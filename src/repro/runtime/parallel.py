@@ -62,6 +62,7 @@ from ..plans.logical import (
 )
 from ..plans.validate import ParallelSplit
 from ..storage.schema import date_to_days, days_to_date
+from .cancellation import cancel_check
 from .streaming import StreamingGroupAggregator
 
 __all__ = [
@@ -244,6 +245,10 @@ class ParallelQuery:
         workers: int,
     ) -> List[Any]:
         def run(bound: Tuple[int, int]) -> Any:
+            # morsel boundaries are cancellation checkpoints: a cancelled
+            # query stops dispatching work within one morsel's runtime
+            # (kernels already queued finish their own checkpoints)
+            cancel_check(params)
             start, stop = bound
             morsel_params = dict(params)
             morsel_params[MORSEL_START] = start

@@ -1,0 +1,34 @@
+"""The in-process query serving subsystem.
+
+Layers workload management over the compile-and-cache machinery:
+
+* :class:`QueryService` — the shared backplane (provider + admission +
+  executor); usually one per process;
+* :class:`QuerySession` — per-client defaults and lifecycle;
+* :class:`PreparedStatement` — prepare/bind/execute, compiling once;
+* :class:`AdmissionController` — run slots, priority queue,
+  backpressure, graceful parallelism degradation;
+* :class:`QueryExecutor` — per-request deadlines and cooperative
+  cancellation via :class:`~repro.runtime.cancellation.CancellationToken`.
+
+See DESIGN.md §11 for the architecture and README "Serving queries" for
+a runnable example.
+"""
+
+from .admission import AdmissionController, AdmissionTicket, service_slots_from_env
+from .executor import QueryExecutor, drain, query_timeout_from_env
+from .prepared import BoundStatement, PreparedStatement
+from .session import QueryService, QuerySession
+
+__all__ = [
+    "QueryService",
+    "QuerySession",
+    "PreparedStatement",
+    "BoundStatement",
+    "AdmissionController",
+    "AdmissionTicket",
+    "QueryExecutor",
+    "drain",
+    "service_slots_from_env",
+    "query_timeout_from_env",
+]

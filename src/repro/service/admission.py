@@ -1,0 +1,203 @@
+"""Admission control: bounded run slots, priority queue, backpressure.
+
+The provider compiles and caches plans for *any* number of callers, but
+nothing so far decided how many of them may actually run at once.  The
+admission controller is that decision point:
+
+* a fixed pool of **run slots** (``REPRO_SERVICE_SLOTS``, default 4)
+  bounds concurrent executions;
+* requests that find no free slot wait in a **priority queue** (higher
+  priority first, FIFO within a priority);
+* a **bounded queue** provides backpressure: when it is full the request
+  fast-fails with :class:`~repro.errors.AdmissionRejected` instead of
+  piling up — the caller learns *immediately* that the service is
+  saturated;
+* **graceful degradation**: a request admitted while others are still
+  queued has its requested morsel parallelism downgraded, so an
+  overloaded service spends its threads admitting more queries rather
+  than making a few queries faster.
+
+Everything is condition-variable based — no dedicated scheduler thread —
+and every decision is mirrored into the ``service.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import threading
+import time
+from typing import Optional
+
+from ..errors import AdmissionRejected, QueryTimeoutError
+from ..observability.metrics import METRICS, MetricsRegistry
+
+__all__ = ["AdmissionController", "AdmissionTicket", "service_slots_from_env"]
+
+DEFAULT_SLOTS = 4
+
+
+def service_slots_from_env() -> int:
+    """Run-slot count from ``REPRO_SERVICE_SLOTS`` (default 4)."""
+    env = os.environ.get("REPRO_SERVICE_SLOTS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            return DEFAULT_SLOTS
+    return DEFAULT_SLOTS
+
+
+class AdmissionTicket:
+    """A granted run slot: holds the (possibly degraded) parallelism grant.
+
+    ``release()`` is idempotent and must run exactly when the query stops
+    occupying the engine — the executor calls it from the worker's
+    ``finally`` so a timed-out query frees its slot when it actually
+    stops, not when its caller gave up.
+    """
+
+    __slots__ = ("parallelism", "wait_seconds", "_controller", "_released")
+
+    def __init__(
+        self,
+        controller: "AdmissionController",
+        parallelism: Optional[int],
+        wait_seconds: float,
+    ):
+        self._controller = controller
+        self._released = False
+        self.parallelism = parallelism
+        self.wait_seconds = wait_seconds
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+
+class AdmissionController:
+    """Bounded slots + priority wait queue + backpressure + degradation."""
+
+    def __init__(
+        self,
+        slots: Optional[int] = None,
+        max_queue: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.slots = slots if slots is not None else service_slots_from_env()
+        if self.slots <= 0:
+            raise ValueError("slot count must be positive")
+        # default queue bound: one full round of waiters per slot
+        self.max_queue = max_queue if max_queue is not None else 4 * self.slots
+        if self.max_queue < 0:
+            raise ValueError("queue bound must be non-negative")
+        self._cond = threading.Condition()
+        self._running = 0
+        #: waiting requests as a heap of (-priority, seq) — higher
+        #: priority first, FIFO within one priority
+        self._waiting: list = []
+        self._seq = itertools.count()
+        registry = metrics if metrics is not None else METRICS
+        self._m_admitted = registry.counter("service.admitted")
+        self._m_rejected = registry.counter("service.rejected")
+        self._m_degraded = registry.counter("service.degraded")
+        self._m_wait = registry.histogram("service.queue_wait_seconds")
+        self._m_depth = registry.histogram("service.queue_depth")
+        self._m_running = registry.histogram("service.running")
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def running(self) -> int:
+        with self._cond:
+            return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._waiting)
+
+    # -- the admission decision ----------------------------------------------------
+
+    def acquire(
+        self,
+        priority: int = 0,
+        parallelism: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> AdmissionTicket:
+        """Wait for a run slot; returns an :class:`AdmissionTicket`.
+
+        Raises :class:`~repro.errors.AdmissionRejected` immediately when
+        the wait queue is full (backpressure), and
+        :class:`~repro.errors.QueryTimeoutError` when *timeout* seconds
+        elapse before a slot frees up — queue wait counts against a
+        request's deadline.
+        """
+        started = time.monotonic()
+        with self._cond:
+            if self._running < self.slots and not self._waiting:
+                self._running += 1
+                depth = 0
+            else:
+                if len(self._waiting) >= self.max_queue:
+                    self._m_rejected.add()
+                    raise AdmissionRejected(
+                        f"admission queue full ({self.max_queue} waiting, "
+                        f"{self._running}/{self.slots} running)"
+                    )
+                entry = (-priority, next(self._seq))
+                heapq.heappush(self._waiting, entry)
+                self._m_depth.observe(len(self._waiting))
+                try:
+                    while not (
+                        self._running < self.slots
+                        and self._waiting[0] == entry
+                    ):
+                        remaining = None
+                        if timeout is not None:
+                            remaining = timeout - (time.monotonic() - started)
+                            if remaining <= 0:
+                                raise QueryTimeoutError(
+                                    "deadline expired in the admission queue"
+                                )
+                        self._cond.wait(remaining)
+                except BaseException:
+                    self._waiting.remove(entry)
+                    heapq.heapify(self._waiting)
+                    self._cond.notify_all()
+                    raise
+                heapq.heappop(self._waiting)
+                depth = len(self._waiting)
+                self._running += 1
+                # the popped head may not have been the next-eligible
+                # waiter's wake-up; let the rest re-evaluate
+                self._cond.notify_all()
+            self._m_running.observe(self._running)
+        waited = time.monotonic() - started
+        self._m_admitted.add()
+        self._m_wait.observe(waited)
+        granted = self._degrade(parallelism, depth)
+        if parallelism is not None and granted != parallelism:
+            self._m_degraded.add()
+        return AdmissionTicket(self, granted, waited)
+
+    def _degrade(
+        self, requested: Optional[int], depth: int
+    ) -> Optional[int]:
+        """Downgrade parallelism in proportion to the queue behind us.
+
+        An idle service grants the full request; with *d* requests still
+        waiting the grant shrinks to ``requested // (1 + d)`` (never below
+        1) — saturated services favour admitting queries over making
+        individual queries faster.
+        """
+        if requested is None or requested <= 1 or depth <= 0:
+            return requested
+        return max(1, requested // (1 + depth))
+
+    def _release(self) -> None:
+        with self._cond:
+            self._running -= 1
+            self._cond.notify_all()

@@ -1,0 +1,149 @@
+"""The CI benchmark gate must tolerate cross-version payloads.
+
+``check_bench_regression.py`` compares a fresh run against a committed
+baseline; the two JSON files routinely come from different versions of
+the sweep (new engines, renamed phase keys, cells a crashed sweep never
+wrote).  The gate fails on real regressions and coverage loss — but a
+*shape* mismatch (missing per-phase keys, malformed cells) must warn and
+carry on, never crash or block the merge.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py",
+)
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)
+
+
+def _payload(ms_by_engine, phases=None, extra_cells=()):
+    cells = []
+    for engine, ms in ms_by_engine.items():
+        for sel in (0.1, 0.5):
+            cells.append(
+                {"figure": "fig07", "engine": engine, "selectivity": sel, "ms": ms}
+            )
+    cells.extend(extra_cells)
+    payload = {"cells": cells}
+    if phases is not None:
+        payload["phases"] = phases
+    return payload
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+PHASES = {"compile.compiled.codegen_seconds": {"mean_ms": 1.0, "count": 4}}
+
+
+class TestHappyPath:
+    def test_identical_runs_pass(self, tmp_path, capsys):
+        payload = _payload({"linq": 100.0, "compiled": 10.0}, phases=PHASES)
+        base = _write(tmp_path, "base.json", payload)
+        cur = _write(tmp_path, "cur.json", payload)
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_real_regression_still_fails(self, tmp_path, capsys):
+        base = _write(
+            tmp_path, "base.json", _payload({"linq": 100.0, "compiled": 10.0})
+        )
+        cur = _write(
+            tmp_path, "cur.json", _payload({"linq": 100.0, "compiled": 50.0})
+        )
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestShapeTolerance:
+    def test_malformed_cells_warn_and_skip(self, tmp_path, capsys):
+        # cells missing required keys (older sweep format) are skipped
+        bad_cells = [
+            {"figure": "fig07", "engine": "native"},  # no selectivity/ms
+            {"ms": 5.0},
+            "not-even-a-dict",
+        ]
+        payload = _payload(
+            {"linq": 100.0, "compiled": 10.0}, extra_cells=bad_cells
+        )
+        base = _write(
+            tmp_path, "base.json", _payload({"linq": 100.0, "compiled": 10.0})
+        )
+        cur = _write(tmp_path, "cur.json", payload)
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped 3 malformed cell(s)" in out
+
+    def test_phase_missing_from_current_warns_not_fails(self, tmp_path, capsys):
+        base = _write(
+            tmp_path,
+            "base.json",
+            _payload({"linq": 100.0, "compiled": 10.0}, phases=PHASES),
+        )
+        cur = _write(
+            tmp_path,
+            "cur.json",
+            _payload({"linq": 100.0, "compiled": 10.0}, phases={}),
+        )
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "warning:" in out and "missing" in out
+
+    def test_baseline_phase_without_mean_ms_is_skipped(self, tmp_path, capsys):
+        phases = {
+            "compile.compiled.codegen_seconds": {"count": 4},  # no mean_ms
+            "compile.native.codegen_seconds": "garbage",  # not a dict
+        }
+        base = _write(
+            tmp_path,
+            "base.json",
+            _payload({"linq": 100.0, "compiled": 10.0}, phases=phases),
+        )
+        cur = _write(
+            tmp_path,
+            "cur.json",
+            _payload({"linq": 100.0, "compiled": 10.0}, phases=PHASES),
+        )
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+        assert "warning:" in capsys.readouterr().out
+
+    def test_current_phase_without_mean_ms_counts_missing(self, tmp_path, capsys):
+        cur_phases = {"compile.compiled.codegen_seconds": {"count": 4}}
+        base = _write(
+            tmp_path,
+            "base.json",
+            _payload({"linq": 100.0, "compiled": 10.0}, phases=PHASES),
+        )
+        cur = _write(
+            tmp_path,
+            "cur.json",
+            _payload({"linq": 100.0, "compiled": 10.0}, phases=cur_phases),
+        )
+        # missing phase data: warn, don't block
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+
+    def test_missing_benchmark_cell_is_still_coverage_loss(self, tmp_path):
+        # shape tolerance must not swallow real coverage loss: an engine
+        # disappearing from the run still fails the gate
+        base = _write(
+            tmp_path, "base.json", _payload({"linq": 100.0, "compiled": 10.0})
+        )
+        cur = _write(tmp_path, "cur.json", _payload({"linq": 100.0}))
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 1
+
+    def test_empty_payload_still_errors(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload({"linq": 100.0}))
+        cur = _write(tmp_path, "cur.json", {"cells": ["junk"]})
+        with pytest.raises(SystemExit):
+            gate.main(["--baseline", str(base), "--current", str(cur)])

@@ -217,6 +217,27 @@ class TestProviderLevelAccounting:
         assert provider.cache.stats.hits == 9
         assert provider._key_locks == {}
 
+    def test_eviction_listener_sees_victim_keys(self):
+        cache = QueryCache(max_entries=2)
+        victims = []
+        cache.add_eviction_listener(victims.append)
+        cache.store("a", _FakeCompiled())
+        cache.store("b", _FakeCompiled())
+        cache.store("b", _FakeCompiled())  # overwrite: no eviction
+        assert victims == []
+        cache.store("c", _FakeCompiled())  # evicts a
+        cache.store("d", _FakeCompiled())  # evicts b
+        assert victims == ["a", "b"]
+
+    def test_discard_analysis_counts_only_real_removals(self):
+        cache = QueryCache()
+        cache.store_analysis("k", object())
+        assert cache.discard_analysis("k") is True
+        assert cache.discard_analysis("k") is False
+        assert cache.discard_analysis("never-stored") is False
+        assert cache.stats.evictions == 1
+        assert cache.find_analysis("k") is None
+
     def test_provider_eviction_covers_analyses(self):
         provider = QueryProvider(cache=QueryCache(max_entries=1))
         base = (
@@ -232,3 +253,90 @@ class TestProviderLevelAccounting:
         # 1 resident — four total evictions, all counted
         assert len(provider.cache) == 1
         assert stats.evictions == 4
+
+
+class TestEvictionCoherence:
+    """Evicting a compiled entry must drop the provider's side state too.
+
+    The regression: ``QueryProvider._ir_cache`` (and the analysis store)
+    were keyed per canonical query but never evicted when the compiled
+    entry left the ``QueryCache`` — a bounded compiled cache anchored
+    unbounded engine-independent state for queries that could never hit
+    again.
+    """
+
+    def _base(self, provider, engine="compiled"):
+        return (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using(engine, provider)
+            .in_parallel(1)
+        )
+
+    def test_ir_cache_bounded_by_compiled_budget(self):
+        provider = QueryProvider(cache=QueryCache(max_entries=2))
+        shapes = [
+            lambda q: q.where(lambda r: r.x > 3),
+            lambda q: q.where(lambda r: r.x < 3),
+            lambda q: q.select(lambda r: r.y),
+            lambda q: q.where(lambda r: r.x >= 3).select(lambda r: r.y),
+            lambda q: q.order_by(lambda r: r.y),
+        ]
+        for shape in shapes:
+            shape(self._base(provider)).to_list()
+        # one engine per shape: side state tracks the two resident entries
+        assert len(provider.cache) == 2
+        assert len(provider._ir_cache) == 2
+        assert len(provider._associations) == 2
+        assert len(provider._shared_refs) == 4  # 2 analyses + 2 IRs
+
+    def test_evicted_shape_loses_its_ir(self):
+        provider = QueryProvider(cache=QueryCache(max_entries=1))
+        self._base(provider).where(lambda r: r.x > 3).to_list()
+        first_ir_keys = set(provider._ir_cache)
+        assert len(first_ir_keys) == 1
+        self._base(provider).select(lambda r: r.y).to_list()
+        assert len(provider._ir_cache) == 1
+        assert not (first_ir_keys & set(provider._ir_cache))
+
+    def test_shared_analysis_survives_until_last_engine_evicts(self):
+        # compiled and hybrid entries for one query share a single
+        # analysis and IR (both engine-independent); evicting one engine's
+        # artifact must not orphan the other's side state
+        provider = QueryProvider(cache=QueryCache(max_entries=2))
+
+        def same_query(engine):
+            # a shape the hybrid engine accepts (flat field access)
+            return (
+                self._base(provider, engine)
+                .where(lambda r: r.x > 3)
+                .select(lambda r: r.y)
+            )
+
+        same_query("compiled").to_list()
+        same_query("hybrid").to_list()
+        shared_ir_keys = set(provider._ir_cache)
+        assert len(shared_ir_keys) == 1
+        assert len(provider._associations) == 2
+
+        # evicts the compiled-engine entry (LRU); hybrid still refs the IR
+        self._base(provider).select(lambda r: r.y).to_list()
+        assert shared_ir_keys <= set(provider._ir_cache)
+        assert len(provider._associations) == 2
+
+        # evicts the hybrid entry: the last reference goes, and so does
+        # the shared IR
+        self._base(provider).order_by(lambda r: r.y).to_list()
+        assert not (shared_ir_keys & set(provider._ir_cache))
+        # refcounts drained for everything no longer resident
+        assert len(provider._associations) == len(provider.cache) == 2
+
+    def test_recompile_after_eviction_restores_side_state(self):
+        provider = QueryProvider(cache=QueryCache(max_entries=1))
+        query = self._base(provider).where(lambda r: r.x > 3)
+        query.to_list()
+        self._base(provider).select(lambda r: r.y).to_list()  # evicts it
+        query.to_list()  # recompile: associations re-registered cleanly
+        assert len(provider._ir_cache) == 1
+        assert len(provider._associations) == 1
+        assert len(provider._shared_refs) == 2
+        assert provider.cache.stats.misses == 3

@@ -47,3 +47,11 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "index lookup" in out
         assert "recycled" in out
+
+    def test_serving(self, capsys):
+        run_example("serving.py")
+        out = capsys.readouterr().out
+        assert "ad-hoc: 20 executions" in out
+        assert "compiled once: True" in out
+        assert "admission:" in out
+        assert "prepared must agree" not in out

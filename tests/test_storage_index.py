@@ -1,0 +1,135 @@
+"""HashIndex over StructArray columns (§9 future-work extension).
+
+The index is built eagerly (value → ascending row positions) and consulted
+by the native backend for equality predicates; these tests pin the direct
+lookup contract — build, duplicates, managed-vs-native key encodings, the
+registration API on StructArray — independent of any query.
+"""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.storage import Field, Schema, StructArray
+from repro.storage.index import HashIndex
+
+SCHEMA = Schema(
+    [
+        Field("id", "int"),
+        Field("grade", "str", size=4),
+        Field("score", "float"),
+        Field("day", "date"),
+    ],
+    name="Idx",
+)
+
+ROWS = [
+    (3, "b", 0.5, datetime.date(2020, 1, 4)),
+    (1, "a", 1.5, datetime.date(2020, 1, 2)),
+    (3, "a", 2.5, datetime.date(2020, 1, 4)),
+    (2, "c", 0.5, datetime.date(2020, 1, 3)),
+    (1, "b", 3.5, datetime.date(2020, 1, 2)),
+]
+ARRAY = StructArray.from_rows(SCHEMA, ROWS)
+
+
+class TestBuildAndLookup:
+    def test_positions_are_ascending(self):
+        index = HashIndex(ARRAY, "id")
+        assert index.lookup(3).tolist() == [0, 2]
+        assert index.lookup(1).tolist() == [1, 4]
+        assert index.lookup(2).tolist() == [3]
+
+    def test_missing_value_returns_empty(self):
+        index = HashIndex(ARRAY, "id")
+        hits = index.lookup(99)
+        assert isinstance(hits, np.ndarray)
+        assert len(hits) == 0
+
+    def test_len_counts_distinct_values(self):
+        assert len(HashIndex(ARRAY, "id")) == 3
+        assert len(HashIndex(ARRAY, "grade")) == 3
+        assert len(HashIndex(ARRAY, "score")) == 4
+
+    def test_all_rows_covered_exactly_once(self):
+        index = HashIndex(ARRAY, "id")
+        covered = sorted(
+            pos for v in (1, 2, 3) for pos in index.lookup(v).tolist()
+        )
+        assert covered == list(range(len(ROWS)))
+
+    def test_single_row_array(self):
+        array = StructArray.from_rows(
+            SCHEMA, [(7, "z", 0.0, datetime.date(2020, 1, 1))]
+        )
+        index = HashIndex(array, "id")
+        assert index.lookup(7).tolist() == [0]
+        assert len(index) == 1
+
+
+class TestManagedKeyEncodings:
+    """lookup() accepts the managed representation, not just the native."""
+
+    def test_str_column_accepts_python_str(self):
+        index = HashIndex(ARRAY, "grade")
+        assert index.lookup("a").tolist() == [1, 2]
+        assert index.lookup(b"a").tolist() == [1, 2]  # native bytes too
+        assert len(index.lookup("zz")) == 0
+
+    def test_date_column_accepts_date_objects(self):
+        index = HashIndex(ARRAY, "day")
+        assert index.lookup(datetime.date(2020, 1, 4)).tolist() == [0, 2]
+        # and the native days-since-epoch encoding
+        native = (datetime.date(2020, 1, 3) - datetime.date(1970, 1, 1)).days
+        assert index.lookup(native).tolist() == [3]
+
+    def test_float_column(self):
+        index = HashIndex(ARRAY, "score")
+        assert index.lookup(0.5).tolist() == [0, 3]
+
+    def test_oversized_str_key_raises_schema_error(self):
+        from repro.errors import SchemaError
+
+        index = HashIndex(ARRAY, "grade")
+        with pytest.raises(SchemaError):
+            index.lookup("wider-than-four-bytes")
+
+
+class TestStructArrayRegistration:
+    def test_create_index_registers_and_memoizes(self):
+        array = StructArray.from_rows(SCHEMA, ROWS)
+        assert array.get_index("id") is None
+        built = array.create_index("id")
+        assert array.get_index("id") is built
+        assert array.create_index("id") is built  # idempotent
+
+    def test_index_affects_source_signature(self):
+        # compiled code can depend on which indexes exist, so creating an
+        # index must change the provider's cache key for the source
+        from repro.query.provider import _source_signature
+
+        plain = StructArray.from_rows(SCHEMA, ROWS)
+        indexed = StructArray.from_rows(SCHEMA, ROWS)
+        indexed.create_index("id")
+        assert _source_signature([plain]) != _source_signature([indexed])
+
+    def test_indexed_query_matches_scan(self):
+        # end to end: the native engine consults the registered index and
+        # must return exactly what the unindexed scan returns
+        from repro import from_struct_array
+
+        plain = StructArray.from_rows(SCHEMA, ROWS)
+        indexed = StructArray.from_rows(SCHEMA, ROWS)
+        indexed.create_index("id")
+
+        def results(source):
+            return (
+                from_struct_array(source)
+                .using("native")
+                .where(lambda r: r.id == 3)
+                .select(lambda r: r.score)
+                .to_list()
+            )
+
+        assert results(indexed) == results(plain) == [0.5, 2.5]

@@ -67,6 +67,75 @@ class TestStreamingGroupAggregator:
         assert len(keys) == 2 and all(len(k) == 0 for k in keys)
         assert all(len(a) == 0 for a in aggs)
 
+    def test_group_split_across_page_boundary(self):
+        # one logical group whose rows land in different pages must merge
+        # to a single output group, even at page size 1
+        keys = np.array([4, 4, 4, 9])
+        values = np.array([1.0, 2.0, 3.0, 10.0])
+        merger = StreamingGroupAggregator(1, ["sum", "count"])
+        for i in range(len(keys)):
+            merger.consume_page((keys[i : i + 1],), [values[i : i + 1], None])
+        (gk,), (sums, counts) = merger.finalize()
+        assert list(gk) == [4, 9]
+        assert list(sums) == [6.0, 10.0]
+        assert list(counts) == [3, 1]
+
+    def test_empty_first_page_defers_dtype_capture(self):
+        # dtypes come from the first *non-empty* page; a leading empty
+        # page (e.g. a filter that kills the first morsel) must not pin
+        # the float64 placeholders
+        merger = StreamingGroupAggregator(1, ["sum"])
+        merger.consume_page((np.zeros(0, dtype=np.int64),), [np.zeros(0)])
+        merger.consume_page(
+            (np.array([2, 2], dtype=np.int32),),
+            [np.array([5, 7], dtype=np.int64)],
+        )
+        (gk,), (sums,) = merger.finalize()
+        assert gk.dtype == np.int32
+        assert sums.dtype == np.int64
+        assert list(gk) == [2] and list(sums) == [12]
+
+    def test_empty_pages_interleaved_with_data(self):
+        merger = StreamingGroupAggregator(1, ["min", "max"])
+        empty = (np.zeros(0, dtype=np.int64),)
+        merger.consume_page(empty, [np.zeros(0), np.zeros(0)])
+        merger.consume_page(
+            (np.array([1]),), [np.array([5.0]), np.array([5.0])]
+        )
+        merger.consume_page(empty, [np.zeros(0), np.zeros(0)])
+        merger.consume_page(
+            (np.array([1]),), [np.array([2.0]), np.array([9.0])]
+        )
+        (gk,), (lows, highs) = merger.finalize()
+        assert list(gk) == [1]
+        assert lows[0] == 2.0 and highs[0] == 9.0
+
+    def test_only_empty_pages_finalizes_empty(self):
+        merger = StreamingGroupAggregator(2, ["sum", "count"])
+        merger.consume_page(
+            (np.zeros(0, dtype=np.int64), np.zeros(0, dtype="S2")),
+            [np.zeros(0), None],
+        )
+        keys, aggs = merger.finalize()
+        assert len(keys) == 2 and all(len(k) == 0 for k in keys)
+        assert all(len(a) == 0 for a in aggs)
+
+    def test_later_page_introduces_new_extreme(self):
+        # min/max merge must take later pages' extremes, not first-seen
+        merger = StreamingGroupAggregator(1, ["min", "max"])
+        merger.consume_page(
+            (np.array([1, 1]),),
+            [np.array([5.0, 4.0]), np.array([5.0, 4.0])],
+        )
+        merger.consume_page(
+            (np.array([1]),), [np.array([-1.0]), np.array([-1.0])]
+        )
+        merger.consume_page(
+            (np.array([1]),), [np.array([99.0]), np.array([99.0])]
+        )
+        (_,), (lows, highs) = merger.finalize()
+        assert lows[0] == -1.0 and highs[0] == 99.0
+
     def test_avg_rejected(self):
         with pytest.raises(ExecutionError, match="cannot merge across pages"):
             StreamingGroupAggregator(1, ["avg"])
