@@ -7,6 +7,7 @@ LINQ-to-objects looses ground even further."  Combined C#/C lands between
 the host-only and native extremes (30–70% behind pure C).
 """
 
+import statistics
 import time
 
 import pytest
@@ -52,3 +53,48 @@ def test_fig07_report(benchmark, data, provider, results_dir, bench_recorder):
 
     lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
     write_report(results_dir, "fig07_aggregation", lines)
+
+
+#: ablation cell: the same aggregation with proof-driven guard elision
+#: enabled vs disabled (REPRO_GUARD_ELISION); linq rides along purely as
+#: the in-run normalizer for the ratio-mode regression gate
+_ELISION_SETTINGS = (("1", "fig07_elision_on"), ("0", "fig07_elision_off"))
+
+
+def test_fig07_elision_report(
+    benchmark, data, provider, results_dir, bench_recorder, monkeypatch
+):
+    """Guard-elision ablation sweep; writes results/fig07_elision.txt."""
+
+    def sweep():
+        lines = [
+            "Figure 7 ablation: guard elision on/off; evaluation time (ms)",
+            "setting      selectivity  "
+            + "  ".join(f"{e:>16s}" for e in ENGINES),
+        ]
+        for setting, figure in _ELISION_SETTINGS:
+            monkeypatch.setenv("REPRO_GUARD_ELISION", setting)
+            label = "elision=on" if setting == "1" else "elision=off"
+            for selectivity in SPOT_SELECTIVITIES:
+                cells = []
+                for engine in ENGINES:
+                    query = aggregation_micro(data, engine, selectivity, provider)
+                    drain(query)  # warm: compile under this elision setting
+                    # sub-2ms cells at smoke scale: a single drain is all
+                    # timer noise, so each cell is a median of five
+                    times = []
+                    for _ in range(5):
+                        started = time.perf_counter()
+                        drain(query)
+                        times.append((time.perf_counter() - started) * 1e3)
+                    ms = statistics.median(times)
+                    cells.append(ms)
+                    bench_recorder.record(figure, engine, selectivity, ms)
+                lines.append(
+                    f"{label:<11s}  {selectivity:>11.1f}  "
+                    + "  ".join(f"{c:>16.1f}" for c in cells)
+                )
+        return lines
+
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(results_dir, "fig07_elision", lines)

@@ -115,6 +115,49 @@ def check_phases(baseline: dict, current: dict, tolerance: float):
     return regressions, missing
 
 
+def check_elision(current: dict, tolerance: float):
+    """Within-run ablation gate: guard elision must not cost time.
+
+    Compares the ``fig07_elision_on`` / ``fig07_elision_off`` sweeps of
+    the *current* run against each other (same machine, same data, back
+    to back), so raw milliseconds are a fair unit here.  A codegen engine
+    whose elision-on median is more than *tolerance* slower than its
+    elision-off median fails the gate — elision exists to remove work,
+    so costing time means the proofs (or the emission) regressed.  The
+    interpreted ``linq`` engine never sees generated guards and is
+    skipped.  Runs without the ablation cells (an older sweep config)
+    only warn.
+    """
+    regressions = []
+    engines = sorted(
+        engine
+        for figure, engine in current
+        if figure == "fig07_elision_on" and engine != BASELINE_ENGINE
+    )
+    if not engines:
+        print(
+            "warning: no fig07_elision_on cells in the current run — "
+            "guard-elision ablation gate skipped"
+        )
+        return regressions
+    print(f"\nguard-elision ablation check (tolerance={tolerance:.0%})")
+    print(f"{'engine':<20} {'off (ms)':>10} {'on (ms)':>10} {'delta':>8}")
+    for engine in engines:
+        on = median_metric(current, "fig07_elision_on", engine, "absolute")
+        off = median_metric(current, "fig07_elision_off", engine, "absolute")
+        if on is None or not off:
+            print(f"{engine:<20} {'MISSING':>10}")
+            continue
+        delta = on / off - 1.0
+        flag = ""
+        if delta > tolerance:
+            regressions.append((engine, off, on, delta))
+            flag = "  <-- REGRESSION"
+        print(f"{engine:<20} {off:>10.3f} {on:>10.3f} {delta:>+7.1%}{flag}")
+    print("(median ms across the ablation sweep, on vs off in the same run)")
+    return regressions
+
+
 def median_metric(table, figure: str, engine: str, mode: str):
     """Median ms (absolute) or median ms/linq-ms ratio across the sweep."""
     cells = table.get((figure, engine))
@@ -163,6 +206,14 @@ def main(argv=None) -> int:
         help="allowed fractional slowdown of compile-phase means before "
         "failing (default: 1.0, i.e. 2x — absolute wall times are noisy)",
     )
+    parser.add_argument(
+        "--elision-tolerance",
+        type=float,
+        default=0.50,
+        help="allowed fractional slowdown of guard-elision-on vs -off "
+        "within the current run before failing (default: 0.50 — the "
+        "sweeps are short, so the within-run comparison is still noisy)",
+    )
     args = parser.parse_args(argv)
 
     baseline_payload = load_payload(args.baseline)
@@ -184,6 +235,13 @@ def main(argv=None) -> int:
     for figure, engine in sorted(baseline):
         if args.mode == "ratio" and engine == BASELINE_ENGINE:
             continue  # ratio of linq to itself is 1.0 by construction
+        if figure.startswith("fig07_elision"):
+            # the ablation cells are sub-2ms at smoke scale, so their
+            # cross-run ratios are runner-load noise; what matters —
+            # elision never costing time — is gated within the current
+            # run by check_elision below, and overall engine speed is
+            # already anchored by the fig07_aggregation sweep
+            continue
         ref = median_metric(baseline, figure, engine, args.mode)
         cur = median_metric(current, figure, engine, args.mode)
         if ref is None:
@@ -210,6 +268,7 @@ def main(argv=None) -> int:
     phase_regressions, phase_missing = check_phases(
         baseline_payload, current_payload, args.phase_tolerance
     )
+    elision_regressions = check_elision(current, args.elision_tolerance)
 
     if missing:
         print(f"FAIL: {len(missing)} baseline cell(s) missing from the current run")
@@ -232,6 +291,12 @@ def main(argv=None) -> int:
         print(
             f"FAIL: {len(phase_regressions)} compile phase(s) regressed "
             f"beyond {args.phase_tolerance:.0%}"
+        )
+        return 1
+    if elision_regressions:
+        print(
+            f"FAIL: guard elision costs time on {len(elision_regressions)} "
+            f"engine(s) (beyond {args.elision_tolerance:.0%})"
         )
         return 1
     print("OK: no regressions")

@@ -1,0 +1,43 @@
+"""Static analysis over the pipeline IR (see DESIGN.md §12).
+
+The provider runs :func:`analyze_ir` once per query after lowering and
+attaches the resulting :class:`DataflowFacts` to ``QueryIR.facts``;
+backends key their guard elision off those facts, gated globally by
+``REPRO_GUARD_ELISION`` (default on).
+"""
+
+from __future__ import annotations
+
+import os
+
+from .dataflow import DIVISION_OPS, DataflowFacts, analyze_ir
+from .effects import (
+    PURE,
+    EffectReport,
+    analyze_callable,
+    expression_effects,
+    merge_effects,
+    plan_effects,
+)
+
+__all__ = [
+    "DIVISION_OPS",
+    "DataflowFacts",
+    "EffectReport",
+    "PURE",
+    "analyze_callable",
+    "analyze_ir",
+    "elision_enabled",
+    "expression_effects",
+    "merge_effects",
+    "plan_effects",
+]
+
+
+def elision_enabled() -> bool:
+    """Whether proof-driven guard elision is on (``REPRO_GUARD_ELISION``)."""
+    return os.environ.get("REPRO_GUARD_ELISION", "1") not in (
+        "0",
+        "false",
+        "no",
+    )

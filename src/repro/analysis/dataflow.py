@@ -1,0 +1,731 @@
+"""Abstract interpretation over the pipeline IR → :class:`DataflowFacts`.
+
+Runs once per query between :func:`repro.codegen.lower.lower_plan` and
+backend emission (the provider caches the result on ``QueryIR.facts``).
+Three cooperating analyses:
+
+1. **value-domain propagation** — one :class:`~repro.analysis.domains.
+   Interval` per record field, seeded from the scan's schema token (and,
+   for divisor proofs only, registered column statistics), narrowed
+   through filter conjuncts and widened through arithmetic.  Walking the
+   pipelines in schedule order carries domains across breakers: a group
+   count is ``[1, +inf)``, a min/max inherits its selector's domain.
+2. **lambda effects** — merged from the per-lambda
+   :class:`~repro.analysis.effects.EffectReport` attached at trace time.
+3. **contradiction / dead-code detection** — an always-false conjunct or
+   an emptied interval marks the pipeline statically empty; a filter
+   whose conjuncts are all provably true is recorded for stripping.
+
+Soundness notes baked into the walk:
+
+* Divisions inside a filter predicate are proved against the state
+  *before* that filter — the native backend evaluates a predicate's
+  conjuncts on the uncompressed frame, so intra-predicate narrowing must
+  not feed divisor proofs.  Projections and sinks see post-filter state
+  (every backend compresses/short-circuits between operators).
+* Dead-pipeline collapse and proven-filter stripping are only recorded
+  when the relevant expressions cannot raise (no divisions, no
+  ``Call``/``Method`` nodes), so the interpreted engine — which still
+  evaluates them row by row — agrees on error behaviour.
+* Facts derived from parameter bindings are only reusable under the
+  same bindings; the provider memoizes facts per binding set and keys
+  compiled code by :meth:`DataflowFacts.cache_token`, so bindings that
+  lead to the same emission decisions still share one artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..expressions.nodes import (
+    COMPARISON_OPS,
+    Binary,
+    Call,
+    Conditional,
+    Constant,
+    Expr,
+    Lambda,
+    Member,
+    Method,
+    New,
+    Param,
+    Unary,
+    Var,
+    children,
+    walk,
+)
+from ..plans.logical import (
+    Filter,
+    FlatMap,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    Project,
+    ScalarAggregate,
+    Scan,
+    Sort,
+    TopN,
+)
+from .domains import (
+    BOOL,
+    Interval,
+    TOP,
+    abs_interval,
+    add_intervals,
+    interval_compare,
+    is_numeric,
+    mul_intervals,
+    neg_interval,
+    point,
+    sub_intervals,
+)
+from .effects import EffectReport, plan_effects
+
+__all__ = ["DataflowFacts", "analyze_ir", "DIVISION_OPS"]
+
+#: binary operators whose right operand must be proven nonzero
+DIVISION_OPS = frozenset({"truediv", "floordiv", "mod"})
+
+_FLIP = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq", "ne": "ne"}
+_NEGATE = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq"}
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class DataflowFacts:
+    """Per-query facts every backend consumes for guard elision."""
+
+    effects: EffectReport
+    division_sites: int = 0
+    divisions_proven: int = 0
+    #: group-aggregate avg extractions (group count is provably >= 1)
+    avg_guards: int = 0
+    #: scalar-aggregate empty-input guards (emptiness is not provable)
+    scalar_guards: int = 0
+    dead_pipelines: Tuple[Tuple[int, str], ...] = ()
+    #: (pid, operator index) of filters whose conjuncts are all provably true
+    proven_filters: Tuple[Tuple[int, int], ...] = ()
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def all_divisions_proven(self) -> bool:
+        return self.divisions_proven >= self.division_sites
+
+    def guards_elidable(self) -> int:
+        """Guards a backend may drop when elision is enabled."""
+        divisions = self.division_sites if self.all_divisions_proven else 0
+        return divisions + self.avg_guards + len(self.proven_filters)
+
+    def cache_token(self) -> Tuple[Any, ...]:
+        """The emission-relevant decisions, for compiled-code cache keys.
+
+        Facts are derived through parameter bindings, but generated code
+        only varies with the decisions captured here — so binding sets
+        that lead to an identical token keep sharing one compiled
+        artifact (parameterized queries stay parameterized), while a
+        changed proof outcome forces a sound recompilation.
+        """
+        return (
+            self.division_sites > 0 and self.all_divisions_proven,
+            self.dead_pipelines,
+            self.proven_filters,
+        )
+
+    def render_lines(self, elide: bool) -> List[str]:
+        """Human-readable summary for ``explain()`` (deterministic)."""
+        lines = [f"effects: {self.effects.describe()}"]
+        if self.division_sites:
+            action = (
+                "elided" if elide and self.all_divisions_proven else "kept"
+            )
+            lines.append(
+                f"divisions: {self.divisions_proven}/{self.division_sites} "
+                f"divisor(s) proven nonzero; zero-guards {action}"
+            )
+        if self.avg_guards:
+            action = "elided" if elide else "kept"
+            lines.append(
+                f"avg guards: {self.avg_guards} group-count guard(s) "
+                f"{action} (group count >= 1)"
+            )
+        if self.scalar_guards:
+            lines.append(
+                f"scalar guards: {self.scalar_guards} empty-input "
+                f"guard(s) kept"
+            )
+        for pid, reason in self.dead_pipelines:
+            lines.append(f"dead: p{pid} statically empty ({reason})")
+        for pid, index in self.proven_filters:
+            suffix = " (stripped)" if elide else ""
+            lines.append(f"proven: p{pid} op[{index}] always true{suffix}")
+        lines.extend(self.notes)
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Abstract element states
+# ---------------------------------------------------------------------------
+
+
+class ElemState:
+    """Abstract value of one stream element: scalar domain + field domains."""
+
+    __slots__ = ("value", "fields", "stat_fields")
+
+    def __init__(
+        self,
+        value: Interval = TOP,
+        fields: Optional[Dict[str, "ElemState"]] = None,
+        stat_fields: Optional[Dict[str, Interval]] = None,
+    ):
+        self.value = value
+        self.fields: Dict[str, ElemState] = dict(fields or {})
+        #: statistics-derived column bounds (divisor proofs only)
+        self.stat_fields: Dict[str, Interval] = dict(stat_fields or {})
+
+    def field(self, name: str) -> "ElemState":
+        return self.fields.get(name, TOP_STATE)
+
+    def copy(self) -> "ElemState":
+        return ElemState(self.value, dict(self.fields), dict(self.stat_fields))
+
+
+TOP_STATE = ElemState()
+
+
+def _join_states(a: ElemState, b: ElemState) -> ElemState:
+    fields = {
+        name: _join_states(a.fields[name], b.fields[name])
+        for name in set(a.fields) & set(b.fields)
+    }
+    return ElemState(a.value.join(b.value), fields)
+
+
+# ---------------------------------------------------------------------------
+# The analysis walk
+# ---------------------------------------------------------------------------
+
+
+class _Analysis:
+    def __init__(
+        self,
+        ir: Any,
+        param_values: Optional[Mapping[str, Any]],
+        statistics: Optional[Mapping[str, Any]],
+    ):
+        self.ir = ir
+        self.params = dict(param_values or {})
+        self.statistics = dict(statistics or {})
+        self.division_sites = 0
+        self.divisions_proven = 0
+        self.avg_guards = 0
+        self.scalar_guards = 0
+        self.dead: List[Tuple[int, str]] = []
+        self.proven: List[Tuple[int, int]] = []
+        self.notes: List[str] = []
+        self.breaker_out: Dict[int, ElemState] = {}
+
+    def run(self) -> DataflowFacts:
+        for pipeline in self.ir.pipelines:
+            self._pipeline(pipeline)
+        return DataflowFacts(
+            effects=plan_effects(self.ir.plan),
+            division_sites=self.division_sites,
+            divisions_proven=self.divisions_proven,
+            avg_guards=self.avg_guards,
+            scalar_guards=self.scalar_guards,
+            dead_pipelines=tuple(self.dead),
+            proven_filters=tuple(self.proven),
+            notes=tuple(self.notes),
+        )
+
+    # -- per-pipeline walk -------------------------------------------------
+
+    def _pipeline(self, pipeline: Any) -> None:
+        if isinstance(pipeline.driver, Scan):
+            state = self._seed_scan(pipeline.driver)
+            seed_snapshot = {
+                name: sub.value for name, sub in state.fields.items()
+            }
+        else:
+            bid = getattr(pipeline.driver, "bid", None)
+            state = self.breaker_out.get(bid, TOP_STATE)
+            seed_snapshot = None
+        prefix_safe = True
+        dead_reason = None
+        for index, op in enumerate(pipeline.operators):
+            prefix_safe = prefix_safe and self._op_raising_free(op)
+            state, contradiction = self._transfer(pipeline, index, op, state)
+            if contradiction is not None:
+                if prefix_safe:
+                    dead_reason = contradiction
+                    break
+                self.notes.append(
+                    f"p{pipeline.pid}: contradiction at op[{index}] not "
+                    f"collapsed (raising expressions upstream)"
+                )
+        self._sink(pipeline, state)
+        if dead_reason is not None:
+            self.dead.append((pipeline.pid, dead_reason))
+        elif seed_snapshot is not None:
+            self._note_domains(pipeline, state, seed_snapshot)
+
+    def _seed_scan(self, scan: Scan) -> ElemState:
+        fields: Dict[str, ElemState] = {}
+        token = scan.schema_token
+        open_paren = token.find("(")
+        if open_paren >= 0 and token.endswith(")"):
+            for part in token[open_paren + 1 : -1].split(","):
+                bits = part.split(":")
+                if len(bits) == 3 and bits[0]:
+                    domain = BOOL if bits[1] == "bool" else TOP
+                    fields[bits[0]] = ElemState(value=domain)
+        stat_fields: Dict[str, Interval] = {}
+        stats = self.statistics.get(token)
+        columns = getattr(stats, "columns", None)
+        if isinstance(columns, dict):
+            for name in sorted(columns):
+                column = columns[name]
+                lo = getattr(column, "minimum", None)
+                hi = getattr(column, "maximum", None)
+                if lo is not None and hi is not None:
+                    stat_fields[name] = Interval(lo, hi)
+        return ElemState(fields=fields, stat_fields=stat_fields)
+
+    def _note_domains(
+        self,
+        pipeline: Any,
+        state: ElemState,
+        seed_snapshot: Dict[str, Interval],
+    ) -> None:
+        """Record filter-narrowed scan-field domains (explain output)."""
+        narrowed = []
+        for name in sorted(state.fields):
+            domain = state.fields[name].value
+            if domain != seed_snapshot.get(name, TOP) and not domain.is_top():
+                narrowed.append(f"{name} in {domain.describe()}")
+        if narrowed:
+            self.notes.append(
+                f"p{pipeline.pid} domain: " + ", ".join(narrowed)
+            )
+
+    # -- operator transfer functions ---------------------------------------
+
+    def _transfer(
+        self, pipeline: Any, index: int, op: Any, state: ElemState
+    ) -> Tuple[ElemState, Optional[str]]:
+        if isinstance(op, Filter):
+            return self._transfer_filter(pipeline, index, op, state)
+        if isinstance(op, Project):
+            env = self._scan_lambda(op.selector, state)
+            return self._eval(op.selector.body, env), None
+        if isinstance(op, Join):
+            breaker = self.ir.breaker_for(op)
+            build = (
+                self.breaker_out.get(breaker.bid, TOP_STATE)
+                if breaker is not None
+                else TOP_STATE
+            )
+            self._scan_lambda(op.left_key, state)
+            env = self._scan_lambda(op.result, state, build)
+            return self._eval(op.result.body, env), None
+        if isinstance(op, FlatMap):
+            self._scan_lambda(op.collection, state)
+            if op.result is not None:
+                env = self._scan_lambda(op.result, state, TOP_STATE)
+                return self._eval(op.result.body, env), None
+            return TOP_STATE, None
+        if isinstance(op, Limit):
+            for expr in (op.count, op.offset):
+                if expr is not None:
+                    self._scan_expr(expr, {})
+            return state, None
+        return TOP_STATE, None
+
+    def _transfer_filter(
+        self, pipeline: Any, index: int, op: Filter, state: ElemState
+    ) -> Tuple[ElemState, Optional[str]]:
+        # divisor proofs use the PRE-filter state (see module docstring)
+        env = self._scan_lambda(op.predicate, state)
+        param = op.predicate.params[0]
+        all_true = True
+        for conjunct in _split_conjuncts(op.predicate.body):
+            verdict = self._eval_truth(conjunct, env)
+            if verdict is False:
+                return state, "filter conjunct is always false"
+            if verdict is not True:
+                all_true = False
+            state = self._narrow(state, param, conjunct, env)
+            empty_field = _first_empty(state)
+            if empty_field is not None:
+                return state, f"filter conjuncts contradict on {empty_field}"
+            # later conjuncts see the narrowed element
+            env = dict(env)
+            env[param] = state
+        if all_true and self._filter_safe(op.predicate):
+            self.proven.append((pipeline.pid, index))
+        return state, None
+
+    # -- sinks --------------------------------------------------------------
+
+    def _sink(self, pipeline: Any, state: ElemState) -> None:
+        sink = pipeline.sink
+        if sink is None:
+            return
+        node = sink.node
+        if isinstance(node, Join):
+            # build side: this pipeline's elements are the probe's right side
+            self._scan_lambda(node.right_key, state)
+            self._merge_breaker(sink.bid, state)
+            return
+        if isinstance(node, GroupAggregate):
+            out = self._aggregate_output(node, state, grouped=True)
+            self.avg_guards += sum(
+                1 for spec in node.aggregates if spec.kind == "avg"
+            )
+            self._merge_breaker(sink.bid, out)
+            return
+        if isinstance(node, ScalarAggregate):
+            out = self._aggregate_output(node, state, grouped=False)
+            self.scalar_guards += sum(
+                1
+                for spec in node.aggregates
+                if spec.kind in ("avg", "min", "max")
+            )
+            self._merge_breaker(sink.bid, out)
+            return
+        if isinstance(node, (Sort, TopN)):
+            for key in node.keys:
+                self._scan_lambda(key, state)
+            if isinstance(node, TopN):
+                self._scan_expr(node.count, {})
+            self._merge_breaker(sink.bid, state)
+            return
+        if isinstance(node, GroupBy):
+            self._scan_lambda(node.key, state)
+            self._merge_breaker(sink.bid, TOP_STATE)
+            return
+        # distinct-materialize and anything unrecognized: pass through
+        self._merge_breaker(sink.bid, state)
+
+    def _aggregate_output(
+        self, node: Any, state: ElemState, grouped: bool
+    ) -> ElemState:
+        env: Dict[str, ElemState] = {}
+        if grouped:
+            key_env = self._scan_lambda(node.key, state)
+            env["__key"] = self._eval(node.key.body, key_env)
+        for i, spec in enumerate(node.aggregates):
+            env[f"__agg{i}"] = ElemState(
+                value=self._agg_interval(spec, state, grouped)
+            )
+        self._scan_expr(node.output, env)
+        return self._eval(node.output, env)
+
+    def _agg_interval(
+        self, spec: Any, state: ElemState, grouped: bool
+    ) -> Interval:
+        if spec.kind == "count":
+            # a group exists only once an element arrived; a scalar count
+            # over an empty input is 0
+            return Interval(1, None) if grouped else Interval(0, None)
+        if spec.selector is None:
+            return TOP
+        env = self._scan_lambda(spec.selector, state)
+        selected = self._eval(spec.selector.body, env).value
+        if spec.kind in ("min", "max"):
+            return selected
+        if spec.kind == "avg":
+            # the mean stays inside the convex hull of the values, but a
+            # mix of signs can average to zero
+            return Interval(
+                selected.lo, selected.hi, selected.lo_open, selected.hi_open
+            )
+        if spec.kind == "sum":
+            if selected.lo is not None and selected.lo >= 0:
+                return Interval(0, None)
+            if selected.hi is not None and selected.hi <= 0:
+                return Interval(None, 0)
+        return TOP
+
+    def _merge_breaker(self, bid: int, state: ElemState) -> None:
+        existing = self.breaker_out.get(bid)
+        self.breaker_out[bid] = (
+            state if existing is None else _join_states(existing, state)
+        )
+
+    # -- raising-expression gates -------------------------------------------
+
+    def _op_raising_free(self, op: Any) -> bool:
+        return all(self._expr_raising_free(expr) for expr in self._op_exprs(op))
+
+    def _op_exprs(self, op: Any):
+        lambdas: Tuple[Optional[Lambda], ...] = ()
+        if isinstance(op, Filter):
+            lambdas = (op.predicate,)
+        elif isinstance(op, Project):
+            lambdas = (op.selector,)
+        elif isinstance(op, Join):
+            lambdas = (op.left_key, op.result)
+        elif isinstance(op, FlatMap):
+            lambdas = (op.collection, op.result)
+        elif isinstance(op, Limit):
+            for expr in (op.count, op.offset):
+                if expr is not None:
+                    yield expr
+            return
+        for lam in lambdas:
+            if lam is None:
+                continue
+            yield lam.body
+            for binding in self._bindings(lam):
+                yield binding.expr
+
+    @staticmethod
+    def _expr_raising_free(expr: Expr) -> bool:
+        return not any(
+            (isinstance(node, Binary) and node.op in DIVISION_OPS)
+            or isinstance(node, (Call, Method))
+            for node in walk(expr)
+        )
+
+    def _filter_safe(self, predicate: Lambda) -> bool:
+        if not self._expr_raising_free(predicate.body):
+            return False
+        return all(
+            self._expr_raising_free(binding.expr)
+            for binding in self._bindings(predicate)
+        )
+
+    def _bindings(self, lam: Lambda):
+        return self.ir.bindings_for(lam)
+
+    # -- division-site scanning ---------------------------------------------
+
+    def _scan_lambda(
+        self, lam: Optional[Lambda], *states: ElemState
+    ) -> Dict[str, ElemState]:
+        """Bind a lambda's params (and CSE bindings), scanning divisions."""
+        if lam is None:
+            return {}
+        env: Dict[str, ElemState] = {}
+        for name, state in zip(lam.params, states):
+            env[name] = state
+        for binding in self._bindings(lam):
+            self._scan_expr(binding.expr, env)
+            env[binding.name] = self._eval(binding.expr, env)
+        self._scan_expr(lam.body, env)
+        return env
+
+    def _scan_expr(self, expr: Expr, env: Mapping[str, ElemState]) -> None:
+        if isinstance(expr, Binary) and expr.op in DIVISION_OPS:
+            self.division_sites += 1
+            if self._proves_nonzero(expr.right, env):
+                self.divisions_proven += 1
+        if isinstance(expr, Lambda):
+            inner = dict(env)
+            for name in expr.params:
+                inner[name] = TOP_STATE
+            self._scan_expr(expr.body, inner)
+            return
+        for child in children(expr):
+            self._scan_expr(child, env)
+
+    def _proves_nonzero(
+        self, divisor: Expr, env: Mapping[str, ElemState]
+    ) -> bool:
+        if not self._eval(divisor, env).value.contains_zero():
+            return True
+        # statistics oracle: an untouched scan column whose registered
+        # bounds exclude zero
+        if isinstance(divisor, Member) and isinstance(divisor.target, Var):
+            state = env.get(divisor.target.name)
+            if state is not None:
+                bounds = state.stat_fields.get(divisor.name)
+                if bounds is not None and not bounds.contains_zero():
+                    return True
+        return False
+
+    # -- narrowing ----------------------------------------------------------
+
+    def _narrow(
+        self,
+        state: ElemState,
+        param: str,
+        conjunct: Expr,
+        env: Mapping[str, ElemState],
+    ) -> ElemState:
+        if isinstance(conjunct, Unary) and conjunct.op == "not":
+            inner = conjunct.operand
+            if isinstance(inner, Binary) and inner.op in _NEGATE:
+                flipped = Binary(_NEGATE[inner.op], inner.left, inner.right)
+                return self._narrow(state, param, flipped, env)
+            return state
+        if not isinstance(conjunct, Binary) or conjunct.op not in _FLIP:
+            return state
+        sides = (
+            (conjunct.left, conjunct.right, conjunct.op),
+            (conjunct.right, conjunct.left, _FLIP[conjunct.op]),
+        )
+        for target, other, op in sides:
+            value = self._numeric_value(other, env)
+            if value is None:
+                continue
+            if (
+                isinstance(target, Member)
+                and target.target == Var(param)
+            ):
+                narrowed = state.copy()
+                field = narrowed.fields.get(target.name, ElemState())
+                narrowed.fields[target.name] = ElemState(
+                    field.value.narrow(op, value), field.fields
+                )
+                return narrowed
+            if isinstance(target, Var) and target.name == param:
+                narrowed = state.copy()
+                narrowed.value = narrowed.value.narrow(op, value)
+                return narrowed
+        return state
+
+    def _numeric_value(
+        self, expr: Expr, env: Mapping[str, ElemState]
+    ) -> Optional[float]:
+        value = self._eval(expr, env).value.is_point()
+        return value if value is not None and is_numeric(value) else None
+
+    # -- abstract evaluation ------------------------------------------------
+
+    def _eval(self, expr: Expr, env: Mapping[str, ElemState]) -> ElemState:
+        if isinstance(expr, Var):
+            return env.get(expr.name, TOP_STATE)
+        if isinstance(expr, Member):
+            return self._eval(expr.target, env).field(expr.name)
+        if isinstance(expr, Constant):
+            if is_numeric(expr.value):
+                return ElemState(value=point(expr.value))
+            return TOP_STATE
+        if isinstance(expr, Param):
+            value = self.params.get(expr.name, _MISSING)
+            if value is not _MISSING and is_numeric(value):
+                return ElemState(value=point(value))
+            return TOP_STATE
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, Unary):
+            operand = self._eval(expr.operand, env).value
+            if expr.op == "neg":
+                return ElemState(value=neg_interval(operand))
+            if expr.op == "pos":
+                return ElemState(value=operand)
+            if expr.op == "abs":
+                return ElemState(value=abs_interval(operand))
+            if expr.op == "not":
+                truth = self._eval_truth(expr.operand, env)
+                if truth is not None:
+                    return ElemState(value=point(int(not truth)))
+                return ElemState(value=BOOL)
+            return TOP_STATE
+        if isinstance(expr, Conditional):
+            truth = self._eval_truth(expr.cond, env)
+            then = self._eval(expr.then, env)
+            other = self._eval(expr.other, env)
+            if truth is True:
+                return then
+            if truth is False:
+                return other
+            return _join_states(then, other)
+        if isinstance(expr, New):
+            return ElemState(
+                fields={
+                    name: self._eval(value, env)
+                    for name, value in expr.fields
+                }
+            )
+        return TOP_STATE
+
+    def _eval_binary(
+        self, expr: Binary, env: Mapping[str, ElemState]
+    ) -> ElemState:
+        if expr.op in ("and", "or"):
+            # Python and/or return an operand, not a bool — only the
+            # truthiness is tracked (via _eval_truth); the value widens
+            return TOP_STATE
+        if expr.op in COMPARISON_OPS:
+            left = self._eval(expr.left, env).value
+            right = self._eval(expr.right, env).value
+            verdict = interval_compare(left, expr.op, right)
+            if verdict is not None:
+                return ElemState(value=point(int(verdict)))
+            return ElemState(value=BOOL)
+        left = self._eval(expr.left, env).value
+        right = self._eval(expr.right, env).value
+        if expr.op == "add":
+            return ElemState(value=add_intervals(left, right))
+        if expr.op == "sub":
+            return ElemState(value=sub_intervals(left, right))
+        if expr.op == "mul":
+            return ElemState(value=mul_intervals(left, right))
+        # truediv / floordiv / mod / pow widen to top
+        return TOP_STATE
+
+    def _eval_truth(
+        self, expr: Expr, env: Mapping[str, ElemState]
+    ) -> Optional[bool]:
+        if isinstance(expr, Binary) and expr.op == "and":
+            left = self._eval_truth(expr.left, env)
+            right = self._eval_truth(expr.right, env)
+            if left is False or right is False:
+                return False
+            if left is True and right is True:
+                return True
+            return None
+        if isinstance(expr, Binary) and expr.op == "or":
+            left = self._eval_truth(expr.left, env)
+            right = self._eval_truth(expr.right, env)
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+            return None
+        if isinstance(expr, Unary) and expr.op == "not":
+            truth = self._eval_truth(expr.operand, env)
+            return None if truth is None else not truth
+        domain = self._eval(expr, env).value
+        value = domain.is_point()
+        if value is not None:
+            return bool(value)
+        if not domain.contains_zero():
+            return True
+        return None
+
+
+def _split_conjuncts(body: Expr) -> List[Expr]:
+    if isinstance(body, Binary) and body.op == "and":
+        return _split_conjuncts(body.left) + _split_conjuncts(body.right)
+    return [body]
+
+
+def _first_empty(state: ElemState) -> Optional[str]:
+    if state.value.is_empty():
+        return "<element>"
+    for name in sorted(state.fields):
+        if state.fields[name].value.is_empty():
+            return name
+    return None
+
+
+def analyze_ir(
+    ir: Any,
+    param_values: Optional[Mapping[str, Any]] = None,
+    statistics: Optional[Mapping[str, Any]] = None,
+) -> DataflowFacts:
+    """Derive :class:`DataflowFacts` for a lowered :class:`QueryIR`.
+
+    Pure and deterministic: same IR + bindings + statistics → equal
+    facts, which is what lets :func:`repro.codegen.verifier.verify_facts`
+    re-derive them independently and compare.
+    """
+    return _Analysis(ir, param_values, statistics).run()

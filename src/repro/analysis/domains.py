@@ -1,0 +1,291 @@
+"""Abstract value domains: a numeric interval lattice with zero exclusion.
+
+The dataflow pass (:mod:`repro.analysis.dataflow`) tracks one
+:class:`Interval` per record field.  Bounds are real numbers (``None``
+means unbounded) with open/closed endpoints; ``nonzero`` records a
+``!= 0`` fact that bounds alone cannot express (e.g. after
+``r.qty != 0`` on an otherwise unbounded column).
+
+Only ``int``/``float``/``bool`` values participate — comparisons against
+dates or strings simply fail to narrow, which is always sound.  All
+operations are conservative: when in doubt they widen to :data:`TOP`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["Interval", "TOP", "BOOL", "point", "interval_compare"]
+
+
+def is_numeric(value: object) -> bool:
+    """True for values the lattice can bound (bool counts as 0/1)."""
+    return isinstance(value, (int, float)) and not isinstance(value, complex)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly half-open, possibly unbounded) numeric interval."""
+
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    lo_open: bool = False
+    hi_open: bool = False
+    #: proven to exclude zero even where the bounds admit it
+    nonzero: bool = False
+
+    # -- lattice queries ---------------------------------------------------
+
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None and not self.nonzero
+
+    def is_empty(self) -> bool:
+        if self.lo is None or self.hi is None:
+            return False
+        if self.lo > self.hi:
+            return True
+        if self.lo == self.hi:
+            if self.lo_open or self.hi_open:
+                return True
+            if self.nonzero and self.lo == 0:
+                return True
+        return False
+
+    def is_point(self) -> Optional[float]:
+        """The single value this interval holds, or None."""
+        if (
+            self.lo is not None
+            and self.lo == self.hi
+            and not self.lo_open
+            and not self.hi_open
+            and not self.is_empty()
+        ):
+            return self.lo
+        return None
+
+    def contains_zero(self) -> bool:
+        if self.nonzero or self.is_empty():
+            return False
+        if self.lo is not None and (self.lo > 0 or (self.lo == 0 and self.lo_open)):
+            return False
+        if self.hi is not None and (self.hi < 0 or (self.hi == 0 and self.hi_open)):
+            return False
+        return True
+
+    # -- narrowing through comparisons -------------------------------------
+
+    def _with_lo(self, value: float, open_: bool) -> "Interval":
+        if self.lo is None or value > self.lo:
+            return replace(self, lo=value, lo_open=open_)
+        if value == self.lo:
+            return replace(self, lo_open=self.lo_open or open_)
+        return self
+
+    def _with_hi(self, value: float, open_: bool) -> "Interval":
+        if self.hi is None or value < self.hi:
+            return replace(self, hi=value, hi_open=open_)
+        if value == self.hi:
+            return replace(self, hi_open=self.hi_open or open_)
+        return self
+
+    def narrow(self, op: str, value: float) -> "Interval":
+        """Meet with the half-space ``x <op> value``."""
+        if not is_numeric(value):
+            return self
+        if op == "gt":
+            return self._with_lo(value, True)
+        if op == "ge":
+            return self._with_lo(value, False)
+        if op == "lt":
+            return self._with_hi(value, True)
+        if op == "le":
+            return self._with_hi(value, False)
+        if op == "eq":
+            narrowed = self._with_lo(value, False)._with_hi(value, False)
+            if value != 0:
+                narrowed = replace(narrowed, nonzero=True)
+            return narrowed
+        if op == "ne" and value == 0:
+            return replace(self, nonzero=True)
+        return self
+
+    def compare(self, op: str, value: float) -> Optional[bool]:
+        """Decide ``x <op> value`` for every ``x`` in the interval.
+
+        ``True``/``False`` when provable either way, ``None`` otherwise.
+        """
+        if not is_numeric(value):
+            return None
+        return interval_compare(self, op, point(value))
+
+    # -- join (union hull) -------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        if self.lo is None or other.lo is None:
+            lo, lo_open = None, False
+        elif self.lo < other.lo:
+            lo, lo_open = self.lo, self.lo_open
+        elif other.lo < self.lo:
+            lo, lo_open = other.lo, other.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open and other.lo_open
+        if self.hi is None or other.hi is None:
+            hi, hi_open = None, False
+        elif self.hi > other.hi:
+            hi, hi_open = self.hi, self.hi_open
+        elif other.hi > self.hi:
+            hi, hi_open = other.hi, other.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open and other.hi_open
+        nonzero = not self.contains_zero() and not other.contains_zero()
+        return Interval(lo, hi, lo_open, hi_open, nonzero)
+
+    # -- rendering ---------------------------------------------------------
+
+    def describe(self) -> str:
+        if self.is_top():
+            return "(-inf, +inf)"
+        if self.is_empty():
+            return "empty"
+        left = "(" if self.lo_open or self.lo is None else "["
+        right = ")" if self.hi_open or self.hi is None else "]"
+        lo = "-inf" if self.lo is None else _fmt(self.lo)
+        hi = "+inf" if self.hi is None else _fmt(self.hi)
+        text = f"{left}{lo}, {hi}{right}"
+        if self.nonzero and self.contains_zero_by_bounds():
+            text += " \\ {0}"
+        return text
+
+    def contains_zero_by_bounds(self) -> bool:
+        return replace(self, nonzero=False).contains_zero()
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+TOP = Interval()
+BOOL = Interval(0, 1)
+
+
+def point(value: float) -> Interval:
+    """The singleton interval for a known numeric value."""
+    return Interval(value, value, nonzero=value != 0)
+
+
+def interval_compare(a: Interval, op: str, b: Interval) -> Optional[bool]:
+    """Decide ``x <op> y`` for all ``x`` in *a*, ``y`` in *b*."""
+    if a.is_empty() or b.is_empty():
+        return None
+
+    def strictly_below(x: Interval, y: Interval) -> bool:
+        # every value of x < every value of y
+        if x.hi is None or y.lo is None:
+            return False
+        return x.hi < y.lo or (x.hi == y.lo and (x.hi_open or y.lo_open))
+
+    def at_most(x: Interval, y: Interval) -> bool:
+        # every value of x <= every value of y
+        if x.hi is None or y.lo is None:
+            return False
+        return x.hi <= y.lo
+
+    if op == "lt":
+        if strictly_below(a, b):
+            return True
+        if at_most(b, a):
+            return False
+        return None
+    if op == "le":
+        if at_most(a, b):
+            return True
+        if strictly_below(b, a):
+            return False
+        return None
+    if op == "gt":
+        if strictly_below(b, a):
+            return True
+        if at_most(a, b):
+            return False
+        return None
+    if op == "ge":
+        if at_most(b, a):
+            return True
+        if strictly_below(a, b):
+            return False
+        return None
+    if op == "eq":
+        pa, pb = a.is_point(), b.is_point()
+        if pa is not None and pb is not None:
+            return pa == pb
+        if strictly_below(a, b) or strictly_below(b, a):
+            return False
+        return None
+    if op == "ne":
+        result = interval_compare(a, "eq", b)
+        return None if result is None else not result
+    return None
+
+
+# -- interval arithmetic (widening) ----------------------------------------
+
+
+def add_intervals(a: Interval, b: Interval) -> Interval:
+    lo = a.lo + b.lo if a.lo is not None and b.lo is not None else None
+    hi = a.hi + b.hi if a.hi is not None and b.hi is not None else None
+    return Interval(
+        lo,
+        hi,
+        a.lo_open or b.lo_open if lo is not None else False,
+        a.hi_open or b.hi_open if hi is not None else False,
+    )
+
+
+def neg_interval(a: Interval) -> Interval:
+    return Interval(
+        None if a.hi is None else -a.hi,
+        None if a.lo is None else -a.lo,
+        a.hi_open,
+        a.lo_open,
+        a.nonzero,
+    )
+
+
+def sub_intervals(a: Interval, b: Interval) -> Interval:
+    return add_intervals(a, neg_interval(b))
+
+
+def mul_intervals(a: Interval, b: Interval) -> Interval:
+    if None in (a.lo, a.hi, b.lo, b.hi):
+        # unbounded: only sign reasoning survives
+        if _nonnegative(a) and _nonnegative(b):
+            strict = not a.contains_zero() and not b.contains_zero()
+            return Interval(0, None, lo_open=strict)
+        return TOP
+    products = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+    # endpoint openness is dropped — the closed hull is a superset
+    return Interval(min(products), max(products))
+
+
+def abs_interval(a: Interval) -> Interval:
+    if a.lo is not None and a.lo >= 0:
+        return a
+    if a.hi is not None and a.hi <= 0:
+        return neg_interval(a)
+    bound = None
+    if a.lo is not None and a.hi is not None:
+        bound = max(abs(a.lo), abs(a.hi))
+    return Interval(0, bound, nonzero=a.nonzero)
+
+
+def _nonnegative(a: Interval) -> bool:
+    return a.lo is not None and a.lo >= 0

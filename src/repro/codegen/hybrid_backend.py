@@ -48,6 +48,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..analysis import analyze_ir, elision_enabled
 from ..errors import ExecutionError, SchemaError, UnsupportedQueryError
 from ..observability.tracer import TRACER
 from ..expressions.nodes import Lambda, New, Var
@@ -139,6 +140,8 @@ class HybridBackend:
             else:
                 if ir is None:
                     ir = lower_plan(plan, morsel_ordinal=morsel_ordinal)
+                if ir.facts is None:
+                    ir.facts = analyze_ir(ir)
                 staged, peeled = _staging_from_ir(ir)
                 for ordinal, spec in staged.items():
                     if spec.fields:  # field-less sources only stage a count
@@ -222,6 +225,9 @@ class _HybridEmitter(_VectorEmitter):
     ):
         schemas = {ordinal: spec.schema for ordinal, spec in staged.items()}
         super().__init__(schemas, exemplars=(), ir=ir)
+        # group counts are >= 1 by construction, so the facts pass always
+        # licenses dropping the divide-clamp in streamed group averages
+        self._elide_avg_guards = ir.facts is not None and elision_enabled()
         self._staged = staged
         self._peeled = peeled
         self._buffered = buffered
@@ -305,6 +311,8 @@ class _HybridEmitter(_VectorEmitter):
     def _python_printer(self) -> _CodeVarPrinter:
         printer = _CodeVarPrinter(param_render=self._render_param)
         printer.namespace = self.namespace
+        # staging predicates share the query's division-proof verdict
+        printer.guard_divisions = not self._elide_division_guards
         return printer
 
     def _staging_predicate(
@@ -353,7 +361,9 @@ class _HybridEmitter(_VectorEmitter):
             # nothing to copy: only the qualifying-row count survives
             counter = self.names.fresh("count")
             self.writer.line(f"{counter} = 0")
-            with self.writer.block(f"for {elem} in {self._staging_source(spec.ordinal)}:"):
+            with self.writer.block(
+                f"for {elem} in {self._staging_source(spec.ordinal)}:"
+            ):
                 if predicate:
                     lines, test = predicate
                     for line in lines:
@@ -498,7 +508,9 @@ class _HybridEmitter(_VectorEmitter):
 
         key_body = plan.key.body
         key_fields = (
-            list(key_body.fields) if isinstance(key_body, New) else [(Frame.SINGLE, key_body)]
+            list(key_body.fields)
+            if isinstance(key_body, New)
+            else [(Frame.SINGLE, key_body)]
         )
 
         sagg = self.names.fresh("sagg")
@@ -541,7 +553,10 @@ class _HybridEmitter(_VectorEmitter):
         env: Dict[str, Tuple[Frame, Optional[str]]] = {"__key": (key_frame, None)}
         for i, (mode, a, b) in enumerate(extract):
             if mode == "avg":
-                code = f"({gaggs}[{a}] / _np.maximum({gaggs}[{b}], 1))"
+                if self._elide_avg_guards:
+                    code = f"({gaggs}[{a}] / {gaggs}[{b}])"
+                else:
+                    code = f"({gaggs}[{a}] / _np.maximum({gaggs}[{b}], 1))"
                 kind = "float"
             else:
                 code = f"{gaggs}[{a}]"

@@ -431,7 +431,7 @@ def eliminate_common_subexpressions(
         body = _ReplaceSubtree(key, name).visit(body)
     if not bindings:
         return lam, ()
-    return Lambda(lam.params, body), tuple(bindings)
+    return Lambda(lam.params, body, lam.effects), tuple(bindings)
 
 
 def expand_cse(lam: Lambda, bindings: Sequence[CseBinding]) -> Lambda:
@@ -444,7 +444,7 @@ def expand_cse(lam: Lambda, bindings: Sequence[CseBinding]) -> Lambda:
     body = lam.body
     for binding in reversed(list(bindings)):
         body = substitute(body, {binding.name: binding.expr})
-    return Lambda(lam.params, body)
+    return Lambda(lam.params, body, lam.effects)
 
 
 # ---------------------------------------------------------------------------
@@ -616,6 +616,9 @@ class QueryIR:
     split: Any
     morsel_ordinal: Optional[int]
     scalar: bool
+    #: dataflow facts (repro.analysis.DataflowFacts), attached by the
+    #: provider after lowering; backends fall back to deriving their own
+    facts: Optional[Any] = None
 
     def bindings_for(self, lam: Optional[Lambda]) -> Tuple[CseBinding, ...]:
         if lam is None:

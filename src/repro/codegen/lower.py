@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..analysis.effects import plan_effects
 from ..errors import CodegenError
 from ..expressions.analysis import conjuncts, contains_aggregate
 from ..expressions.nodes import Lambda
@@ -234,7 +235,12 @@ def _decompose_filters(plan: Plan, cse: Dict[int, tuple]) -> Plan:
                 rebuilt = node.child
                 for part in parts:
                     rebuilt = Filter(
-                        rebuilt, Lambda(node.predicate.params, part)
+                        rebuilt,
+                        Lambda(
+                            node.predicate.params,
+                            part,
+                            node.predicate.effects,
+                        ),
                     )
                 return rebuilt
         return node
@@ -360,6 +366,13 @@ def decide_parallel(plan: Plan):
     shared across morsels), direct group materialization, concatenation —
     falls back to sequential execution.
     """
+    effects = plan_effects(plan)
+    if effects.impure:
+        return ParallelSplit(
+            False,
+            reasons=(f"impure lambda: {effects.describe()}",),
+        )
+
     #: order-sensitive root operators with a deterministic managed-side
     #: merge: peeled off the morsel kernel, re-applied after concatenation
     post_op_types = (Sort, TopN, Limit, Distinct)

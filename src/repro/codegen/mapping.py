@@ -85,7 +85,9 @@ def infer_object_schema(
         examined += 1
         for name_ in ordered:
             if kinds[name_] == "str":
-                widths[name_] = max(widths[name_], len(_attr(item, name_).encode("utf-8")))
+                widths[name_] = max(
+                    widths[name_], len(_attr(item, name_).encode("utf-8"))
+                )
             elif kinds[name_] == "int" and isinstance(_attr(item, name_), float):
                 kinds[name_] = "float"
     schema_fields = []

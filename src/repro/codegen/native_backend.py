@@ -35,8 +35,10 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..analysis import analyze_ir, elision_enabled
 from ..errors import ExecutionError, UnsupportedQueryError
 from ..observability.tracer import TRACER
+from ..runtime.guards import ensure_nonzero_array
 from ..expressions.analysis import conjuncts
 from ..expressions.nodes import (
     Binary,
@@ -152,6 +154,10 @@ class VectorPrinter:
     (bytes / days-since-epoch), at codegen time for constants and via
     ``_coerce_*`` helpers for parameters.
     """
+
+    #: wrap divisors in ``_nz`` (raises on any zero) unless the dataflow
+    #: pass proved every divisor in the query nonzero
+    guard_divisions = True
 
     def __init__(
         self,
@@ -304,6 +310,9 @@ class VectorPrinter:
             "mod": "%",
             "pow": "**",
         }[expr.op]
+        if self.guard_divisions and expr.op in ("truediv", "floordiv", "mod"):
+            self.namespace.setdefault("_nz", ensure_nonzero_array)
+            return f"({left} {token} _nz({right}))"
         return f"({left} {token} {right})"
 
     def _emit_method(self, expr: Method) -> str:
@@ -383,6 +392,8 @@ class NativeBackend:
             with timed() as gen_time:
                 if ir is None:
                     ir = lower_plan(plan, morsel_ordinal=morsel_ordinal)
+                if ir.facts is None:
+                    ir.facts = analyze_ir(ir)
                 emitter = _VectorEmitter(schemas, exemplars=sources, ir=ir)
                 source_code, namespace, scalar = emitter.emit_module()
         entry, compile_seconds = compile_source(source_code, namespace)
@@ -420,6 +431,13 @@ class _VectorEmitter:
         #: frames of terminal (sink-less) pipelines, concatenated at the end
         self._terminal_frames: List[Frame] = []
         self._demand_cache: Dict[int, List[Optional[Set[str]]]] = {}
+        facts = ir.facts if ir is not None else None
+        self._elide_division_guards = (
+            facts is not None
+            and facts.division_sites > 0
+            and facts.all_divisions_proven
+            and elision_enabled()
+        )
 
     # -- module assembly ----------------------------------------------------------
 
@@ -473,7 +491,9 @@ class _VectorEmitter:
         return code_name
 
     def _printer(self, env: Dict[str, Tuple[Frame, Optional[str]]]) -> VectorPrinter:
-        return VectorPrinter(env, self._render_param, self.namespace)
+        printer = VectorPrinter(env, self._render_param, self.namespace)
+        printer.guard_divisions = not self._elide_division_guards
+        return printer
 
     def _bind(self, obj: Any, hint: str) -> str:
         for name, existing in self.namespace.items():

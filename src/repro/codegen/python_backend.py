@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..analysis import analyze_ir, elision_enabled
 from ..errors import CodegenError, ExecutionError
 from ..observability.tracer import TRACER
 from ..expressions.nodes import (
@@ -98,6 +99,8 @@ class PythonBackend:
             with timed() as gen_time:
                 if ir is None:
                     ir = lower_plan(plan, morsel_ordinal=morsel_ordinal)
+                if ir.facts is None:
+                    ir.facts = analyze_ir(ir)
                 emitter = _Emitter(ir)
                 source_code, namespace, scalar = emitter.emit_module()
         entry, compile_seconds = compile_source(source_code, namespace)
@@ -120,6 +123,25 @@ class _Emitter:
         self._param_names: Dict[str, str] = {}
         #: breaker bid → names of the variables materializing its state
         self._state: Dict[int, Dict[str, Any]] = {}
+        # proof-driven guard elision (repro.analysis facts, env-gated)
+        facts = ir.facts
+        elide = facts is not None and elision_enabled()
+        self._elide_division_guards = (
+            elide
+            and facts.division_sites > 0
+            and facts.all_divisions_proven
+        )
+        self._elide_avg_guards = elide
+        self.printer.guard_divisions = not self._elide_division_guards
+        #: pid → reason for pipelines the analysis proved statically empty
+        self._dead: Dict[int, str] = dict(facts.dead_pipelines) if elide else {}
+        #: id(Filter op) for filters whose conjuncts are all provably true
+        self._stripped_filters = set()
+        if elide:
+            for pid, index in facts.proven_filters:
+                op = ir.pipelines[pid].operators[index]
+                if isinstance(op, Filter):
+                    self._stripped_filters.add(id(op))
 
     # -- entry point -------------------------------------------------------------
 
@@ -189,6 +211,16 @@ class _Emitter:
 
     def _emit_pipeline(self, pipeline: Pipeline) -> None:
         self.writer.line(f"# pipeline p{pipeline.pid}: {pipeline.describe()}")
+        dead_reason = self._dead.get(pipeline.pid)
+        if dead_reason is not None:
+            # statically empty: initialize the sink's state (consumers
+            # reference it) but emit no scan loop at all
+            self.writer.line(f"# statically empty ({dead_reason}); scan elided")
+            if pipeline.sink is None:
+                self.writer.line("yield from _EMPTY")
+            else:
+                self._sink_consume(pipeline)
+            return
         if pipeline.cancel_checkpoint:
             self.writer.line("_cancel_check(_params)")
         final = self._sink_consume(pipeline)
@@ -253,6 +285,12 @@ class _Emitter:
     def _op_Filter(
         self, op: Filter, produce_inner: Callable[[Consume], None], consume: Consume
     ) -> None:
+        if id(op) in self._stripped_filters:
+            # every conjunct is provably true: the test (and its CSE
+            # bindings, used only by the test) disappears entirely
+            produce_inner(consume)
+            return
+
         def filtered(var: str) -> None:
             self._emit_bindings(op.predicate, var)
             with self.writer.block(f"if {self._code(op.predicate, var)}:"):
@@ -384,7 +422,13 @@ class _Emitter:
             with self.writer.block(f"for {elem} in {group_var}:"):
                 self.writer.line(f"{total} += {value}")
                 self.writer.line(f"{count} += 1")
-            self.writer.line(f"{slot} = {total} / {count} if {count} else None")
+            if self._elide_avg_guards:
+                # materialized groups are never empty
+                self.writer.line(f"{slot} = {total} / {count}")
+            else:
+                self.writer.line(
+                    f"{slot} = {total} / {count} if {count} else None"
+                )
         else:
             raise CodegenError(f"unknown aggregate kind {agg.kind!r}")
 
@@ -415,9 +459,15 @@ class _Emitter:
         return f"[{', '.join(inits)}]"
 
     @staticmethod
-    def _extract_code(entry: Tuple[str, int, int], acc: str) -> str:
+    def _extract_code(
+        entry: Tuple[str, int, int], acc: str, elide_avg: bool = False
+    ) -> str:
         tag, a, b = entry
         if tag == "avg":
+            if elide_avg:
+                # proven: a group accumulator exists only after its first
+                # element, so the count slot is always >= 1
+                return f"({acc}[{a}] / {acc}[{b}])"
             return f"({acc}[{a}] / {acc}[{b}] if {acc}[{b}] else None)"
         return f"{acc}[{a}]"
 
@@ -427,6 +477,7 @@ class _Emitter:
         key_var: str,
         acc_var: str,
         extract: List[Tuple[str, int, int]],
+        elide_avg: bool = False,
     ) -> str:
         mapping: Dict[str, Expr] = {"__key": Var(key_var)}
         rewritten = substitute(output, mapping)
@@ -436,10 +487,11 @@ class _Emitter:
             def emit_var(inner_self, expr: Var) -> str:  # noqa: N805
                 if expr.name.startswith("__agg"):
                     index = int(expr.name[5:])
-                    return extract_code(extract[index], acc_var)
+                    return extract_code(extract[index], acc_var, elide_avg)
                 return super().emit_var(expr)
 
         printer = AggVarPrinter(param_render=self._render_param)
+        printer.guard_divisions = self.printer.guard_divisions
         printer.namespace = self.printer.namespace
         printer._bound_counter = self.printer._bound_counter
         code = printer.emit(rewritten)
@@ -516,7 +568,11 @@ class _Emitter:
         ):
             out = self.names.fresh("val")
             output_code = self._render_agg_output(
-                node.output, key_var, acc_var, state["extract"]
+                node.output,
+                key_var,
+                acc_var,
+                state["extract"],
+                elide_avg=self._elide_avg_guards,
             )
             self.writer.line(f"{out} = {output_code}")
             consume(out)

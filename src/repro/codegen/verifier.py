@@ -62,8 +62,10 @@ __all__ = [
     "VerifierReport",
     "verify_source",
     "verify_ir",
+    "verify_facts",
     "check_generated",
     "check_ir",
+    "check_facts",
     "verification_enabled",
     "SAFE_BUILTINS",
 ]
@@ -311,6 +313,82 @@ def check_ir(ir: Any) -> VerifierReport:
         details = "\n".join(f"  - {v}" for v in report.violations)
         raise GeneratedCodeViolation(
             f"pipeline IR failed verification "
+            f"({len(report.violations)} violation(s)):\n{details}",
+            violations=report.violations,
+            source="",
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Dataflow-fact invariants
+# ---------------------------------------------------------------------------
+
+#: DataflowFacts fields compared during re-derivation (everything the
+#: backends act on; ``notes`` rides along for exactness)
+_FACT_FIELDS = (
+    "effects",
+    "division_sites",
+    "divisions_proven",
+    "avg_guards",
+    "scalar_guards",
+    "dead_pipelines",
+    "proven_filters",
+    "notes",
+)
+
+
+def verify_facts(
+    ir: Any,
+    param_values: Optional[Dict[str, Any]] = None,
+    statistics: Any = None,
+    facts: Any = None,
+) -> VerifierReport:
+    """Independently re-derive the dataflow facts attached to *ir*.
+
+    Guard elision trusts the analysis pass completely: an optimistic
+    fact removes a runtime check from generated code.  This gate fails
+    closed — the facts must be present (on ``ir.facts`` or passed
+    explicitly) and must match a fresh derivation over the same IR,
+    bindings, and statistics field for field.
+    """
+    from ..analysis import analyze_ir
+
+    violations: List[str] = []
+    if facts is None:
+        facts = getattr(ir, "facts", None)
+    if facts is None:
+        violations.append(
+            "IR carries no dataflow facts; the provider must attach them "
+            "before backends make elision decisions"
+        )
+        return VerifierReport(tuple(violations), entry_point="<facts>")
+    rederived = analyze_ir(
+        ir, param_values=param_values, statistics=statistics
+    )
+    for name in _FACT_FIELDS:
+        attached = getattr(facts, name)
+        fresh = getattr(rederived, name)
+        if attached != fresh:
+            violations.append(
+                f"dataflow facts disagree on {name}: attached "
+                f"{attached!r}, re-derived {fresh!r}"
+            )
+    return VerifierReport(tuple(violations), entry_point="<facts>")
+
+
+def check_facts(
+    ir: Any,
+    param_values: Optional[Dict[str, Any]] = None,
+    statistics: Any = None,
+    facts: Any = None,
+) -> VerifierReport:
+    """Verify facts and raise :class:`GeneratedCodeViolation` on mismatch."""
+    report = verify_facts(ir, param_values, statistics, facts)
+    if not report.ok:
+        details = "\n".join(f"  - {v}" for v in report.violations)
+        raise GeneratedCodeViolation(
+            f"dataflow facts failed verification "
             f"({len(report.violations)} violation(s)):\n{details}",
             violations=report.violations,
             source="",
@@ -664,6 +742,53 @@ def _ir_selftest() -> int:
         if not caught:
             failures += 1
             print("    corrupted IR passed verification")
+
+    # dataflow facts: honest facts must verify, doctored facts must not
+    import dataclasses
+
+    from ..analysis import analyze_ir
+
+    for label, ir in irs:
+        ir.facts = analyze_ir(ir)
+        report = verify_facts(ir)
+        status = "ok" if report.ok else "FAIL"
+        print(f"{label} dataflow facts       {status}")
+        if not report.ok:
+            failures += 1
+            for violation in report.violations:
+                print(f"    {violation}")
+
+    label, ir = irs[0]
+    honest = ir.facts
+    fact_cases = (
+        (
+            "divisions claimed proven",
+            dataclasses.replace(
+                honest, division_sites=3, divisions_proven=3
+            ),
+        ),
+        (
+            "phantom dead pipeline",
+            dataclasses.replace(
+                honest, dead_pipelines=((0, "fabricated"),)
+            ),
+        ),
+        (
+            "phantom proven filter",
+            dataclasses.replace(honest, proven_filters=((0, 0),)),
+        ),
+        ("facts missing entirely", None),
+    )
+    for name, doctored in fact_cases:
+        ir.facts = doctored
+        report = verify_facts(ir)
+        caught = not report.ok
+        status = "ok" if caught else "FAIL"
+        print(f"{label} facts corruption: {name:29s} {status}")
+        if not caught:
+            failures += 1
+            print("    doctored facts passed verification")
+    ir.facts = honest
     return failures
 
 

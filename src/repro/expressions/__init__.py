@@ -29,7 +29,13 @@ from .nodes import (
 from .builder import P, ExprProxy, arg, if_then_else, new, trace_lambda, unwrap
 from .evaluator import interpret, make_callable, make_record_type
 from .printer import ScalarPrinter, expression_to_text
-from .canonical import CanonicalQuery, cache_key, canonicalize, fold_constants, parameterize
+from .canonical import (
+    CanonicalQuery,
+    cache_key,
+    canonicalize,
+    fold_constants,
+    parameterize,
+)
 from .visitor import Transformer, collect, rewrite_bottom_up, substitute
 from .analysis import (
     conjuncts,

@@ -110,11 +110,15 @@ class ExprProxy:
                 f"and group aggregates {sorted(AGGREGATE_KINDS)}"
             )
         if kwargs:
-            raise TraceError(f"keyword arguments are not supported in traced call to {name!r}")
+            raise TraceError(
+                f"keyword arguments are not supported in traced call to {name!r}"
+            )
         return ExprProxy(Method(target, name, tuple(unwrap(a) for a in args)))
 
     @staticmethod
-    def _trace_aggregate(group: Expr, kind: str, args: tuple, kwargs: dict) -> "ExprProxy":
+    def _trace_aggregate(
+        group: Expr, kind: str, args: tuple, kwargs: dict
+    ) -> "ExprProxy":
         if kwargs:
             raise TraceError(f"aggregate {kind!r} takes no keyword arguments")
         if kind == "count":
@@ -283,6 +287,10 @@ def trace_lambda(
     ``group_params`` receive group proxies, whose ``key`` member and
     aggregate methods are meaningful.
     """
+    # imported lazily: repro.analysis pulls in repro.plans, which must not
+    # load while the expressions package is still initializing
+    from ..analysis.effects import analyze_callable
+
     if isinstance(fn, Lambda):
         return fn
     if not callable(fn):
@@ -292,7 +300,8 @@ def trace_lambda(
         arity = code.co_argcount if code is not None else 1
     names = _param_names(fn, arity)
     proxies = [
-        ExprProxy(Var(name), is_group=(i in group_params)) for i, name in enumerate(names)
+        ExprProxy(Var(name), is_group=(i in group_params))
+        for i, name in enumerate(names)
     ]
     try:
         result = fn(*proxies)
@@ -302,4 +311,4 @@ def trace_lambda(
         raise TraceError(
             f"failed to trace lambda {getattr(fn, '__name__', fn)!r}: {exc}"
         ) from exc
-    return Lambda(names, unwrap(result))
+    return Lambda(names, unwrap(result), analyze_callable(fn))

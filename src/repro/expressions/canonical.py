@@ -31,7 +31,13 @@ from .nodes import (
 from .analysis import is_constant
 from .visitor import Transformer
 
-__all__ = ["CanonicalQuery", "fold_constants", "parameterize", "canonicalize", "cache_key"]
+__all__ = [
+    "CanonicalQuery",
+    "fold_constants",
+    "parameterize",
+    "canonicalize",
+    "cache_key",
+]
 
 #: prefix for auto-generated parameter names; user parameters never collide
 #: because ``P('__cN')`` is reserved.

@@ -32,15 +32,44 @@ from .nodes import (
     Var,
 )
 
-__all__ = ["interpret", "make_callable", "make_record_type", "BINARY_FUNCS", "UNARY_FUNCS"]
+__all__ = [
+    "interpret",
+    "make_callable",
+    "make_record_type",
+    "BINARY_FUNCS",
+    "UNARY_FUNCS",
+]
+
+DIV_BY_ZERO = "division by zero in query expression"
+
+
+def guarded_truediv(a, b):
+    if b == 0:
+        raise ExecutionError(DIV_BY_ZERO)
+    return a / b
+
+
+def guarded_floordiv(a, b):
+    if b == 0:
+        raise ExecutionError(DIV_BY_ZERO)
+    return a // b
+
+
+def guarded_mod(a, b):
+    if b == 0:
+        raise ExecutionError(DIV_BY_ZERO)
+    return a % b
+
 
 BINARY_FUNCS: Dict[str, Callable[[Any, Any], Any]] = {
     "add": operator.add,
     "sub": operator.sub,
     "mul": operator.mul,
-    "truediv": operator.truediv,
-    "floordiv": operator.floordiv,
-    "mod": operator.mod,
+    # division funnels through the shared guard helpers so every engine
+    # raises the same typed ExecutionError on a zero divisor
+    "truediv": guarded_truediv,
+    "floordiv": guarded_floordiv,
+    "mod": guarded_mod,
     "pow": operator.pow,
     "eq": operator.eq,
     "ne": operator.ne,
@@ -145,7 +174,9 @@ def _eval(expr: Expr, env: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
     raise UnsupportedExpressionError(f"cannot interpret node: {type(expr).__name__}")
 
 
-def _eval_aggregate(expr: AggCall, env: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+def _eval_aggregate(
+    expr: AggCall, env: Mapping[str, Any], params: Mapping[str, Any]
+) -> Any:
     """Evaluate one aggregate with its own pass over the group.
 
     Each :class:`AggCall` iterates the whole group independently — this is

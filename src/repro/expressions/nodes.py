@@ -180,10 +180,18 @@ class New(Expr):
 
 @dataclass(frozen=True)
 class Lambda(Expr):
-    """A captured lambda (``LambdaExpression``)."""
+    """A captured lambda (``LambdaExpression``).
+
+    ``effects`` carries the purity/effect verdict derived from the
+    original Python callable at trace time (see
+    :mod:`repro.analysis.effects`).  It is advisory metadata — excluded
+    from equality, hashing and :func:`structural_key`, so cache keys and
+    structural sharing are unaffected.
+    """
 
     params: Tuple[str, ...]
     body: Expr
+    effects: Optional[Any] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -349,7 +357,12 @@ def structural_key(expr: Expr) -> Any:
     if isinstance(expr, Member):
         return ("member", expr.name, structural_key(expr.target))
     if isinstance(expr, Binary):
-        return ("binary", expr.op, structural_key(expr.left), structural_key(expr.right))
+        return (
+            "binary",
+            expr.op,
+            structural_key(expr.left),
+            structural_key(expr.right),
+        )
     if isinstance(expr, Unary):
         return ("unary", expr.op, structural_key(expr.operand))
     if isinstance(expr, Call):

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Mapping
 
 from ..errors import UnsupportedExpressionError
+from .evaluator import guarded_floordiv, guarded_mod, guarded_truediv
 from .nodes import (
     AggCall,
     Binary,
@@ -54,6 +55,13 @@ _BINARY_TOKENS = {
 
 _UNARY_TOKENS = {"neg": "-", "pos": "+", "not": "not "}
 
+#: division operators → the namespace helper that guards their divisor
+_DIVISION_GUARDS = {
+    "truediv": ("_guard_truediv", guarded_truediv),
+    "floordiv": ("_guard_floordiv", guarded_floordiv),
+    "mod": ("_guard_mod", guarded_mod),
+}
+
 
 class ScalarPrinter:
     """Renders a scalar expression tree as a Python source fragment.
@@ -71,6 +79,12 @@ class ScalarPrinter:
         (record types, helper functions).  Passed as the globals of the
         generated module by the compiler.
     """
+
+    #: emit divisions through ``_guard_*`` helpers that raise a typed
+    #: ExecutionError on zero divisors.  Backends flip this to False per
+    #: generated module when the dataflow pass proved every divisor in
+    #: the query nonzero (proof-driven guard elision).
+    guard_divisions = True
 
     def __init__(
         self,
@@ -153,6 +167,10 @@ class ScalarPrinter:
         return f"{self.emit(expr.target)}.{expr.name}"
 
     def emit_binary(self, expr: Binary) -> str:
+        if self.guard_divisions and expr.op in _DIVISION_GUARDS:
+            name, impl = _DIVISION_GUARDS[expr.op]
+            self.namespace.setdefault(name, impl)
+            return f"{name}({self.emit(expr.left)}, {self.emit(expr.right)})"
         token = _BINARY_TOKENS[expr.op]
         return f"({self.emit(expr.left)} {token} {self.emit(expr.right)})"
 

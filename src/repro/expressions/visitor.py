@@ -80,7 +80,9 @@ class Transformer:
             return New(fields, expr.type_name)
         if isinstance(expr, Lambda):
             body = self.visit(expr.body)
-            return expr if body is expr.body else Lambda(expr.params, body)
+            if body is expr.body:
+                return expr
+            return Lambda(expr.params, body, expr.effects)
         if isinstance(expr, AggCall):
             arg = self.visit(expr.arg) if expr.arg is not None else None
             group = self.visit(expr.group)
@@ -125,7 +127,9 @@ class _Substituter(Transformer):
         if not shadowed:
             return expr
         body = _Substituter(shadowed).visit(expr.body)
-        return expr if body is expr.body else Lambda(expr.params, body)
+        if body is expr.body:
+            return expr
+        return Lambda(expr.params, body, expr.effects)
 
 
 def substitute(expr: Expr, mapping: Dict[str, Expr]) -> Expr:

@@ -49,6 +49,8 @@ _PHASE_ORDER = (
     "query.analyze",
     "query.optimize",
     "query.validate",
+    "query.lower",
+    "query.analyze_dataflow",
     "codegen.generate",
     "codegen.compile_source",
     "query.compile",
@@ -114,14 +116,17 @@ def _pipeline_section(
     sources: List[Any],
     plan: Any,
     engine: str,
-) -> Tuple[str, ...]:
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
     """Render the pipeline schedule of the shared IR, one line per
-    pipeline (id, driver, fused operators, sink breaker); the hybrid
-    engines additionally show each pipeline's managed/native placement."""
+    pipeline (id, driver, fused operators, sink breaker), plus the
+    dataflow-fact lines; the hybrid engines additionally show each
+    pipeline's managed/native placement."""
+    from ..analysis import elision_enabled
+
     try:
         ir = provider._ir_for(canonical, sources, plan, engine)
     except UnsupportedQueryError:
-        return ()
+        return (), ()
     placements: Dict[int, str] = (
         hybrid_placements(ir)
         if engine in ("hybrid", "hybrid_buffered")
@@ -134,7 +139,14 @@ def _pipeline_section(
         if placement is not None:
             text += f" [{placement}]"
         lines.append(text)
-    return tuple(lines)
+    facts_lines: Tuple[str, ...] = ()
+    try:
+        facts = provider._facts_for(canonical, sources, plan=plan, engine=engine)
+    except UnsupportedQueryError:
+        facts = None
+    if facts is not None:
+        facts_lines = tuple(facts.render_lines(elision_enabled()))
+    return tuple(lines), facts_lines
 
 
 @dataclass
@@ -146,6 +158,7 @@ class ExplainReport:
     supported: bool
     capability_reasons: Tuple[str, ...] = ()
     pipelines: Tuple[str, ...] = ()
+    facts: Tuple[str, ...] = ()
     parallel: str = ""
 
     def render(self) -> str:
@@ -160,6 +173,10 @@ class ExplainReport:
         if self.pipelines:
             lines.append("pipelines:")
             for line in self.pipelines:
+                lines.append(f"  {line}")
+        if self.facts:
+            lines.append("facts:")
+            for line in self.facts:
                 lines.append(f"  {line}")
         if self.parallel:
             lines.append(f"parallel: {self.parallel}")
@@ -188,12 +205,14 @@ def explain_report(
     analysis = provider._analysis_for(canonical, sources)
     plan_types = validate_plan(plan, analysis.source_types, params=canonical.bindings)
     report = capability_report(plan, engine, sources, plan_types)
+    pipelines, facts = _pipeline_section(provider, canonical, sources, plan, engine)
     return ExplainReport(
         engine=engine,
         plan_text=plan_to_text(plan),
         supported=report.supported,
         capability_reasons=tuple(report.reasons),
-        pipelines=_pipeline_section(provider, canonical, sources, plan, engine),
+        pipelines=pipelines,
+        facts=facts,
         parallel=_parallel_verdict(provider, plan, engine, parallelism),
     )
 

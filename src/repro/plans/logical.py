@@ -219,7 +219,9 @@ def plan_children(plan: Plan) -> Tuple[Plan, ...]:
 
 def is_blocking(plan: Plan) -> bool:
     """True when *plan* must consume all input before producing output."""
-    return isinstance(plan, (GroupBy, GroupAggregate, ScalarAggregate, Sort, TopN, Distinct))
+    return isinstance(
+        plan, (GroupBy, GroupAggregate, ScalarAggregate, Sort, TopN, Distinct)
+    )
 
 
 def plan_key(plan: Plan) -> Any:
@@ -285,7 +287,12 @@ def plan_key(plan: Plan) -> Any:
             expr_key(plan.count),
         )
     if isinstance(plan, Limit):
-        return ("limit", plan_key(plan.child), expr_key(plan.count), expr_key(plan.offset))
+        return (
+            "limit",
+            plan_key(plan.child),
+            expr_key(plan.count),
+            expr_key(plan.offset),
+        )
     if isinstance(plan, Distinct):
         return ("distinct", plan_key(plan.child))
     if isinstance(plan, Concat):

@@ -139,11 +139,15 @@ def _rewrite_children(plan: Plan, context: "_Context") -> Plan:
             plan.share,
         )
     if isinstance(plan, ScalarAggregate):
-        return ScalarAggregate(_rewrite(plan.child, context), plan.aggregates, plan.output)
+        return ScalarAggregate(
+            _rewrite(plan.child, context), plan.aggregates, plan.output
+        )
     if isinstance(plan, Sort):
         return Sort(_rewrite(plan.child, context), plan.keys, plan.descending)
     if isinstance(plan, TopN):
-        return TopN(_rewrite(plan.child, context), plan.keys, plan.descending, plan.count)
+        return TopN(
+            _rewrite(plan.child, context), plan.keys, plan.descending, plan.count
+        )
     if isinstance(plan, Limit):
         return Limit(_rewrite(plan.child, context), plan.count, plan.offset)
     if isinstance(plan, Distinct):
@@ -156,14 +160,27 @@ def _rewrite_children(plan: Plan, context: "_Context") -> Plan:
 # -- filter fusion ------------------------------------------------------------
 
 
+def _merged_effects(*lambdas: Lambda):
+    # lazy: repro.analysis initializes by importing this package
+    from ..analysis.effects import merge_effects
+
+    return merge_effects(lam.effects for lam in lambdas)
+
+
 def _fuse_filters(plan: Filter) -> Plan:
     """Filter(Filter(x, p), q) ⇒ Filter(x, p & q) — one loop, one test site."""
     if not isinstance(plan.child, Filter):
         return plan
     inner = plan.child
     inner_var = inner.predicate.params[0]
-    outer_body = substitute(plan.predicate.body, {plan.predicate.params[0]: Var(inner_var)})
-    combined = Lambda((inner_var,), Binary("and", inner.predicate.body, outer_body))
+    outer_body = substitute(
+        plan.predicate.body, {plan.predicate.params[0]: Var(inner_var)}
+    )
+    combined = Lambda(
+        (inner_var,),
+        Binary("and", inner.predicate.body, outer_body),
+        _merged_effects(inner.predicate, plan.predicate),
+    )
     return Filter(inner.child, combined)
 
 
@@ -201,7 +218,10 @@ def _reorder_predicates(plan: Filter, context: "_Context") -> Plan:
     if ordered == parts:
         return plan
     body = reduce(lambda a, b: Binary("and", a, b), ordered)
-    return Filter(plan.child, Lambda(plan.predicate.params, body))
+    return Filter(
+        plan.child,
+        Lambda(plan.predicate.params, body, plan.predicate.effects),
+    )
 
 
 def _predicate_kind_resolver(plan: Filter, context: "_Context"):
@@ -285,17 +305,18 @@ def _push_filter_below_join(plan: Filter) -> Plan:
 
     left = join.left
     right = join.right
+    effects = plan.predicate.effects
     if left_parts:
         body = reduce(lambda a, b: Binary("and", a, b), left_parts)
-        left = Filter(left, Lambda(("__elem",), body))
+        left = Filter(left, Lambda(("__elem",), body, effects))
     if right_parts:
         body = reduce(lambda a, b: Binary("and", a, b), right_parts)
-        right = Filter(right, Lambda(("__elem",), body))
+        right = Filter(right, Lambda(("__elem",), body, effects))
     new_join = Join(left, right, join.left_key, join.right_key, join.result)
     if not kept:
         return new_join
     kept_body = reduce(lambda a, b: Binary("and", a, b), kept)
-    return Filter(new_join, Lambda((pred_var,), kept_body))
+    return Filter(new_join, Lambda((pred_var,), kept_body, effects))
 
 
 def _input_exposure(result: Lambda) -> dict:
@@ -316,7 +337,9 @@ def _input_exposure(result: Lambda) -> dict:
     return exposure
 
 
-def _single_side(part: Expr, pred_var: str, exposure: dict) -> Optional[Tuple[str, int]]:
+def _single_side(
+    part: Expr, pred_var: str, exposure: dict
+) -> Optional[Tuple[str, int]]:
     """If every access in *part* routes through one exposed field, name it."""
     if free_vars(part) - {pred_var}:
         return None

@@ -168,10 +168,14 @@ class _Translator:
     # -- ordering -------------------------------------------------------------
 
     def _op_order_by(self, expr: QueryOp) -> Plan:
-        return Sort(self.translate(expr.source), (_as_lambda(expr.args[0], 1),), (False,))
+        return Sort(
+            self.translate(expr.source), (_as_lambda(expr.args[0], 1),), (False,)
+        )
 
     def _op_order_by_desc(self, expr: QueryOp) -> Plan:
-        return Sort(self.translate(expr.source), (_as_lambda(expr.args[0], 1),), (True,))
+        return Sort(
+            self.translate(expr.source), (_as_lambda(expr.args[0], 1),), (True,)
+        )
 
     def _op_then_by(self, expr: QueryOp) -> Plan:
         return self._extend_sort(expr, descending=False)
@@ -201,7 +205,9 @@ class _Translator:
         return Concat(self.translate(expr.source), self.translate(expr.args[0]))
 
     def _op_union(self, expr: QueryOp) -> Plan:
-        return Distinct(Concat(self.translate(expr.source), self.translate(expr.args[0])))
+        return Distinct(
+            Concat(self.translate(expr.source), self.translate(expr.args[0]))
+        )
 
     # -- terminal scalar aggregates -------------------------------------------
 

@@ -136,7 +136,9 @@ def proportional_hierarchy(scale: float) -> "CacheHierarchy":
     granularity = 8 * 64  # ways × line: smallest valid size step
     levels = []
     for config in _DEFAULT_LEVELS:
-        size = max(granularity, int(config.size_bytes * scale) // granularity * granularity)
+        size = max(
+            granularity, int(config.size_bytes * scale) // granularity * granularity
+        )
         levels.append(CacheLevelConfig(config.name, size, ways=8))
     return CacheHierarchy(levels)
 

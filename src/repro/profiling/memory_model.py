@@ -105,7 +105,11 @@ class MemoryModel:
         self.emit(stacked)
 
     def sequential_scan(
-        self, base: int, n: int, row_bytes: int, field_offsets: Sequence[int] | None = None
+        self,
+        base: int,
+        n: int,
+        row_bytes: int,
+        field_offsets: Sequence[int] | None = None,
     ) -> None:
         """Touch n contiguous rows (specific field offsets, or row starts)."""
         rows = base + np.arange(n, dtype=np.int64) * row_bytes
@@ -135,7 +139,9 @@ class MemoryModel:
         self.emit(interleaved)
         return base
 
-    def hash_probe(self, base: int, n_entries: int, entry_bytes: int, probes: int) -> None:
+    def hash_probe(
+        self, base: int, n_entries: int, entry_bytes: int, probes: int
+    ) -> None:
         """Probe the table `probes` times: bucket-array read + entry read."""
         bucket_bytes = max(64, n_entries * 8)
         table_bytes = max(64, int(n_entries * entry_bytes * 1.5))
@@ -271,7 +277,11 @@ def q3_trace(engine: str, counts: Dict[str, int], seed: int = 1234) -> np.ndarra
         group_table = model.hash_build(groups, _G.group_entry)
         model.hash_probe(group_table, groups, _G.group_entry, matches)
     elif engine == "native":
-        for n, row in ((nc, _G.customer_struct), (no, _G.order_struct), (nl, _G.lineitem_struct)):
+        for n, row in (
+            (nc, _G.customer_struct),
+            (no, _G.order_struct),
+            (nl, _G.lineitem_struct),
+        ):
             base = model.allocate(n * row)
             model.sequential_scan(base, n, row, (0, 8, 16))
         cust_table = model.hash_build(cust_sel, native_cust_entry)

@@ -19,15 +19,18 @@ optimizes nor compiles, and the baseline must not either.
 
 from __future__ import annotations
 
+import copy
 import os
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..analysis import analyze_ir, elision_enabled
 from ..codegen.compiler import CompiledQuery
 from ..codegen.ir import QueryIR
 from ..codegen.lower import lower_plan
-from ..codegen.verifier import check_ir, verification_enabled
+from ..codegen.verifier import check_facts, check_ir, verification_enabled
 from ..errors import ExecutionError, UnsupportedQueryError
 from ..expressions.canonical import CanonicalQuery, cache_key, canonicalize
 from ..expressions.nodes import Expr
@@ -68,6 +71,33 @@ PARALLEL_ENGINES = ("compiled", "native", "hybrid", "hybrid_buffered")
 #: cached marker: "this plan/engine pair falls back to sequential"
 _SEQUENTIAL = object()
 
+#: bound on the per-binding-set dataflow-facts memo; evicted LRU
+_MAX_FACTS_ENTRIES = 1024
+
+
+def _freeze_binding_value(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_binding_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted((k, _freeze_binding_value(v)) for k, v in value.items())
+        )
+    if isinstance(value, set):
+        return frozenset(value)
+    return value
+
+
+def _frozen_bindings(bindings: Dict[str, Any]) -> Optional[tuple]:
+    """Hashable snapshot of the binding values, or None if unhashable."""
+    try:
+        frozen = tuple(
+            sorted((k, _freeze_binding_value(v)) for k, v in bindings.items())
+        )
+        hash(frozen)
+    except TypeError:
+        return None
+    return frozen
+
 
 class QueryProvider:
     """Compiles and executes queries for every non-baseline engine."""
@@ -101,6 +131,10 @@ class QueryProvider:
         #: pipeline IR per canonical query (engine-independent), cached
         #: alongside analysis so every backend lowers the same IR once
         self._ir_cache: Dict[Any, QueryIR] = {}
+        #: dataflow facts per (query, binding set) — facts look *through*
+        #: auto-lifted parameter values (divisor proofs, contradictions),
+        #: so unlike the IR they cannot be shared across bindings
+        self._facts_cache: "OrderedDict[Any, Any]" = OrderedDict()
         #: eviction coherence: compiled-entry key → (analysis key, IR key)
         #: plus refcounts on the shared keys — several engines' compiled
         #: entries reference one analysis/IR, which must survive until the
@@ -267,7 +301,11 @@ class QueryProvider:
         with TRACER.span("query.canonicalize", engine=engine):
             canonical = canonicalize(expr)
         key = cache_key(
-            canonical, engine, self._options_token() + _source_signature(sources)
+            canonical,
+            engine,
+            self._options_token()
+            + self._facts_component(canonical, sources, engine)
+            + _source_signature(sources),
         )
         # per-key locking: concurrent requests for the same query block
         # until its single compilation finishes (no duplicated work, and
@@ -373,7 +411,10 @@ class QueryProvider:
         key = cache_key(
             canonical,
             f"{engine}::parallel",
-            (workers,) + self._options_token() + _source_signature(sources),
+            (workers,)
+            + self._options_token()
+            + self._facts_component(canonical, sources, engine)
+            + _source_signature(sources),
         )
         lock_entry = self._acquire_key_lock(key)
         try:
@@ -421,6 +462,11 @@ class QueryProvider:
                 statistics=self._statistics,
                 param_values=canonical.bindings,
             )
+            partial_ir.facts = analyze_ir(
+                partial_ir,
+                param_values=canonical.bindings,
+                statistics=self._statistics,
+            )
             return backend.compile(
                 partial,
                 sources,
@@ -440,6 +486,79 @@ class QueryProvider:
             topts.share_aggregates,
             self._statistics_version,
         ) + self.optimize_options.token
+
+    def _facts_for(
+        self,
+        canonical: CanonicalQuery,
+        sources: List[Any],
+        plan: Any = None,
+        engine: str = "",
+    ) -> Any:
+        """Derive (or recall) the dataflow facts for one query + bindings.
+
+        Facts look through auto-lifted parameter values, so they are
+        memoized per binding set; the expensive path (plan + lowering)
+        only runs once per distinct binding set, and re-executions hit
+        the dictionary.
+        """
+        base = cache_key(
+            canonical,
+            "::facts",
+            self._options_token() + _source_signature(sources),
+        )
+        frozen = _frozen_bindings(canonical.bindings)
+        key = None if frozen is None else (base, frozen)
+        if key is not None:
+            with self._lock:
+                facts = self._facts_cache.get(key)
+            if facts is not None:
+                return facts
+        if plan is None:
+            plan = optimize(
+                translate(canonical.tree, self.translate_options),
+                self.optimize_options,
+                statistics=self._statistics,
+                param_values=canonical.bindings,
+            )
+        ir = self._ir_for(canonical, sources, plan, engine)
+        with TRACER.span("query.analyze_dataflow", engine=engine):
+            facts = analyze_ir(
+                ir,
+                param_values=canonical.bindings,
+                statistics=self._statistics,
+            )
+            if verification_enabled():
+                check_facts(
+                    ir, canonical.bindings, self._statistics, facts=facts
+                )
+        self._record_facts_metrics(facts)
+        if key is not None:
+            with self._lock:
+                self._facts_cache[key] = facts
+                self._facts_cache.move_to_end(key)
+                while len(self._facts_cache) > _MAX_FACTS_ENTRIES:
+                    self._facts_cache.popitem(last=False)
+        return facts
+
+    def _facts_component(
+        self, canonical: CanonicalQuery, sources: List[Any], engine: str
+    ) -> tuple:
+        """Cache-key component for binding-dependent emission decisions.
+
+        Keys carry the facts' :meth:`~repro.analysis.DataflowFacts.cache_token`
+        — not the raw bindings — so parameterized queries keep sharing
+        compiled code unless a proof outcome actually changed.  The
+        elision flag itself joins the key so flipping
+        ``REPRO_GUARD_ELISION`` mid-process never reuses elided code.
+        """
+        try:
+            facts = self._facts_for(canonical, sources, engine=engine)
+        except Exception:  # noqa: BLE001 - deferred, not swallowed
+            # the query does not plan/lower (ill-typed, unsupported, …):
+            # _compile re-runs the same stages and reports the real error
+            # with its proper type
+            return ("nofacts",)
+        return (elision_enabled(),) + facts.cache_token()
 
     def _analysis_for(
         self, canonical: CanonicalQuery, sources: List[Any]
@@ -493,6 +612,20 @@ class QueryProvider:
             self._ir_cache[key] = ir
         return ir
 
+    @staticmethod
+    def _record_facts_metrics(facts: Any) -> None:
+        METRICS.counter("analysis.facts_derived").add()
+        if elision_enabled():
+            elidable = facts.guards_elidable()
+            if elidable:
+                METRICS.counter("analysis.guards_elided").add(elidable)
+            if facts.dead_pipelines:
+                METRICS.counter("analysis.pipelines_killed").add(
+                    len(facts.dead_pipelines)
+                )
+        if facts.effects.impure:
+            METRICS.counter("analysis.impure_downgrades").add()
+
     def _compile(
         self, canonical: CanonicalQuery, sources: List[Any], engine: str
     ) -> CompiledQuery:
@@ -517,6 +650,11 @@ class QueryProvider:
         if not report.supported:
             raise UnsupportedQueryError(report.describe())
         ir = self._ir_for(canonical, sources, plan, engine)
+        facts = self._facts_for(canonical, sources, plan=plan, engine=engine)
+        # the cached IR is shared across binding sets whose facts differ,
+        # so the facts ride on a per-compilation shallow copy
+        ir = copy.copy(ir)
+        ir.facts = facts
         with TRACER.span("query.compile", engine=engine) as span:
             compiled = backend.compile(plan, sources, ir=ir)
             span.set(

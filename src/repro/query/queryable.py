@@ -391,7 +391,9 @@ class Query:
         inverted = trace_lambda(predicate)
         from ..expressions.nodes import Unary
 
-        negated = Lambda(inverted.params, Unary("not", inverted.body))
+        negated = Lambda(
+            inverted.params, Unary("not", inverted.body), inverted.effects
+        )
         return not self._replace(
             expr=QueryOp("where", self.expr, (negated,))
         ).any()

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..analysis import expression_effects
 from ..expressions.canonical import canonicalize
 from ..expressions.nodes import Expr
 from ..observability.metrics import METRICS
@@ -83,6 +84,12 @@ class RecyclingProvider(QueryProvider):
     def _result_key(
         self, expr: Expr, sources: List[Any], engine: str, params: Dict[str, Any]
     ) -> Optional[Any]:
+        effects = expression_effects(expr)
+        if effects.nondeterministic:
+            # a lambda that reads the clock/RNG can return a different
+            # value per run; replaying a cached result would be a lie
+            METRICS.counter("recycler.nondeterministic_skips").add()
+            return None
         canonical = canonicalize(expr)
         merged = {
             k: v

@@ -1,0 +1,45 @@
+"""Runtime guard helpers shared by the evaluator and generated code.
+
+Division by zero inside a query expression raises
+:class:`~repro.errors.ExecutionError` with a uniform message across
+every engine — the interpreted evaluator, the generated Python/hybrid
+loops, and the vectorized native kernels all funnel through these
+helpers, which is what makes proof-driven guard elision observable only
+as a performance change, never a behaviour change.
+
+The scalar helpers live on :mod:`repro.expressions.evaluator` (the
+semantic reference interpreter, which cannot import this package) and
+are re-exported here under their runtime-facing home.
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+from ..errors import ExecutionError
+from ..expressions.evaluator import (
+    DIV_BY_ZERO,
+    guarded_floordiv,
+    guarded_mod,
+    guarded_truediv,
+)
+
+__all__ = [
+    "DIV_BY_ZERO",
+    "guarded_truediv",
+    "guarded_floordiv",
+    "guarded_mod",
+    "ensure_nonzero_array",
+]
+
+
+def ensure_nonzero_array(values):
+    """Raise if any divisor in a vectorized division is zero."""
+    arr = _np.asarray(values)
+    if arr.ndim == 0:
+        if arr == 0:
+            raise ExecutionError(DIV_BY_ZERO)
+        return values
+    if arr.size and bool((arr == 0).any()):
+        raise ExecutionError(DIV_BY_ZERO)
+    return values

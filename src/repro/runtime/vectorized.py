@@ -122,9 +122,13 @@ def group_aggregate(
             assert values is not None
             if np.issubdtype(values.dtype, np.number):
                 fill = (
-                    np.inf if kind == "min" else -np.inf
-                ) if np.issubdtype(values.dtype, np.floating) else (
-                    np.iinfo(values.dtype).max if kind == "min" else np.iinfo(values.dtype).min
+                    (np.inf if kind == "min" else -np.inf)
+                    if np.issubdtype(values.dtype, np.floating)
+                    else (
+                        np.iinfo(values.dtype).max
+                        if kind == "min"
+                        else np.iinfo(values.dtype).min
+                    )
                 )
                 out = np.full(ngroups, fill, dtype=values.dtype)
                 ufunc = np.minimum if kind == "min" else np.maximum
@@ -198,7 +202,11 @@ def _ascending_form(key: np.ndarray, descending: bool) -> np.ndarray:
     if not descending:
         return key
     if np.issubdtype(key.dtype, np.number):
-        return -key.astype(np.float64) if np.issubdtype(key.dtype, np.unsignedinteger) else -key
+        return (
+            -key.astype(np.float64)
+            if np.issubdtype(key.dtype, np.unsignedinteger)
+            else -key
+        )
     codes, _ = factorize(key)
     return -codes
 

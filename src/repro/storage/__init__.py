@@ -3,7 +3,14 @@
 from .buffers import DEFAULT_PAGE_BYTES, BufferList, BufferPage, StreamingBuffer
 from .columns import ColumnSet
 from .index import HashIndex
-from .schema import Field, Schema, date_to_days, days_to_date, decode_value, encode_value
+from .schema import (
+    Field,
+    Schema,
+    date_to_days,
+    days_to_date,
+    decode_value,
+    encode_value,
+)
 from .struct_array import StructArray
 
 __all__ = [

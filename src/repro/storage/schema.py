@@ -85,7 +85,9 @@ class Field:
             if not self.size or self.size <= 0:
                 raise SchemaError(f"str field {self.name!r} requires a positive size")
         elif self.size is not None:
-            raise SchemaError(f"field {self.name!r} of kind {self.kind!r} takes no size")
+            raise SchemaError(
+                f"field {self.name!r} of kind {self.kind!r} takes no size"
+            )
 
     @property
     def dtype(self) -> np.dtype:

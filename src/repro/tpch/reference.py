@@ -39,7 +39,18 @@ def reference_q1(data: TPCHData, cutoff: datetime.date = None) -> List[Tuple]:
     for (rf, ls), s in sorted(groups.items()):
         count = s[5]
         rows.append(
-            (rf, ls, s[0], s[1], s[2], s[3], s[0] / count, s[1] / count, s[4] / count, count)
+            (
+                rf,
+                ls,
+                s[0],
+                s[1],
+                s[2],
+                s[3],
+                s[0] / count,
+                s[1] / count,
+                s[4] / count,
+                count,
+            )
         )
     return rows
 

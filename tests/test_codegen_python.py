@@ -126,7 +126,11 @@ class TestExecutionSemantics:
         expr = QueryOp(
             "select",
             QueryOp("group_by", SourceExpr(0, "T"), (trace_lambda(lambda s: s.g),)),
-            (trace_lambda(lambda g: new(g=g.key, n=g.count(), t=g.sum(lambda s: s.v))),),
+            (
+                trace_lambda(
+                    lambda g: new(g=g.key, n=g.count(), t=g.sum(lambda s: s.v))
+                ),
+            ),
         )
         from repro.plans.translate import TranslateOptions
 
@@ -150,7 +154,11 @@ class TestExecutionSemantics:
         expr = QueryOp(
             "select",
             QueryOp("group_by", SourceExpr(0, "T"), (trace_lambda(lambda s: s.g),)),
-            (trace_lambda(lambda g: new(lo=g.min(lambda s: s.v), hi=g.max(lambda s: s.v))),),
+            (
+                trace_lambda(
+                    lambda g: new(lo=g.min(lambda s: s.v), hi=g.max(lambda s: s.v))
+                ),
+            ),
         )
         from repro.plans.translate import TranslateOptions
 

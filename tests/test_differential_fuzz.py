@@ -13,6 +13,7 @@ results — bit-identity across morsel boundaries is a fair requirement.
 """
 
 import random
+import time
 
 import pytest
 
@@ -242,6 +243,70 @@ def _shape_group_sorted(rng):
     return apply
 
 
+# -- dataflow-analysis stressors: divisions, sentinels, effectful lambdas --
+
+_FUZZ_SINK = 0
+
+
+def _impure_pred(r):
+    # mutating on purpose: the effect analysis must force this query
+    # sequential, yet the traced predicate itself stays deterministic
+    global _FUZZ_SINK
+    _FUZZ_SINK += 1
+    return r.g >= 2
+
+
+def _nondet_weight(r):
+    # reads the clock but contributes exactly 0.0: value-stable across
+    # engines while the effect analysis must still flag it
+    return r.v + time.time() * 0.0
+
+
+def _shape_division(rng):
+    """Zero-crossing divisors: ``g - c`` hits zero for in-range ``c``, so
+    every engine must raise the shared division-by-zero error; the guarded
+    variant screens the zero out first (and may prove the guard away)."""
+    c = rng.randrange(0, 6)
+    guarded = rng.randrange(3)
+
+    def apply(outer, inner):
+        if guarded == 1:
+            q = outer.where(lambda r: r.g > c)  # interval proof: g - c > 0
+        elif guarded == 2:
+            q = outer.where(lambda r: r.g != c)
+        else:
+            q = outer  # some row has g == c: division by zero
+        return q.select(lambda r: new(i=r.id, q=r.v / (r.g - c))), None
+
+    return apply
+
+
+def _shape_sentinel(rng):
+    """Nullable-ish sentinel columns: 0.0 in ``v`` marks a missing value;
+    screened queries divide safely, unscreened ones hit the sentinel."""
+    screened = rng.randrange(2)
+    scale = rng.randrange(1, 5) * 0.25
+
+    def apply(outer, inner):
+        q = outer.where(lambda r: r.v > 0.0) if screened else outer
+        return q.select(lambda r: new(i=r.id, u=(r.g * scale) / r.v)), None
+
+    return apply
+
+
+def _shape_effectful(rng):
+    """Impure / nondeterministic lambdas: downgraded, never wrong."""
+    use_nondet = rng.randrange(2)
+
+    def apply(outer, inner):
+        if use_nondet:
+            return outer.select(_nondet_weight), None
+        q = outer.where(_impure_pred)
+        return q.select(lambda r: new(i=r.id, v=r.v)), None
+
+    return apply
+
+
 SHAPES = (
     _shape_filter,
     _shape_join,
@@ -250,6 +315,9 @@ SHAPES = (
     _shape_scalar,
     _shape_distinct,
     _shape_group_sorted,
+    _shape_division,
+    _shape_sentinel,
+    _shape_effectful,
 )
 
 
@@ -319,6 +387,113 @@ def test_corpus_size():
     assert len(_COVERAGE) >= 200, len(_COVERAGE)
     # every shape family actually exercised
     assert {name for _, name in _COVERAGE} == {s.__name__ for s in SHAPES}
+
+
+# ---------------------------------------------------------------------------
+# Guard elision on/off equivalence — the proof-driven elision pass
+# (REPRO_GUARD_ELISION) must never change results or error behaviour
+# ---------------------------------------------------------------------------
+
+ELISION_SHAPES = (_shape_division, _shape_sentinel, _shape_group)
+ELISION_SEEDS = range(8)
+
+
+@pytest.mark.parametrize("seed", ELISION_SEEDS)
+def test_guard_elision_on_off_equivalence(seed, monkeypatch):
+    """Acceptance batch: every engine × parallel config agrees with linq
+    both with elision enabled and disabled, and the two settings agree
+    with each other — including on queries that actually divide by zero."""
+    rng = random.Random(9000 + seed)
+    for shape in ELISION_SHAPES:
+        apply = shape(rng)
+        per_setting = []
+        for setting in ("1", "0"):
+            monkeypatch.setenv("REPRO_GUARD_ELISION", setting)
+            baseline_q, baseline_t = apply(*_sources("linq"))
+            baseline = _run(baseline_q, baseline_t)
+            assert baseline[0] in ("rows", "scalar", "error")
+            for engine in ENGINES:
+                query, term = apply(*_sources(engine))
+                sequential = _run(query, term)
+                if sequential[0] == "unsupported":
+                    continue
+                if sequential[0] == "error":
+                    assert baseline[0] == "error", (
+                        f"seed={seed} shape={shape.__name__} engine={engine} "
+                        f"elision={setting}: raised {sequential[1]!r} but "
+                        f"linq returned {baseline!r}"
+                    )
+                else:
+                    assert sequential == baseline, (
+                        f"seed={seed} shape={shape.__name__} engine={engine} "
+                        f"elision={setting}: {sequential!r} != {baseline!r}"
+                    )
+                for workers, morsel in PARALLEL_CONFIGS:
+                    parallel = _run(query, term, workers, morsel)
+                    assert parallel == sequential, (
+                        f"seed={seed} shape={shape.__name__} engine={engine} "
+                        f"elision={setting} workers={workers}: "
+                        f"parallel {parallel!r} != {sequential!r}"
+                    )
+            per_setting.append(baseline)
+        assert per_setting[0] == per_setting[1], (
+            f"seed={seed} shape={shape.__name__}: elision flipped the result"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Effect-analysis acceptance: impure => sequential (reason visible),
+# nondeterministic => uncacheable in the recycler
+# ---------------------------------------------------------------------------
+
+
+def test_impure_lambda_forced_sequential_with_reason():
+    outer, _ = _sources("compiled")
+    text = outer.where(_impure_pred).in_parallel(4).explain()
+    assert "effects: mutating (writes global '_FUZZ_SINK')" in text
+    assert (
+        "parallel: sequential — impure lambda: "
+        "mutating (writes global '_FUZZ_SINK')" in text
+    )
+
+
+def test_nondeterministic_lambda_visible_in_explain():
+    outer, _ = _sources("compiled")
+    text = outer.select(_nondet_weight).explain()
+    assert (
+        "effects: nondeterministic "
+        "(references nondeterministic name 'time')" in text
+    )
+
+
+def test_nondeterministic_lambda_uncacheable_in_recycler():
+    from repro.observability import METRICS
+    from repro.query import RecyclingProvider
+
+    provider = RecyclingProvider()
+    skips = METRICS.counter("recycler.nondeterministic_skips").value
+    query = (
+        from_iterable(OBJ_A, schema=T1)
+        .using("compiled", provider)
+        .select(_nondet_weight)
+    )
+    first, second = list(query), list(query)
+    assert first == second  # value-stable by construction
+    assert provider.recycler_stats.hits == 0
+    assert provider.recycler_stats.misses == 0
+    assert (
+        METRICS.counter("recycler.nondeterministic_skips").value == skips + 2
+    )
+
+    # a pure twin of the same shape recycles normally
+    pure = (
+        from_iterable(OBJ_A, schema=T1)
+        .using("compiled", provider)
+        .select(lambda r: r.v + 0.0)
+    )
+    list(pure), list(pure)
+    assert provider.recycler_stats.misses == 1
+    assert provider.recycler_stats.hits == 1
 
 
 # ---------------------------------------------------------------------------

@@ -80,7 +80,9 @@ class TestFilterProject:
         )
         assert result == ["apple", "apple", "apple"]
 
-    def test_filter_disjunction_negation(self, engine, sales_objects, sales_array, provider):
+    def test_filter_disjunction_negation(
+        self, engine, sales_objects, sales_array, provider
+    ):
         q = make_query(engine, sales_objects, sales_array, provider)
         result = q.where(lambda s: (s.region == "north") | ~(s.qty < 6)).count()
         assert result == 5
@@ -88,7 +90,9 @@ class TestFilterProject:
     def test_date_comparison(self, engine, sales_objects, sales_array, provider):
         q = make_query(engine, sales_objects, sales_array, provider)
         cutoff = datetime.date(1996, 12, 31)
-        result = q.where(lambda s: s.sold <= P("cutoff")).with_params(cutoff=cutoff).count()
+        result = (
+            q.where(lambda s: s.sold <= P("cutoff")).with_params(cutoff=cutoff).count()
+        )
         assert result == 4
 
     def test_arithmetic_projection(self, engine, sales_objects, sales_array, provider):
@@ -184,12 +188,15 @@ class TestOrdering:
 
     def test_topn(self, engine, sales_objects, sales_array, provider):
         q = make_query(engine, sales_objects, sales_array, provider)
-        result = q.order_by_desc(lambda s: s.qty).take(3).select(lambda s: s.qty).to_list()
+        result = (
+            q.order_by_desc(lambda s: s.qty).take(3).select(lambda s: s.qty).to_list()
+        )
         assert result == [9, 7, 6]
 
     def test_skip_take(self, engine, sales_objects, sales_array, provider):
         q = make_query(engine, sales_objects, sales_array, provider)
-        result = q.order_by(lambda s: s.qty).skip(2).take(2).select(lambda s: s.qty).to_list()
+        ordered = q.order_by(lambda s: s.qty).skip(2).take(2)
+        result = ordered.select(lambda s: s.qty).to_list()
         assert result == [3, 4]
 
 
@@ -224,11 +231,15 @@ class TestDistinctConcat:
 class TestJoin:
     def _targets(self, engine, provider):
         region_rows = [("east", 1.0), ("west", 2.0), ("north", 3.0)]
-        schema = Schema([Field("name", "str", 12), Field("tax", "float")], name="Region")
+        schema = Schema(
+            [Field("name", "str", 12), Field("tax", "float")], name="Region"
+        )
         arr = StructArray.from_rows(schema, region_rows)
         if engine == "native":
             return from_struct_array(arr).using(engine, provider)
-        return from_iterable(arr.to_objects(), token="obj:Region").using(engine, provider)
+        return from_iterable(arr.to_objects(), token="obj:Region").using(
+            engine, provider
+        )
 
     def test_join_with_aggregation(self, engine, sales_objects, sales_array, provider):
         q = make_query(engine, sales_objects, sales_array, provider)
@@ -240,7 +251,10 @@ class TestJoin:
                 lambda r: r.name,
                 lambda s, r: new(region=s.region, taxed=s.qty * r.tax),
             )
-            .group_by(lambda x: x.region, lambda g: new(region=g.key, total=g.sum(lambda x: x.taxed)))
+            .group_by(
+                lambda x: x.region,
+                lambda g: new(region=g.key, total=g.sum(lambda x: x.taxed)),
+            )
             .to_list()
         )
         by_region = {r.region: r.total for r in result}
@@ -248,7 +262,9 @@ class TestJoin:
         assert by_region["west"] == pytest.approx(34.0)
         assert by_region["north"] == pytest.approx(15.0)
 
-    def test_join_preserves_probe_order(self, engine, sales_objects, sales_array, provider):
+    def test_join_preserves_probe_order(
+        self, engine, sales_objects, sales_array, provider
+    ):
         q = make_query(engine, sales_objects, sales_array, provider)
         regions = self._targets(engine, provider)
         result = q.join(
@@ -271,7 +287,12 @@ class TestEngineRestrictions:
         q = (
             from_struct_array(sales_array)
             .using("native", provider)
-            .join(other, lambda a: a.region, lambda b: b.region, lambda a, b: new(a=a, b=b))
+            .join(
+                other,
+                lambda a: a.region,
+                lambda b: b.region,
+                lambda a, b: new(a=a, b=b),
+            )
         )
         with pytest.raises(UnsupportedQueryError, match="whole input records"):
             q.to_list()
@@ -297,7 +318,9 @@ class TestDeferredExecution:
         from types import SimpleNamespace
 
         data = [SimpleNamespace(x=1)]
-        q = from_iterable(data, token="obj:T").using(engine, provider).select(lambda s: s.x)
+        q = from_iterable(data, token="obj:T").using(engine, provider).select(
+            lambda s: s.x
+        )
         data.append(SimpleNamespace(x=2))  # after query definition
         assert q.to_list() == [1, 2]
 
@@ -352,7 +375,8 @@ def _random_rows(draw):
                 draw(st.sampled_from(["apple", "pear", "plum"])),
                 draw(st.integers(0, 100)),
                 round(draw(st.floats(0.1, 99.0, allow_nan=False)), 2),
-                datetime.date(1995, 1, 1) + datetime.timedelta(days=draw(st.integers(0, 1000))),
+                datetime.date(1995, 1, 1)
+                + datetime.timedelta(days=draw(st.integers(0, 1000))),
             )
         )
     return rows
@@ -411,8 +435,10 @@ class TestPropertyEquivalence:
         provider = QueryProvider()
         for engine in ("linq", "compiled"):
             q = from_iterable(objs, token="obj:Sale").using(engine, provider)
-            got = q.order_by_desc(lambda s: s.price).take(n).select(lambda s: s.price).to_list()
+            ordered = q.order_by_desc(lambda s: s.price).take(n)
+            got = ordered.select(lambda s: s.price).to_list()
             assert got == pytest.approx(expected), engine
         qn = from_struct_array(arr).using("native", provider)
-        got = qn.order_by_desc(lambda s: s.price).take(n).select(lambda s: s.price).to_list()
+        ordered = qn.order_by_desc(lambda s: s.price).take(n)
+        got = ordered.select(lambda s: s.price).to_list()
         assert got == pytest.approx(expected)

@@ -103,7 +103,9 @@ class TestOperators:
 
     def test_unary_minus_and_abs(self):
         assert trace_lambda(lambda s: -s.x).body == Unary("neg", Member(Var("s"), "x"))
-        assert trace_lambda(lambda s: abs(s.x)).body == Unary("abs", Member(Var("s"), "x"))
+        assert trace_lambda(lambda s: abs(s.x)).body == Unary(
+            "abs", Member(Var("s"), "x")
+        )
 
 
 class TestGuardRails:
@@ -139,11 +141,15 @@ class TestGuardRails:
 class TestMethodsAndConditionals:
     def test_startswith(self):
         lam = trace_lambda(lambda s: s.name.startswith("Lon"))
-        assert lam.body == Method(Member(Var("s"), "name"), "startswith", (Constant("Lon"),))
+        assert lam.body == Method(
+            Member(Var("s"), "name"), "startswith", (Constant("Lon"),)
+        )
 
     def test_contains(self):
         lam = trace_lambda(lambda s: s.name.contains("ondo"))
-        assert lam.body == Method(Member(Var("s"), "name"), "contains", (Constant("ondo"),))
+        assert lam.body == Method(
+            Member(Var("s"), "name"), "contains", (Constant("ondo"),)
+        )
 
     def test_if_then_else(self):
         lam = trace_lambda(lambda s: if_then_else(s.x > 0, s.x, 0))

@@ -38,7 +38,9 @@ class TestConstantFolding:
     def test_folds_inside_lambda_bodies(self):
         lam = trace_lambda(lambda s: s.x > 10 * 100)
         folded = fold_constants(lam)
-        assert folded == Lambda(("s",), Binary("gt", Member(Var("s"), "x"), Constant(1000)))
+        assert folded == Lambda(
+            ("s",), Binary("gt", Member(Var("s"), "x"), Constant(1000))
+        )
 
     def test_folding_survives_division_by_zero(self):
         expr = Binary("truediv", Constant(1), Constant(0))
@@ -60,8 +62,16 @@ class TestParameterization:
         assert bindings == {}
 
     def test_deterministic_names(self):
-        e1 = Binary("and", Binary("gt", Var("x"), Constant(1)), Binary("lt", Var("y"), Constant(2)))
-        e2 = Binary("and", Binary("gt", Var("x"), Constant(9)), Binary("lt", Var("y"), Constant(8)))
+        e1 = Binary(
+            "and",
+            Binary("gt", Var("x"), Constant(1)),
+            Binary("lt", Var("y"), Constant(2)),
+        )
+        e2 = Binary(
+            "and",
+            Binary("gt", Var("x"), Constant(9)),
+            Binary("lt", Var("y"), Constant(8)),
+        )
         t1, b1 = parameterize(e1)
         t2, b2 = parameterize(e2)
         assert t1 == t2
@@ -96,4 +106,6 @@ class TestCanonicalization:
     def test_cache_key_includes_engine_and_options(self):
         canonical = canonicalize(where_query(lambda s: s.x > 1))
         assert cache_key(canonical, "native") != cache_key(canonical, "compiled")
-        assert cache_key(canonical, "native", ("opt",)) != cache_key(canonical, "native")
+        assert cache_key(canonical, "native", ("opt",)) != cache_key(
+            canonical, "native"
+        )

@@ -81,7 +81,9 @@ class TestTraversal:
         assert children(Binary("add", left, right)) == (left, right)
 
     def test_walk_visits_every_node(self):
-        expr = Binary("and", Binary("eq", Var("x"), Constant(1)), Unary("not", Var("y")))
+        expr = Binary(
+            "and", Binary("eq", Var("x"), Constant(1)), Unary("not", Var("y"))
+        )
         kinds = [type(n).__name__ for n in walk(expr)]
         assert kinds.count("Binary") == 2
         assert kinds.count("Var") == 2

@@ -138,7 +138,10 @@ class TestTableStats:
         assert stats.column("b").maximum == 29.0
 
     def test_date_bounds(self):
-        items = [item(d=datetime.date(2020, 1, 1) + datetime.timedelta(days=i)) for i in range(10)]
+        items = [
+            item(d=datetime.date(2020, 1, 1) + datetime.timedelta(days=i))
+            for i in range(10)
+        ]
         stats = TableStats.collect(items)
         column = stats.column("d")
         assert column.maximum - column.minimum == 9
@@ -171,7 +174,9 @@ class TestSelectivityEstimation:
         return trace_lambda(fn).body
 
     def test_equality_uses_ndv(self):
-        sel = estimate_selectivity(self._conjunct(lambda s: s.k == 5), "s", self._stats())
+        sel = estimate_selectivity(
+            self._conjunct(lambda s: s.k == 5), "s", self._stats()
+        )
         assert sel == pytest.approx(1 / 500)
 
     def test_high_vs_low_cardinality(self):
@@ -181,19 +186,27 @@ class TestSelectivityEstimation:
         assert selective < broad
 
     def test_range_with_constant(self):
-        sel = estimate_selectivity(self._conjunct(lambda s: s.v < 100), "s", self._stats())
+        sel = estimate_selectivity(
+            self._conjunct(lambda s: s.v < 100), "s", self._stats()
+        )
         assert sel == pytest.approx(0.1)
 
     def test_flipped_operands(self):
-        sel = estimate_selectivity(self._conjunct(lambda s: 100 > s.v), "s", self._stats())
+        sel = estimate_selectivity(
+            self._conjunct(lambda s: 100 > s.v), "s", self._stats()
+        )
         assert sel == pytest.approx(0.1)
 
     def test_negation(self):
-        sel = estimate_selectivity(self._conjunct(lambda s: ~(s.v < 100)), "s", self._stats())
+        sel = estimate_selectivity(
+            self._conjunct(lambda s: ~(s.v < 100)), "s", self._stats()
+        )
         assert sel == pytest.approx(0.9)
 
     def test_unknown_column_defaults(self):
-        sel = estimate_selectivity(self._conjunct(lambda s: s.zz == 1), "s", self._stats())
+        sel = estimate_selectivity(
+            self._conjunct(lambda s: s.zz == 1), "s", self._stats()
+        )
         assert sel == pytest.approx(1 / 3)
 
 
@@ -342,5 +355,7 @@ class TestRecyclingProvider:
         class Weird:
             __hash__ = None
 
-        key = provider._result_key(query.expr, list(query.sources), "linq", {"xs": Weird()})
+        key = provider._result_key(
+            query.expr, list(query.sources), "linq", {"xs": Weird()}
+        )
         assert key is None

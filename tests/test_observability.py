@@ -33,6 +33,15 @@ OBJECTS = StructArray.from_rows(
     SCHEMA, [(i, i * 0.5) for i in range(40)]
 ).to_objects()
 
+_SINK = None
+
+
+def _leak(r):
+    # impure on purpose: the effect analysis must flag the global write
+    global _SINK
+    _SINK = r.x
+    return True
+
 
 @pytest.fixture(scope="module")
 def tpch():
@@ -282,6 +291,49 @@ class TestMetrics:
         assert hist["sum"] > 0
 
 
+class TestAnalysisMetrics:
+    """The ``analysis.*`` counters, recorded once per facts derivation."""
+
+    def test_facts_derived_and_guards_elided(self):
+        derived = METRICS.counter("analysis.facts_derived").value
+        elided = METRICS.counter("analysis.guards_elided").value
+        provider = QueryProvider()
+        (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .where(lambda r: r.x > 0)
+            .select(lambda r: r.y / r.x)
+            .to_list()
+        )
+        assert METRICS.counter("analysis.facts_derived").value == derived + 1
+        # the filter proves the divisor nonzero: one zero-guard elided
+        assert METRICS.counter("analysis.guards_elided").value == elided + 1
+
+    def test_pipelines_killed_on_contradiction(self):
+        before = METRICS.counter("analysis.pipelines_killed").value
+        provider = QueryProvider()
+        rows = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .where(lambda r: (r.x > 5) & (r.x < 3))
+            .to_list()
+        )
+        assert rows == []
+        assert METRICS.counter("analysis.pipelines_killed").value == before + 1
+
+    def test_impure_lambda_counted_once(self):
+        before = METRICS.counter("analysis.impure_downgrades").value
+        provider = QueryProvider()
+        query = (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider)
+            .where(_leak)
+        )
+        query.to_list()
+        query.to_list()  # warm run: facts cached, counted once
+        assert METRICS.counter("analysis.impure_downgrades").value == before + 1
+
+
 # ---------------------------------------------------------------------------
 # explain() goldens — deterministic text, parallelism pinned to 1
 # ---------------------------------------------------------------------------
@@ -307,6 +359,15 @@ _Q1_PIPELINES_HYBRID = (
     "  p2: sort#0 => result [native]\n"
 )
 
+# dataflow facts from the shared analysis pass: Q1's three avg aggregates
+# drop their group-count guards (a group always has >= 1 row)
+_Q1_FACTS = (
+    "facts:\n"
+    "  effects: pure\n"
+    "  avg guards: 3 group-count guard(s) elided (group count >= 1)\n"
+)
+_Q3_FACTS = "facts:\n  effects: pure\n"
+
 Q1_GOLDENS = {
     "linq": (
         "(linq engine: interpreted operator chain, no plan)\n"
@@ -320,7 +381,7 @@ Q1_GOLDENS = {
         "    Filter(on l_shipdate)\n"
         "      Scan(source_0: tpch:lineitem)\n"
         "engine: compiled\n"
-        "capability: supported\n" + _Q1_PIPELINES + _SEQ
+        "capability: supported\n" + _Q1_PIPELINES + _Q1_FACTS + _SEQ
     ),
     "native": (
         "Sort(keys=2, desc=(False, False))\n"
@@ -328,7 +389,7 @@ Q1_GOLDENS = {
         "    Filter(on l_shipdate)\n"
         "      Scan(source_0: Lineitem)\n"
         "engine: native\n"
-        "capability: supported\n" + _Q1_PIPELINES + _SEQ
+        "capability: supported\n" + _Q1_PIPELINES + _Q1_FACTS + _SEQ
     ),
     "hybrid": (
         "Sort(keys=2, desc=(False, False))\n"
@@ -336,7 +397,7 @@ Q1_GOLDENS = {
         "    Filter(on l_shipdate)\n"
         "      Scan(source_0: tpch:lineitem)\n"
         "engine: hybrid\n"
-        "capability: supported\n" + _Q1_PIPELINES_HYBRID + _SEQ
+        "capability: supported\n" + _Q1_PIPELINES_HYBRID + _Q1_FACTS + _SEQ
     ),
 }
 
@@ -378,15 +439,18 @@ Q3_GOLDENS = {
     "compiled": _Q3_PLAN.format(
         lineitem="tpch:lineitem", orders="tpch:orders", customer="tpch:customer"
     )
-    + "engine: compiled\ncapability: supported\n" + _Q3_PIPELINES + _SEQ,
+    + "engine: compiled\ncapability: supported\n"
+    + _Q3_PIPELINES + _Q3_FACTS + _SEQ,
     "native": _Q3_PLAN.format(
         lineitem="Lineitem", orders="Orders", customer="Customer"
     )
-    + "engine: native\ncapability: supported\n" + _Q3_PIPELINES + _SEQ,
+    + "engine: native\ncapability: supported\n"
+    + _Q3_PIPELINES + _Q3_FACTS + _SEQ,
     "hybrid": _Q3_PLAN.format(
         lineitem="tpch:lineitem", orders="tpch:orders", customer="tpch:customer"
     )
-    + "engine: hybrid\ncapability: supported\n" + _Q3_PIPELINES_HYBRID + _SEQ,
+    + "engine: hybrid\ncapability: supported\n"
+    + _Q3_PIPELINES_HYBRID + _Q3_FACTS + _SEQ,
 }
 
 
@@ -494,6 +558,20 @@ class TestTraceSwitch:
         )
         names = {r.name for r in TRACER.spans()}
         assert "query.execute" in names
+        TRACER.reset()
+
+    def test_trace_includes_dataflow_analysis_span(self):
+        TRACER.reset()
+        provider = QueryProvider()
+        (
+            from_iterable(OBJECTS, schema=SCHEMA)
+            .using("compiled", provider, trace=True)
+            .where(lambda r: r.x > 3)
+            .to_list()
+        )
+        names = {r.name for r in TRACER.spans()}
+        assert "query.lower" in names
+        assert "query.analyze_dataflow" in names
         TRACER.reset()
 
     def test_untraced_query_records_nothing(self):

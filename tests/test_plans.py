@@ -103,7 +103,11 @@ class TestSortTranslation:
 
     def test_order_by_desc_then_by(self):
         plan = translate(
-            q("then_by", q("order_by_desc", SRC, lam(lambda s: s.x)), lam(lambda s: s.y))
+            q(
+                "then_by",
+                q("order_by_desc", SRC, lam(lambda s: s.x)),
+                lam(lambda s: s.y),
+            )
         )
         assert isinstance(plan, Sort)
         assert len(plan.keys) == 2
@@ -120,13 +124,17 @@ class TestAggregateTranslation:
         return q("select", q("group_by", SRC, lam(lambda s: s.k)), lam(selector))
 
     def test_group_select_fuses(self):
-        plan = translate(self._grouped_select(lambda g: new(k=g.key, t=g.sum(lambda s: s.v))))
+        plan = translate(
+            self._grouped_select(lambda g: new(k=g.key, t=g.sum(lambda s: s.v)))
+        )
         assert isinstance(plan, GroupAggregate)
         assert [a.kind for a in plan.aggregates] == ["sum"]
         assert plan.fused
 
     def test_output_references_key_and_slots(self):
-        plan = translate(self._grouped_select(lambda g: new(k=g.key, t=g.sum(lambda s: s.v))))
+        plan = translate(
+            self._grouped_select(lambda g: new(k=g.key, t=g.sum(lambda s: s.v)))
+        )
         fields = dict(plan.output.fields)
         assert fields["k"] == Var("__key")
         assert fields["t"] == Var("__agg0")
@@ -214,14 +222,20 @@ class TestOptimizerTopN:
         assert isinstance(plan, Limit)
 
     def test_skip_blocks_fusion(self):
-        expr = q("take", q("skip", q("order_by", SRC, lam(lambda s: s.x)), Constant(1)), Constant(10))
+        expr = q(
+            "take",
+            q("skip", q("order_by", SRC, lam(lambda s: s.x)), Constant(1)),
+            Constant(10),
+        )
         plan = optimize(translate(expr))
         assert isinstance(plan, Limit)
 
 
 class TestOptimizerFilters:
     def test_adjacent_filters_fuse(self):
-        expr = q("where", q("where", SRC, lam(lambda s: s.x > 1)), lam(lambda s: s.y < 2))
+        expr = q(
+            "where", q("where", SRC, lam(lambda s: s.x > 1)), lam(lambda s: s.y < 2)
+        )
         plan = optimize(translate(expr))
         assert isinstance(plan, Filter)
         assert isinstance(plan.child, Scan)

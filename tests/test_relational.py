@@ -166,7 +166,10 @@ class TestTable1Bundles:
         bundle = tpch_bundle(data, "q1")
         rows = bundle.run(executor)
         expected = reference_q1(data)
-        got = [(r.l_returnflag, r.l_linestatus, round(r.sum_qty, 2), r.count_order) for r in rows]
+        got = [
+            (r.l_returnflag, r.l_linestatus, round(r.sum_qty, 2), r.count_order)
+            for r in rows
+        ]
         exp = [(r[0], r[1], round(r[2], 2), r[9]) for r in expected]
         assert got == exp
 

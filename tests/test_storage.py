@@ -42,7 +42,13 @@ class TestField:
 
     @pytest.mark.parametrize(
         "kind, expected",
-        [("int", np.int64), ("int32", np.int32), ("float", np.float64), ("bool", np.bool_), ("date", np.int32)],
+        [
+            ("int", np.int64),
+            ("int32", np.int32),
+            ("float", np.float64),
+            ("bool", np.bool_),
+            ("date", np.int32),
+        ],
     )
     def test_dtypes(self, kind, expected):
         assert Field("x", kind).dtype == np.dtype(expected)
@@ -70,9 +76,23 @@ class TestSchema:
         assert dt.itemsize == 16 + 8 + 8
 
     def test_token_captures_structure(self):
-        other = Schema([Field("name", "str", 16), Field("population", "int"), Field("area", "float")], name="City")
+        other = Schema(
+            [
+                Field("name", "str", 16),
+                Field("population", "int"),
+                Field("area", "float"),
+            ],
+            name="City",
+        )
         assert CITY.token == other.token
-        renamed = Schema([Field("name", "str", 8), Field("population", "int"), Field("area", "float")], name="City")
+        renamed = Schema(
+            [
+                Field("name", "str", 8),
+                Field("population", "int"),
+                Field("area", "float"),
+            ],
+            name="City",
+        )
         assert CITY.token != renamed.token
 
     def test_project_preserves_order(self):
@@ -125,7 +145,11 @@ class TestStructArray:
     def _sample(self):
         return StructArray.from_rows(
             CITY,
-            [("London", 9_000_000, 1572.0), ("Paris", 2_100_000, 105.4), ("Rome", 2_800_000, 1285.0)],
+            [
+                ("London", 9_000_000, 1572.0),
+                ("Paris", 2_100_000, 105.4),
+                ("Rome", 2_800_000, 1285.0),
+            ],
         )
 
     def test_from_rows_and_len(self):
@@ -287,7 +311,11 @@ class TestStreamingBuffer:
     def test_flushes_on_fill_and_finish(self):
         schema = Schema([Field("x", "int")])
         seen = []
-        stream = StreamingBuffer(schema, consumer=lambda rows: seen.append(list(rows["x"])), page_bytes=24)
+        stream = StreamingBuffer(
+            schema,
+            consumer=lambda rows: seen.append(list(rows["x"])),
+            page_bytes=24,
+        )
         for i in range(7):
             stream.append((i,))
         stream.finish()

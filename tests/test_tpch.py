@@ -68,7 +68,9 @@ class TestDatagen:
 
     def test_partsupp_pairs_unique(self, data):
         ps = data.arrays("partsupp")
-        pairs = list(zip(ps.column("ps_partkey").tolist(), ps.column("ps_suppkey").tolist()))
+        pairs = list(
+            zip(ps.column("ps_partkey").tolist(), ps.column("ps_suppkey").tolist())
+        )
         assert len(pairs) == len(set(pairs))
 
     def test_invalid_scale_rejected(self):
@@ -99,7 +101,10 @@ class TestQ2:
     def test_matches_reference(self, data, provider, engine):
         expected = reference_q2(data)
         rows = q2(data, engine, provider).to_list()
-        got = [(round(r.s_acctbal, 2), r.s_name, r.n_name, r.p_partkey, r.p_mfgr) for r in rows]
+        got = [
+            (round(r.s_acctbal, 2), r.s_name, r.n_name, r.p_partkey, r.p_mfgr)
+            for r in rows
+        ]
         exp = [(round(a, 2), b, c, d, e) for a, b, c, d, e in expected]
         assert got == exp
 
@@ -109,7 +114,10 @@ class TestQ3:
     def test_matches_reference(self, data, provider, engine):
         expected = reference_q3(data)
         rows = q3(data, engine, provider).to_list()
-        got = [(r.l_orderkey, round(r.revenue, 2), r.o_orderdate, r.o_shippriority) for r in rows]
+        got = [
+            (r.l_orderkey, round(r.revenue, 2), r.o_orderdate, r.o_shippriority)
+            for r in rows
+        ]
         exp = [(a, round(b, 2), c, d) for a, b, c, d in expected]
         assert got == exp
 

@@ -77,7 +77,11 @@ class TestGroupAggregate:
             group_aggregate([], [("count", None)])
 
     @given(
-        st.lists(st.tuples(st.integers(0, 5), st.integers(-100, 100)), min_size=1, max_size=100)
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-100, 100)),
+            min_size=1,
+            max_size=100,
+        )
     )
     @settings(max_examples=40, deadline=None)
     def test_property_matches_python_grouping(self, pairs):
@@ -128,7 +132,10 @@ class TestHashJoin:
         li, ri = hash_join_indexes(la, ra)
         got = list(zip(li.tolist(), ri.tolist()))
         expected = [
-            (i, j) for i, lv in enumerate(left) for j, rv in enumerate(right) if lv == rv
+            (i, j)
+            for i, lv in enumerate(left)
+            for j, rv in enumerate(right)
+            if lv == rv
         ]
         assert got == expected
 
