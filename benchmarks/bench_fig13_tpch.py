@@ -12,12 +12,14 @@ import time
 
 import pytest
 
-from repro.tpch import q1, q2, q3
+from repro.tpch import q1, q2, q3, q4
 
 from conftest import drain, write_report
 
 ENGINES = ("linq", "compiled", "native", "hybrid", "hybrid_buffered")
-QUERIES = {"Q1": q1, "Q2": q2, "Q3": q3}
+# Q4 extends the paper's figure: the semi-join (EXISTS) probe exercises
+# the join/set-operation surface the conformance suite proves
+QUERIES = {"Q1": q1, "Q2": q2, "Q3": q3, "Q4": q4}
 
 
 @pytest.mark.parametrize("query_name", tuple(QUERIES))

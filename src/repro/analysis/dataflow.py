@@ -65,6 +65,7 @@ from ..plans.logical import (
     Project,
     ScalarAggregate,
     Scan,
+    SetOp,
     Sort,
     TopN,
 )
@@ -330,8 +331,18 @@ class _Analysis:
                 else TOP_STATE
             )
             self._scan_lambda(op.left_key, state)
+            if op.kind in ("semi", "anti"):
+                # existence probes pass the probe element through unchanged
+                return state, None
+            if op.kind == "left":
+                # unmatched probes see the default record: the build-side
+                # state must absorb the default's abstract value
+                build = _join_states(build, self._eval(op.default, {}))
             env = self._scan_lambda(op.result, state, build)
             return self._eval(op.result.body, env), None
+        if isinstance(op, SetOp):
+            # bag intersect/except emit a subset of probe elements verbatim
+            return state, None
         if isinstance(op, FlatMap):
             self._scan_lambda(op.collection, state)
             if op.result is not None:

@@ -277,6 +277,10 @@ class _HybridEmitter(_VectorEmitter):
             _np=np,
             _group_aggregate=_vec.group_aggregate,
             _hash_join=_vec.hash_join_indexes,
+            _left_join=_vec.left_join_indexes,
+            _semi_mask=_vec.semi_join_mask,
+            _gather_defaulted=_vec.gather_defaulted,
+            _multiset_mask=_vec.multiset_mask,
             _sort_indexes=_vec.sort_indexes,
             _topn_indexes=_vec.topn_indexes,
             _distinct_indexes=_vec.distinct_indexes,
@@ -752,7 +756,9 @@ def _find_stream_target(
             scan = scan_below(node.child)
             if streamable(scan):
                 return node, scan.ordinal
-        if isinstance(node, Join):
+        if isinstance(node, Join) and node.kind == "inner":
+            # only the inner probe streams page-by-page; outer/semi/anti
+            # probes fall back to full materialization
             scan = scan_below(node.left)
             if streamable(scan):
                 return node, scan.ordinal

@@ -67,6 +67,7 @@ from ..plans.logical import (
     Project,
     Scan,
     ScalarAggregate,
+    SetOp,
     Sort,
     TopN,
     plan_children,
@@ -201,6 +202,12 @@ def required_source_fields(
             visit(plan.child, inner)
             return
         if isinstance(plan, Join):
+            if plan.kind in ("semi", "anti"):
+                # output IS the left element: downstream needs plus the
+                # probe key on the left; only the key on the build side
+                visit(plan.left, merge_fields(needed, lam_fields(plan.left_key)))
+                visit(plan.right, lam_fields(plan.right_key))
+                return
             left_var, right_var = plan.result.params
             res_usage = lambda_usage(plan.result, cse)
             left_fields = paths_to_fields(res_usage.get(left_var, set()))
@@ -243,6 +250,10 @@ def required_source_fields(
             visit(plan.left, needed)
             visit(plan.right, needed)
             return
+        if isinstance(plan, SetOp):
+            visit(plan.left, None)  # bag equality compares whole elements
+            visit(plan.right, None)
+            return
         for child in plan_children(plan):
             visit(child, None)
 
@@ -282,10 +293,18 @@ def rebuild_plan(node: Plan, children: List[Plan]) -> Plan:
     """Reconstruct *node* with new children (same arity/order)."""
     if isinstance(node, Join):
         return Join(
-            children[0], children[1], node.left_key, node.right_key, node.result
+            children[0],
+            children[1],
+            node.left_key,
+            node.right_key,
+            node.result,
+            node.kind,
+            node.default,
         )
     if isinstance(node, Concat):
         return Concat(children[0], children[1])
+    if isinstance(node, SetOp):
+        return SetOp(children[0], children[1], node.op)
     if isinstance(node, Filter):
         return Filter(children[0], node.predicate)
     if isinstance(node, Project):
@@ -514,11 +533,18 @@ _OP_LABELS = {
 
 def breaker_kind(node: Plan) -> str:
     if isinstance(node, Join):
+        # every join kind builds the same keyed table; probes differ
         return "join-build"
+    if isinstance(node, SetOp):
+        return "setop-build"
     return BREAKER_KINDS[type(node)]
 
 
 def op_label(node: Plan) -> str:
+    if isinstance(node, Join) and node.kind != "inner":
+        return f"join-probe({node.kind})"
+    if isinstance(node, SetOp):
+        return f"setop-probe({node.op})"
     return _OP_LABELS.get(type(node), type(node).__name__.lower())
 
 

@@ -49,6 +49,7 @@ from ..plans.logical import (
     Project,
     Scan,
     ScalarAggregate,
+    SetOp,
     Sort,
     TopN,
     is_blocking,
@@ -85,6 +86,7 @@ _KNOWN_NODES = (
     Limit,
     Distinct,
     Concat,
+    SetOp,
 )
 
 
@@ -298,7 +300,7 @@ def _segment(
         if isinstance(driver, PipelineBreaker):
             driver.consumer = pipeline.pid
         for op in ops:
-            if isinstance(op, Join):
+            if isinstance(op, (Join, SetOp)):
                 breaker_of[id(op)].consumer = pipeline.pid
         return pipeline
 
@@ -317,7 +319,9 @@ def _segment(
                 for driver, ops, inputs in chains(node.child):
                     make_pipeline(driver, ops, breaker, inputs)
             return [(breaker, [], [])]
-        if isinstance(node, Join):
+        if isinstance(node, (Join, SetOp)):
+            # both build their right side into a breaker and fuse the
+            # probe into the left chain
             breaker = breaker_of.get(id(node))
             if breaker is None:
                 breaker = new_breaker(node)
@@ -462,13 +466,19 @@ def _pipeline_blocker(node: Plan) -> Optional[Plan]:
         return None
     if isinstance(node, (Filter, Project, FlatMap)):
         return _pipeline_blocker(node.child)
+    if isinstance(node, Join) and node.kind in ("semi", "anti"):
+        # existence probes are stateless row masks over the probe side;
+        # the build-side key set is rebuilt per morsel (kernels receive
+        # full sources — only the morsel scan is sliced), so per-morsel
+        # results concatenate deterministically
+        return _pipeline_blocker(node.left)
     return node
 
 
 def _driver_ordinal(node: Plan) -> int:
     """Ordinal of the leftmost-deepest scan: the morselized driver."""
     while not isinstance(node, Scan):
-        node = node.left if isinstance(node, Join) else node.child
+        node = node.left if isinstance(node, (Join, SetOp)) else node.child
     return node.ordinal
 
 

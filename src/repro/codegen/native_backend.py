@@ -67,6 +67,7 @@ from ..plans.logical import (
     Project,
     Scan,
     ScalarAggregate,
+    SetOp,
     Sort,
     TopN,
     plan_children,
@@ -468,6 +469,10 @@ class _VectorEmitter:
             _np=np,
             _group_aggregate=_vec.group_aggregate,
             _hash_join=_vec.hash_join_indexes,
+            _left_join=_vec.left_join_indexes,
+            _semi_mask=_vec.semi_join_mask,
+            _gather_defaulted=_vec.gather_defaulted,
+            _multiset_mask=_vec.multiset_mask,
             _sort_indexes=_vec.sort_indexes,
             _topn_indexes=_vec.topn_indexes,
             _distinct_indexes=_vec.distinct_indexes,
@@ -576,9 +581,15 @@ class _VectorEmitter:
         if isinstance(op, Project):
             return self._fields_of(op.selector)
         if isinstance(op, Join):
+            if op.kind in ("semi", "anti"):
+                # existence probes pass the element through: keep the
+                # downstream demand and add the probe key's fields
+                return merge_fields(need, self._fields_of(op.left_key))
             usage = lambda_usage(op.result, self.ir.cse)
             left_fields = paths_to_fields(usage.get(op.result.params[0], set()))
             return merge_fields(left_fields, self._fields_of(op.left_key))
+        if isinstance(op, SetOp):
+            return None  # bag equality compares whole rows
         if isinstance(op, Limit):
             return need
         return None
@@ -589,11 +600,15 @@ class _VectorEmitter:
             return None  # terminal results may take the whole-row path
         node = breaker.node
         if breaker.kind == "join-build":
+            if node.kind in ("semi", "anti"):
+                return self._fields_of(node.right_key)
             usage = lambda_usage(node.result, self.ir.cse)
             right_fields = paths_to_fields(
                 usage.get(node.result.params[1], set())
             )
             return merge_fields(right_fields, self._fields_of(node.right_key))
+        if breaker.kind == "setop-build":
+            return None  # bag equality compares whole rows
         if breaker.kind == "group-aggregate":
             fields = self._fields_of(node.key)
             for spec in node.aggregates:
@@ -741,15 +756,6 @@ class _VectorEmitter:
         self, op: Join, frame: Frame, need: Optional[Set[str]]
     ) -> Frame:
         """Probe the hash table materialized by this join's build pipeline."""
-        left_var, right_var = op.result.params
-        usage = lambda_usage(op.result, self.ir.cse)
-        if paths_to_fields(usage.get(left_var, set())) is None or (
-            paths_to_fields(usage.get(right_var, set())) is None
-        ):
-            raise UnsupportedQueryError(
-                "native join results cannot embed whole input records "
-                "(the §5 'no references' rule); project explicit fields"
-            )
         breaker = self.ir.breaker_for(op)
         right = self._join_build_frame(breaker)
         lk = self._vector(
@@ -762,6 +768,51 @@ class _VectorEmitter:
                 op.right_key.body
             )
         )
+        if op.kind in ("semi", "anti"):
+            # existence probe: a boolean mask over the probe frame
+            mask = self.names.fresh("mask")
+            code = f"_semi_mask({lk}, {rk})"
+            if op.kind == "anti":
+                code = f"(~{code})"
+            self.writer.line(f"{mask} = {code}")
+            out = self._materialize(frame, f"[{mask}]", need)
+            if not out.columns:
+                out.length_code = f"int({mask}.sum())"
+            return out
+        left_var, right_var = op.result.params
+        usage = lambda_usage(op.result, self.ir.cse)
+        right_needed = paths_to_fields(usage.get(right_var, set()))
+        if paths_to_fields(usage.get(left_var, set())) is None or (
+            right_needed is None
+        ):
+            raise UnsupportedQueryError(
+                "native join results cannot embed whole input records "
+                "(the §5 'no references' rule); project explicit fields"
+            )
+        if op.kind == "left":
+            li = self.names.fresh("li")
+            ri = self.names.fresh("ri")
+            matched = self.names.fresh("matched")
+            self.writer.line(
+                f"{li}, {ri}, {matched} = _left_join({lk}, {rk})"
+            )
+            defaults = self._default_codes(op, right, right_needed)
+            gathered: Dict[str, ColumnRef] = {}
+            for name in sorted(right_needed):
+                col = right.column(name)
+                var = self.names.fresh("col")
+                self.writer.line(
+                    f"{var} = _gather_defaulted({col.code}, {ri}, {matched}, "
+                    f"{defaults[name]}, {col.kind!r})"
+                )
+                gathered[name] = ColumnRef(var, col.kind)
+            right_frame = Frame(gathered, f"{li}.shape[0]")
+            printer = self._printer(
+                {left_var: (frame, li), right_var: (right_frame, None)}
+            )
+            return self._build_output_frame(
+                op.result.body, printer, f"{li}.shape[0]", need
+            )
         li = self.names.fresh("li")
         ri = self.names.fresh("ri")
         self.writer.line(f"{li}, {ri} = _hash_join({lk}, {rk})")
@@ -769,6 +820,48 @@ class _VectorEmitter:
         return self._build_output_frame(
             op.result.body, printer, f"{li}.shape[0]", need
         )
+
+    def _default_codes(
+        self, op: Join, right: Frame, right_needed: Set[str]
+    ) -> Dict[str, str]:
+        """Scalar code for each needed right column's unmatched default."""
+        printer = self._printer({})
+        body = op.default
+        if not isinstance(body, New):
+            raise UnsupportedQueryError(
+                "native left joins need a record-shaped default (a dict of "
+                "field defaults) matching the build side's columns"
+            )
+        fields = dict(body.fields)
+        codes: Dict[str, str] = {}
+        for name in sorted(right_needed):
+            expr = fields.get(name)
+            if expr is None:
+                raise UnsupportedQueryError(
+                    f"native left join default does not provide field "
+                    f"{name!r} used by the result selector"
+                )
+            codes[name] = printer.emit(expr)
+        return codes
+
+    def _apply_SetOp(
+        self, op: SetOp, frame: Frame, need: Optional[Set[str]]
+    ) -> Frame:
+        """Mask the probe frame by bag membership in the build frame."""
+        breaker = self.ir.breaker_for(op)
+        right = self._join_build_frame(breaker)
+        names = list(frame.columns)
+        left_cols = ", ".join(frame.columns[n].code for n in names)
+        right_cols = ", ".join(right.column(n).code for n in names)
+        mask = self.names.fresh("mask")
+        keep = repr(op.op == "intersect")
+        self.writer.line(
+            f"{mask} = _multiset_mask(({left_cols},), ({right_cols},), {keep})"
+        )
+        out = self._materialize(frame, f"[{mask}]", need)
+        if not out.columns:
+            out.length_code = f"int({mask}.sum())"
+        return out
 
     def _join_build_frame(self, breaker: PipelineBreaker) -> Frame:
         frame = self._breaker_frames.get(breaker.bid)

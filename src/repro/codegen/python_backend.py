@@ -49,6 +49,7 @@ from ..plans.logical import (
     Project,
     Scan,
     ScalarAggregate,
+    SetOp,
     Sort,
     TopN,
 )
@@ -336,15 +337,61 @@ class _Emitter:
     ) -> None:
         """Probe side only; the build side is this join's breaker pipeline."""
         breaker = self.ir.breaker_for(op)
-        table = self._state[breaker.bid]["table"]
+        state = self._state[breaker.bid]
+        table = state["table"]
 
         def probe(var: str) -> None:
             key = self._code(op.left_key, var)
+            if op.kind in ("semi", "anti"):
+                test = "in" if op.kind == "semi" else "not in"
+                with self.writer.block(f"if {key} {test} {table}:"):
+                    consume(var)
+                return
+            if op.kind == "left":
+                matches = self.names.fresh("matches")
+                match = self.names.fresh("match")
+                self.writer.line(f"{matches} = {table}.get({key})")
+                with self.writer.block(f"if {matches} is not None:"):
+                    with self.writer.block(f"for {match} in {matches}:"):
+                        out = self.names.fresh("val")
+                        self.writer.line(
+                            f"{out} = {self._code(op.result, var, match)}"
+                        )
+                        consume(out)
+                with self.writer.block("else:"):
+                    out = self.names.fresh("val")
+                    self.writer.line(
+                        f"{out} = {self._code(op.result, var, state['default'])}"
+                    )
+                    consume(out)
+                return
             match = self.names.fresh("match")
             with self.writer.block(f"for {match} in {table}.get({key}, _EMPTY):"):
                 out = self.names.fresh("val")
                 self.writer.line(f"{out} = {self._code(op.result, var, match)}")
                 consume(out)
+
+        produce_inner(probe)
+
+    def _op_SetOp(
+        self, op: SetOp, produce_inner: Callable[[Consume], None], consume: Consume
+    ) -> None:
+        """Probe-and-decrement against the right side's multiset counts."""
+        breaker = self.ir.breaker_for(op)
+        table = self._state[breaker.bid]["table"]
+
+        def probe(var: str) -> None:
+            remaining = self.names.fresh("rem")
+            self.writer.line(f"{remaining} = {table}.get({var}, 0)")
+            if op.op == "intersect":
+                with self.writer.block(f"if {remaining} > 0:"):
+                    self.writer.line(f"{table}[{var}] = {remaining} - 1")
+                    consume(var)
+            else:  # except: survivors are the copies beyond the right count
+                with self.writer.block(f"if {remaining} > 0:"):
+                    self.writer.line(f"{table}[{var}] = {remaining} - 1")
+                with self.writer.block("else:"):
+                    consume(var)
 
         produce_inner(probe)
 
@@ -505,11 +552,32 @@ class _Emitter:
     def _prepare_join_build(self, node: Join) -> Dict[str, Any]:
         table = self.names.fresh("jtable")
         self.writer.line(f"{table} = {{}}")
-        return {"table": table}
+        state: Dict[str, Any] = {"table": table}
+        if node.kind == "left":
+            # the default element is loop-invariant: bind it once
+            default = self.names.fresh("jdefault")
+            self.writer.line(f"{default} = {self.printer.emit(node.default)}")
+            state["default"] = default
+        return state
 
     def _sink_join_build(self, node: Join, state: Dict[str, Any], var: str) -> None:
         key = self._code(node.right_key, var)
+        if node.kind in ("semi", "anti"):
+            # existence probes only test membership; skip the bucket lists
+            self.writer.line(f"{state['table']}[{key}] = True")
+            return
         self.writer.line(f"{state['table']}.setdefault({key}, []).append({var})")
+
+    # setop build: the breaker materializes the right side's multiset counts
+
+    def _prepare_setop_build(self, node: SetOp) -> Dict[str, Any]:
+        table = self.names.fresh("stable")
+        self.writer.line(f"{table} = {{}}")
+        return {"table": table}
+
+    def _sink_setop_build(self, node: SetOp, state: Dict[str, Any], var: str) -> None:
+        table = state["table"]
+        self.writer.line(f"{table}[{var}] = {table}.get({var}, 0) + 1")
 
     # group materialization (GroupBy): key → list of elements
 

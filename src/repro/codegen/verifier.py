@@ -53,6 +53,7 @@ from ..plans.logical import (
     Limit,
     Project,
     ScalarAggregate,
+    SetOp,
     Sort,
     TopN,
 )
@@ -188,8 +189,12 @@ def _pipeline_reads(pipeline: Any, cse: Any) -> Optional[Set[str]]:
             return reads
         if isinstance(op, Join):  # probe: driver elements are the left side
             add(op.left_key)
+            if op.kind in ("semi", "anti"):
+                continue  # existence probes keep streaming driver elements
             add(op.result, 0)
             return reads
+        if isinstance(op, SetOp):
+            continue  # bag probe passes driver elements through verbatim
         if isinstance(op, FlatMap):
             add(op.collection)
             return reads
@@ -200,7 +205,10 @@ def _pipeline_reads(pipeline: Any, cse: Any) -> Optional[Set[str]]:
     node = sink.node
     if isinstance(node, Join):  # build: driver elements are the right side
         add(node.right_key)
-        add(node.result, 1)
+        if node.result is not None:
+            add(node.result, 1)
+    elif isinstance(node, SetOp):
+        reads = None  # the multiset build keys on whole elements
     elif isinstance(node, GroupAggregate):
         add(node.key)
         for spec in node.aggregates:

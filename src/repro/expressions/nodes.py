@@ -237,6 +237,9 @@ QUERY_OPS = frozenset(
         "select",
         "select_many",
         "join",
+        "left_outer_join",
+        "join_semi",
+        "join_anti",
         "group_by",
         "group_join",
         "order_by",
@@ -261,6 +264,7 @@ QUERY_OPS = frozenset(
         "to_list",
         "concat",
         "union",
+        "union_all",
         "intersect",
         "except_",
         "reverse",

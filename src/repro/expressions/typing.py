@@ -471,6 +471,39 @@ class _Checker:
         env = {result.params[0]: elem, result.params[1]: inner}
         return self.infer_value(result.body, env, f"{path}.result")
 
+    def _op_left_outer_join(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        inner_src, outer_key, inner_key, result, default = expr.args
+        inner = self.infer_query(inner_src, f"{path}.inner")
+        lk = self._check_selector(outer_key, elem, f"{path}.outer_key")
+        rk = self._check_selector(inner_key, inner, f"{path}.inner_key")
+        self._require_comparable(lk, rk, "eq", result, f"{path}.keys")
+        default_type = self.infer_value(default, {}, f"{path}.default")
+        if (
+            isinstance(inner, RecordType)
+            and isinstance(default_type, RecordType)
+            and set(default_type.field_names) - set(inner.field_names)
+        ):
+            extra = set(default_type.field_names) - set(inner.field_names)
+            self._fail(
+                f"left join default has fields not in the inner element: "
+                f"{', '.join(sorted(extra))}",
+                default,
+                f"{path}.default",
+            )
+        env = {result.params[0]: elem, result.params[1]: inner}
+        return self.infer_value(result.body, env, f"{path}.result")
+
+    def _existence_join(self, expr: QueryOp, elem: Type, path: str) -> Type:
+        inner_src, outer_key, inner_key = expr.args
+        inner = self.infer_query(inner_src, f"{path}.inner")
+        lk = self._check_selector(outer_key, elem, f"{path}.outer_key")
+        rk = self._check_selector(inner_key, inner, f"{path}.inner_key")
+        self._require_comparable(lk, rk, "eq", expr, f"{path}.keys")
+        return elem
+
+    _op_join_semi = _existence_join
+    _op_join_anti = _existence_join
+
     def _op_group_join(self, expr: QueryOp, elem: Type, path: str) -> Type:
         inner_src, outer_key, inner_key, result = expr.args
         inner = self.infer_query(inner_src, f"{path}.inner")
@@ -549,6 +582,7 @@ class _Checker:
         return elem if elem is not UNKNOWN else other
 
     _op_union = _op_concat
+    _op_union_all = _op_concat
     _op_intersect = _op_concat
     _op_except_ = _op_concat
 

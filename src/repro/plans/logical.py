@@ -38,6 +38,9 @@ __all__ = [
     "Limit",
     "Distinct",
     "Concat",
+    "SetOp",
+    "JOIN_KINDS",
+    "SETOP_KINDS",
     "plan_children",
     "plan_key",
     "is_blocking",
@@ -90,18 +93,41 @@ class FlatMap(Plan):
     result: Optional[Lambda] = None
 
 
+#: join kinds understood by every engine; semi/anti carry no result lambda
+JOIN_KINDS = ("inner", "left", "semi", "anti")
+
+
 @dataclass(frozen=True)
 class Join(Plan):
     """Equi-join; the build side is ``right`` (hash table), probe is ``left``.
 
-    ``result`` is a 2-ary lambda (left element, right element).
+    ``result`` is a 2-ary lambda (left element, right element) for
+    ``inner`` and ``left`` joins; semi/anti joins (``EXISTS`` /
+    ``NOT EXISTS``) pass the left element through unchanged and carry
+    ``result=None``.  A ``left`` join substitutes ``default`` — an
+    expression over constants/params producing the stand-in right element
+    — for unmatched probe rows; the type system has no nulls, so the
+    default record *is* the null representation (see DESIGN.md §13).
     """
 
     left: Plan
     right: Plan
     left_key: Lambda
     right_key: Lambda
-    result: Lambda
+    result: Optional[Lambda]
+    kind: str = "inner"
+    default: Optional[Expr] = None
+
+    def __post_init__(self):
+        if self.kind not in JOIN_KINDS:
+            raise ValueError(f"unknown join kind {self.kind!r}")
+        if self.kind in ("semi", "anti"):
+            if self.result is not None:
+                raise ValueError(f"{self.kind} joins carry no result selector")
+        elif self.result is None:
+            raise ValueError(f"{self.kind} joins require a result selector")
+        if self.default is not None and self.kind != "left":
+            raise ValueError("only left joins take a default element")
 
 
 @dataclass(frozen=True)
@@ -208,11 +234,35 @@ class Concat(Plan):
     right: Plan
 
 
+#: bag-semantics set operations implemented by SetOp
+SETOP_KINDS = ("intersect", "except")
+
+
+@dataclass(frozen=True)
+class SetOp(Plan):
+    """Bag-semantics ``intersect``/``except`` (the *ALL* variants).
+
+    ``right`` is the build side (a multiset of element counts); ``left``
+    streams through it preserving order.  Multiset algebra: intersect
+    keeps ``min(l, r)`` copies of each element, except keeps
+    ``max(0, l - r)`` — both realized by probe-and-decrement, so the
+    surviving copies are the *first* occurrences in left order.
+    """
+
+    left: Plan
+    right: Plan
+    op: str
+
+    def __post_init__(self):
+        if self.op not in SETOP_KINDS:
+            raise ValueError(f"unknown set operation {self.op!r}")
+
+
 def plan_children(plan: Plan) -> Tuple[Plan, ...]:
     """Direct child plans, in evaluation order."""
     if isinstance(plan, Scan):
         return ()
-    if isinstance(plan, (Join, Concat)):
+    if isinstance(plan, (Join, Concat, SetOp)):
         return (plan.left, plan.right)
     return (plan.child,)  # type: ignore[attr-defined]
 
@@ -246,11 +296,13 @@ def plan_key(plan: Plan) -> Any:
     if isinstance(plan, Join):
         return (
             "join",
+            plan.kind,
             plan_key(plan.left),
             plan_key(plan.right),
             expr_key(plan.left_key),
             expr_key(plan.right_key),
             expr_key(plan.result),
+            expr_key(plan.default),
         )
     if isinstance(plan, GroupBy):
         return ("groupby", plan_key(plan.child), expr_key(plan.key))
@@ -297,6 +349,8 @@ def plan_key(plan: Plan) -> Any:
         return ("distinct", plan_key(plan.child))
     if isinstance(plan, Concat):
         return ("concat", plan_key(plan.left), plan_key(plan.right))
+    if isinstance(plan, SetOp):
+        return ("setop", plan.op, plan_key(plan.left), plan_key(plan.right))
     raise TypeError(f"not a plan node: {plan!r}")
 
 
@@ -334,6 +388,10 @@ def plan_to_text(plan: Plan, indent: int = 0) -> str:
         details = f"(aggs=[{','.join(a.kind for a in plan.aggregates)}])"
     elif isinstance(plan, (Sort, TopN)):
         details = f"(keys={len(plan.keys)}, desc={plan.descending})"
+    elif isinstance(plan, Join) and plan.kind != "inner":
+        details = f"(kind={plan.kind})"
+    elif isinstance(plan, SetOp):
+        details = f"(op={plan.op})"
     lines = [f"{pad}{name}{details}"]
     for child in plan_children(plan):
         lines.append(plan_to_text(child, indent + 1))

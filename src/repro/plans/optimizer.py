@@ -37,6 +37,7 @@ from .logical import (
     Project,
     Scan,
     ScalarAggregate,
+    SetOp,
     Sort,
     TopN,
 )
@@ -126,6 +127,8 @@ def _rewrite_children(plan: Plan, context: "_Context") -> Plan:
             plan.left_key,
             plan.right_key,
             plan.result,
+            plan.kind,
+            plan.default,
         )
     if isinstance(plan, GroupBy):
         return GroupBy(_rewrite(plan.child, context), plan.key)
@@ -154,6 +157,8 @@ def _rewrite_children(plan: Plan, context: "_Context") -> Plan:
         return Distinct(_rewrite(plan.child, context))
     if isinstance(plan, Concat):
         return Concat(_rewrite(plan.left, context), _rewrite(plan.right, context))
+    if isinstance(plan, SetOp):
+        return SetOp(_rewrite(plan.left, context), _rewrite(plan.right, context), plan.op)
     raise TypeError(f"not a plan node: {plan!r}")
 
 
@@ -283,6 +288,11 @@ def _push_filter_below_join(plan: Filter) -> Plan:
     """
     join = plan.child
     assert isinstance(join, Join)
+    if join.kind != "inner":
+        # Left joins would change the filter's meaning (pushing a right-side
+        # conjunct below drops rows that the default should preserve), and
+        # semi/anti joins have no result selector to expose inputs through.
+        return plan
     exposure = _input_exposure(join.result)
     if not exposure:
         return plan

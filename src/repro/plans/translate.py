@@ -49,6 +49,7 @@ from .logical import (
     Project,
     Scan,
     ScalarAggregate,
+    SetOp,
     Sort,
 )
 
@@ -129,6 +130,35 @@ class _Translator:
             result=_as_lambda(result, 2),
         )
 
+    def _op_left_outer_join(self, expr: QueryOp) -> Plan:
+        inner, outer_key, inner_key, result, default = expr.args
+        return Join(
+            left=self.translate(expr.source),
+            right=self.translate(inner),
+            left_key=_as_lambda(outer_key, 1),
+            right_key=_as_lambda(inner_key, 1),
+            result=_as_lambda(result, 2),
+            kind="left",
+            default=default,
+        )
+
+    def _op_join_semi(self, expr: QueryOp) -> Plan:
+        return self._existence_join(expr, "semi")
+
+    def _op_join_anti(self, expr: QueryOp) -> Plan:
+        return self._existence_join(expr, "anti")
+
+    def _existence_join(self, expr: QueryOp, kind: str) -> Plan:
+        inner, outer_key, inner_key = expr.args
+        return Join(
+            left=self.translate(expr.source),
+            right=self.translate(inner),
+            left_key=_as_lambda(outer_key, 1),
+            right_key=_as_lambda(inner_key, 1),
+            result=None,
+            kind=kind,
+        )
+
     # -- grouping -----------------------------------------------------------
 
     def _op_group_by(self, expr: QueryOp) -> Plan:
@@ -207,6 +237,19 @@ class _Translator:
     def _op_union(self, expr: QueryOp) -> Plan:
         return Distinct(
             Concat(self.translate(expr.source), self.translate(expr.args[0]))
+        )
+
+    def _op_union_all(self, expr: QueryOp) -> Plan:
+        return Concat(self.translate(expr.source), self.translate(expr.args[0]))
+
+    def _op_intersect(self, expr: QueryOp) -> Plan:
+        return SetOp(
+            self.translate(expr.source), self.translate(expr.args[0]), "intersect"
+        )
+
+    def _op_except_(self, expr: QueryOp) -> Plan:
+        return SetOp(
+            self.translate(expr.source), self.translate(expr.args[0]), "except"
         )
 
     # -- terminal scalar aggregates -------------------------------------------

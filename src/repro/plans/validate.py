@@ -52,6 +52,7 @@ from .logical import (
     Project,
     Scan,
     ScalarAggregate,
+    SetOp,
     Sort,
     TopN,
     plan_children,
@@ -203,6 +204,23 @@ def _thread_node(
             plan.right_key.body, {plan.right_key.params[0]: right}, params
         )
         _check_join_keys(lk, rk, plan)
+        if plan.kind in ("semi", "anti"):
+            # existence joins pass the probe element through unchanged
+            return left
+        if plan.kind == "left":
+            default_type = _value(plan.default, {}, params)
+            if (
+                isinstance(right, RecordType)
+                and isinstance(default_type, RecordType)
+                and set(default_type.field_names) - set(right.field_names)
+            ):
+                extra = set(default_type.field_names) - set(right.field_names)
+                _fail(
+                    f"left join default has fields not in the build element: "
+                    f"{', '.join(sorted(extra))}",
+                    plan.default,
+                    plan,
+                )
         lvar, rvar = plan.result.params
         return _value(plan.result.body, {lvar: left, rvar: right}, params)
     if isinstance(plan, GroupBy):
@@ -258,6 +276,19 @@ def _thread_node(
             raise QueryAnalysisError(
                 f"concat of mismatched record shapes: {left} vs {right}",
                 path="plan.Concat",
+            )
+        return left if left is not UNKNOWN else right
+    if isinstance(plan, SetOp):
+        left = _thread(plan.left, source_types, params, types)
+        right = _thread(plan.right, source_types, params, types)
+        if (
+            isinstance(left, RecordType)
+            and isinstance(right, RecordType)
+            and set(left.field_names) != set(right.field_names)
+        ):
+            raise QueryAnalysisError(
+                f"{plan.op} of mismatched record shapes: {left} vs {right}",
+                path="plan.SetOp",
             )
         return left if left is not UNKNOWN else right
     # unknown plan node kinds flow through untyped
@@ -392,7 +423,8 @@ def _plan_lambdas(plan: Plan) -> List[Tuple[Lambda, Plan, Tuple[Plan, ...]]]:
         elif isinstance(node, Join):
             out.append((node.left_key, node, (node.left,)))
             out.append((node.right_key, node, (node.right,)))
-            out.append((node.result, node, (node.left, node.right)))
+            if node.result is not None:
+                out.append((node.result, node, (node.left, node.right)))
         elif isinstance(node, (GroupBy, GroupAggregate)):
             out.append((node.key, node, (node.child,)))
             if isinstance(node, GroupAggregate):
@@ -457,9 +489,11 @@ def _min_reasons(plan: Plan) -> List[str]:
             node = node.child
         else:
             break
-    if not isinstance(node, (Sort, TopN, Join)):
+    if not isinstance(node, (Sort, TopN, Join)) or (
+        isinstance(node, Join) and node.kind != "inner"
+    ):
         return [
-            "Min staging only supports a single sort/top-N or join as "
+            "Min staging only supports a single sort/top-N or inner join as "
             "the native operation (the paper's §7.4 restriction); use "
             "the Max variant for complex queries"
         ]
@@ -481,7 +515,7 @@ def _min_subtree_ok(node: Plan) -> bool:
         node = node.child
     if isinstance(node, Scan):
         return True
-    if isinstance(node, Join):
+    if isinstance(node, Join) and node.kind == "inner":
         return _min_subtree_ok(node.left) and _min_subtree_ok(node.right)
     return False
 

@@ -115,6 +115,46 @@ class _Enumerator:
 
         return generate()
 
+    def _op_left_outer_join(self, expr: QueryOp) -> Iterator[Any]:
+        inner_expr, outer_key, inner_key, result, default = expr.args
+        outer_key_fn = self._fn(outer_key)
+        inner_key_fn = self._fn(inner_key)
+        result_fn = self._fn(result)
+
+        def generate():
+            default_element = interpret(default, params=self._params)
+            table = JoinTable()
+            for element in self.iterate(inner_expr):
+                table.add(inner_key_fn(element), element)
+            for outer in self.iterate(expr.source):
+                matches = table.probe(outer_key_fn(outer))
+                if matches:
+                    for inner in matches:
+                        yield result_fn(outer, inner)
+                else:
+                    yield result_fn(outer, default_element)
+
+        return generate()
+
+    def _op_join_semi(self, expr: QueryOp) -> Iterator[Any]:
+        return self._existence_join(expr, keep_matched=True)
+
+    def _op_join_anti(self, expr: QueryOp) -> Iterator[Any]:
+        return self._existence_join(expr, keep_matched=False)
+
+    def _existence_join(self, expr: QueryOp, keep_matched: bool) -> Iterator[Any]:
+        inner_expr, outer_key, inner_key = expr.args
+        outer_key_fn = self._fn(outer_key)
+        inner_key_fn = self._fn(inner_key)
+
+        def generate():
+            keys = {inner_key_fn(e) for e in self.iterate(inner_expr)}
+            for outer in self.iterate(expr.source):
+                if (outer_key_fn(outer) in keys) == keep_matched:
+                    yield outer
+
+        return generate()
+
     def _op_group_by(self, expr: QueryOp) -> Iterator[Any]:
         key_fn = self._fn(expr.args[0])
         result_fn = self._fn(expr.args[1]) if len(expr.args) > 1 else None
@@ -226,6 +266,33 @@ class _Enumerator:
             ):
                 if element not in seen:
                     seen.add(element)
+                    yield element
+
+        return generate()
+
+    def _op_union_all(self, expr: QueryOp) -> Iterator[Any]:
+        return itertools.chain(self.iterate(expr.source), self.iterate(expr.args[0]))
+
+    def _op_intersect(self, expr: QueryOp) -> Iterator[Any]:
+        return self._setop(expr, keep_matched=True)
+
+    def _op_except_(self, expr: QueryOp) -> Iterator[Any]:
+        return self._setop(expr, keep_matched=False)
+
+    def _setop(self, expr: QueryOp, keep_matched: bool) -> Iterator[Any]:
+        """Bag-semantics intersect/except by probe-and-decrement."""
+
+        def generate():
+            counts: Dict[Any, int] = {}
+            for element in self.iterate(expr.args[0]):
+                counts[element] = counts.get(element, 0) + 1
+            for element in self.iterate(expr.source):
+                remaining = counts.get(element, 0)
+                if remaining > 0:
+                    counts[element] = remaining - 1
+                    if keep_matched:
+                        yield element
+                elif not keep_matched:
                     yield element
 
         return generate()

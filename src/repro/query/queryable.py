@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from ..errors import ExecutionError, TranslationError
 from ..expressions.builder import trace_lambda, unwrap
-from ..expressions.nodes import Expr, Lambda, QueryOp, SourceExpr
+from ..expressions.nodes import Expr, Lambda, New, QueryOp, SourceExpr
 from ..expressions.visitor import Transformer
 from ..storage.struct_array import StructArray
 
@@ -49,6 +49,18 @@ class _OffsetSources(Transformer):
         if self._offset == 0:
             return expr
         return SourceExpr(expr.ordinal + self._offset, expr.schema_token)
+
+
+def _default_expr(default: Any) -> Expr:
+    """The default-element expression for a left outer join.
+
+    A dict describes a record (field → value/param); anything else is a
+    scalar element.  Values pass through :func:`unwrap`, so ``P("name")``
+    parameters work in either position.
+    """
+    if isinstance(default, dict):
+        return New(tuple((name, unwrap(value)) for name, value in default.items()))
+    return unwrap(default)
 
 
 def _source_token(items: Sequence[Any], explicit: Optional[str]) -> str:
@@ -210,6 +222,64 @@ class Query:
         )
         return self._replace(expr=expr, sources=sources, params=params)
 
+    def left_outer_join(
+        self,
+        inner: "Query",
+        outer_key: Callable,
+        inner_key: Callable,
+        result: Callable,
+        default: Any,
+    ) -> "Query":
+        """Left outer equi-join: unmatched outer elements pair with
+        *default* (LINQ's ``GroupJoin``+``DefaultIfEmpty`` idiom).
+
+        The type system has no nulls, so *default* supplies the stand-in
+        right element explicitly — a dict of field values for record
+        elements (``{"okey": 0}``) or a plain value for scalar elements.
+        """
+        if not isinstance(inner, Query):
+            raise TranslationError("left_outer_join inner source must be a Query")
+        inner_expr, sources, params = self._merge(inner)
+        expr = QueryOp(
+            "left_outer_join",
+            self.expr,
+            (
+                inner_expr,
+                trace_lambda(outer_key),
+                trace_lambda(inner_key),
+                trace_lambda(result, arity=2),
+                _default_expr(default),
+            ),
+        )
+        return self._replace(expr=expr, sources=sources, params=params)
+
+    def join_semi(
+        self, inner: "Query", outer_key: Callable, inner_key: Callable
+    ) -> "Query":
+        """Keep outer elements with at least one key match in *inner*
+        (``EXISTS``); output elements are the outer elements unchanged."""
+        return self._existence_join("join_semi", inner, outer_key, inner_key)
+
+    def join_anti(
+        self, inner: "Query", outer_key: Callable, inner_key: Callable
+    ) -> "Query":
+        """Keep outer elements with *no* key match in *inner*
+        (``NOT EXISTS``); output elements are the outer elements unchanged."""
+        return self._existence_join("join_anti", inner, outer_key, inner_key)
+
+    def _existence_join(
+        self, name: str, inner: "Query", outer_key: Callable, inner_key: Callable
+    ) -> "Query":
+        if not isinstance(inner, Query):
+            raise TranslationError(f"{name} inner source must be a Query")
+        inner_expr, sources, params = self._merge(inner)
+        expr = QueryOp(
+            name,
+            self.expr,
+            (inner_expr, trace_lambda(outer_key), trace_lambda(inner_key)),
+        )
+        return self._replace(expr=expr, sources=sources, params=params)
+
     def group_by(self, key: Callable, result: Optional[Callable] = None) -> "Query":
         """Group by *key*; optional group result selector (sees ``g.key``,
         ``g.sum(...)``, ``g.count()``, ...)."""
@@ -244,9 +314,44 @@ class Query:
         expr = QueryOp("concat", self.expr, (other_expr,))
         return self._replace(expr=expr, sources=sources, params=params)
 
-    def union(self, other: "Query") -> "Query":
+    def union(self, other: "Query", all: bool = False) -> "Query":
+        """Set union with duplicate elimination (SQL ``UNION``).
+
+        Historically this method's bag/set behaviour was undocumented; it
+        has always deduplicated and now says so.  ``all=True`` is a
+        deprecated spelling of :meth:`union_all` kept for one release.
+        """
+        if all:
+            import warnings
+
+            warnings.warn(
+                "union(other, all=True) is deprecated; use union_all(other)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.union_all(other)
+        return self._binary_setop("union", other)
+
+    def union_all(self, other: "Query") -> "Query":
+        """Bag union (SQL ``UNION ALL``): every element of both inputs,
+        duplicates preserved — an alias of :meth:`concat` in LINQ terms."""
+        return self._binary_setop("union_all", other)
+
+    def intersect(self, other: "Query") -> "Query":
+        """Bag intersection (SQL ``INTERSECT ALL``): each element keeps
+        ``min(l, r)`` copies, in this query's order."""
+        return self._binary_setop("intersect", other)
+
+    def except_(self, other: "Query") -> "Query":
+        """Bag difference (SQL ``EXCEPT ALL``): each element keeps
+        ``max(0, l - r)`` copies, in this query's order."""
+        return self._binary_setop("except_", other)
+
+    def _binary_setop(self, name: str, other: "Query") -> "Query":
+        if not isinstance(other, Query):
+            raise TranslationError(f"{name} operand must be a Query")
         other_expr, sources, params = self._merge(other)
-        expr = QueryOp("union", self.expr, (other_expr,))
+        expr = QueryOp(name, self.expr, (other_expr,))
         return self._replace(expr=expr, sources=sources, params=params)
 
     # -- execution (deferred until here) ------------------------------------------

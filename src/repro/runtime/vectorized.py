@@ -29,6 +29,9 @@ __all__ = [
     "factorize",
     "group_aggregate",
     "hash_join_indexes",
+    "left_join_indexes",
+    "gather_defaulted",
+    "multiset_mask",
     "probe_sorted",
     "semi_join_mask",
     "sort_indexes",
@@ -195,6 +198,108 @@ def semi_join_mask(left_keys: np.ndarray, right_keys: np.ndarray) -> np.ndarray:
     if len(right_keys) == 0:
         return np.zeros(len(left_keys), dtype=bool)
     return np.isin(left_keys, right_keys)
+
+
+def left_join_indexes(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Left-outer equi-join: aligned ``(left_idx, right_idx, matched)``.
+
+    Matched rows expand exactly like :func:`hash_join_indexes`; each
+    unmatched probe row appears once with ``matched`` False and a
+    placeholder ``right_idx`` of 0 (never dereference it — gather through
+    :func:`gather_defaulted` instead).  Probe order is preserved.
+    """
+    li, ri = hash_join_indexes(left_keys, right_keys)
+    matched_probe = semi_join_mask(left_keys, right_keys)
+    missing = np.flatnonzero(~matched_probe)
+    if len(missing) == 0:
+        return li, ri, np.ones(len(li), dtype=bool)
+    all_li = np.concatenate([li, missing])
+    all_ri = np.concatenate([ri, np.zeros(len(missing), dtype=np.int64)])
+    matched = np.concatenate(
+        [np.ones(len(li), dtype=bool), np.zeros(len(missing), dtype=bool)]
+    )
+    # a probe row is either matched or unmatched, never both, so a stable
+    # sort on the left index restores probe order without reordering ties
+    order = np.argsort(all_li, kind="stable")
+    return all_li[order], all_ri[order], matched[order]
+
+
+def gather_defaulted(
+    column: np.ndarray, indexes: np.ndarray, matched: np.ndarray, default, kind: str
+) -> np.ndarray:
+    """Gather ``column[indexes]`` but substitute *default* where unmatched.
+
+    The build column may be empty (every probe row unmatched), a constant
+    projection may hand us a scalar instead of an array, and a byte-string
+    default may be wider than the column's fixed itemsize — all widen or
+    broadcast instead of faulting.
+    """
+    if kind == "str":
+        default = coerce_str(default)
+    elif kind == "date":
+        default = coerce_date(default)
+    n = len(indexes)
+    if not isinstance(column, np.ndarray):
+        if kind == "str":
+            column = coerce_str(column)
+        elif kind == "date":
+            column = coerce_date(column)
+        return np.where(matched, column, default)
+    if len(column) == 0:
+        return np.full(n, default)
+    out = column[np.where(matched, indexes, 0)]
+    if matched.all():
+        return out
+    if isinstance(default, bytes) and out.dtype.itemsize < len(default):
+        out = out.astype(f"S{len(default)}")
+    elif isinstance(default, float) and not np.issubdtype(
+        out.dtype, np.floating
+    ):
+        out = out.astype(np.float64)
+    out[~matched] = default
+    return out
+
+
+def multiset_mask(
+    left_cols: Sequence[np.ndarray],
+    right_cols: Sequence[np.ndarray],
+    keep_matched: bool,
+) -> np.ndarray:
+    """Bag-semantics intersect/except mask over whole rows.
+
+    Counts each distinct right row, then keeps a left row when its
+    occurrence rank (0-based, in input order) is below the right count
+    (``keep_matched`` — INTERSECT ALL) or at/after it (EXCEPT ALL).
+    Matches the probe-and-decrement order the row engines use: the
+    *first* ``min(l, r)`` copies survive an intersect, the copies beyond
+    the right count survive an except.
+    """
+    nleft = len(left_cols[0]) if left_cols else 0
+    nright = len(right_cols[0]) if right_cols else 0
+    if nleft == 0:
+        return np.zeros(0, dtype=bool)
+    if nright == 0:
+        fill = not keep_matched
+        return np.full(nleft, fill, dtype=bool)
+    # factorize both sides on a shared code space
+    joint = [np.concatenate([l, r]) for l, r in zip(left_cols, right_cols)]
+    codes, _, _ = _combined_codes(joint)
+    lcodes, rcodes = codes[:nleft], codes[nleft:]
+    ncodes = int(codes.max()) + 1
+    counts = np.bincount(rcodes, minlength=ncodes)
+    # occurrence rank of each left row among equal rows, in input order
+    order = np.argsort(lcodes, kind="stable")
+    sorted_codes = lcodes[order]
+    starts = np.flatnonzero(np.r_[True, sorted_codes[1:] != sorted_codes[:-1]])
+    run_lengths = np.diff(np.r_[starts, nleft])
+    ranks_sorted = np.arange(nleft) - np.repeat(starts, run_lengths)
+    ranks = np.empty(nleft, dtype=np.int64)
+    ranks[order] = ranks_sorted
+    if keep_matched:
+        return ranks < counts[lcodes]
+    return ranks >= counts[lcodes]
 
 
 def _ascending_form(key: np.ndarray, descending: bool) -> np.ndarray:

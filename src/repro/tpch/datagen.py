@@ -264,11 +264,16 @@ class TPCHData:
         order_days = rng.integers(date_lo, date_hi + 1, n)
         split = date_to_days(_STATUS_SPLIT)
         status = np.where(order_days < split, b"F", b"O")
+        # spec §4.2.3: orders are placed by only two thirds of the
+        # customers (custkeys ≡ 0 mod 3 never order) — the population the
+        # outer/anti-join queries (Q13, Q22) are defined over
+        eligible = np.arange(1, customers + 1, dtype=np.int64)
+        eligible = eligible[eligible % 3 != 0]
         self._store(
             "orders",
             {
                 "o_orderkey": keys,
-                "o_custkey": rng.integers(1, customers + 1, n),
+                "o_custkey": eligible[rng.integers(0, len(eligible), n)],
                 "o_orderstatus": status.astype("S1"),
                 "o_totalprice": np.round(rng.uniform(1000.0, 500_000.0, n), 2),
                 "o_orderdate": order_days.astype(np.int32),

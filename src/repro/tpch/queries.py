@@ -29,17 +29,35 @@ __all__ = [
     "q1",
     "q2",
     "q3",
+    "q4",
+    "q13",
+    "q16",
+    "q21",
+    "q22",
     "aggregation_micro",
     "sorting_micro",
     "join_micro",
     "Q1_DEFAULTS",
     "Q2_DEFAULTS",
     "Q3_DEFAULTS",
+    "Q4_DEFAULTS",
+    "Q13_DEFAULTS",
+    "Q16_DEFAULTS",
+    "Q21_DEFAULTS",
+    "Q22_DEFAULTS",
 ]
 
 Q1_DEFAULTS = {"cutoff": datetime.date(1998, 12, 1) - datetime.timedelta(days=90)}
 Q2_DEFAULTS = {"size": 15, "type_suffix": "BRASS", "region": "EUROPE"}
 Q3_DEFAULTS = {"segment": "BUILDING", "date": datetime.date(1995, 3, 15)}
+Q4_DEFAULTS = {
+    "date_lo": datetime.date(1993, 7, 1),
+    "date_hi": datetime.date(1993, 10, 1),
+}
+Q13_DEFAULTS = {"exclude": "1-URGENT"}
+Q16_DEFAULTS = {"brand": "Brand#45", "max_size": 25, "min_bal": 0.0}
+Q21_DEFAULTS = {"status": "F"}
+Q22_DEFAULTS = {"nations": 10}
 
 
 def relation_query(
@@ -244,6 +262,235 @@ def q3(data: TPCHData, engine: str, provider: Optional[QueryProvider] = None) ->
         .then_by(lambda r: r.o_orderdate)
         .take(10)
         .with_params(**Q3_DEFAULTS)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q4 — order priority checking (semi join / EXISTS)
+# ---------------------------------------------------------------------------
+
+
+def q4(data: TPCHData, engine: str, provider: Optional[QueryProvider] = None) -> Query:
+    """TPC-H Q4: orders with at least one late lineitem, counted by priority.
+
+    The ``EXISTS`` sub-query is a semi join: each order in the date window
+    is kept iff some lineitem of that order committed before it was
+    received.
+    """
+    orders = relation_query(data, "orders", engine, provider)
+    lineitem = relation_query(data, "lineitem", engine, provider)
+    return (
+        orders.where(
+            lambda o: (o.o_orderdate >= P("date_lo")) & (o.o_orderdate < P("date_hi"))
+        )
+        .join_semi(
+            lineitem.where(lambda l: l.l_commitdate < l.l_receiptdate),
+            lambda o: o.o_orderkey,
+            lambda l: l.l_orderkey,
+        )
+        .group_by(
+            lambda o: o.o_orderpriority,
+            lambda g: new(o_orderpriority=g.key, order_count=g.count()),
+        )
+        .order_by(lambda r: r.o_orderpriority)
+        .with_params(**Q4_DEFAULTS)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q13 — customer order-count distribution (left outer join)
+# ---------------------------------------------------------------------------
+
+
+def q13(data: TPCHData, engine: str, provider: Optional[QueryProvider] = None) -> Query:
+    """TPC-H Q13: how many customers placed 0, 1, 2, … orders.
+
+    Customers with no (qualifying) orders must still appear with a count
+    of zero — the defining left-outer-join query.  The matched side
+    carries an ``ind=1`` marker and the default record carries ``ind=0``,
+    so the per-customer order count is a plain sum (the same trick the
+    ``count(o_orderkey)`` null-skipping aggregate plays in SQL).  The
+    reference query excludes a comment pattern; our datagen comments are
+    fillers, so the exclusion predicate is an order priority instead.
+    """
+    customer = relation_query(data, "customer", engine, provider)
+    orders = relation_query(data, "orders", engine, provider)
+    qualifying = orders.where(lambda o: o.o_orderpriority != P("exclude")).select(
+        lambda o: new(cust=o.o_custkey, ind=1)
+    )
+    return (
+        customer.left_outer_join(
+            qualifying,
+            lambda c: c.c_custkey,
+            lambda o: o.cust,
+            lambda c, o: new(custkey=c.c_custkey, ind=o.ind),
+            default={"cust": 0, "ind": 0},
+        )
+        .group_by(
+            lambda r: r.custkey,
+            lambda g: new(custkey=g.key, c_count=g.sum(lambda r: r.ind)),
+        )
+        .group_by(
+            lambda r: r.c_count,
+            lambda g: new(c_count=g.key, custdist=g.count()),
+        )
+        .order_by_desc(lambda r: r.custdist)
+        .then_by_desc(lambda r: r.c_count)
+        .with_params(**Q13_DEFAULTS)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q16 — parts/supplier relationship (anti join / NOT IN + distinct)
+# ---------------------------------------------------------------------------
+
+
+def q16(data: TPCHData, engine: str, provider: Optional[QueryProvider] = None) -> Query:
+    """TPC-H Q16: distinct supplier counts per (brand, type, size).
+
+    The ``NOT IN (select s_suppkey …)`` is an anti join against the
+    flagged suppliers, and ``count(distinct ps_suppkey)`` is a distinct
+    over projected records followed by a group count.  The reference
+    query flags suppliers by a comment pattern; our datagen comments are
+    fillers, so suppliers in arrears (negative balance) stand in.
+    """
+    partsupp = relation_query(data, "partsupp", engine, provider)
+    part = relation_query(data, "part", engine, provider)
+    supplier = relation_query(data, "supplier", engine, provider)
+    flagged = supplier.where(lambda s: s.s_acctbal < P("min_bal"))
+    return (
+        partsupp.join_anti(
+            flagged,
+            lambda ps: ps.ps_suppkey,
+            lambda s: s.s_suppkey,
+        )
+        .join(
+            part.where(
+                lambda p: (p.p_brand != P("brand")) & (p.p_size <= P("max_size"))
+            ),
+            lambda ps: ps.ps_partkey,
+            lambda p: p.p_partkey,
+            lambda ps, p: new(
+                brand=p.p_brand, type=p.p_type, size=p.p_size, suppkey=ps.ps_suppkey
+            ),
+        )
+        .distinct()
+        .group_by(
+            lambda r: new(brand=r.brand, type=r.type, size=r.size),
+            lambda g: new(
+                p_brand=g.key.brand,
+                p_type=g.key.type,
+                p_size=g.key.size,
+                supplier_cnt=g.count(),
+            ),
+        )
+        .order_by_desc(lambda r: r.supplier_cnt)
+        .then_by(lambda r: r.p_brand)
+        .then_by(lambda r: r.p_type)
+        .then_by(lambda r: r.p_size)
+        .with_params(**Q16_DEFAULTS)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q21 — suppliers who kept orders waiting (semi + anti join)
+# ---------------------------------------------------------------------------
+
+
+def q21(data: TPCHData, engine: str, provider: Optional[QueryProvider] = None) -> Query:
+    """TPC-H Q21: suppliers whose late delivery alone held up an order.
+
+    Hand-decorrelated like Q2: the correlated ``EXISTS l2`` (another
+    supplier contributed to the order) becomes a semi join against the
+    orders with more than one distinct supplier, and ``NOT EXISTS l3``
+    (no *other* supplier was late) becomes an anti join against the
+    orders with more than one distinct *late* supplier — a late lineitem
+    surviving both is the sole late supplier of a multi-supplier order.
+    """
+    lineitem = relation_query(data, "lineitem", engine, provider)
+    orders = relation_query(data, "orders", engine, provider)
+    supplier = relation_query(data, "supplier", engine, provider)
+
+    late = lineitem.where(lambda l: l.l_receiptdate > l.l_commitdate)
+
+    def supplier_counts(source: Query) -> Query:
+        return (
+            source.select(lambda l: new(okey=l.l_orderkey, skey=l.l_suppkey))
+            .distinct()
+            .group_by(
+                lambda r: r.okey,
+                lambda g: new(okey=g.key, nsupp=g.count()),
+            )
+            .where(lambda r: r.nsupp > 1)
+        )
+
+    multi_supplier = supplier_counts(lineitem)
+    multi_late = supplier_counts(late)
+    return (
+        late.join_semi(
+            orders.where(lambda o: o.o_orderstatus == P("status")),
+            lambda l: l.l_orderkey,
+            lambda o: o.o_orderkey,
+        )
+        .join_semi(multi_supplier, lambda l: l.l_orderkey, lambda m: m.okey)
+        .join_anti(multi_late, lambda l: l.l_orderkey, lambda m: m.okey)
+        .group_by(
+            lambda l: l.l_suppkey,
+            lambda g: new(skey=g.key, numwait=g.count()),
+        )
+        .join(
+            supplier,
+            lambda r: r.skey,
+            lambda s: s.s_suppkey,
+            lambda r, s: new(s_name=s.s_name, numwait=r.numwait),
+        )
+        .order_by_desc(lambda r: r.numwait)
+        .then_by(lambda r: r.s_name)
+        .take(10)
+        .with_params(**Q21_DEFAULTS)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q22 — global sales opportunity (anti join + prepared scalar sub-query)
+# ---------------------------------------------------------------------------
+
+
+def q22(data: TPCHData, engine: str, provider: Optional[QueryProvider] = None) -> Query:
+    """TPC-H Q22: well-funded customers who never ordered, by country.
+
+    The scalar sub-query (average positive account balance) runs first as
+    its own prepared query and feeds the outer query as a parameter —
+    composition through ``with_params`` rather than a nested plan.  The
+    ``NOT EXISTS (select … from orders)`` is an anti join.  Country codes
+    are phone-prefix substrings in the reference query; our datagen keys
+    country on ``c_nationkey``, so a nation-key range stands in.
+    """
+    customer = relation_query(data, "customer", engine, provider)
+    orders = relation_query(data, "orders", engine, provider)
+    nations = Q22_DEFAULTS["nations"]
+    avg_bal = (
+        customer.where(
+            lambda c: (c.c_acctbal > 0.0) & (c.c_nationkey < P("nations"))
+        )
+        .with_params(nations=nations)
+        .average(lambda c: c.c_acctbal)
+    )
+    return (
+        customer.where(
+            lambda c: (c.c_nationkey < P("nations")) & (c.c_acctbal > P("avg_bal"))
+        )
+        .join_anti(orders, lambda c: c.c_custkey, lambda o: o.o_custkey)
+        .group_by(
+            lambda c: c.c_nationkey,
+            lambda g: new(
+                cntrycode=g.key,
+                numcust=g.count(),
+                totacctbal=g.sum(lambda c: c.c_acctbal),
+            ),
+        )
+        .order_by(lambda r: r.cntrycode)
+        .with_params(nations=nations, avg_bal=avg_bal)
     )
 
 

@@ -11,9 +11,28 @@ from collections import defaultdict
 from typing import Dict, List, Tuple
 
 from .datagen import TPCHData
-from .queries import Q1_DEFAULTS, Q2_DEFAULTS, Q3_DEFAULTS
+from .queries import (
+    Q1_DEFAULTS,
+    Q2_DEFAULTS,
+    Q3_DEFAULTS,
+    Q4_DEFAULTS,
+    Q13_DEFAULTS,
+    Q16_DEFAULTS,
+    Q21_DEFAULTS,
+    Q22_DEFAULTS,
+)
 
-__all__ = ["reference_q1", "reference_q2", "reference_q3", "reference_join_micro"]
+__all__ = [
+    "reference_q1",
+    "reference_q2",
+    "reference_q3",
+    "reference_q4",
+    "reference_q13",
+    "reference_q16",
+    "reference_q21",
+    "reference_q22",
+    "reference_join_micro",
+]
 
 
 def reference_q1(data: TPCHData, cutoff: datetime.date = None) -> List[Tuple]:
@@ -134,6 +153,124 @@ def reference_q3(
     ]
     rows.sort(key=lambda r: (-r[1], r[2]))
     return rows[:10]
+
+
+def reference_q4(
+    data: TPCHData,
+    date_lo: datetime.date = None,
+    date_hi: datetime.date = None,
+) -> List[Tuple]:
+    """(o_orderpriority, order_count) rows ordered by priority."""
+    date_lo = date_lo or Q4_DEFAULTS["date_lo"]
+    date_hi = date_hi or Q4_DEFAULTS["date_hi"]
+    late_orders = {
+        l.l_orderkey
+        for l in data.objects("lineitem")
+        if l.l_commitdate < l.l_receiptdate
+    }
+    counts: Dict[str, int] = defaultdict(int)
+    for o in data.objects("orders"):
+        if date_lo <= o.o_orderdate < date_hi and o.o_orderkey in late_orders:
+            counts[o.o_orderpriority] += 1
+    return sorted(counts.items())
+
+
+def reference_q13(data: TPCHData, exclude: str = None) -> List[Tuple]:
+    """(c_count, custdist) rows ordered by (custdist desc, c_count desc)."""
+    exclude = exclude or Q13_DEFAULTS["exclude"]
+    per_customer: Dict[int, int] = defaultdict(int)
+    for o in data.objects("orders"):
+        if o.o_orderpriority != exclude:
+            per_customer[o.o_custkey] += 1
+    dist: Dict[int, int] = defaultdict(int)
+    for c in data.objects("customer"):
+        dist[per_customer.get(c.c_custkey, 0)] += 1
+    rows = list(dist.items())
+    rows.sort(key=lambda r: (-r[1], -r[0]))
+    return rows
+
+
+def reference_q16(
+    data: TPCHData,
+    brand: str = None,
+    max_size: int = None,
+    min_bal: float = None,
+) -> List[Tuple]:
+    """(p_brand, p_type, p_size, supplier_cnt) rows, count-desc then key."""
+    brand = brand or Q16_DEFAULTS["brand"]
+    max_size = max_size if max_size is not None else Q16_DEFAULTS["max_size"]
+    min_bal = min_bal if min_bal is not None else Q16_DEFAULTS["min_bal"]
+    flagged = {
+        s.s_suppkey for s in data.objects("supplier") if s.s_acctbal < min_bal
+    }
+    parts = {
+        p.p_partkey: p
+        for p in data.objects("part")
+        if p.p_brand != brand and p.p_size <= max_size
+    }
+    seen = set()
+    for ps in data.objects("partsupp"):
+        if ps.ps_suppkey in flagged:
+            continue
+        p = parts.get(ps.ps_partkey)
+        if p is not None:
+            seen.add((p.p_brand, p.p_type, p.p_size, ps.ps_suppkey))
+    counts: Dict[Tuple, int] = defaultdict(int)
+    for b, t, sz, _ in seen:
+        counts[(b, t, sz)] += 1
+    rows = [(b, t, sz, n) for (b, t, sz), n in counts.items()]
+    rows.sort(key=lambda r: (-r[3], r[0], r[1], r[2]))
+    return rows
+
+
+def reference_q21(data: TPCHData, status: str = None) -> List[Tuple]:
+    """(s_name, numwait) top-10 rows, numwait-desc then name."""
+    status = status or Q21_DEFAULTS["status"]
+    f_orders = {
+        o.o_orderkey for o in data.objects("orders") if o.o_orderstatus == status
+    }
+    all_suppliers: Dict[int, set] = defaultdict(set)
+    late_suppliers: Dict[int, set] = defaultdict(set)
+    for l in data.objects("lineitem"):
+        all_suppliers[l.l_orderkey].add(l.l_suppkey)
+        if l.l_receiptdate > l.l_commitdate:
+            late_suppliers[l.l_orderkey].add(l.l_suppkey)
+    numwait: Dict[int, int] = defaultdict(int)
+    for l in data.objects("lineitem"):
+        if (
+            l.l_receiptdate > l.l_commitdate
+            and l.l_orderkey in f_orders
+            and len(all_suppliers[l.l_orderkey]) > 1
+            and len(late_suppliers[l.l_orderkey]) <= 1
+        ):
+            numwait[l.l_suppkey] += 1
+    names = {s.s_suppkey: s.s_name for s in data.objects("supplier")}
+    rows = [(names[k], n) for k, n in numwait.items()]
+    rows.sort(key=lambda r: (-r[1], r[0]))
+    return rows[:10]
+
+
+def reference_q22(data: TPCHData, nations: int = None) -> List[Tuple]:
+    """(cntrycode, numcust, totacctbal) rows ordered by country."""
+    nations = nations if nations is not None else Q22_DEFAULTS["nations"]
+    balances = [
+        c.c_acctbal
+        for c in data.objects("customer")
+        if c.c_acctbal > 0.0 and c.c_nationkey < nations
+    ]
+    avg_bal = sum(balances) / len(balances)
+    has_orders = {o.o_custkey for o in data.objects("orders")}
+    counts: Dict[int, List[float]] = {}
+    for c in data.objects("customer"):
+        if (
+            c.c_nationkey < nations
+            and c.c_acctbal > avg_bal
+            and c.c_custkey not in has_orders
+        ):
+            slot = counts.setdefault(c.c_nationkey, [0, 0.0])
+            slot[0] += 1
+            slot[1] += c.c_acctbal
+    return [(k, n, total) for k, (n, total) in sorted(counts.items())]
 
 
 def reference_join_micro(

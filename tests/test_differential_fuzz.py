@@ -1,8 +1,9 @@
 """Differential fuzz harness: every engine × every parallelism agrees.
 
 A seeded random query generator draws shapes over the expression builder
-(filters, projections, joins, group-by + aggregates, sort, take, distinct,
-scalar terminals) and executes each query on all four compiled engines and
+(filters, projections, inner/outer/semi/anti joins, bag-semantics set
+operations, group-by + aggregates, sort, take, distinct, scalar terminals)
+and executes each query on all four compiled engines and
 every parallelism / morsel-size combination, asserting **exact** agreement
 with the interpreted ``linq`` baseline.  Seeds are deterministic, so a CI
 failure reproduces locally by running the same test id.
@@ -307,6 +308,98 @@ def _shape_effectful(rng):
     return apply
 
 
+def _shape_outer_join(rng):
+    """Left outer joins: defaults must appear exactly where probes miss.
+
+    ``build_mode`` sweeps the build side from full through heavily
+    filtered to empty — the empty build (every probe row unmatched,
+    every output row the default record) is the classic kernel edge.
+    """
+    build_mode = rng.randrange(3)
+    x = _exact_float(rng)
+    sentinel = rng.randrange(-9, -1)
+
+    def apply(outer, inner):
+        if build_mode == 0:
+            right = inner
+        elif build_mode == 1:
+            right = inner.where(lambda b: b.w < x)
+        else:
+            right = inner.where(lambda b: b.w < -1000.0)  # provably empty
+        return (
+            outer.left_outer_join(
+                right,
+                lambda r: r.g,
+                lambda b: b.k,
+                lambda r, b: new(i=r.id, w=b.w, t=b.t),
+                default={"k": sentinel, "w": -0.25, "t": "zz"},
+            ),
+            None,
+        )
+
+    return apply
+
+
+def _shape_semi_anti(rng):
+    """Semi/anti joins: existence masks under skew.
+
+    ``key_mode == 1`` collapses both key columns to a constant — the
+    all-duplicate extreme where one build key decides every probe row —
+    and ``build_mode == 2`` empties the build side (semi keeps nothing,
+    anti keeps everything).
+    """
+    anti = rng.randrange(2)
+    key_mode = rng.randrange(2)
+    build_mode = rng.randrange(3)
+    x = _exact_float(rng)
+
+    def apply(outer, inner):
+        if build_mode == 0:
+            right = inner
+        elif build_mode == 1:
+            right = inner.where(lambda b: b.w >= x)
+        else:
+            right = inner.where(lambda b: b.w < -1000.0)  # provably empty
+        if key_mode:
+            lk, rk = (lambda r: r.g - r.g), (lambda b: b.k - b.k)
+        else:
+            lk, rk = (lambda r: r.g), (lambda b: b.k)
+        method = outer.join_anti if anti else outer.join_semi
+        q = method(right, lk, rk)
+        return q.select(lambda r: new(i=r.id, v=r.v)), None
+
+    return apply
+
+
+def _shape_setop(rng):
+    """Bag-semantics set operations over duplicate-heavy projections.
+
+    Both sides project to the same record shape; the tiny key domains
+    make every multiset count > 1, so probe-and-decrement order is fully
+    exercised.  One arm empties the right side (intersect drops all,
+    except keeps all); ``union`` (distinct) rides along via the shim.
+    """
+    op = rng.randrange(4)
+    c = rng.randrange(0, 6)
+    empty_right = rng.randrange(4) == 0
+
+    def apply(outer, inner):
+        left = outer.where(lambda r: r.g >= c).select(
+            lambda r: new(a=r.g, s=r.s)
+        )
+        right = inner.where(lambda b: b.w < -1000.0) if empty_right else inner
+        right = right.select(lambda b: new(a=b.k, s=b.t))
+        if op == 0:
+            return left.union_all(right), None
+        if op == 1:
+            return left.intersect(right), None
+        if op == 2:
+            return left.except_(right), None
+        return left.union(right), None
+
+    return apply
+
+
 SHAPES = (
     _shape_filter,
     _shape_join,
@@ -318,6 +411,9 @@ SHAPES = (
     _shape_division,
     _shape_sentinel,
     _shape_effectful,
+    _shape_outer_join,
+    _shape_semi_anti,
+    _shape_setop,
 )
 
 

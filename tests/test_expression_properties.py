@@ -110,3 +110,97 @@ class TestRandomExpressionInvariants:
         if not free_vars(expr):
             folded = fold_constants(expr)
             assert isinstance(folded, Constant)
+
+
+# ---------------------------------------------------------------------------
+# Set-operation algebra: engine results vs a collections.Counter oracle
+# ---------------------------------------------------------------------------
+
+_rows = st.lists(
+    st.tuples(st.integers(0, 3), st.sampled_from(["aa", "bb"])), max_size=12
+)
+
+
+class TestSetOperationAlgebra:
+    """Bag-semantics laws, checked against multiset arithmetic.
+
+    ``union_all`` is concatenation; ``intersect`` keeps the first
+    ``min(l, r)`` copies of each row; ``except_`` keeps the copies beyond
+    the right count; ``union`` dedups in first-occurrence order.  The
+    oracle is ``collections.Counter`` — the ground truth the probe-and-
+    decrement multiset build must reproduce, element order included.
+    """
+
+    ENGINES = ("linq", "compiled")
+
+    @staticmethod
+    def _queries(left_rows, right_rows, engine):
+        from repro.query import from_iterable
+        from repro.storage import Field, Schema, StructArray
+
+        schema = Schema([Field("a", "int"), Field("s", "str", 2)], name="P")
+        left = StructArray.from_rows(schema, left_rows).to_objects()
+        right = StructArray.from_rows(schema, right_rows).to_objects()
+        return (
+            from_iterable(left, schema=schema).using(engine),
+            from_iterable(right, schema=schema).using(engine),
+        )
+
+    @staticmethod
+    def _tuples(rows):
+        return [(r.a, r.s) for r in rows]
+
+    @given(_rows, _rows)
+    @settings(max_examples=60, deadline=None)
+    def test_union_all_is_concatenation(self, lrows, rrows):
+        for engine in self.ENGINES:
+            left, right = self._queries(lrows, rrows, engine)
+            got = self._tuples(left.union_all(right).to_list())
+            assert got == lrows + rrows
+
+    @given(_rows, _rows)
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_matches_counter_min(self, lrows, rrows):
+        from collections import Counter
+
+        for engine in self.ENGINES:
+            left, right = self._queries(lrows, rrows, engine)
+            got = self._tuples(left.intersect(right).to_list())
+            assert Counter(got) == Counter(lrows) & Counter(rrows)
+            # first-min(l, r)-copies order: got is a subsequence of lrows
+            it = iter(lrows)
+            assert all(any(x == y for y in it) for x in got)
+
+    @given(_rows, _rows)
+    @settings(max_examples=60, deadline=None)
+    def test_except_matches_counter_difference(self, lrows, rrows):
+        from collections import Counter
+
+        for engine in self.ENGINES:
+            left, right = self._queries(lrows, rrows, engine)
+            got = self._tuples(left.except_(right).to_list())
+            assert Counter(got) == Counter(lrows) - Counter(rrows)
+
+    @given(_rows, _rows)
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_except_partition_the_left_side(self, lrows, rrows):
+        """Every left row lands in exactly one of intersect/except, and
+        merging the two back together restores the left side in order."""
+        for engine in self.ENGINES:
+            left, right = self._queries(lrows, rrows, engine)
+            kept = self._tuples(left.intersect(right).to_list())
+            dropped = self._tuples(left.except_(right).to_list())
+            assert sorted(kept + dropped) == sorted(lrows)
+
+    @given(_rows, _rows)
+    @settings(max_examples=60, deadline=None)
+    def test_union_dedups_in_first_occurrence_order(self, lrows, rrows):
+        for engine in self.ENGINES:
+            left, right = self._queries(lrows, rrows, engine)
+            got = self._tuples(left.union(right).to_list())
+            seen, expected = set(), []
+            for row in lrows + rrows:
+                if row not in seen:
+                    seen.add(row)
+                    expected.append(row)
+            assert got == expected

@@ -247,6 +247,51 @@ class TestConcatUnion:
         for engine in ("linq", "compiled"):
             assert a.using(engine).union(b).to_list() == [1, 2, 3], engine
 
+    def test_union_all_keeps_duplicates(self):
+        a = from_iterable([1, 2, 2], token="t:uaa")
+        b = from_iterable([2, 3], token="t:uab")
+        for engine in ("linq", "compiled"):
+            got = a.using(engine).union_all(b).to_list()
+            assert got == [1, 2, 2, 2, 3], engine
+
+    def test_union_and_union_all_differ_on_duplicates(self):
+        # the regression the explicit bag/set split exists for: the two
+        # spellings must never silently alias each other
+        a = from_iterable([1, 1, 2], token="t:uda")
+        b = from_iterable([1, 3], token="t:udb")
+        distinct = a.union(b).to_list()
+        bag = a.union_all(b).to_list()
+        assert distinct == [1, 2, 3]
+        assert bag == [1, 1, 2, 1, 3]
+
+    def test_union_all_true_kwarg_deprecated(self):
+        a = from_iterable([1, 2], token="t:uka")
+        b = from_iterable([2, 3], token="t:ukb")
+        with pytest.warns(DeprecationWarning, match="union_all"):
+            got = a.union(b, all=True).to_list()
+        assert got == [1, 2, 2, 3]
+
+    def test_union_default_emits_no_warning(self):
+        import warnings
+
+        a = from_iterable([1, 2], token="t:uwa")
+        b = from_iterable([2, 3], token="t:uwb")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert a.union(b).to_list() == [1, 2, 3]
+
+    def test_intersect_and_except_bag_counts(self):
+        a = from_iterable([1, 1, 2, 3, 3, 3], token="t:iba")
+        b = from_iterable([1, 3, 3], token="t:ibb")
+        for engine in ("linq", "compiled"):
+            assert a.using(engine).intersect(b).to_list() == [1, 3, 3], engine
+            assert a.using(engine).except_(b).to_list() == [1, 2, 3], engine
+
+    def test_setop_non_query_operand_rejected(self):
+        a = from_iterable([1, 2], token="t:sqa")
+        with pytest.raises(TranslationError):
+            a.union_all([3, 4])
+
 
 class TestMoreTerminals:
     def _q(self, engine="compiled"):
