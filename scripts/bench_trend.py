@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Append a benchmark run to the performance trajectory and print it.
+
+``check_bench_regression.py`` answers "did this run regress against the
+committed baseline?"; this script answers "where has performance been
+heading?".  Each invocation reduces a ``--bench-json`` payload
+(``BENCH_ci.json``) to one JSON line — per-(figure, engine) median
+milliseconds and linq-normalized ratios plus run metadata — and appends
+it to the trend file.  CI runs it on every push and uploads the file as
+an artifact, so the trajectory accumulates without write access to the
+repository.
+
+The trend file is JSON-lines for the same reason the adaptive profile
+store is: appends are atomic per line, partial lines from a killed run
+never corrupt the history, and versioned records let the schema evolve.
+
+Exit status: 0 on success (trend reporting must never block a merge),
+non-zero only when the current payload itself is unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import statistics
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+#: bump when the record layout changes; readers skip unknown versions
+TREND_VERSION = 1
+
+BASELINE_ENGINE = "linq"
+
+
+def load_payload(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+
+
+def reduce_payload(payload: dict) -> dict:
+    """{"figure/engine": {"ms": median, "ratio": median-vs-linq}}."""
+    table: dict = defaultdict(dict)
+    for cell in payload.get("cells", []):
+        try:
+            table[(cell["figure"], cell["engine"])][cell["selectivity"]] = (
+                float(cell["ms"])
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+    medians = {}
+    for (figure, engine), cells in sorted(table.items()):
+        entry = {"ms": round(statistics.median(cells.values()), 4)}
+        base = table.get((figure, BASELINE_ENGINE))
+        if base and engine != BASELINE_ENGINE:
+            ratios = [
+                ms / base[sel] for sel, ms in cells.items() if base.get(sel)
+            ]
+            if ratios:
+                entry["ratio"] = round(statistics.median(ratios), 4)
+        medians[f"{figure}/{engine}"] = entry
+    return medians
+
+
+def make_record(payload: dict, commit: str, label: str) -> dict:
+    return {
+        "v": TREND_VERSION,
+        "utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "commit": commit,
+        "label": label,
+        "scale": payload.get("scale"),
+        "medians": reduce_payload(payload),
+    }
+
+
+def load_trend(path: Path) -> list:
+    """Prior records, skipping unreadable/foreign-version lines."""
+    records = []
+    if not path.exists():
+        return records
+    try:
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and record.get("v") == TREND_VERSION:
+                records.append(record)
+    except OSError as exc:
+        print(f"warning: cannot read {path}: {exc}")
+    return records
+
+
+def print_trajectory(records: list, limit: int) -> None:
+    """The last *limit* runs, one column per run, ratios where available."""
+    window = records[-limit:]
+    if not window:
+        print("(trend is empty)")
+        return
+    keys = sorted({key for r in window for key in r.get("medians", {})})
+    print(
+        f"\nperformance trajectory (median ms; last {len(window)} run(s), "
+        "oldest first)"
+    )
+    header = f"{'figure/engine':<36}" + "".join(
+        f" {((r.get('commit') or '?')[:9]):>10}" for r in window
+    )
+    print(header)
+    for key in keys:
+        row = f"{key:<36}"
+        for record in window:
+            entry = record.get("medians", {}).get(key)
+            row += f" {entry['ms']:>10.3f}" if entry else f" {'-':>10}"
+        print(row)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("BENCH_ci.json"),
+        help="fresh bench payload to append (default: BENCH_ci.json)",
+    )
+    parser.add_argument(
+        "--trend",
+        type=Path,
+        default=Path("benchmarks/trend.jsonl"),
+        help="trajectory file to append to (default: benchmarks/trend.jsonl)",
+    )
+    parser.add_argument(
+        "--commit",
+        default=os.environ.get("GITHUB_SHA", ""),
+        help="commit identifier for the record (default: $GITHUB_SHA)",
+    )
+    parser.add_argument(
+        "--label",
+        default=os.environ.get("GITHUB_REF_NAME", ""),
+        help="free-form run label, e.g. the branch (default: $GITHUB_REF_NAME)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=8,
+        help="runs shown in the printed trajectory (default: 8)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = load_payload(args.current)
+    record = make_record(payload, args.commit, args.label)
+    if not record["medians"]:
+        sys.exit(f"error: {args.current} contains no benchmark cells")
+
+    records = load_trend(args.trend)
+    records.append(record)
+    try:
+        args.trend.parent.mkdir(parents=True, exist_ok=True)
+        with args.trend.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"appended run {record['commit'] or '(no commit)'} to {args.trend}")
+    except OSError as exc:
+        # the trajectory is observability, not a gate: report and move on
+        print(f"warning: cannot append to {args.trend}: {exc}")
+
+    print_trajectory(records, args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,22 @@ worse than the baseline's.  Phase keys missing from either payload (an
 older baseline, or a sweep that didn't exercise an engine) only warn:
 cross-version payloads must not crash or block the gate.
 
+**A/B mode** (``--ab-static`` + ``--ab-adaptive``): instead of gating
+against the committed baseline, compare two payloads produced back to
+back on the *same* runner — the smoke suite run with ``REPRO_ADAPTIVE=0``
+and again with ``REPRO_ADAPTIVE=1``.  Same machine, same data — but the
+legs are still minutes apart, and shared runners drift that fast, so each
+figure's cells are first corrected by that figure's ``linq`` drift: the
+interpreted engine never consults the adaptive path, so any delta on its
+cells measures runner speed, not adaptivity.  After correction the job
+fails when the adaptive median is more than ``--ab-tolerance`` (default
+10%) slower than the static median on any (figure, engine) cell —
+provided the corrected absolute excess also clears ``--ab-floor-ms``.
+Requiring both keeps the gate strict where it is trustworthy (a 100 ms
+sweep 10% slower is a real regression) and immune where it is not (a
+1.5 ms sweep needs to lose more than a millisecond before the delta
+means anything at smoke scale).
+
 Exit status: 0 = no regression, non-zero = regression, coverage loss, or
 unreadable input.
 """
@@ -158,6 +174,94 @@ def check_elision(current: dict, tolerance: float):
     return regressions
 
 
+def ab_drift(static, adaptive, figure: str):
+    """Runner drift between the legs, measured on *figure*'s linq cells.
+
+    The interpreted engine never consults the adaptive path, so its
+    adaptive/static median ratio is a pure runner-speed signal for the
+    stretch of the run when that figure's sweep executed.  Figures
+    without a linq cell in both legs get 1.0 (no correction).
+    """
+    ref = median_metric(static, figure, BASELINE_ENGINE, "absolute")
+    cur = median_metric(adaptive, figure, BASELINE_ENGINE, "absolute")
+    if not ref or not cur:
+        return 1.0
+    return cur / ref
+
+
+def check_ab(static, adaptive, tolerance: float, floor_ms: float):
+    """Adaptive-vs-static gate within one runner; returns (regs, missing).
+
+    The comparison is the median absolute milliseconds per (figure,
+    engine) across the selectivity sweep, like the baseline gate — but
+    the legs run minutes apart and shared runners drift that fast, so
+    every adaptive median is first divided by the figure's linq drift
+    (see :func:`ab_drift`) to express it in static-leg time units.  The
+    linq cells themselves anchor the correction and are reported, never
+    gated: by construction they cannot regress from adaptivity.  After
+    correction the adaptive run must stay within *tolerance* of the
+    static run everywhere: the point of the profile store is to win on
+    repeated queries without ever taxing one-shot queries more than the
+    decision overhead budget.
+    """
+    regressions = []
+    missing = []
+    print(
+        f"adaptive-vs-static A/B check (tolerance={tolerance:.0%}, "
+        f"noise floor={floor_ms}ms, linq drift correction per figure)"
+    )
+    print(
+        f"{'figure':<20} {'engine':<20} {'static':>10} {'adaptive':>10} "
+        f"{'delta':>8}"
+    )
+    drifts = {}
+    for figure, engine in sorted(static):
+        if figure.startswith("fig07_elision"):
+            # the ablation cells duplicate the fig07_aggregation shapes at
+            # a few ms per single timed drain — pure noise between legs;
+            # adaptivity on those shapes is already gated by the
+            # fig07_aggregation cells and elision itself is gated
+            # within-run by check_elision in the baseline job
+            continue
+        ref = median_metric(static, figure, engine, "absolute")
+        cur = median_metric(adaptive, figure, engine, "absolute")
+        if ref is None:
+            continue
+        if cur is None:
+            missing.append((figure, engine))
+            print(f"{figure:<20} {engine:<20} {ref:>10.3f} {'MISSING':>10}")
+            continue
+        if figure not in drifts:
+            drifts[figure] = ab_drift(static, adaptive, figure)
+        if engine == BASELINE_ENGINE:
+            print(
+                f"{figure:<20} {engine:<20} {ref:>10.3f} {cur:>10.3f} "
+                f"{drifts[figure] - 1.0:>+7.1%}  (drift anchor)"
+            )
+            continue
+        corrected = cur / drifts[figure]
+        delta = corrected / ref - 1.0 if ref else 0.0
+        flag = ""
+        if delta > tolerance:
+            if corrected - ref > floor_ms:
+                regressions.append((figure, engine, ref, corrected, delta))
+                flag = "  <-- REGRESSION"
+            else:
+                flag = "  (within noise floor)"
+        print(
+            f"{figure:<20} {engine:<20} {ref:>10.3f} {corrected:>10.3f} "
+            f"{delta:>+7.1%}{flag}"
+        )
+    print(
+        "(median ms across the sweep; adaptive medians drift-corrected by "
+        "the figure's linq ratio)"
+    )
+    extra = sorted(set(adaptive) - set(static))
+    for figure, engine in extra:
+        print(f"note: {figure}/{engine} only in the adaptive run — skipped")
+    return regressions, missing
+
+
 def median_metric(table, figure: str, engine: str, mode: str):
     """Median ms (absolute) or median ms/linq-ms ratio across the sweep."""
     cells = table.get((figure, engine))
@@ -214,7 +318,57 @@ def main(argv=None) -> int:
         "within the current run before failing (default: 0.50 — the "
         "sweeps are short, so the within-run comparison is still noisy)",
     )
+    parser.add_argument(
+        "--ab-static",
+        type=Path,
+        default=None,
+        help="A/B mode: payload from the REPRO_ADAPTIVE=0 run",
+    )
+    parser.add_argument(
+        "--ab-adaptive",
+        type=Path,
+        default=None,
+        help="A/B mode: payload from the REPRO_ADAPTIVE=1 run",
+    )
+    parser.add_argument(
+        "--ab-tolerance",
+        type=float,
+        default=0.10,
+        help="A/B mode: allowed fractional slowdown of adaptive vs static "
+        "within the same run (default: 0.10)",
+    )
+    parser.add_argument(
+        "--ab-floor-ms",
+        type=float,
+        default=1.0,
+        help="A/B mode: a cell only fails when its drift-corrected excess "
+        "over the static median also clears this many ms — sub-millisecond "
+        "deltas at smoke scale are timer noise (default: 1.0)",
+    )
     args = parser.parse_args(argv)
+
+    if (args.ab_static is None) != (args.ab_adaptive is None):
+        parser.error("--ab-static and --ab-adaptive must be given together")
+    if args.ab_static is not None:
+        static = load_cells(load_payload(args.ab_static), args.ab_static)
+        adaptive = load_cells(load_payload(args.ab_adaptive), args.ab_adaptive)
+        ab_regressions, ab_missing = check_ab(
+            static, adaptive, args.ab_tolerance, args.ab_floor_ms
+        )
+        if ab_missing:
+            print(
+                f"FAIL: {len(ab_missing)} static cell(s) missing from the "
+                "adaptive run"
+            )
+            return 1
+        if ab_regressions:
+            print(
+                f"FAIL: adaptive execution is >{args.ab_tolerance:.0%} slower "
+                f"than static on {len(ab_regressions)} cell(s)"
+            )
+            return 1
+        print("OK: adaptive execution within tolerance of static")
+        return 0
 
     baseline_payload = load_payload(args.baseline)
     current_payload = load_payload(args.current)

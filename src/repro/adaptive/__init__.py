@@ -1,0 +1,38 @@
+"""Adaptive self-tuning execution (profile store + chooser + controller).
+
+The package closes the loop the paper leaves open: instead of one fixed
+generated code shape per query, the engine records how each (engine,
+workers, morsel size) configuration actually performed — persistently,
+keyed by the query's structural cache key — and consults those profiles
+on the next run.  See DESIGN.md §14 for the decision flow.
+"""
+
+from .chooser import AdaptiveChooser, Decision, epsilon_from_env, static_fallback
+from .controller import (
+    AdaptiveController,
+    adaptive_enabled_from_env,
+    default_controller,
+    set_default_controller,
+)
+from .cost import RowEstimate, estimate_plan_rows, redecide_morsel, seed_configuration
+from .store import SCHEMA_VERSION, ConfigStats, ProfileStore, QueryProfile, store_path_from_env
+
+__all__ = [
+    "AdaptiveChooser",
+    "AdaptiveController",
+    "ConfigStats",
+    "Decision",
+    "ProfileStore",
+    "QueryProfile",
+    "RowEstimate",
+    "SCHEMA_VERSION",
+    "adaptive_enabled_from_env",
+    "default_controller",
+    "epsilon_from_env",
+    "estimate_plan_rows",
+    "redecide_morsel",
+    "seed_configuration",
+    "set_default_controller",
+    "static_fallback",
+    "store_path_from_env",
+]

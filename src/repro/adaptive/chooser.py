@@ -1,0 +1,215 @@
+"""The decision point: profile → estimate → static fallback.
+
+The chooser answers one question per query: *which engine, how many
+workers, what morsel size?*  Evidence is consulted in strictly decreasing
+order of quality, and the chosen tier is stamped on the decision as its
+``source`` so ``explain_analyze`` can show where a decision came from:
+
+``profile``
+    The profile store has observed runs for this query shape; take the
+    configuration with the lowest smoothed wall time.
+``estimate``
+    No profile yet; seed parallelism and morsel size from the
+    :mod:`repro.plans.statistics` cardinality estimates.
+``static-fallback``
+    No profile, no estimate, or *anything* raised on the way — behave
+    exactly like the pre-adaptive engine (requested engine, no worker or
+    morsel override).  This tier is also the fail-open landing pad.
+``explore``
+    Epsilon-greedy exploration: with probability ε (``REPRO_ADAPTIVE_
+    EPSILON``, default 0.05) try a non-best configuration so the profile
+    keeps learning about alternatives.  ε = 0 disables exploration and
+    makes the chooser fully deterministic (byte-stable across processes,
+    which the determinism tests assert).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..observability.metrics import METRICS, MetricsRegistry
+from .cost import RowEstimate, seed_configuration
+from .store import ProfileStore
+
+__all__ = ["Decision", "AdaptiveChooser", "epsilon_from_env"]
+
+DEFAULT_EPSILON = 0.05
+
+#: worker counts exploration draws from (capped by the host)
+_EXPLORE_WORKERS = (1, 2, 4)
+
+#: morsel sizes exploration draws from
+_EXPLORE_MORSELS = (8192, 32768, 65536)
+
+
+def epsilon_from_env() -> float:
+    """Exploration rate from ``REPRO_ADAPTIVE_EPSILON`` (default 0.05)."""
+    env = os.environ.get("REPRO_ADAPTIVE_EPSILON", "").strip()
+    if not env:
+        return DEFAULT_EPSILON
+    try:
+        value = float(env)
+    except ValueError:
+        return DEFAULT_EPSILON
+    return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One resolved execution configuration plus its provenance."""
+
+    engine: str
+    #: worker override, or None to defer to the static resolution
+    workers: Optional[int]
+    #: morsel-size override, or None for the runtime default
+    morsel: Optional[int]
+    #: "profile" | "estimate" | "static-fallback" | "explore"
+    source: str
+    reason: str = ""
+
+    def describe(self) -> str:
+        workers = "static" if self.workers is None else str(self.workers)
+        morsel = "default" if self.morsel is None else str(self.morsel)
+        text = (
+            f"engine={self.engine} workers={workers} morsel={morsel} "
+            f"(source={self.source})"
+        )
+        if self.reason:
+            text += f" — {self.reason}"
+        return text
+
+
+def static_fallback(engine: str, reason: str = "") -> Decision:
+    return Decision(
+        engine=engine,
+        workers=None,
+        morsel=None,
+        source="static-fallback",
+        reason=reason,
+    )
+
+
+class AdaptiveChooser:
+    """Epsilon-greedy configuration selection over the profile store."""
+
+    def __init__(
+        self,
+        store: ProfileStore,
+        epsilon: Optional[float] = None,
+        seed: int = 0xC0FFEE,
+        max_workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.store = store
+        self.epsilon = epsilon_from_env() if epsilon is None else epsilon
+        self._rng = random.Random(seed)
+        self._max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._metrics = metrics if metrics is not None else METRICS
+
+    def decide(
+        self,
+        key: str,
+        requested_engine: str,
+        candidates: Sequence[str],
+        estimate: Optional[RowEstimate],
+        default_morsel: int,
+        load_factor: float = 1.0,
+        explore: bool = True,
+    ) -> Decision:
+        """Pick a configuration; never raises (fail-open by contract)."""
+        try:
+            decision = self._decide(
+                key,
+                requested_engine,
+                tuple(candidates) or (requested_engine,),
+                estimate,
+                default_morsel,
+                load_factor,
+                explore,
+            )
+        except Exception:  # noqa: BLE001 - fail-open by contract
+            self._metrics.counter("adaptive.errors").add()
+            decision = static_fallback(requested_engine, "chooser error")
+        self._metrics.counter(f"adaptive.decisions.{decision.source}").add()
+        return decision
+
+    # -- internals --------------------------------------------------------------
+
+    def _decide(
+        self,
+        key: str,
+        requested_engine: str,
+        candidates: Tuple[str, ...],
+        estimate: Optional[RowEstimate],
+        default_morsel: int,
+        load_factor: float,
+        explore: bool,
+    ) -> Decision:
+        profile = self.store.profile(key)
+        if (
+            explore
+            and self.epsilon > 0
+            and profile is not None
+            and self._rng.random() < self.epsilon
+        ):
+            return self._explore(candidates, estimate, load_factor)
+        if profile is not None and profile.runs > 0:
+            best = profile.best()
+            if best is not None and best.engine in candidates:
+                workers = self._cap_workers(best.workers, load_factor)
+                return Decision(
+                    engine=best.engine,
+                    workers=workers,
+                    # morsel 0 records a sequential run: no override
+                    morsel=best.morsel or None,
+                    source="profile",
+                    reason=f"{best.runs} run(s), ewma {best.ewma_ms:.3f} ms",
+                )
+        if estimate is not None and estimate.driver_rows > 0:
+            workers, morsel = seed_configuration(
+                estimate, self._max_workers, default_morsel
+            )
+            workers = self._cap_workers(workers, load_factor)
+            return Decision(
+                engine=requested_engine,
+                workers=workers,
+                morsel=morsel,
+                source="estimate",
+                reason=(
+                    f"~{estimate.driver_rows} driver rows, "
+                    f"~{estimate.output_rows} out"
+                ),
+            )
+        return static_fallback(requested_engine, "no profile, no estimate")
+
+    def _explore(
+        self,
+        candidates: Tuple[str, ...],
+        estimate: Optional[RowEstimate],
+        load_factor: float,
+    ) -> Decision:
+        engine = self._rng.choice(list(candidates))
+        workers = self._rng.choice(
+            [w for w in _EXPLORE_WORKERS if w <= self._max_workers] or [1]
+        )
+        # don't explore fan-out on inputs too small to ever benefit
+        if estimate is not None and estimate.driver_rows < 4096:
+            workers = 1
+        morsel = self._rng.choice(_EXPLORE_MORSELS)
+        return Decision(
+            engine=engine,
+            workers=self._cap_workers(workers, load_factor),
+            morsel=morsel,
+            source="explore",
+            reason=f"epsilon={self.epsilon:g}",
+        )
+
+    @staticmethod
+    def _cap_workers(workers: Optional[int], load_factor: float) -> Optional[int]:
+        """Shrink the worker grant in proportion to observed service load."""
+        if workers is None or workers <= 1 or load_factor >= 1.0:
+            return workers
+        return max(1, int(workers * max(0.0, load_factor)))

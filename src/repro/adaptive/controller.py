@@ -1,0 +1,298 @@
+"""The adaptive controller: one object tying the feedback loop together.
+
+The provider asks it to *decide* (engine, workers, morsel size) before a
+query runs and to *observe* (elapsed, cardinality) after; the admission
+controller *notes degradations* so the chooser learns to request less
+parallelism while the service is saturated; the parallel runtime asks it
+for a *redecider* that adjusts the morsel size mid-flight when observed
+cardinality diverges from the estimate by more than 4x.
+
+Everything is fail-open: a controller that cannot load its store, derive
+an estimate, or persist an observation silently behaves like the static
+engine and increments a metric — adaptivity is an optimization layer,
+never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from ..observability.metrics import METRICS, MetricsRegistry
+from .chooser import AdaptiveChooser, Decision
+from .cost import RowEstimate, redecide_morsel
+from .store import ProfileStore, store_path_from_env
+
+__all__ = [
+    "AdaptiveController",
+    "adaptive_enabled_from_env",
+    "default_controller",
+    "set_default_controller",
+]
+
+#: EWMA weight for admission-degradation feedback
+_LOAD_ALPHA = 0.4
+
+#: per-decide relaxation of the load factor back toward 1.0 (idle
+#: services forget past saturation within a few dozen queries)
+_LOAD_RELAX = 0.05
+
+#: bound on the per-controller estimate memo
+_MAX_ESTIMATES = 4096
+
+
+def adaptive_enabled_from_env() -> bool:
+    """True when ``REPRO_ADAPTIVE`` asks for adaptive execution."""
+    return os.environ.get("REPRO_ADAPTIVE", "").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
+class AdaptiveController:
+    """Profile store + chooser + load feedback, shared across queries."""
+
+    def __init__(
+        self,
+        store: Optional[ProfileStore] = None,
+        chooser: Optional[AdaptiveChooser] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self._metrics = metrics if metrics is not None else METRICS
+        try:
+            self.store = (
+                store
+                if store is not None
+                else ProfileStore(store_path_from_env(), metrics=self._metrics)
+            )
+        except Exception:  # noqa: BLE001 - fail-open by contract
+            self._metrics.counter("adaptive.store_errors").add()
+            self.store = ProfileStore(None, metrics=self._metrics)
+        self.chooser = (
+            chooser
+            if chooser is not None
+            else AdaptiveChooser(self.store, metrics=self._metrics)
+        )
+        self._lock = threading.Lock()
+        self._estimates: Dict[str, Optional[RowEstimate]] = {}
+        #: EWMA of granted/requested parallelism under admission control;
+        #: 1.0 = unloaded, seeded from the store's persisted degradations
+        ratios = self.store.degrade_ratios()
+        self._load_factor = (
+            sum(ratios[-4:]) / len(ratios[-4:]) if ratios else 1.0
+        )
+
+    # -- profile keys ------------------------------------------------------------
+
+    @staticmethod
+    def profile_key(raw_key: Any) -> str:
+        """Stable short digest of a provider cache key.
+
+        The provider's keys are nested tuples of primitives whose ``repr``
+        is process-independent, so the digest identifies one query shape
+        across processes and store generations.
+        """
+        return hashlib.sha256(repr(raw_key).encode("utf-8")).hexdigest()[:20]
+
+    # -- the decision ------------------------------------------------------------
+
+    def estimated_rows(
+        self, key: str, derive: Callable[[], RowEstimate]
+    ) -> Optional[RowEstimate]:
+        """Memoized cardinality estimate for one profile key (fail-open)."""
+        with self._lock:
+            if key in self._estimates:
+                return self._estimates[key]
+        try:
+            estimate = derive()
+        except Exception:  # noqa: BLE001 - fail-open by contract
+            self._metrics.counter("adaptive.errors").add()
+            estimate = None
+        with self._lock:
+            if len(self._estimates) >= _MAX_ESTIMATES:
+                self._estimates.clear()
+            self._estimates[key] = estimate
+        return estimate
+
+    def decide(
+        self,
+        key: str,
+        requested_engine: str,
+        candidates: Sequence[str],
+        estimate: Optional[RowEstimate],
+        default_morsel: int,
+        explore: bool = True,
+    ) -> Decision:
+        """Pick a configuration for one execution (never raises)."""
+        with self._lock:
+            # saturation memory decays: each decision relaxes toward 1.0
+            self._load_factor = min(
+                1.0, self._load_factor + _LOAD_RELAX * (1.0 - self._load_factor) + 0.0
+            )
+            load = self._load_factor
+        return self.chooser.decide(
+            key,
+            requested_engine,
+            candidates,
+            estimate,
+            default_morsel,
+            load_factor=load,
+            explore=explore,
+        )
+
+    def peek(
+        self,
+        key: str,
+        requested_engine: str,
+        candidates: Sequence[str],
+        estimate: Optional[RowEstimate],
+        default_morsel: int,
+    ) -> Decision:
+        """The decision EXPLAIN would render: no exploration, no decay."""
+        with self._lock:
+            load = self._load_factor
+        return self.chooser.decide(
+            key,
+            requested_engine,
+            candidates,
+            estimate,
+            default_morsel,
+            load_factor=load,
+            explore=False,
+        )
+
+    # -- feedback ----------------------------------------------------------------
+
+    def observe(
+        self,
+        key: str,
+        decision: Decision,
+        engine: str,
+        workers: int,
+        morsel: int,
+        ms: float,
+        rows: Optional[int],
+        estimate: Optional[RowEstimate],
+        degraded: bool = False,
+    ) -> None:
+        """Feed one finished execution back into the profile (fail-open)."""
+        try:
+            self.store.record_run(
+                key,
+                engine=engine,
+                workers=workers,
+                morsel=morsel,
+                ms=ms,
+                rows=rows,
+                estimated=estimate.output_rows if estimate else None,
+                degraded=degraded,
+            )
+            self._metrics.counter("adaptive.observations").add()
+        except Exception:  # noqa: BLE001 - fail-open by contract
+            self._metrics.counter("adaptive.store_errors").add()
+
+    def note_degradation(self, requested: int, granted: int) -> None:
+        """Admission control shrank a parallelism grant — learn from it."""
+        try:
+            requested = max(1, int(requested))
+            granted = max(1, int(granted))
+            ratio = granted / requested
+            with self._lock:
+                self._load_factor += _LOAD_ALPHA * (ratio - self._load_factor)
+            self.store.record_degrade(requested, granted)
+            self._metrics.counter("adaptive.degradations").add()
+        except Exception:  # noqa: BLE001 - fail-open by contract
+            self._metrics.counter("adaptive.errors").add()
+
+    @property
+    def load_factor(self) -> float:
+        with self._lock:
+            return self._load_factor
+
+    # -- mid-flight re-decision ---------------------------------------------------
+
+    def redecider(
+        self, estimate: Optional[RowEstimate], total_rows: Optional[int]
+    ) -> Optional[Callable[[int, Optional[int], int, int, int], Optional[int]]]:
+        """A morsel-size re-decision hook for one parallel execution.
+
+        The parallel runtime calls the hook after the first morsel (a
+        pipeline-breaker boundary: its partial result has materialized)
+        with the observed input/output cardinalities; when the observed
+        selectivity diverges from the estimate by more than 4x the hook
+        returns a re-decided morsel size for the remaining morsels.
+        """
+        if (
+            estimate is None
+            or not total_rows
+            or estimate.driver_rows <= 0
+            or estimate.output_rows <= 0
+        ):
+            return None
+        estimated_selectivity = estimate.output_rows / max(
+            estimate.driver_rows, 1
+        )
+        metrics = self._metrics
+
+        def redecide(
+            rows_in: int,
+            rows_out: Optional[int],
+            current_morsel: int,
+            remaining_rows: int,
+            workers: int,
+        ) -> Optional[int]:
+            if rows_out is None or rows_in <= 0:
+                return None
+            try:
+                new_size = redecide_morsel(
+                    current_morsel,
+                    observed_selectivity=rows_out / rows_in,
+                    estimated_selectivity=estimated_selectivity,
+                    remaining_rows=remaining_rows,
+                    workers=workers,
+                )
+            except Exception:  # noqa: BLE001 - fail-open by contract
+                metrics.counter("adaptive.errors").add()
+                return None
+            if new_size is not None:
+                metrics.counter("adaptive.redecisions").add()
+            return new_size
+
+        return redecide
+
+
+_DEFAULT_CONTROLLER: Optional[AdaptiveController] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_controller(force: bool = False) -> Optional[AdaptiveController]:
+    """The process-wide controller when ``REPRO_ADAPTIVE`` is on, else None.
+
+    Created on first use; shared by the default provider and the
+    admission controller so degradation feedback and query profiles land
+    in one store.  ``force=True`` (``using(adaptive=True)``) creates it
+    even when the environment switch is off.
+    """
+    if not force and not adaptive_enabled_from_env():
+        return None
+    global _DEFAULT_CONTROLLER
+    if _DEFAULT_CONTROLLER is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT_CONTROLLER is None:
+                _DEFAULT_CONTROLLER = AdaptiveController()
+    return _DEFAULT_CONTROLLER
+
+
+def set_default_controller(
+    controller: Optional[AdaptiveController],
+) -> Optional[AdaptiveController]:
+    """Swap the process-wide controller (tests); returns the previous one."""
+    global _DEFAULT_CONTROLLER
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT_CONTROLLER
+        _DEFAULT_CONTROLLER = controller
+    return previous

@@ -1,0 +1,215 @@
+"""Cost seeding for the chooser — :mod:`repro.plans.statistics` applied.
+
+Before any profile exists, the chooser needs *some* basis for picking a
+parallelism and morsel size.  This module walks the optimized logical
+plan with the textbook estimates the optimizer already uses for conjunct
+ordering (uniform ranges, 1/distinct equality, the System-R default
+selectivity) and produces a :class:`RowEstimate` — the driver input
+cardinality (what parallelism amortizes over) and the output cardinality
+(what the mid-flight re-decision compares observations against).
+
+Estimates are deliberately crude: they only have to land the decision in
+the right order of magnitude, and every run refines them with observed
+cardinalities through the profile store.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..expressions.nodes import Binary, Lambda
+from ..plans.logical import (
+    Concat,
+    Distinct,
+    Filter,
+    FlatMap,
+    GroupAggregate,
+    GroupBy,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    ScalarAggregate,
+    Scan,
+    SetOp,
+    Sort,
+    TopN,
+)
+from ..plans.statistics import DEFAULT_SELECTIVITY, estimate_selectivity
+
+__all__ = [
+    "RowEstimate",
+    "estimate_plan_rows",
+    "seed_configuration",
+    "PARALLEL_ROW_THRESHOLD",
+    "MIN_MORSEL_ROWS",
+    "MAX_MORSEL_ROWS",
+]
+
+#: below this many driver rows, fan-out overhead beats the speedup
+PARALLEL_ROW_THRESHOLD = 16384
+
+#: morsel-size clamp for seeded and re-decided sizes
+MIN_MORSEL_ROWS = 1024
+MAX_MORSEL_ROWS = 1 << 20
+
+#: group-by / distinct output heuristic: sqrt of the input, the classic
+#: "many groups but far fewer than rows" assumption when stats are silent
+_GROUP_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class RowEstimate:
+    """Estimated cardinalities for one plan: driver input and output."""
+
+    driver_rows: int
+    output_rows: int
+
+
+def _source_rows(sources: List[Any], ordinal: int) -> int:
+    if 0 <= ordinal < len(sources):
+        try:
+            return len(sources[ordinal])
+        except TypeError:
+            return 0
+    return 0
+
+
+def _filter_selectivity(
+    predicate: Lambda, token: Optional[str], statistics: Dict[str, Any]
+) -> float:
+    stats = statistics.get(token) if token else None
+    if stats is None:
+        return DEFAULT_SELECTIVITY
+    (param,) = predicate.params
+    selectivity = 1.0
+    for conjunct in _conjuncts(predicate.body):
+        selectivity *= estimate_selectivity(conjunct, param, stats)
+    return min(1.0, max(0.0, selectivity))
+
+
+def _conjuncts(body: Any) -> List[Any]:
+    if isinstance(body, Binary) and body.op == "and":
+        return _conjuncts(body.left) + _conjuncts(body.right)
+    return [body]
+
+
+def _walk(
+    plan: Plan, sources: List[Any], statistics: Dict[str, Any]
+) -> Tuple[float, Optional[str]]:
+    """(estimated rows, driving schema token) for one subtree."""
+    if isinstance(plan, Scan):
+        return float(_source_rows(sources, plan.ordinal)), plan.schema_token
+    if isinstance(plan, Filter):
+        rows, token = _walk(plan.child, sources, statistics)
+        return rows * _filter_selectivity(plan.predicate, token, statistics), token
+    if isinstance(plan, Project):
+        return _walk(plan.child, sources, statistics)
+    if isinstance(plan, FlatMap):
+        rows, _ = _walk(plan.child, sources, statistics)
+        # per-element expansion factor is unknowable statically; assume 1
+        return rows, None
+    if isinstance(plan, Join):
+        left, token = _walk(plan.left, sources, statistics)
+        right, _ = _walk(plan.right, sources, statistics)
+        if plan.kind in ("semi", "anti"):
+            return left * _GROUP_FRACTION * 2, token  # a fraction survives
+        if plan.kind == "left":
+            return left, token  # every probe row emits at least once
+        # inner equi-join: probe-side cardinality is the usual anchor
+        return left, token
+    if isinstance(plan, (GroupAggregate, GroupBy, Distinct)):
+        rows, _ = _walk(plan.child, sources, statistics)
+        return max(1.0, rows**_GROUP_FRACTION), None
+    if isinstance(plan, ScalarAggregate):
+        return 1.0, None
+    if isinstance(plan, (Sort, TopN, Limit)):
+        rows, token = _walk(plan.child, sources, statistics)
+        return rows, token
+    if isinstance(plan, (Concat, SetOp)):
+        left, token = _walk(plan.left, sources, statistics)
+        right, _ = _walk(plan.right, sources, statistics)
+        return left + right, token
+    children = [c for c in _plan_children(plan)]
+    if children:
+        return _walk(children[0], sources, statistics)
+    return 0.0, None
+
+
+def _plan_children(plan: Plan) -> List[Plan]:
+    from ..plans.logical import plan_children
+
+    return list(plan_children(plan))
+
+
+def _driver_rows(plan: Plan, sources: List[Any]) -> int:
+    """Rows of the leftmost (driving) scan — what morsels partition."""
+    node = plan
+    while True:
+        if isinstance(node, Scan):
+            return _source_rows(sources, node.ordinal)
+        children = _plan_children(node)
+        if not children:
+            return 0
+        node = children[0]
+
+
+def estimate_plan_rows(
+    plan: Plan, sources: List[Any], statistics: Dict[str, Any]
+) -> RowEstimate:
+    """Estimate driver-input and output cardinalities for *plan*."""
+    output, _ = _walk(plan, sources, statistics)
+    return RowEstimate(
+        driver_rows=int(_driver_rows(plan, sources)),
+        output_rows=max(0, int(round(output))),
+    )
+
+
+def seed_configuration(
+    estimate: RowEstimate,
+    max_workers: int,
+    default_morsel: int,
+) -> Tuple[int, int]:
+    """(workers, morsel rows) from an estimate alone — no profile yet.
+
+    Small inputs stay sequential (fan-out costs more than it saves);
+    larger inputs take enough workers to give each a few morsels, with
+    the morsel size shrunk so every worker gets work but never below the
+    cache-resident floor.
+    """
+    rows = estimate.driver_rows
+    if rows < PARALLEL_ROW_THRESHOLD or max_workers < 2:
+        return 1, default_morsel
+    workers = min(max_workers, max(2, rows // PARALLEL_ROW_THRESHOLD))
+    morsel = rows // (workers * 2) or default_morsel
+    morsel = min(MAX_MORSEL_ROWS, max(MIN_MORSEL_ROWS, morsel, 1))
+    return workers, min(morsel, default_morsel)
+
+
+def redecide_morsel(
+    current_morsel: int,
+    observed_selectivity: float,
+    estimated_selectivity: float,
+    remaining_rows: int,
+    workers: int,
+) -> Optional[int]:
+    """New morsel size when observation diverges >4x from the estimate.
+
+    A far-denser-than-estimated output means each morsel emits (and
+    merges) much more than planned — shrink morsels so partial results
+    stay bounded.  A far-sparser output means per-morsel overhead
+    dominates — grow them.  Within 4x, keep the current size (None).
+    """
+    observed = max(observed_selectivity, 1e-9)
+    estimated = max(estimated_selectivity, 1e-9)
+    ratio = observed / estimated
+    if 0.25 <= ratio <= 4.0:
+        return None
+    scaled = int(current_morsel / math.sqrt(ratio))
+    # never leave a worker idle: keep at least one morsel per worker
+    if remaining_rows > 0 and workers > 1:
+        scaled = min(scaled, max(1, remaining_rows // workers))
+    scaled = min(MAX_MORSEL_ROWS, max(MIN_MORSEL_ROWS, scaled))
+    return None if scaled == current_morsel else scaled

@@ -44,6 +44,7 @@ _LINQ_PLAN = "(linq engine: interpreted operator chain, no plan)"
 #: sort after these, by first appearance
 _PHASE_ORDER = (
     "service.queue_wait",
+    "query.decide",
     "query.canonicalize",
     "query.cache_lookup",
     "query.analyze",
@@ -160,6 +161,7 @@ class ExplainReport:
     pipelines: Tuple[str, ...] = ()
     facts: Tuple[str, ...] = ()
     parallel: str = ""
+    adaptive: str = ""
 
     def render(self) -> str:
         lines = [self.plan_text.rstrip("\n")]
@@ -180,10 +182,32 @@ class ExplainReport:
                 lines.append(f"  {line}")
         if self.parallel:
             lines.append(f"parallel: {self.parallel}")
+        if self.adaptive:
+            lines.append(f"adaptive: {self.adaptive}")
         return "\n".join(lines)
 
     def __str__(self) -> str:
         return self.render()
+
+
+def _adaptive_verdict(
+    provider: Any, expr: Any, sources: List[Any], engine: str, adaptive: Any
+) -> str:
+    """The decision the chooser would make right now (EXPLAIN is a dry
+    run: no exploration, no observation, no profile mutation)."""
+    resolve = getattr(provider, "_adaptive_controller", None)
+    if resolve is None:
+        return ""
+    try:
+        controller = resolve(adaptive, engine)
+        if controller is None:
+            return ""
+        _, _, decision, _ = provider._adaptive_decide(
+            expr, sources, engine, controller, explore=False
+        )
+        return decision.describe()
+    except Exception:  # noqa: BLE001 - explain must never fail on adaptivity
+        return ""
 
 
 def explain_report(
@@ -192,6 +216,7 @@ def explain_report(
     sources: List[Any],
     engine: str,
     parallelism: Optional[int] = None,
+    adaptive: Any = None,
 ) -> ExplainReport:
     """Build the static EXPLAIN report for one query/engine pairing."""
     if engine == "linq":
@@ -214,6 +239,7 @@ def explain_report(
         pipelines=pipelines,
         facts=facts,
         parallel=_parallel_verdict(provider, plan, engine, parallelism),
+        adaptive=_adaptive_verdict(provider, expr, sources, engine, adaptive),
     )
 
 
@@ -227,6 +253,7 @@ class ExplainAnalysis:
     cache: str
     phases: Dict[str, PhaseStat] = field(default_factory=dict)
     parallel: str = ""
+    adaptive: str = ""
     morsels: int = 0
     spans: List[SpanRecord] = field(default_factory=list)
 
@@ -241,6 +268,8 @@ class ExplainAnalysis:
         lines.append(f"cache: {self.cache}")
         if self.parallel:
             lines.append(f"parallel: {self.parallel}")
+        if self.adaptive:
+            lines.append(f"adaptive: {self.adaptive}")
         lines.append("phases (wall ms):")
         for stat in self.phases.values():
             lines.append(
@@ -272,6 +301,7 @@ def explain_analyze(
     params: Dict[str, Any],
     parallelism: Optional[int] = None,
     morsel_size: Optional[int] = None,
+    adaptive: Any = None,
     runner: Optional[Any] = None,
 ) -> ExplainAnalysis:
     """Execute the query under a span capture and fold the evidence.
@@ -298,6 +328,8 @@ def explain_analyze(
                 params,
                 parallelism=parallelism,
                 morsel_size=morsel_size,
+                # omit when unset: providers predating the adaptive layer
+                **({} if adaptive is None else {"adaptive": adaptive}),
             )
             rows = 0
             for _ in iterator:
@@ -305,9 +337,12 @@ def explain_analyze(
     phases = _fold_phases(spans)
 
     cache = "n/a (linq never compiles)" if engine == "linq" else "miss"
+    adaptive_line = ""
     for record in spans:
         if record.name == "query.cache_lookup":
             cache = "hit" if record.attrs.get("hit") else "miss"
+        elif record.name == "query.decide":
+            adaptive_line = record.attrs.get("decision", "")
     morsels = sum(1 for r in spans if r.name == "parallel.morsel")
 
     if engine == "linq":
@@ -334,6 +369,7 @@ def explain_analyze(
         cache=cache,
         phases=phases,
         parallel=parallel,
+        adaptive=adaptive_line,
         morsels=morsels,
         spans=list(spans),
     )

@@ -26,6 +26,10 @@ import time
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..adaptive.chooser import Decision, static_fallback
+from ..adaptive.controller import AdaptiveController
+from ..adaptive.controller import default_controller as _default_adaptive
+from ..adaptive.cost import RowEstimate, estimate_plan_rows
 from ..analysis import analyze_ir, elision_enabled
 from ..codegen.compiler import CompiledQuery
 from ..codegen.ir import QueryIR
@@ -41,6 +45,7 @@ from ..plans.logical import plan_to_text
 from ..plans.optimizer import OptimizeOptions, optimize
 from ..plans.translate import TranslateOptions, translate
 from ..plans.validate import capability_report, validate_plan
+from ..storage.struct_array import StructArray
 from ..runtime.parallel import (
     DEFAULT_MORSEL_ROWS,
     ParallelQuery,
@@ -160,6 +165,7 @@ class QueryProvider:
         params: Dict[str, Any],
         parallelism: Optional[int] = None,
         morsel_size: Optional[int] = None,
+        adaptive: Any = None,
     ) -> Iterator[Any]:
         """Run *expr* and return a lazy iterator over its results."""
         if engine == "linq":
@@ -173,38 +179,91 @@ class QueryProvider:
             if TRACER.active:
                 return traced_rows(TRACER, iterator, engine="linq")
             return iterator
-        # the sequential artifact compiles first even under parallelism:
-        # it is the fallback, and it guarantees exact error parity (a
-        # query the engine rejects is rejected with or without workers)
-        compiled, bindings = self._compiled_for(expr, sources, engine)
+        controller = self._adaptive_controller(adaptive, engine)
+        decision: Optional[Decision] = None
+        adaptive_key = ""
+        estimate: Optional[RowEstimate] = None
+        if controller is not None:
+            adaptive_key, estimate, decision, canonical = self._adaptive_decide(
+                expr, sources, engine, controller
+            )
+            compiled, bindings, run_engine = self._compiled_adaptive(
+                expr, sources, engine, decision, canonical=canonical
+            )
+        else:
+            # the sequential artifact compiles first even under
+            # parallelism: it is the fallback, and it guarantees exact
+            # error parity (a query the engine rejects is rejected with
+            # or without workers)
+            compiled, bindings = self._compiled_for(expr, sources, engine)
+            run_engine = engine
         if compiled.scalar:
             raise ExecutionError(
                 "this query is a scalar aggregate; use the terminal method"
             )
+        # caller-explicit knobs always beat the adaptive decision
+        effective_parallelism = parallelism
+        if effective_parallelism is None and decision is not None:
+            effective_parallelism = decision.workers
+        effective_morsel = morsel_size
+        if effective_morsel is None and decision is not None:
+            effective_morsel = decision.morsel
         parallel = self._parallel_plan(
-            expr, sources, engine, parallelism, scalar=False
+            expr, sources, run_engine, effective_parallelism, scalar=False
         )
         if parallel is not None:
             workers, morsel_rows, artifact = parallel
+            morsel = effective_morsel or morsel_rows
+            redecide = None
+            if controller is not None:
+                redecide = controller.redecider(
+                    estimate, source_length(sources[artifact.morsel_ordinal])
+                )
             started = time.perf_counter()
             rows = artifact.execute(
                 sources,
                 {**bindings, **params},
                 workers,
-                morsel_size or morsel_rows,
+                morsel,
+                redecide=redecide,
             )
+            ended = time.perf_counter()
             TRACER.record(
                 "query.execute",
                 started,
-                time.perf_counter(),
+                ended,
                 rows=len(rows),
-                engine=engine,
+                engine=run_engine,
                 parallel=True,
             )
+            if controller is not None:
+                controller.observe(
+                    adaptive_key,
+                    decision,
+                    run_engine,
+                    workers,
+                    morsel,
+                    (ended - started) * 1e3,
+                    len(rows),
+                    estimate,
+                )
             return iter(rows)
+        started = time.perf_counter()
         iterator = iter(compiled.execute(sources, {**bindings, **params}))
         if TRACER.active:
-            return traced_rows(TRACER, iterator, engine=engine)
+            iterator = traced_rows(TRACER, iterator, engine=run_engine)
+        if controller is not None:
+            # wall time and cardinality land in the profile when the
+            # caller exhausts (or abandons) the lazy result
+            iterator = _observe_rows(
+                iterator,
+                controller,
+                adaptive_key,
+                decision,
+                run_engine,
+                estimate,
+                started,
+            )
         return iterator
 
     def execute_scalar(
@@ -215,6 +274,7 @@ class QueryProvider:
         params: Dict[str, Any],
         parallelism: Optional[int] = None,
         morsel_size: Optional[int] = None,
+        adaptive: Any = None,
     ) -> Any:
         """Run a terminal aggregate and return its single value."""
         if engine == "linq":
@@ -223,25 +283,68 @@ class QueryProvider:
             self._analysis_for(canonical, sources)
             with TRACER.span("query.execute", engine="linq", scalar=True):
                 return scalar_query(expr, sources, params)
-        compiled, bindings = self._compiled_for(expr, sources, engine)
+        controller = self._adaptive_controller(adaptive, engine)
+        decision: Optional[Decision] = None
+        adaptive_key = ""
+        estimate: Optional[RowEstimate] = None
+        if controller is not None:
+            adaptive_key, estimate, decision, canonical = self._adaptive_decide(
+                expr, sources, engine, controller
+            )
+            compiled, bindings, run_engine = self._compiled_adaptive(
+                expr, sources, engine, decision, canonical=canonical
+            )
+        else:
+            compiled, bindings = self._compiled_for(expr, sources, engine)
+            run_engine = engine
         if not compiled.scalar:
             raise ExecutionError("not a scalar query")
+        effective_parallelism = parallelism
+        if effective_parallelism is None and decision is not None:
+            effective_parallelism = decision.workers
+        effective_morsel = morsel_size
+        if effective_morsel is None and decision is not None:
+            effective_morsel = decision.morsel
         parallel = self._parallel_plan(
-            expr, sources, engine, parallelism, scalar=True
+            expr, sources, run_engine, effective_parallelism, scalar=True
         )
         if parallel is not None:
             workers, morsel_rows, artifact = parallel
+            morsel = effective_morsel or morsel_rows
+            started = time.perf_counter()
             with TRACER.span(
-                "query.execute", engine=engine, scalar=True, parallel=True
+                "query.execute", engine=run_engine, scalar=True, parallel=True
             ):
-                return artifact.execute(
-                    sources,
-                    {**bindings, **params},
-                    workers,
-                    morsel_size or morsel_rows,
+                value = artifact.execute(
+                    sources, {**bindings, **params}, workers, morsel
                 )
-        with TRACER.span("query.execute", engine=engine, scalar=True):
-            return compiled.execute(sources, {**bindings, **params})
+            if controller is not None:
+                controller.observe(
+                    adaptive_key,
+                    decision,
+                    run_engine,
+                    workers,
+                    morsel,
+                    (time.perf_counter() - started) * 1e3,
+                    None,
+                    estimate,
+                )
+            return value
+        started = time.perf_counter()
+        with TRACER.span("query.execute", engine=run_engine, scalar=True):
+            value = compiled.execute(sources, {**bindings, **params})
+        if controller is not None:
+            controller.observe(
+                adaptive_key,
+                decision,
+                run_engine,
+                1,
+                0,
+                (time.perf_counter() - started) * 1e3,
+                None,
+                estimate,
+            )
+        return value
 
     def explain(self, expr: Expr, engine: str) -> str:
         """The optimized logical plan, as indented text."""
@@ -262,6 +365,133 @@ class QueryProvider:
         """Compile (or fetch) the artifact without executing — bench hook."""
         compiled, _ = self._compiled_for(expr, sources, engine)
         return compiled
+
+    # -- adaptive execution (profile-driven engine/parallelism choice) -----------
+
+    def _adaptive_controller(
+        self, adaptive: Any, engine: str
+    ) -> Optional[AdaptiveController]:
+        """Resolve the controller for one execution (or None = static).
+
+        ``adaptive`` is the per-query override: an
+        :class:`~repro.adaptive.AdaptiveController` instance, True
+        (use/create the process-wide controller), False (force static),
+        or None (defer to ``REPRO_ADAPTIVE``).  The interpreted baseline
+        never adapts.
+        """
+        if engine == "linq" or adaptive is False:
+            return None
+        if isinstance(adaptive, AdaptiveController):
+            return adaptive
+        try:
+            return _default_adaptive(force=adaptive is True)
+        except Exception:  # noqa: BLE001 - fail-open by contract
+            METRICS.counter("adaptive.errors").add()
+            return None
+
+    def _adaptive_decide(
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        controller: AdaptiveController,
+        explore: bool = True,
+    ) -> tuple:
+        """(profile key, row estimate, decision, canonical) under a
+        ``query.decide`` span; any failure lands on the static fallback,
+        never an error."""
+        canonical: Optional[CanonicalQuery] = None
+        with TRACER.span("query.decide", engine=engine) as span:
+            try:
+                canonical = canonicalize(expr)
+                raw = cache_key(
+                    canonical, "::adaptive", _source_signature(sources)
+                )
+                key = controller.profile_key(raw)
+
+                def derive():
+                    plan = optimize(
+                        translate(canonical.tree, self.translate_options),
+                        self.optimize_options,
+                        statistics=self._statistics,
+                        param_values=canonical.bindings,
+                    )
+                    return estimate_plan_rows(plan, sources, self._statistics)
+
+                estimate = controller.estimated_rows(key, derive)
+                candidates = self._candidate_engines(engine, sources)
+                if explore:
+                    decision = controller.decide(
+                        key, engine, candidates, estimate, DEFAULT_MORSEL_ROWS
+                    )
+                else:
+                    decision = controller.peek(
+                        key, engine, candidates, estimate, DEFAULT_MORSEL_ROWS
+                    )
+            except Exception:  # noqa: BLE001 - fail-open by contract
+                METRICS.counter("adaptive.errors").add()
+                key, estimate = "", None
+                decision = static_fallback(engine, "decision error")
+            span.set(
+                source=decision.source,
+                chosen_engine=decision.engine,
+                workers=decision.workers,
+                morsel=decision.morsel,
+                decision=decision.describe(),
+            )
+        return key, estimate, decision, canonical
+
+    def _candidate_engines(
+        self, engine: str, sources: List[Any]
+    ) -> tuple:
+        """Engines the chooser may pick for these sources.
+
+        The requested engine always leads; the other morsel-capable
+        engines follow (native only when every source is a StructArray —
+        its scans read native buffers directly).
+        """
+        candidates = [engine]
+        native_ok = all(isinstance(s, StructArray) for s in sources)
+        for alternative in PARALLEL_ENGINES:
+            if alternative == engine:
+                continue
+            if alternative == "native" and not native_ok:
+                continue
+            candidates.append(alternative)
+        return tuple(candidates)
+
+    def _compiled_adaptive(
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        decision: Decision,
+        canonical: Optional[CanonicalQuery] = None,
+    ) -> tuple:
+        """Compile for the decided engine, falling back to the requested
+        one when the decided engine rejects the query shape.
+
+        The *requested* engine always compiles first (a cache hit after
+        the first run): error parity demands that a query the requested
+        engine rejects is rejected identically with adaptivity on —
+        profile-driven switching may make supported queries faster, but
+        it never widens engine capability.
+        """
+        compiled, bindings = self._compiled_for(
+            expr, sources, engine, canonical=canonical
+        )
+        chosen = decision.engine
+        if chosen != engine:
+            try:
+                return (
+                    *self._compiled_for(
+                        expr, sources, chosen, canonical=canonical
+                    ),
+                    chosen,
+                )
+            except UnsupportedQueryError:
+                METRICS.counter("adaptive.fallbacks").add()
+        return compiled, bindings, engine
 
     # -- internals --------------------------------------------------------------
 
@@ -296,10 +526,19 @@ class QueryProvider:
                 METRICS.counter("provider.compile_lock.pruned").add()
 
     def _compiled_for(
-        self, expr: Expr, sources: List[Any], engine: str
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        canonical: Optional[CanonicalQuery] = None,
     ) -> tuple:
-        with TRACER.span("query.canonicalize", engine=engine):
-            canonical = canonicalize(expr)
+        # the adaptive decision path already canonicalized; reuse its
+        # result (lambda-source inspection is the costly part, and paying
+        # it twice per execution would tax exactly the sub-ms queries the
+        # A/B gate watches)
+        if canonical is None:
+            with TRACER.span("query.canonicalize", engine=engine):
+                canonical = canonicalize(expr)
         key = cache_key(
             canonical,
             engine,
@@ -678,6 +917,39 @@ class QueryProvider:
                 compiled.fn, "__globals__", {}
             ).get("__verifier_report__")
         return compiled
+
+
+def _observe_rows(
+    iterator: Iterator[Any],
+    controller: AdaptiveController,
+    key: str,
+    decision: Decision,
+    engine: str,
+    estimate: Optional[RowEstimate],
+    started: float,
+) -> Iterator[Any]:
+    """Yield through *iterator*, feeding the profile once it finishes.
+
+    The observation covers kernel invocation plus consumption (the lazy
+    sequential path does its work while being drained); an abandoned
+    iterator still records whatever it produced.
+    """
+    count = 0
+    try:
+        for row in iterator:
+            count += 1
+            yield row
+    finally:
+        controller.observe(
+            key,
+            decision,
+            engine,
+            1,
+            0,
+            (time.perf_counter() - started) * 1e3,
+            count,
+            estimate,
+        )
 
 
 class _KeyLockEntry:

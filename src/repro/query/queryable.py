@@ -84,6 +84,7 @@ class Query:
         "parallelism",
         "morsel_size",
         "trace",
+        "adaptive",
         "_provider",
     )
 
@@ -97,6 +98,7 @@ class Query:
         parallelism: Optional[int] = None,
         morsel_size: Optional[int] = None,
         trace: Optional[bool] = None,
+        adaptive: Any = None,
     ):
         self.expr = expr
         self.sources = sources
@@ -105,6 +107,7 @@ class Query:
         self.parallelism = parallelism
         self.morsel_size = morsel_size
         self.trace = trace
+        self.adaptive = adaptive
         self._provider = provider
 
     # -- construction helpers ---------------------------------------------------
@@ -122,6 +125,7 @@ class Query:
             parallelism=kw.get("parallelism", self.parallelism),
             morsel_size=kw.get("morsel_size", self.morsel_size),
             trace=kw.get("trace", self.trace),
+            adaptive=kw.get("adaptive", self.adaptive),
         )
 
     def _merge(self, other: "Query") -> tuple:
@@ -137,6 +141,7 @@ class Query:
         provider: Any = None,
         parallelism: Optional[int] = None,
         trace: Optional[bool] = None,
+        adaptive: Any = None,
     ) -> "Query":
         """Select the execution strategy (and optionally a shared provider,
         a worker count for morsel-driven parallel execution, and a
@@ -147,6 +152,13 @@ class Query:
         ``repro.observability.TRACER.spans()``); ``trace=False`` silences
         an otherwise-enabled tracer for this query.  ``None`` (default)
         defers to the process-wide switch.
+
+        ``adaptive=True`` lets the provider's profile-driven chooser pick
+        engine, parallelism, and morsel size per run (``False`` forces
+        the static path even when ``REPRO_ADAPTIVE`` is on; an
+        :class:`~repro.adaptive.AdaptiveController` instance scopes the
+        profiles to that controller's store).  Answers never change —
+        only the execution configuration does.
         """
         return self._replace(
             engine=engine,
@@ -155,6 +167,7 @@ class Query:
                 parallelism if parallelism is not None else self.parallelism
             ),
             trace=trace if trace is not None else self.trace,
+            adaptive=adaptive if adaptive is not None else self.adaptive,
         )
 
     def in_parallel(
@@ -167,6 +180,12 @@ class Query:
         ``workers=1`` restores plain sequential execution.
         """
         return self._replace(parallelism=workers, morsel_size=morsel_size)
+
+    def _adaptive_kwargs(self) -> Dict[str, Any]:
+        """Forward ``adaptive`` only when set: custom providers that
+        predate the adaptive layer keep working, and the default
+        provider still honours ``REPRO_ADAPTIVE`` on its own."""
+        return {} if self.adaptive is None else {"adaptive": self.adaptive}
 
     def with_params(self, **params: Any) -> "Query":
         """Bind values for :func:`~repro.expressions.builder.P` parameters."""
@@ -365,6 +384,7 @@ class Query:
                 self.params,
                 parallelism=self.parallelism,
                 morsel_size=self.morsel_size,
+                **self._adaptive_kwargs(),
             )
         from ..observability.tracer import TRACER
 
@@ -381,6 +401,7 @@ class Query:
                         self.params,
                         parallelism=self.parallelism,
                         morsel_size=self.morsel_size,
+                        **self._adaptive_kwargs(),
                     )
                 )
             )
@@ -402,6 +423,7 @@ class Query:
             list(self.sources),
             self.engine,
             parallelism=self.parallelism,
+            adaptive=self.adaptive,
         ).render()
 
     def explain_analyze(self) -> Any:
@@ -422,6 +444,7 @@ class Query:
             self.params,
             parallelism=self.parallelism,
             morsel_size=self.morsel_size,
+            adaptive=self.adaptive,
         )
 
     # -- terminal scalar aggregates (single compiled pass) -------------------------
@@ -436,6 +459,7 @@ class Query:
                 self.params,
                 parallelism=self.parallelism,
                 morsel_size=self.morsel_size,
+                **self._adaptive_kwargs(),
             )
         from ..observability.tracer import TRACER
 
@@ -447,6 +471,7 @@ class Query:
                 self.params,
                 parallelism=self.parallelism,
                 morsel_size=self.morsel_size,
+                **self._adaptive_kwargs(),
             )
 
     def count(self, predicate: Optional[Callable] = None) -> int:

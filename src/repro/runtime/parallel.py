@@ -206,6 +206,7 @@ class ParallelQuery:
         params: Dict[str, Any],
         workers: int,
         morsel_rows: int,
+        redecide: Optional[Callable[..., Optional[int]]] = None,
     ) -> Any:
         total = source_length(sources[self.morsel_ordinal])
         if total is None:
@@ -223,7 +224,15 @@ class ParallelQuery:
             morsels=len(bounds),
         ):
             with TRACER.span("parallel.dispatch", morsels=len(bounds)):
-                partials = self._run_morsels(sources, params, bounds, workers)
+                partials = self._run_morsels(
+                    sources,
+                    params,
+                    bounds,
+                    workers,
+                    redecide=redecide,
+                    morsel_rows=morsel_rows,
+                    total=total,
+                )
             with TRACER.span("parallel.merge", mode=self.mode):
                 if self.mode == "scalar":
                     return self._merge_scalar(partials, params)
@@ -243,6 +252,9 @@ class ParallelQuery:
         params: Dict[str, Any],
         bounds: List[Tuple[int, int]],
         workers: int,
+        redecide: Optional[Callable[..., Optional[int]]] = None,
+        morsel_rows: int = 0,
+        total: int = 0,
     ) -> List[Any]:
         def run(bound: Tuple[int, int]) -> Any:
             # morsel boundaries are cancellation checkpoints: a cancelled
@@ -269,6 +281,42 @@ class ParallelQuery:
                 # generator it returns) runs off the main thread
                 return list(self.kernels[0].execute(sources, morsel_params))
 
+        if redecide is not None and len(bounds) > 1 and self.mode != "scalar":
+            # mid-flight re-decision at the first pipeline-breaker
+            # boundary: the first morsel's partial has materialized, so
+            # its observed cardinality can re-partition the remainder.
+            # Results stay bit-identical — the merge only depends on
+            # morsel *order*, never on morsel *size*.
+            first = run(bounds[0])
+            stop0 = bounds[0][1]
+            rest = bounds[1:]
+            try:
+                new_size = redecide(
+                    stop0 - bounds[0][0],
+                    len(first),
+                    morsel_rows,
+                    total - stop0,
+                    workers,
+                )
+            except Exception:  # noqa: BLE001 - adaptivity is advisory
+                new_size = None
+            if new_size and new_size > 0 and stop0 < total:
+                rest = [
+                    (lo, min(lo + new_size, total))
+                    for lo in range(stop0, total, new_size)
+                ]
+                METRICS.counter("parallel.morsels_redecided").add()
+            return [first] + self._dispatch(run, rest, workers)
+        return self._dispatch(run, bounds, workers)
+
+    @staticmethod
+    def _dispatch(
+        run: Callable[[Tuple[int, int]], Any],
+        bounds: List[Tuple[int, int]],
+        workers: int,
+    ) -> List[Any]:
+        if not bounds:
+            return []
         if workers <= 1 or len(bounds) <= 1:
             return [run(bound) for bound in bounds]
         with ThreadPoolExecutor(

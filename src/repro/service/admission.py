@@ -28,7 +28,7 @@ import itertools
 import os
 import threading
 import time
-from typing import Optional
+from typing import Any, Optional
 
 from ..errors import AdmissionRejected, QueryTimeoutError
 from ..observability.metrics import METRICS, MetricsRegistry
@@ -85,7 +85,11 @@ class AdmissionController:
         slots: Optional[int] = None,
         max_queue: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        adaptive_controller: Optional[Any] = None,
     ):
+        #: explicit adaptive controller for degradation feedback (tests);
+        #: None defers to the process-wide, env-gated controller
+        self.adaptive_controller = adaptive_controller
         self.slots = slots if slots is not None else service_slots_from_env()
         if self.slots <= 0:
             raise ValueError("slot count must be positive")
@@ -181,7 +185,28 @@ class AdmissionController:
         granted = self._degrade(parallelism, depth)
         if parallelism is not None and granted != parallelism:
             self._m_degraded.add()
+            self._note_adaptive_degrade(parallelism, granted)
         return AdmissionTicket(self, granted, waited)
+
+    def _note_adaptive_degrade(
+        self, requested: int, granted: Optional[int]
+    ) -> None:
+        """Feed a parallelism downgrade into the adaptive profile.
+
+        The chooser learns to request less fan-out while the service is
+        saturated.  Strictly advisory: any failure here (no controller,
+        a broken store) must never affect admission itself.
+        """
+        try:
+            controller = self.adaptive_controller
+            if controller is None:
+                from ..adaptive.controller import default_controller
+
+                controller = default_controller()
+            if controller is not None:
+                controller.note_degradation(requested, granted or 1)
+        except Exception:  # noqa: BLE001 - advisory by contract
+            pass
 
     def _degrade(
         self, requested: Optional[int], depth: int

@@ -68,6 +68,7 @@ class QuerySession:
         parallelism: Optional[int] = None,
         morsel_size: Optional[int] = None,
         trace: Optional[bool] = None,
+        adaptive: Any = None,
         timeout: Any = _UNSET,
         priority: int = 0,
     ):
@@ -82,6 +83,8 @@ class QuerySession:
         self.parallelism = parallelism
         self.morsel_size = morsel_size
         self.trace = trace
+        #: session default for adaptive execution (None = REPRO_ADAPTIVE)
+        self.adaptive = adaptive
         #: session default deadline in seconds; UNSET defers to the
         #: executor's REPRO_QUERY_TIMEOUT default, None disables
         self.timeout = (
@@ -155,6 +158,7 @@ class QuerySession:
             parallelism=self.parallelism,
             morsel_size=self.morsel_size,
             trace=self.trace,
+            adaptive=self.adaptive,
         )
 
     # -- serving path ----------------------------------------------------------------
@@ -185,6 +189,8 @@ class QuerySession:
             )
         )
 
+        adaptive = query.adaptive if query.adaptive is not None else self.adaptive
+
         def invoke(token: CancellationToken, granted: Optional[int]) -> List[Any]:
             params = {**query.params, CANCEL_PARAM: token}
             iterator = self.provider.execute(
@@ -194,6 +200,7 @@ class QuerySession:
                 params,
                 parallelism=granted,
                 morsel_size=query.morsel_size or self.morsel_size,
+                **({} if adaptive is None else {"adaptive": adaptive}),
             )
             return drain(iterator, token)
 
@@ -222,6 +229,7 @@ class QuerySession:
             query.params,
             parallelism=query.parallelism,
             morsel_size=query.morsel_size,
+            adaptive=query.adaptive,
             runner=lambda: self.execute(query),
         )
 

@@ -147,3 +147,97 @@ class TestShapeTolerance:
         cur = _write(tmp_path, "cur.json", {"cells": ["junk"]})
         with pytest.raises(SystemExit):
             gate.main(["--baseline", str(base), "--current", str(cur)])
+
+
+def _ab_payload(ms_by_engine, figure="fig11"):
+    cells = []
+    for engine, ms in ms_by_engine.items():
+        for sel in (0.1, 0.5):
+            cells.append(
+                {"figure": figure, "engine": engine, "selectivity": sel, "ms": ms}
+            )
+    return {"cells": cells}
+
+
+def _ab_args(tmp_path, static, adaptive):
+    s = _write(tmp_path, "static.json", static)
+    a = _write(tmp_path, "adaptive.json", adaptive)
+    return ["--ab-static", str(s), "--ab-adaptive", str(a)]
+
+
+class TestABGate:
+    """The adaptive-vs-static A/B gate: linq-drift-corrected medians."""
+
+    def test_identical_legs_pass(self, tmp_path, capsys):
+        payload = _ab_payload({"linq": 50.0, "compiled": 10.0})
+        assert gate.main(_ab_args(tmp_path, payload, payload)) == 0
+        assert "OK: adaptive execution" in capsys.readouterr().out
+
+    def test_runner_drift_does_not_fail_the_gate(self, tmp_path, capsys):
+        # the whole adaptive leg ran 40% slower (shared-runner drift):
+        # linq — which never consults the adaptive path — slows down by
+        # the same factor as every other engine, so after drift
+        # correction nothing regresses
+        static = _ab_payload({"linq": 50.0, "compiled": 10.0, "hybrid": 20.0})
+        adaptive = _ab_payload({"linq": 70.0, "compiled": 14.0, "hybrid": 28.0})
+        assert gate.main(_ab_args(tmp_path, static, adaptive)) == 0
+        out = capsys.readouterr().out
+        assert "(drift anchor)" in out and "OK: adaptive execution" in out
+
+    def test_real_regression_survives_drift_correction(self, tmp_path, capsys):
+        # compiled is 2x slower on top of the 40% runner drift — the
+        # correction removes the drift and the genuine 2x still fails
+        static = _ab_payload({"linq": 50.0, "compiled": 10.0})
+        adaptive = _ab_payload({"linq": 70.0, "compiled": 28.0})
+        assert gate.main(_ab_args(tmp_path, static, adaptive)) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_sub_floor_excess_is_noise(self, tmp_path, capsys):
+        # +30% on a 2ms cell is 0.6ms of excess — under the 1ms floor,
+        # flagged but not failed
+        static = _ab_payload({"linq": 50.0, "compiled": 2.0})
+        adaptive = _ab_payload({"linq": 50.0, "compiled": 2.6})
+        assert gate.main(_ab_args(tmp_path, static, adaptive)) == 0
+        assert "(within noise floor)" in capsys.readouterr().out
+
+    def test_linq_cells_anchor_but_never_fail(self, tmp_path, capsys):
+        # a figure whose only delta is on linq itself cannot regress —
+        # linq bypasses adaptivity by construction
+        static = _ab_payload({"linq": 50.0, "compiled": 10.0})
+        adaptive = _ab_payload({"linq": 90.0, "compiled": 18.0})
+        assert gate.main(_ab_args(tmp_path, static, adaptive)) == 0
+
+    def test_figure_without_linq_compares_raw(self, tmp_path, capsys):
+        # no linq anchor -> drift factor 1.0, raw milliseconds gate
+        static = _ab_payload({"compiled": 10.0})
+        adaptive = _ab_payload({"compiled": 28.0})
+        assert gate.main(_ab_args(tmp_path, static, adaptive)) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_adaptive_cell_is_coverage_loss(self, tmp_path, capsys):
+        static = _ab_payload({"linq": 50.0, "compiled": 10.0})
+        adaptive = _ab_payload({"linq": 50.0})
+        assert gate.main(_ab_args(tmp_path, static, adaptive)) == 1
+        assert "missing from the" in capsys.readouterr().out
+
+    def test_elision_ablation_figures_are_skipped(self, tmp_path, capsys):
+        # the fig07_elision_* cells exist for the within-run elision
+        # gate; between A/B legs they are single-drain noise and the
+        # same shapes are already covered by fig07_aggregation
+        ablation = "fig07_elision_on"
+        static = _ab_payload({"linq": 50.0, "compiled": 10.0})
+        static["cells"].extend(
+            _ab_payload({"linq": 50.0, "compiled": 10.0}, figure=ablation)["cells"]
+        )
+        adaptive = _ab_payload({"linq": 50.0, "compiled": 10.0})
+        adaptive["cells"].extend(
+            _ab_payload({"linq": 50.0, "compiled": 40.0}, figure=ablation)["cells"]
+        )
+        assert gate.main(_ab_args(tmp_path, static, adaptive)) == 0
+        assert "fig07_elision_on" not in capsys.readouterr().out
+
+    def test_ab_flags_must_come_together(self, tmp_path):
+        payload = _ab_payload({"linq": 50.0})
+        path = _write(tmp_path, "static.json", payload)
+        with pytest.raises(SystemExit):
+            gate.main(["--ab-static", str(path)])

@@ -701,3 +701,61 @@ def test_cse_temp_hoisted_in_generated_source():
     assert len(re.findall(r"\['v'\]", native.source_code)) == 2, (
         native.source_code
     )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive-execution equivalence — the profile-driven engine/parallelism
+# chooser (REPRO_ADAPTIVE) is an optimization layer and must never change
+# results, on any engine, any parallel config, or any decision tier
+# ---------------------------------------------------------------------------
+
+ADAPTIVE_SHAPES = (
+    _shape_filter,
+    _shape_join,
+    _shape_group,
+    _shape_scalar,
+    _shape_outer_join,
+    _shape_setop,
+)
+ADAPTIVE_SEEDS = range(10)
+
+
+@pytest.mark.parametrize("seed", ADAPTIVE_SEEDS)
+def test_adaptive_equivalence(seed):
+    """Seeded batch: adaptive execution agrees with static execution.
+
+    Each query runs statically first, then three times through one
+    shared adaptive controller — exercising the estimate tier, the
+    profile tier (repeat runs), and, with epsilon forced high and a
+    seeded RNG, the exploration tier (random engine/worker/morsel
+    draws).  Every outcome, including the parallel configs, must equal
+    the static one bit for bit.
+    """
+    from repro.adaptive import AdaptiveChooser, AdaptiveController, ProfileStore
+
+    rng = random.Random(4000 + seed)
+    store = ProfileStore(None)
+    controller = AdaptiveController(
+        store=store,
+        chooser=AdaptiveChooser(store, epsilon=0.5, seed=4000 + seed),
+    )
+    for shape in ADAPTIVE_SHAPES:
+        apply = shape(rng)
+        for engine in ENGINES:
+            outer, inner = _sources(engine)
+            query, term = apply(outer, inner)
+            static = _run(query, term)
+            adaptive_query = query.using(engine, PROVIDER, adaptive=controller)
+            for _ in range(3):
+                got = _run(adaptive_query, term)
+                assert got == static, (
+                    f"seed={seed} shape={shape.__name__} engine={engine}: "
+                    f"adaptive {got!r} != static {static!r}"
+                )
+            for workers, morsel in PARALLEL_CONFIGS[:2]:
+                got = _run(adaptive_query, term, workers, morsel)
+                assert got == static, (
+                    f"seed={seed} shape={shape.__name__} engine={engine} "
+                    f"workers={workers}: adaptive parallel {got!r} != "
+                    f"static {static!r}"
+                )
