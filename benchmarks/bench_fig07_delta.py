@@ -1,0 +1,144 @@
+"""Figure 7 companion — delta recycling vs full re-execution on a growing source.
+
+Not a figure from the paper: it measures this repo's versioned-storage
+extension.  The Figure-7 aggregation runs once over lineitem through the
+recycling provider; the source then grows by a small fraction and the
+query re-executes.  The ``delta`` leg is that re-execution — the recycler
+runs the already-compiled kernels over only the appended ``[old, new)``
+window and merges the cached partial state — while the ``full`` leg is
+the same re-execution without recycling: the whole grown relation,
+compiled code already warm.  The recorded "selectivity" is the append
+fraction; the interesting quantity is the full/delta speedup, which the
+CI gate (``scripts/check_bench_regression.py``) checks within-run.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro import new
+from repro.query import QueryProvider, RecyclingProvider, from_iterable
+from repro.storage import StructArray
+
+from conftest import drain, write_report
+
+ENGINE = "compiled"
+#: append fractions swept; recorded as the bench cell's "selectivity"
+FRACTIONS = (0.01, 0.05)
+ROUNDS = 3
+
+
+def _aggregation(source, provider):
+    """The Figure-7 shape (filter + grouped aggregates) over *source*."""
+    return (
+        from_iterable(source)
+        .using(ENGINE, provider)
+        .where(lambda l: l.l_quantity <= 40.0)
+        .group_by(
+            lambda l: new(rf=l.l_returnflag, ls=l.l_linestatus),
+            lambda g: new(
+                rf=g.key.rf,
+                ls=g.key.ls,
+                sum_qty=g.sum(lambda l: l.l_quantity),
+                sum_disc_price=g.sum(
+                    lambda l: l.l_extendedprice * (1 - l.l_discount)
+                ),
+                avg_qty=g.avg(lambda l: l.l_quantity),
+                count_order=g.count(),
+            ),
+        )
+    )
+
+
+def _mutable_copy(source):
+    return StructArray(source.schema, source.data.copy())
+
+
+def _delta_rows(source, fraction):
+    """An append batch: the first *fraction* of lineitem, re-encoded.
+
+    Structured-array rows decompose into native value tuples that
+    ``append_rows`` accepts directly (dates are already day counts,
+    strings already fixed-width bytes).
+    """
+    count = max(1, int(len(source) * fraction))
+    return [tuple(row) for row in source.data[:count]]
+
+
+def _measure(data, fraction):
+    """(full_ms, delta_ms) medians for one append fraction."""
+    lineitem = data.arrays("lineitem")
+    batch = _delta_rows(lineitem, fraction)
+
+    # delta leg: warm the recycler on the base, then time re-executions
+    # after each append — every timed drain covers exactly one batch
+    arr = _mutable_copy(lineitem)
+    recycling = RecyclingProvider()
+    query = _aggregation(arr, recycling)
+    drain(query)  # compile + cache the partial state
+    delta_times = []
+    for _ in range(ROUNDS):
+        arr.append_rows(batch)
+        started = time.perf_counter()
+        drain(query)
+        delta_times.append((time.perf_counter() - started) * 1e3)
+    # honesty: the delta path must actually have engaged every round
+    assert recycling.recycler_stats.delta_hits == ROUNDS
+
+    # full leg: the grown relation, warm compiled code, no recycling
+    grown = _mutable_copy(lineitem)
+    grown.append_rows(batch)
+    full_query = _aggregation(grown, QueryProvider())
+    drain(full_query)  # warm the compile
+    full_times = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        drain(full_query)
+        full_times.append((time.perf_counter() - started) * 1e3)
+
+    return statistics.median(full_times), statistics.median(delta_times)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig07_delta(benchmark, data, fraction):
+    """Spot timing: one delta re-execution per round (fresh append each)."""
+    lineitem = data.arrays("lineitem")
+    arr = _mutable_copy(lineitem)
+    batch = _delta_rows(lineitem, fraction)
+    query = _aggregation(arr, RecyclingProvider())
+    drain(query)
+
+    def grow():
+        arr.append_rows(batch)
+
+    benchmark.pedantic(
+        drain, args=(query,), setup=grow, rounds=ROUNDS, iterations=1
+    )
+
+
+def test_fig07_delta_report(benchmark, data, results_dir, bench_recorder):
+    """Full/delta sweep over append fractions; writes results/fig07_delta.txt."""
+
+    def sweep():
+        lines = [
+            "Figure 7 companion: delta recycling vs full re-run after growth "
+            f"({ENGINE} engine); evaluation time (ms)",
+            f"{'fraction':>9s}  {'rows':>9s}  {'append':>7s}  "
+            f"{'full':>10s}  {'delta':>10s}  {'speedup':>8s}",
+        ]
+        rows = len(data.arrays("lineitem"))
+        for fraction in FRACTIONS:
+            full_ms, delta_ms = _measure(data, fraction)
+            bench_recorder.record("fig07_delta", "full", fraction, full_ms)
+            bench_recorder.record("fig07_delta", "delta", fraction, delta_ms)
+            appended = max(1, int(rows * fraction))
+            speedup = full_ms / delta_ms if delta_ms else float("inf")
+            lines.append(
+                f"{fraction:>9.2f}  {rows:>9d}  {appended:>7d}  "
+                f"{full_ms:>10.2f}  {delta_ms:>10.2f}  {speedup:>7.1f}x"
+            )
+        return lines
+
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(results_dir, "fig07_delta", lines)

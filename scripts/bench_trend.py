@@ -34,6 +34,11 @@ TREND_VERSION = 1
 
 BASELINE_ENGINE = "linq"
 
+#: figures without a linq leg normalize against this engine instead —
+#: fig07_delta's legs are "full"/"delta", and delta/full is the speedup
+#: the trend should track
+FALLBACK_BASELINE_ENGINE = "full"
+
 
 def load_payload(path: Path) -> dict:
     try:
@@ -43,7 +48,7 @@ def load_payload(path: Path) -> dict:
 
 
 def reduce_payload(payload: dict) -> dict:
-    """{"figure/engine": {"ms": median, "ratio": median-vs-linq}}."""
+    """{"figure/engine": {"ms": median, "ratio": median-vs-baseline}}."""
     table: dict = defaultdict(dict)
     for cell in payload.get("cells", []):
         try:
@@ -55,8 +60,12 @@ def reduce_payload(payload: dict) -> dict:
     medians = {}
     for (figure, engine), cells in sorted(table.items()):
         entry = {"ms": round(statistics.median(cells.values()), 4)}
-        base = table.get((figure, BASELINE_ENGINE))
-        if base and engine != BASELINE_ENGINE:
+        base_engine = BASELINE_ENGINE
+        base = table.get((figure, base_engine))
+        if not base:
+            base_engine = FALLBACK_BASELINE_ENGINE
+            base = table.get((figure, base_engine))
+        if base and engine != base_engine:
             ratios = [
                 ms / base[sel] for sel, ms in cells.items() if base.get(sel)
             ]

@@ -174,6 +174,47 @@ def check_elision(current: dict, tolerance: float):
     return regressions
 
 
+def check_delta(current: dict, min_speedup: float):
+    """Within-run delta-recycling gate: incremental re-runs must win.
+
+    The ``fig07_delta`` sweep times the same re-execution twice in the
+    *current* run — ``full`` (the grown relation, warm compiled code) and
+    ``delta`` (kernels over only the appended window, merged with the
+    cached partial state) — so raw milliseconds are a fair unit.  Each
+    append fraction's full/delta speedup must clear *min_speedup*; the
+    floor is deliberately conservative because at CI smoke scale the
+    delta leg is mostly fixed recycler overhead (locally, at
+    ``REPRO_TPCH_SCALE=0.1``, the observed speedups are an order of
+    magnitude higher).  Runs without the cells (an older sweep config)
+    only warn.
+    """
+    regressions = []
+    full_cells = current.get(("fig07_delta", "full"))
+    delta_cells = current.get(("fig07_delta", "delta"))
+    if not full_cells or not delta_cells:
+        print(
+            "warning: no fig07_delta cells in the current run — "
+            "delta-recycling gate skipped"
+        )
+        return regressions
+    print(f"\ndelta-recycling check (min speedup={min_speedup:.1f}x)")
+    print(f"{'fraction':<10} {'full (ms)':>10} {'delta (ms)':>10} {'speedup':>8}")
+    for fraction in sorted(delta_cells):
+        full = full_cells.get(fraction)
+        delta = delta_cells[fraction]
+        if not full or not delta:
+            print(f"{fraction:<10} {'MISSING':>10}")
+            continue
+        speedup = full / delta
+        flag = ""
+        if speedup < min_speedup:
+            regressions.append((fraction, full, delta, speedup))
+            flag = "  <-- REGRESSION"
+        print(f"{fraction:<10} {full:>10.3f} {delta:>10.3f} {speedup:>7.1f}x{flag}")
+    print("(full vs delta re-execution of the same query in the same run)")
+    return regressions
+
+
 def ab_drift(static, adaptive, figure: str):
     """Runner drift between the legs, measured on *figure*'s linq cells.
 
@@ -216,6 +257,10 @@ def check_ab(static, adaptive, tolerance: float, floor_ms: float):
     )
     drifts = {}
     for figure, engine in sorted(static):
+        if figure == "fig07_delta":
+            # within-run full-vs-delta cells; no linq drift anchor and
+            # already gated by check_delta in the baseline job
+            continue
         if figure.startswith("fig07_elision"):
             # the ablation cells duplicate the fig07_aggregation shapes at
             # a few ms per single timed drain — pure noise between legs;
@@ -319,6 +364,14 @@ def main(argv=None) -> int:
         "sweeps are short, so the within-run comparison is still noisy)",
     )
     parser.add_argument(
+        "--delta-min-speedup",
+        type=float,
+        default=2.0,
+        help="minimum full/delta speedup the fig07_delta sweep must show "
+        "within the current run (default: 2.0 — conservative because at "
+        "smoke scale the delta leg is mostly fixed recycler overhead)",
+    )
+    parser.add_argument(
         "--ab-static",
         type=Path,
         default=None,
@@ -396,6 +449,11 @@ def main(argv=None) -> int:
             # run by check_elision below, and overall engine speed is
             # already anchored by the fig07_aggregation sweep
             continue
+        if figure == "fig07_delta":
+            # full-vs-delta is a within-run comparison (check_delta
+            # below); its legs have no linq normalizer, so cross-run
+            # ratios are undefined and absolute wall-clock is runner noise
+            continue
         ref = median_metric(baseline, figure, engine, args.mode)
         cur = median_metric(current, figure, engine, args.mode)
         if ref is None:
@@ -423,6 +481,7 @@ def main(argv=None) -> int:
         baseline_payload, current_payload, args.phase_tolerance
     )
     elision_regressions = check_elision(current, args.elision_tolerance)
+    delta_regressions = check_delta(current, args.delta_min_speedup)
 
     if missing:
         print(f"FAIL: {len(missing)} baseline cell(s) missing from the current run")
@@ -451,6 +510,13 @@ def main(argv=None) -> int:
         print(
             f"FAIL: guard elision costs time on {len(elision_regressions)} "
             f"engine(s) (beyond {args.elision_tolerance:.0%})"
+        )
+        return 1
+    if delta_regressions:
+        print(
+            f"FAIL: delta recycling beats full re-execution by less than "
+            f"{args.delta_min_speedup:.1f}x on {len(delta_regressions)} "
+            f"append fraction(s)"
         )
         return 1
     print("OK: no regressions")

@@ -46,6 +46,7 @@ _PHASE_ORDER = (
     "service.queue_wait",
     "query.decide",
     "query.canonicalize",
+    "query.recycle",
     "query.cache_lookup",
     "query.analyze",
     "query.optimize",
@@ -251,6 +252,9 @@ class ExplainAnalysis:
     plan_text: str
     rows: int
     cache: str
+    #: result-recycler verdict (``hit|delta|full|miss`` + fallback
+    #: reason), empty when the provider does not recycle
+    recycle: str = ""
     phases: Dict[str, PhaseStat] = field(default_factory=dict)
     parallel: str = ""
     adaptive: str = ""
@@ -266,6 +270,8 @@ class ExplainAnalysis:
         lines.append(f"engine: {self.engine}")
         lines.append(f"rows: {self.rows}")
         lines.append(f"cache: {self.cache}")
+        if self.recycle:
+            lines.append(f"recycle: {self.recycle}")
         if self.parallel:
             lines.append(f"parallel: {self.parallel}")
         if self.adaptive:
@@ -338,11 +344,16 @@ def explain_analyze(
 
     cache = "n/a (linq never compiles)" if engine == "linq" else "miss"
     adaptive_line = ""
+    recycle = ""
     for record in spans:
         if record.name == "query.cache_lookup":
             cache = "hit" if record.attrs.get("hit") else "miss"
         elif record.name == "query.decide":
             adaptive_line = record.attrs.get("decision", "")
+        elif record.name == "query.recycle":
+            mode = record.attrs.get("mode", "")
+            reason = record.attrs.get("reason", "")
+            recycle = f"{mode} — {reason}" if reason else mode
     morsels = sum(1 for r in spans if r.name == "parallel.morsel")
 
     if engine == "linq":
@@ -367,6 +378,7 @@ def explain_analyze(
         plan_text=plan_text,
         rows=rows,
         cache=cache,
+        recycle=recycle,
         phases=phases,
         parallel=parallel,
         adaptive=adaptive_line,

@@ -55,7 +55,7 @@ from ..runtime.parallel import (
 from .cache import QueryCache
 from .enumerable import enumerate_query, scalar_query
 
-__all__ = ["QueryProvider", "default_provider", "ENGINES"]
+__all__ = ["QueryProvider", "default_provider", "pin_sources", "ENGINES"]
 
 #: all execution strategies, in the order the paper presents them
 ENGINES = (
@@ -168,6 +168,7 @@ class QueryProvider:
         adaptive: Any = None,
     ) -> Iterator[Any]:
         """Run *expr* and return a lazy iterator over its results."""
+        sources = pin_sources(sources)
         if engine == "linq":
             # the interpreted baseline skips codegen but not analysis: an
             # ill-typed query fails the same way on every engine (its
@@ -277,6 +278,7 @@ class QueryProvider:
         adaptive: Any = None,
     ) -> Any:
         """Run a terminal aggregate and return its single value."""
+        sources = pin_sources(sources)
         if engine == "linq":
             with TRACER.span("query.canonicalize", engine="linq"):
                 canonical = canonicalize(expr)
@@ -963,20 +965,46 @@ class _KeyLockEntry:
 
 
 def _source_signature(sources: List[Any]) -> tuple:
-    """Physical-design fingerprint of the sources (currently: indexes).
+    """Physical-design fingerprint of the sources (indexes, clustering).
 
     Compiled code can depend on which indexes exist, so the cache key must
     too — creating an index after a query was compiled must trigger a
-    recompilation, not reuse of the scan-based code.
+    recompilation, not reuse of the scan-based code.  Clustering is read
+    through the version-aware ``clustering`` property: an array whose
+    clustering went stale (appends since ``cluster_by``) must not reuse
+    binary-search code compiled for the sorted prefix.
     """
     signature = []
     for source in sources:
-        indexes = getattr(source, "_index_store", None)
-        clustering = getattr(source, "clustered_by", None)
-        signature.append(
-            (tuple(sorted(indexes)) if indexes else (), clustering)
-        )
+        index_fields = getattr(source, "index_fields", None)
+        if callable(index_fields):
+            names = index_fields()
+        else:
+            indexes = getattr(source, "_index_store", None)
+            names = tuple(sorted(indexes)) if indexes else ()
+        clustering = getattr(source, "clustering", None)
+        if clustering is None:
+            clustering = getattr(source, "clustered_by", None)
+        signature.append((names, clustering))
     return tuple(signature)
+
+
+def pin_sources(sources: List[Any]) -> List[Any]:
+    """Replace live versioned arrays with O(1) snapshots for one execution.
+
+    Pinning a watermark up front makes every scan of the same ordinal see
+    one consistent prefix even while writers append concurrently — the
+    generated code is byte-identical, only the length it observes is
+    frozen.  Non-versioned sources (plain collections, already-pinned
+    snapshots) pass through untouched.
+    """
+    pinned = None
+    for i, source in enumerate(sources):
+        if isinstance(source, StructArray) and not source.frozen:
+            if pinned is None:
+                pinned = list(sources)
+            pinned[i] = source.snapshot()
+    return pinned if pinned is not None else sources
 
 
 def _make_backend(engine: str):

@@ -115,20 +115,27 @@ def source_length(source: Any) -> Optional[int]:
         return None
 
 
-def morsel_bounds(total: int, morsel_rows: int) -> List[Tuple[int, int]]:
-    """Partition ``[0, total)`` into fixed-size half-open morsels.
+def morsel_bounds(
+    total: int, morsel_rows: int, start: int = 0
+) -> List[Tuple[int, int]]:
+    """Partition ``[start, total)`` into fixed-size half-open morsels.
 
-    An empty source still yields one empty morsel so aggregate kernels run
-    and reproduce the sequential empty-input behaviour (``sum() == 0``,
-    ``min()`` raising).
+    With the default ``start=0`` an empty source still yields one empty
+    morsel so aggregate kernels run and reproduce the sequential
+    empty-input behaviour (``sum() == 0``, ``min()`` raising).  A positive
+    *start* is the delta-recycling window (``[old_watermark,
+    new_watermark)``): an empty window there yields no morsels — the
+    cached partial state already covers everything.
     """
     if morsel_rows <= 0:
         raise ExecutionError("morsel size must be positive")
-    if total <= 0:
-        return [(0, 0)]
+    if start < 0:
+        raise ExecutionError("morsel window start must be non-negative")
+    if total <= start:
+        return [(0, 0)] if start == 0 else []
     return [
         (lo, min(lo + morsel_rows, total))
-        for lo in range(0, total, morsel_rows)
+        for lo in range(start, total, morsel_rows)
     ]
 
 
@@ -240,9 +247,7 @@ class ParallelQuery:
                     rows = self._merge_groups(partials, params)
                 else:
                     rows = [row for part in partials for row in part]
-                for op in reversed(self.post_ops):
-                    rows = _apply_post_op(op, rows, params)
-                return rows
+                return self.apply_post_ops(rows, params)
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -341,9 +346,47 @@ class ParallelQuery:
                 return _NO_VALUE
             raise
 
-    # -- scalar merge -----------------------------------------------------------
+    # -- partial-state primitives ------------------------------------------------
+    #
+    # The merge algebra is exposed piecewise so the result recycler can
+    # keep the *pre-finalization* state of a cached query and fold fresh
+    # delta partials into it: merge is associative per mode (concat /
+    # slot folds / the streaming group aggregator), so
+    # ``merge(old_state, delta_partials)`` equals a full re-merge.
 
-    def _merge_scalar(self, partials: List[List[Any]], params: Dict[str, Any]) -> Any:
+    def run_window(
+        self,
+        sources: List[Any],
+        params: Dict[str, Any],
+        workers: int,
+        morsel_rows: int,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> List[Any]:
+        """Run the morsel kernels over ``[start, stop)`` of the driver and
+        return the raw per-morsel partials (one ``parallel.morsel`` span
+        each, exactly like :meth:`execute`)."""
+        if stop is None:
+            stop = source_length(sources[self.morsel_ordinal])
+            if stop is None:
+                raise ExecutionError(
+                    "parallel execution requires sized sources"
+                )
+        bounds = morsel_bounds(stop, morsel_rows, start=start)
+        METRICS.counter("parallel.morsels_dispatched").add(len(bounds))
+        with TRACER.span(
+            "parallel.execute",
+            mode=self.mode,
+            workers=workers,
+            morsels=len(bounds),
+        ):
+            with TRACER.span("parallel.dispatch", morsels=len(bounds)):
+                return self._run_morsels(sources, params, bounds, workers)
+
+    def merge_scalar_slots(self, partials: List[List[Any]]) -> List[Any]:
+        """Fold slot-wise partials (each a value per physical slot) into
+        one merged slot list.  The result is itself a valid partial —
+        the scalar state the delta recycler caches."""
         spec = self.scalar_spec
         merged: List[Any] = []
         for j, kind in enumerate(spec.slot_kinds):
@@ -356,8 +399,16 @@ class ParallelQuery:
             else:
                 present = [v for v in values if v is not _NO_VALUE]
                 if not present:
-                    raise ExecutionError(_EMPTY_AGGREGATE_MSG)
-                merged.append(min(present) if kind == "min" else max(present))
+                    merged.append(_NO_VALUE)
+                else:
+                    merged.append(min(present) if kind == "min" else max(present))
+        return merged
+
+    def finalize_scalar(self, merged: List[Any], params: Dict[str, Any]) -> Any:
+        """Extract the aggregate values from merged slots and evaluate the
+        output expression (raising for empty-input min/max/avg, matching
+        every sequential engine)."""
+        spec = self.scalar_spec
         env: Dict[str, Any] = {}
         for i, (mode, a, b) in enumerate(spec.extract):
             if mode == "avg":
@@ -365,14 +416,21 @@ class ParallelQuery:
                     raise ExecutionError(_EMPTY_AGGREGATE_MSG)
                 env[f"__agg{i}"] = merged[a] / merged[b]
             else:
+                if merged[a] is _NO_VALUE:
+                    raise ExecutionError(_EMPTY_AGGREGATE_MSG)
                 env[f"__agg{i}"] = merged[a]
         return interpret(self.output, env, params)
 
-    # -- group merge ------------------------------------------------------------
+    def merge_group_table(self, partials: List[List[Any]]) -> List[tuple]:
+        """Merge flat partial group tables into one flat table.
 
-    def _merge_groups(
-        self, partials: List[List[Any]], params: Dict[str, Any]
-    ) -> List[Any]:
+        Rows are plain tuples ``(k0..kn, s0..sm)`` holding managed-side
+        values — the same shape the kernels emit, so a merged table is
+        itself a valid partial: the group state the delta recycler caches
+        and later re-merges with fresh delta partials.  First-seen group
+        order is preserved (earlier partials first), matching sequential
+        execution.
+        """
         spec = self.group_spec
         nkeys = spec.nkeys
         nslots = len(spec.merge_kinds)
@@ -397,29 +455,65 @@ class ParallelQuery:
             aggregator.consume_page(keys, values)
         key_cols, agg_cols = aggregator.finalize()
         ngroups = len(key_cols[0]) if key_cols else 0
-        if ngroups == 0:
-            return []
+        table: List[tuple] = []
+        for g in range(ngroups):
+            table.append(
+                tuple(
+                    [key_cols_spec[c].decode(key_cols[c][g]) for c in range(nkeys)]
+                    + [val_cols_spec[j].decode(agg_cols[j][g]) for j in range(nslots)]
+                )
+            )
+        return table
 
+    def finalize_group_table(
+        self, table: List[tuple], params: Dict[str, Any]
+    ) -> List[Any]:
+        """Evaluate the group output expression once per merged group."""
+        spec = self.group_spec
+        nkeys = spec.nkeys
+        if not table:
+            return []
         key_record = (
             make_record_type(spec.key_field_names, spec.key_type_name)
             if spec.key_is_record
             else None
         )
         rows: List[Any] = []
-        for g in range(ngroups):
-            key_values = [
-                key_cols_spec[c].decode(key_cols[c][g]) for c in range(nkeys)
-            ]
+        for entry in table:
             env: Dict[str, Any] = {
-                "__key": key_record(*key_values) if key_record else key_values[0]
+                "__key": key_record(*entry[:nkeys]) if key_record else entry[0]
             }
             for i, (mode, a, b) in enumerate(spec.extract):
                 if mode == "avg":
-                    env[f"__agg{i}"] = _as_python(agg_cols[a][g] / agg_cols[b][g])
+                    env[f"__agg{i}"] = _as_python(
+                        entry[nkeys + a] / entry[nkeys + b]
+                    )
                 else:
-                    env[f"__agg{i}"] = val_cols_spec[a].decode(agg_cols[a][g])
+                    env[f"__agg{i}"] = entry[nkeys + a]
             rows.append(interpret(self.output, env, params))
         return rows
+
+    def apply_post_ops(
+        self, rows: List[Any], params: Dict[str, Any]
+    ) -> List[Any]:
+        """Re-apply the peeled root operators (sort/top-n/limit/distinct)
+        managed-side, in plan order, with stable engine-equivalent
+        semantics."""
+        for op in reversed(self.post_ops):
+            rows = _apply_post_op(op, rows, params)
+        return rows
+
+    # -- scalar merge -----------------------------------------------------------
+
+    def _merge_scalar(self, partials: List[List[Any]], params: Dict[str, Any]) -> Any:
+        return self.finalize_scalar(self.merge_scalar_slots(partials), params)
+
+    # -- group merge ------------------------------------------------------------
+
+    def _merge_groups(
+        self, partials: List[List[Any]], params: Dict[str, Any]
+    ) -> List[Any]:
+        return self.finalize_group_table(self.merge_group_table(partials), params)
 
 
 @dataclass

@@ -33,9 +33,18 @@ from typing import Any, Optional
 from ..errors import AdmissionRejected, QueryTimeoutError
 from ..observability.metrics import METRICS, MetricsRegistry
 
-__all__ = ["AdmissionController", "AdmissionTicket", "service_slots_from_env"]
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "service_slots_from_env",
+    "ingest_slots_from_env",
+]
 
 DEFAULT_SLOTS = 4
+
+#: writers contend on each table's append lock anyway, so a small write
+#: pool keeps ingest from starving query slots without serializing it
+DEFAULT_INGEST_SLOTS = 2
 
 
 def service_slots_from_env() -> int:
@@ -47,6 +56,17 @@ def service_slots_from_env() -> int:
         except ValueError:
             return DEFAULT_SLOTS
     return DEFAULT_SLOTS
+
+
+def ingest_slots_from_env() -> int:
+    """Write-slot count from ``REPRO_INGEST_SLOTS`` (default 2)."""
+    env = os.environ.get("REPRO_INGEST_SLOTS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            return DEFAULT_INGEST_SLOTS
+    return DEFAULT_INGEST_SLOTS
 
 
 class AdmissionTicket:

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional
 from ..errors import ExecutionError
 from ..expressions.canonical import canonicalize
 from ..query.enumerable import enumerate_query
+from ..query.provider import pin_sources
 from ..runtime.cancellation import CANCEL_PARAM, CancellationToken
 from .executor import UNSET as _UNSET
 from .executor import drain
@@ -138,15 +139,19 @@ class PreparedStatement:
         merged = {**self._bindings, **self._base_params, **params}
         if token is not None:
             merged[CANCEL_PARAM] = token
+        # pin live versioned arrays at one watermark for the whole
+        # execution: readers on prepared statements never observe a
+        # torn length while ingest appends concurrently
+        sources = pin_sources(self._sources)
         if self._compiled is None:  # linq: interpret, but skip re-analysis
             return drain(
-                enumerate_query(self._expr, self._sources, merged), token
+                enumerate_query(self._expr, sources, merged), token
             )
         workers = parallelism if parallelism is not None else 1
         if self._parallel is not None and workers > 1:
             requested_workers, morsel_rows, artifact = self._parallel
             rows = artifact.execute(
-                self._sources,
+                sources,
                 merged,
                 min(workers, requested_workers),
                 self._morsel_size or morsel_rows,
@@ -154,7 +159,7 @@ class PreparedStatement:
             if artifact.scalar:
                 return rows
             return drain(iter(rows), token)
-        result = self._compiled.execute(self._sources, merged)
+        result = self._compiled.execute(sources, merged)
         if self._compiled.scalar:
             return result
         return drain(iter(result), token)

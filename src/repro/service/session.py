@@ -21,13 +21,13 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..errors import SessionClosed
+from ..errors import ExecutionError, SessionClosed
 from ..observability.metrics import METRICS
 from ..observability.tracer import TRACER
 from ..query.provider import default_provider
 from ..query.queryable import DEFAULT_ENGINE, Query, from_iterable
 from ..runtime.cancellation import CANCEL_PARAM, CancellationToken
-from .admission import AdmissionController
+from .admission import AdmissionController, ingest_slots_from_env
 from .executor import UNSET as _UNSET
 from .executor import QueryExecutor, drain
 from .prepared import PreparedStatement
@@ -47,10 +47,18 @@ class QueryService:
         provider: Any = None,
         admission: Optional[AdmissionController] = None,
         executor: Optional[QueryExecutor] = None,
+        ingest_admission: Optional[AdmissionController] = None,
     ):
         self.provider = provider if provider is not None else default_provider()
         self.admission = admission if admission is not None else AdmissionController()
         self.executor = executor if executor is not None else QueryExecutor()
+        #: a separate, smaller slot pool for writes: ingest competes with
+        #: ingest, never with queries (REPRO_INGEST_SLOTS, default 2)
+        self.ingest_admission = (
+            ingest_admission
+            if ingest_admission is not None
+            else AdmissionController(slots=ingest_slots_from_env())
+        )
 
     def session(self, **defaults: Any) -> "QuerySession":
         """Open a session against this service (kwargs = session defaults)."""
@@ -205,6 +213,71 @@ class QuerySession:
             return drain(iterator, token)
 
         return self._admit_and_run(invoke, requested, timeout, priority)
+
+    def ingest(
+        self,
+        table: Any,
+        rows: Sequence[Any],
+        timeout: Any = _UNSET,
+        priority: Optional[int] = None,
+    ) -> int:
+        """Append *rows* to a versioned table under a write slot.
+
+        *rows* holds positional value sequences (tuples/lists in schema
+        field order) or record objects exposing the schema's fields —
+        the two encodings of :meth:`StructArray.append_rows` /
+        :meth:`~StructArray.append_objects`.  Returns the table's new
+        version.
+
+        Writes pass through a **separate** admission pool
+        (``REPRO_INGEST_SLOTS`` write slots): a burst of ingest never
+        occupies query slots, and vice versa.  The append itself
+        publishes buffer-then-watermark atomically, so cancellation (or
+        session close) between admission and append aborts cleanly, and
+        cancelling *queries* mid-ingest is always safe — in-flight
+        readers keep iterating the snapshot prefix they pinned, never a
+        torn length.  An empty batch admits, appends nothing, and
+        returns the current version.
+        """
+        self._ensure_open()
+        if not hasattr(table, "append_rows"):
+            raise ExecutionError(
+                "ingest requires a versioned StructArray table "
+                f"(got {type(table).__name__})"
+            )
+        batch = list(rows)
+        seconds = self.timeout if timeout is _UNSET else timeout
+        priority = self.priority if priority is None else priority
+        token = CancellationToken.with_timeout(seconds)
+        METRICS.counter("ingest.requests").add()
+        # register before queueing: close() must be able to doom a write
+        # that is still waiting for a slot, not only one already granted
+        with self._lock:
+            self._inflight.add(token)
+        try:
+            with TRACER.span("ingest.queue_wait", priority=priority) as span:
+                ticket = self.service.ingest_admission.acquire(
+                    priority=priority, timeout=token.remaining()
+                )
+                span.set(wait_seconds=ticket.wait_seconds)
+            try:
+                # last cancellation point before mutating: past here the
+                # append either publishes completely or raises having
+                # published nothing — there is no partial state to cancel
+                token.check()
+                with TRACER.span("ingest.append", rows=len(batch)) as span:
+                    if batch and not isinstance(batch[0], (tuple, list)):
+                        version = table.append_objects(batch)
+                    else:
+                        version = table.append_rows(batch)
+                    span.set(version=version, total=len(table))
+                METRICS.counter("ingest.rows").add(len(batch))
+                return version
+            finally:
+                ticket.release()
+        finally:
+            with self._lock:
+                self._inflight.discard(token)
 
     def prepare(self, query: Query) -> PreparedStatement:
         """Compile now; execute later (many times) with fresh bindings."""

@@ -24,7 +24,13 @@ import numpy as np
 from ..errors import ExecutionError
 from .schema import Schema
 
-__all__ = ["BufferPage", "BufferList", "StreamingBuffer", "DEFAULT_PAGE_BYTES"]
+__all__ = [
+    "BufferPage",
+    "BufferList",
+    "StreamingBuffer",
+    "DEFAULT_PAGE_BYTES",
+    "encode_chunks",
+]
 
 #: 64 KiB — the paper tested several sizes, found no significant impact,
 #: and "settled for a modest buffer size of 64KB" (§7.1).
@@ -113,6 +119,21 @@ class BufferList:
     def staged_bytes(self) -> int:
         """Total bytes allocated for staging (the §6.1.2 footprint metric)."""
         return sum(p.data.nbytes for p in self._pages)
+
+
+def encode_chunks(schema: Schema, encoded_rows: List[Tuple]) -> np.ndarray:
+    """Stage encoded rows through fixed-size pages into one native array.
+
+    The ingest path of :meth:`~repro.storage.struct_array.StructArray.
+    append_rows`: rows land in §6.1-style chunked buffer pages (bounded
+    per-chunk working set, no giant intermediate Python list → ndarray
+    conversion in one step) and the filled pages concatenate into the
+    contiguous block the append publishes.
+    """
+    buffers = BufferList(schema)
+    for row in encoded_rows:
+        buffers.append(row)
+    return buffers.materialize()
 
 
 class StreamingBuffer:

@@ -7,8 +7,12 @@ the native backend consults a source's registered indexes and compiles
 equality filters on indexed columns into index lookups instead of full
 scans (see ``repro.codegen.native_backend``).
 
-Indexes are maintained eagerly at build time and are read-only thereafter
-— matching the paper's static-collection setting.
+Indexes are maintained eagerly at build time and are immutable thereafter
+— but the array under them no longer is: an index remembers the
+``(version, length)`` watermark it was built at, and
+:meth:`HashIndex.stale` reports whether the array has grown since.  The
+array's ``get_index``/``create_index`` rebuild stale indexes before
+handing them out (rebuild-or-bypass — a stale index never answers).
 """
 
 from __future__ import annotations
@@ -30,6 +34,11 @@ class HashIndex:
 
     def __init__(self, array: StructArray, field_name: str):
         self.field = array.schema[field_name]
+        self._array = array
+        #: the (version, length) watermark this index covers; the array
+        #: publishes both atomically, so a build racing an append covers
+        #: exactly the prefix it read
+        self.built_at = getattr(array, "watermark", (0, len(array)))
         column = array.column(field_name)
         order = np.argsort(column, kind="stable")
         sorted_values = column[order]
@@ -43,6 +52,10 @@ class HashIndex:
             key = value.item() if hasattr(value, "item") else value
             self._rows[key] = np.sort(order[start:stop])
 
+    def stale(self) -> bool:
+        """True when the array grew past the watermark this index covers."""
+        return getattr(self._array, "watermark", self.built_at) != self.built_at
+
     def lookup(self, value: Any) -> np.ndarray:
         """Row positions whose column equals *value* (managed or native
         representation), in ascending order."""
@@ -51,5 +64,3 @@ class HashIndex:
 
     def __len__(self) -> int:
         return len(self._rows)
-
-

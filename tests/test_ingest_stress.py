@@ -1,0 +1,260 @@
+"""Ingest stress: concurrent writers vs readers over versioned storage.
+
+Runs in CI's ingest-stress leg.  Writers push whole batches through
+``session.ingest`` (the admission-controlled write path) while readers
+hammer prepared statements on the same table.  The invariants:
+
+* **no torn lengths** — every observed prefix is a whole number of
+  batches: appends publish buffer-then-watermark atomically, so a reader
+  either sees all of a batch or none of it;
+* **monotonic watermarks** — each reader's successive executions observe
+  non-decreasing row counts (sources only grow);
+* **snapshot isolation** — a snapshot taken before the writers start
+  returns byte-identical results on every re-execution, no matter how
+  much the live array grows;
+* **pool hygiene** — ingest uses its *own* slot pool: write bursts never
+  occupy query slots (and vice versa), cancellation and timeouts leave
+  the table untouched, and both pools drain to zero.
+"""
+
+import threading
+
+from repro import new
+from repro.errors import QueryCancelled, QueryTimeoutError
+from repro.observability.metrics import METRICS
+from repro.query import from_iterable
+from repro.service import AdmissionController, QueryService
+from repro.storage import Field, Schema, StructArray
+
+SCHEMA = Schema(
+    [Field("batch", "int"), Field("x", "int"), Field("y", "float")],
+    name="Ingest",
+)
+
+BATCH = 50  # rows per ingest call; atomicity is asserted at this grain
+WRITERS = 4
+BATCHES_PER_WRITER = 8
+
+
+def _batch_rows(batch_id):
+    # y is a multiple of 0.25 so partial sums are exact in binary floats
+    return [(batch_id, i, 0.25 * (batch_id + i)) for i in range(BATCH)]
+
+
+def _fresh_table():
+    # batch 0 is the pre-ingest base the readers can always see
+    return StructArray.from_rows(SCHEMA, _batch_rows(0))
+
+
+def _group_query(arr, service, workers=None):
+    q = (
+        from_iterable(arr)
+        .using("compiled", service.provider)
+        .group_by(lambda r: r.batch, lambda g: new(b=g.key, n=g.count()))
+    )
+    return q.in_parallel(workers, 64) if workers else q
+
+
+class TestWritersVersusReaders:
+    def test_no_torn_lengths_and_monotonic_watermarks(self):
+        arr = _fresh_table()
+        service = QueryService()
+        session = service.session(engine="compiled", timeout=60.0)
+        requests_before = METRICS.counter("ingest.requests").value
+        rows_before = METRICS.counter("ingest.rows").value
+
+        # a snapshot pinned before any writer starts: its results must
+        # never move, however much the live array grows underneath
+        snap = arr.snapshot()
+        snap_stmt = session.prepare(_group_query(snap, service))
+        snap_expected = snap_stmt.execute()
+
+        # prepared readers on the live table: sequential and morsel-parallel
+        statements = [
+            session.prepare(_group_query(arr, service)),
+            session.prepare(_group_query(arr, service, workers=2)),
+        ]
+
+        done = threading.Event()
+        errors = []
+
+        def write(writer):
+            try:
+                for k in range(BATCHES_PER_WRITER):
+                    batch_id = 1 + writer * BATCHES_PER_WRITER + k
+                    session.ingest(arr, _batch_rows(batch_id))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        def read(stmt):
+            try:
+                last_total = 0
+                for _ in range(500):
+                    groups = stmt.execute()
+                    total = 0
+                    for row in groups:
+                        # a partially visible batch is a torn write
+                        assert row.n == BATCH, (
+                            f"batch {row.b} observed with {row.n} rows"
+                        )
+                        total += row.n
+                    # each execution pins a fresh snapshot; growth only
+                    assert total >= last_total
+                    last_total = total
+                    if done.is_set():
+                        break
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        def read_snapshot():
+            try:
+                for _ in range(500):
+                    assert snap_stmt.execute() == snap_expected
+                    if done.is_set():
+                        break
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(WRITERS)
+        ]
+        threads += [threading.Thread(target=read, args=(s,)) for s in statements]
+        threads.append(threading.Thread(target=read_snapshot))
+        for t in threads:
+            t.start()
+        for t in threads[:WRITERS]:
+            t.join(timeout=120.0)
+        done.set()
+        for t in threads[WRITERS:]:
+            t.join(timeout=120.0)
+        assert not any(t.is_alive() for t in threads), "stress thread hung"
+        assert not errors, errors
+
+        # every batch landed exactly once, completely
+        total_batches = 1 + WRITERS * BATCHES_PER_WRITER
+        assert len(arr) == BATCH * total_batches
+        final = session.prepare(_group_query(arr, service)).execute()
+        assert sorted(row.b for row in final) == list(range(total_batches))
+        assert all(row.n == BATCH for row in final)
+        # the snapshot still answers from its pinned prefix
+        assert len(snap) == BATCH
+        assert snap_stmt.execute() == snap_expected
+
+        # accounting: every ingest call and row is on the meters
+        written = WRITERS * BATCHES_PER_WRITER
+        assert (
+            METRICS.counter("ingest.requests").value - requests_before == written
+        )
+        assert (
+            METRICS.counter("ingest.rows").value - rows_before
+            == written * BATCH
+        )
+        # both pools drained
+        assert service.ingest_admission.running == 0
+        assert service.ingest_admission.queue_depth == 0
+        assert service.admission.running == 0
+        session.close()
+
+
+class TestPoolSeparation:
+    def test_ingest_never_occupies_query_slots(self):
+        # a service whose single query slot is held: ingest still lands,
+        # because writes pass through their own pool
+        service = QueryService(admission=AdmissionController(slots=1))
+        session = service.session(timeout=10.0)
+        arr = _fresh_table()
+        ticket = service.admission.acquire()
+        try:
+            version = session.ingest(arr, _batch_rows(1))
+        finally:
+            ticket.release()
+        assert version == 1
+        assert len(arr) == 2 * BATCH
+        session.close()
+
+    def test_queries_never_occupy_ingest_slots(self):
+        # both write slots held: queries keep flowing through admission
+        service = QueryService(
+            ingest_admission=AdmissionController(slots=2)
+        )
+        session = service.session(engine="compiled", timeout=10.0)
+        arr = _fresh_table()
+        held = [service.ingest_admission.acquire() for _ in range(2)]
+        try:
+            rows = session.execute(_group_query(arr, service))
+            assert [row.n for row in rows] == [BATCH]
+        finally:
+            for t in held:
+                t.release()
+        session.close()
+
+
+class TestIngestCancellation:
+    def test_timeout_in_write_queue_leaves_table_untouched(self):
+        service = QueryService(
+            ingest_admission=AdmissionController(slots=1)
+        )
+        session = service.session(timeout=10.0)
+        arr = _fresh_table()
+        version_before = arr.version
+        ticket = service.ingest_admission.acquire()
+        try:
+            outcome = []
+
+            def blocked():
+                try:
+                    session.ingest(arr, _batch_rows(1), timeout=0.05)
+                except QueryTimeoutError:
+                    outcome.append("timeout")
+
+            t = threading.Thread(target=blocked)
+            t.start()
+            t.join(timeout=30.0)
+            assert not t.is_alive()
+            assert outcome == ["timeout"]
+        finally:
+            ticket.release()
+        # the deadline expired in the queue: nothing was appended
+        assert arr.version == version_before
+        assert len(arr) == BATCH
+        assert service.ingest_admission.running == 0
+        assert service.ingest_admission.queue_depth == 0
+        session.close()
+
+    def test_session_close_cancels_admitted_ingest(self):
+        # the token is cancelled while the writer holds a granted slot
+        # but before the append runs: token.check() is the last
+        # cancellation point, so the table must be untouched
+        service = QueryService(
+            ingest_admission=AdmissionController(slots=1)
+        )
+        session = service.session(timeout=10.0)
+        arr = _fresh_table()
+        version_before = arr.version
+        ticket = service.ingest_admission.acquire()
+        outcome = []
+        started = threading.Event()
+
+        def blocked():
+            started.set()
+            try:
+                session.ingest(arr, _batch_rows(1), timeout=10.0)
+            except QueryCancelled:
+                outcome.append("cancelled")
+            except QueryTimeoutError:  # pragma: no cover - defensive
+                outcome.append("timeout")
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        started.wait(timeout=10.0)
+        # close while the write waits for the held slot; the waiter only
+        # notices the cancel once admitted, at the pre-append checkpoint
+        session.close()
+        ticket.release()
+        t.join(timeout=30.0)
+        assert not t.is_alive()
+        assert outcome == ["cancelled"]
+        assert arr.version == version_before
+        assert len(arr) == BATCH
+        assert service.ingest_admission.running == 0
+        assert service.ingest_admission.queue_depth == 0

@@ -290,6 +290,42 @@ class TestMetrics:
         assert hist["count"] >= 1
         assert hist["sum"] > 0
 
+    def test_recycler_counters_match_recycler_stats_exactly(self, monkeypatch):
+        # the acceptance contract: METRICS mirrors RecyclerStats 1:1 —
+        # every stats field moves in the same branch as its counter,
+        # including the delta-recycling outcomes
+        from repro.query.recycler import RecyclingProvider
+
+        monkeypatch.delenv("REPRO_DELTA_RECYCLE", raising=False)
+        provider = RecyclingProvider()
+        array = StructArray.from_rows(SCHEMA, [(i, i * 0.5) for i in range(100)])
+        names = ("hits", "misses", "invalidations", "delta_hits", "full_reruns")
+        before = {n: METRICS.counter(f"recycler.{n}").value for n in names}
+        query = (
+            from_iterable(array, token="obs:rec")
+            .using("compiled", provider)
+            .where(lambda r: r.x >= 0)
+            .select(lambda r: r.y)
+        )
+        query.to_list()  # miss (captures delta-merge state)
+        query.to_list()  # hit
+        array.append_rows([(100, 50.0)])
+        query.to_list()  # delta: kernels over [100, 101) only
+        monkeypatch.setenv("REPRO_DELTA_RECYCLE", "0")
+        array.append_rows([(101, 50.5)])
+        query.to_list()  # stale + delta disabled: full re-execution
+        provider.invalidate(array)
+
+        stats = provider.recycler_stats
+        moved = {
+            n: METRICS.counter(f"recycler.{n}").value - before[n] for n in names
+        }
+        assert moved["hits"] == stats.hits == 1
+        assert moved["misses"] == stats.misses == 1
+        assert moved["delta_hits"] == stats.delta_hits == 1
+        assert moved["full_reruns"] == stats.full_reruns == 1
+        assert moved["invalidations"] == stats.invalidations == 1
+
 
 class TestAnalysisMetrics:
     """The ``analysis.*`` counters, recorded once per facts derivation."""

@@ -150,7 +150,10 @@ class TestBackpressure:
         # once the slot frees), 4 fast-fail with AdmissionRejected
         service = _service(slots=1, max_queue=2)
         rejected_before = METRICS.counter("service.rejected").value
-        holder = _hold_slot_until(service.admission, depth_reached=2)
+        # hold the only slot with an explicit ticket: releasing on
+        # depth-reached would race the overflow arrivals below (a seated
+        # waiter could dequeue first, freeing a queue seat)
+        ticket = service.admission.acquire()
         outcomes = Outcomes()
 
         # fill the two queue seats first, deterministically
@@ -183,7 +186,7 @@ class TestBackpressure:
         _run_all(overflow)
         assert outcomes.rejected == 4
 
-        holder.join(timeout=30.0)
+        ticket.release()
         _join_all(seated)
         assert outcomes.completed == 2
         assert outcomes.total == 6

@@ -337,3 +337,142 @@ class TestStreamingBuffer:
         stream.finish()
         stream.finish()
         assert calls == []
+
+
+class TestVersionedStructArray:
+    def _sample(self):
+        return StructArray.from_rows(
+            CITY,
+            [
+                ("London", 9_000_000, 1572.0),
+                ("Paris", 2_100_000, 105.4),
+                ("Rome", 2_800_000, 1285.0),
+            ],
+        )
+
+    # -- append path / watermarks --------------------------------------------
+
+    def test_append_rows_bumps_version_and_length(self):
+        arr = self._sample()
+        assert arr.watermark == (0, 3)
+        v = arr.append_rows([("Berlin", 3_700_000, 891.8)])
+        assert v == 1
+        assert arr.watermark == (1, 4)
+        assert arr.row(3).name == "Berlin"
+
+    def test_append_objects(self):
+        arr = self._sample()
+        arr.append_objects(arr.to_objects()[:2])
+        assert len(arr) == 5
+        assert [r.name for r in arr][-2:] == ["London", "Paris"]
+
+    def test_empty_append_is_noop(self):
+        arr = self._sample()
+        assert arr.append_rows([]) == 0
+        assert arr.watermark == (0, 3)
+
+    def test_append_grows_geometrically(self):
+        arr = StructArray.from_rows(CITY, [])
+        for i in range(100):
+            arr.append_rows([(f"c{i}", i, float(i))])
+        assert len(arr) == 100
+        assert arr.version == 100
+        assert [r.population for r in arr] == list(range(100))
+
+    def test_data_is_published_prefix(self):
+        arr = self._sample()
+        arr.append_rows([("Oslo", 700_000, 454.0)])
+        # the backing buffer over-allocates; data exposes only the prefix
+        assert len(arr.data) == 4
+
+    # -- snapshots -----------------------------------------------------------
+
+    def test_snapshot_pins_watermark(self):
+        arr = self._sample()
+        snap = arr.snapshot()
+        arr.append_rows([("Berlin", 3_700_000, 891.8)])
+        assert len(snap) == 3
+        assert snap.watermark == (0, 3)
+        assert len(arr) == 4
+
+    def test_snapshot_is_frozen(self):
+        snap = self._sample().snapshot()
+        assert snap.frozen
+        with pytest.raises(ExecutionError, match="snapshot"):
+            snap.append_rows([("X", 1, 1.0)])
+
+    def test_snapshot_of_snapshot_is_itself(self):
+        snap = self._sample().snapshot()
+        assert snap.snapshot() is snap
+
+    def test_snapshot_shares_buffer_zero_copy(self):
+        arr = self._sample()
+        snap = arr.snapshot()
+        assert snap.data.base is arr.data.base or snap.data is arr.data
+
+    def test_readers_see_consistent_prefix_under_appends(self):
+        arr = self._sample()
+        snap = arr.snapshot()
+        names = [r.name for r in snap]
+        arr.append_rows([(f"c{i}", i, float(i)) for i in range(500)])
+        assert [r.name for r in snap] == names
+
+    # -- derived arrays: fresh physical design (regression) --------------------
+
+    def test_take_gives_fresh_version_and_empty_indexes(self):
+        arr = self._sample()
+        arr.append_rows([("Berlin", 3_700_000, 891.8)])
+        arr.create_index("name")
+        derived = arr.take(np.array([1, 0]))
+        assert derived.version == 0
+        assert derived._indexes == {}
+        assert derived._indexes is not arr._indexes
+        assert derived.index_fields() == ()
+
+    def test_filter_gives_fresh_version_and_empty_indexes(self):
+        arr = self._sample()
+        arr.create_index("population")
+        derived = arr.filter(arr.column("population") > 0)
+        assert derived.version == 0
+        assert derived._indexes == {}
+        assert derived._indexes is not arr._indexes
+
+    def test_cluster_by_gives_fresh_version_and_empty_indexes(self):
+        arr = self._sample()
+        arr.create_index("population")
+        clustered = arr.cluster_by("population")
+        assert clustered.version == 0
+        assert clustered._indexes == {}
+        assert clustered._indexes is not arr._indexes
+        assert clustered.clustering == "population"
+
+    # -- version-aware physical design -----------------------------------------
+
+    def test_clustering_goes_stale_on_append(self):
+        arr = self._sample().cluster_by("population")
+        assert arr.clustering == "population"
+        assert arr.clustered_by == "population"
+        arr.append_rows([("Tiny", 1, 0.1)])  # out of sorted position
+        assert arr.clustering is None
+        assert arr.clustered_by is None
+
+    def test_stale_index_is_rebuilt_on_get(self):
+        arr = self._sample()
+        first = arr.create_index("name")
+        assert arr.get_index("name") is first  # fresh: same object
+        arr.append_rows([("Berlin", 3_700_000, 891.8)])
+        rebuilt = arr.get_index("name")
+        assert rebuilt is not first
+        assert list(rebuilt.lookup("Berlin")) == [3]
+
+    def test_snapshot_reads_through_parent_indexes(self):
+        arr = self._sample()
+        arr.create_index("name")
+        snap = arr.snapshot()
+        assert snap.index_fields() == ("name",)
+        arr.append_rows([("Berlin", 3_700_000, 891.8)])
+        # the parent index is now past the snapshot's watermark: the
+        # snapshot materializes a prefix-correct index of its own
+        index = snap.get_index("name")
+        assert index.lookup("Berlin").size == 0
+        assert list(index.lookup("Rome")) == [2]
