@@ -1,0 +1,98 @@
+"""Figure 7 companion — distributed workers vs the thread tier.
+
+Not a figure from the paper: it measures this repo's sharded
+multi-process tier (DESIGN.md §16) against morsel-driven thread
+parallelism on the same Figure-7 aggregation.  Both legs run the native
+engine with 4-way parallelism; the thread leg is GIL-bound on its
+managed sections while the process leg shards the pinned snapshot
+across worker processes.  Both legs are warmed first, so the dist leg's
+numbers exclude pool spawn, artifact broadcast, and the initial shard
+shipment — the steady state a resident pool actually serves.  The
+interesting quantity is the thread/dist speedup, which
+``scripts/check_bench_regression.py`` gates within-run (≥1.5×, skipped
+below SF 0.05 or on single-core machines where process parallelism
+cannot win).
+"""
+
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.distributed import shutdown_pools
+from repro.tpch import aggregation_micro
+
+from conftest import drain, write_report
+
+ENGINE = "native"
+WORKERS = 4
+SWEEP = (0.2, 0.6, 1.0)
+ROUNDS = 5
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_pools()
+
+
+def _measure(data, provider, selectivity):
+    """(thread_ms, dist_ms) medians for one selectivity."""
+    query = aggregation_micro(data, ENGINE, selectivity, provider)
+    threaded = query.in_parallel(WORKERS)
+    dist = query.distributed(WORKERS)
+
+    drain(threaded)  # warm: compile the morsel artifact
+    thread_times = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        drain(threaded)
+        thread_times.append((time.perf_counter() - started) * 1e3)
+
+    drain(dist)  # warm: spawn pool, broadcast artifact, ship shards
+    dist_times = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        drain(dist)
+        dist_times.append((time.perf_counter() - started) * 1e3)
+
+    return statistics.median(thread_times), statistics.median(dist_times)
+
+
+@pytest.mark.parametrize("selectivity", (0.6,))
+def test_fig07_dist(benchmark, data, provider, selectivity):
+    """Spot timing: the distributed leg, pool and residency warm."""
+    query = aggregation_micro(data, ENGINE, selectivity, provider).distributed(
+        WORKERS
+    )
+    drain(query)
+    benchmark.pedantic(drain, args=(query,), rounds=ROUNDS, iterations=1)
+
+
+def test_fig07_dist_report(benchmark, data, provider, results_dir, bench_recorder):
+    """Thread-vs-process sweep; writes results/fig07_dist.txt."""
+
+    def sweep():
+        lines = [
+            f"Figure 7 companion: {WORKERS} worker processes vs {WORKERS} "
+            f"threads ({ENGINE} engine); evaluation time (ms)",
+            f"machine: {os.cpu_count()} cpu core(s) — process parallelism "
+            "can only win with >= 2; single-core runs record the IPC "
+            "overhead honestly and the CI gate skips",
+            f"{'selectivity':>11s}  {'thread4':>10s}  {'dist4':>10s}  "
+            f"{'speedup':>8s}",
+        ]
+        for selectivity in SWEEP:
+            thread_ms, dist_ms = _measure(data, provider, selectivity)
+            bench_recorder.record("fig07_dist", "thread4", selectivity, thread_ms)
+            bench_recorder.record("fig07_dist", "dist4", selectivity, dist_ms)
+            speedup = thread_ms / dist_ms if dist_ms else float("inf")
+            lines.append(
+                f"{selectivity:>11.1f}  {thread_ms:>10.2f}  {dist_ms:>10.2f}  "
+                f"{speedup:>7.2f}x"
+            )
+        return lines
+
+    lines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(results_dir, "fig07_dist", lines)

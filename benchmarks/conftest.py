@@ -93,6 +93,7 @@ def pytest_sessionfinish(session, exitstatus):
         return
     payload = {
         "scale": tpch_scale(),
+        "cpus": os.cpu_count(),
         "cells": _RECORDER.cells,
         "phases": _phase_snapshot(),
     }

@@ -215,6 +215,62 @@ def check_delta(current: dict, min_speedup: float):
     return regressions
 
 
+def check_dist(current: dict, payload: dict, min_speedup: float):
+    """Within-run distributed gate: worker processes must beat threads.
+
+    The ``fig07_dist`` sweep times the same aggregation twice in the
+    *current* run — ``thread4`` (4-way morsel threads, GIL-bound on the
+    managed sections) and ``dist4`` (4 worker processes over shards,
+    pool and residency warm) — so raw milliseconds are a fair unit.
+    Each selectivity's thread/dist speedup must clear *min_speedup*.
+    The comparison is only meaningful where process parallelism *can*
+    win: below SF 0.05 the shards are too small to amortize IPC, and on
+    a single-core runner the processes timeshare one core — both cases
+    skip with a warning instead of gating.  Runs without the cells (an
+    older sweep config) also only warn.
+    """
+    regressions = []
+    thread_cells = current.get(("fig07_dist", "thread4"))
+    dist_cells = current.get(("fig07_dist", "dist4"))
+    if not thread_cells or not dist_cells:
+        print(
+            "warning: no fig07_dist cells in the current run — "
+            "distributed gate skipped"
+        )
+        return regressions
+    scale = payload.get("scale") or 0.0
+    cpus = payload.get("cpus") or 1
+    if scale < 0.05 or cpus < 2:
+        print(
+            f"warning: fig07_dist measured at scale={scale} on {cpus} "
+            f"cpu(s) — process parallelism cannot win here; distributed "
+            "gate skipped (needs scale >= 0.05 and >= 2 cpus)"
+        )
+        return regressions
+    print(f"\ndistributed-execution check (min speedup={min_speedup:.1f}x)")
+    print(
+        f"{'selectivity':<12} {'thread4 (ms)':>12} {'dist4 (ms)':>12} "
+        f"{'speedup':>8}"
+    )
+    for selectivity in sorted(dist_cells):
+        thread = thread_cells.get(selectivity)
+        dist = dist_cells[selectivity]
+        if not thread or not dist:
+            print(f"{selectivity:<12} {'MISSING':>12}")
+            continue
+        speedup = thread / dist
+        flag = ""
+        if speedup < min_speedup:
+            regressions.append((selectivity, thread, dist, speedup))
+            flag = "  <-- REGRESSION"
+        print(
+            f"{selectivity:<12} {thread:>12.3f} {dist:>12.3f} "
+            f"{speedup:>7.2f}x{flag}"
+        )
+    print("(thread tier vs worker processes on the same query in the same run)")
+    return regressions
+
+
 def ab_drift(static, adaptive, figure: str):
     """Runner drift between the legs, measured on *figure*'s linq cells.
 
@@ -260,6 +316,10 @@ def check_ab(static, adaptive, tolerance: float, floor_ms: float):
         if figure == "fig07_delta":
             # within-run full-vs-delta cells; no linq drift anchor and
             # already gated by check_delta in the baseline job
+            continue
+        if figure == "fig07_dist":
+            # within-run thread-vs-process cells; no linq drift anchor
+            # and already gated by check_dist in the baseline job
             continue
         if figure.startswith("fig07_elision"):
             # the ablation cells duplicate the fig07_aggregation shapes at
@@ -372,6 +432,22 @@ def main(argv=None) -> int:
         "smoke scale the delta leg is mostly fixed recycler overhead)",
     )
     parser.add_argument(
+        "--dist-min-speedup",
+        type=float,
+        default=1.5,
+        help="minimum thread/dist speedup the fig07_dist sweep must show "
+        "within the current run (default: 1.5; skipped automatically "
+        "below scale 0.05 or on single-core runners)",
+    )
+    parser.add_argument(
+        "--dist-current",
+        type=Path,
+        default=None,
+        help="distributed-only mode: run just the within-run fig07_dist "
+        "gate on this payload (no committed baseline needed — the "
+        "thread leg in the same run is the reference)",
+    )
+    parser.add_argument(
         "--ab-static",
         type=Path,
         default=None,
@@ -402,6 +478,19 @@ def main(argv=None) -> int:
 
     if (args.ab_static is None) != (args.ab_adaptive is None):
         parser.error("--ab-static and --ab-adaptive must be given together")
+    if args.dist_current is not None:
+        payload = load_payload(args.dist_current)
+        table = load_cells(payload, args.dist_current)
+        dist_regressions = check_dist(table, payload, args.dist_min_speedup)
+        if dist_regressions:
+            print(
+                f"FAIL: distributed execution beats the thread tier by less "
+                f"than {args.dist_min_speedup:.1f}x on "
+                f"{len(dist_regressions)} selectivity(ies)"
+            )
+            return 1
+        print("OK: distributed gate passed")
+        return 0
     if args.ab_static is not None:
         static = load_cells(load_payload(args.ab_static), args.ab_static)
         adaptive = load_cells(load_payload(args.ab_adaptive), args.ab_adaptive)
@@ -454,6 +543,11 @@ def main(argv=None) -> int:
             # below); its legs have no linq normalizer, so cross-run
             # ratios are undefined and absolute wall-clock is runner noise
             continue
+        if figure == "fig07_dist":
+            # thread-vs-process is likewise within-run (check_dist
+            # below): no linq normalizer, and the speedup depends on the
+            # runner's core count, so cross-run comparison is undefined
+            continue
         ref = median_metric(baseline, figure, engine, args.mode)
         cur = median_metric(current, figure, engine, args.mode)
         if ref is None:
@@ -482,6 +576,9 @@ def main(argv=None) -> int:
     )
     elision_regressions = check_elision(current, args.elision_tolerance)
     delta_regressions = check_delta(current, args.delta_min_speedup)
+    dist_regressions = check_dist(
+        current, current_payload, args.dist_min_speedup
+    )
 
     if missing:
         print(f"FAIL: {len(missing)} baseline cell(s) missing from the current run")
@@ -517,6 +614,13 @@ def main(argv=None) -> int:
             f"FAIL: delta recycling beats full re-execution by less than "
             f"{args.delta_min_speedup:.1f}x on {len(delta_regressions)} "
             f"append fraction(s)"
+        )
+        return 1
+    if dist_regressions:
+        print(
+            f"FAIL: distributed execution beats the thread tier by less "
+            f"than {args.dist_min_speedup:.1f}x on {len(dist_regressions)} "
+            f"selectivity(ies)"
         )
         return 1
     print("OK: no regressions")

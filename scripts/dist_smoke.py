@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Smoke-drive the distributed tier under concurrency and worker loss.
+
+CI's dist-stress leg runs this after the pytest suite as a
+self-contained, human-readable demo: 8 client threads issue distributed
+queries against one shared 4-worker pool while a saboteur thread kills a
+worker mid-run.  Every client must get bit-identical results to
+sequential execution (resubmission or pool healing, never corruption),
+the pool must drain, and shutting it down must leave zero orphan worker
+processes.
+
+Exit status: 0 = every client correct, pool drained, no orphans;
+non-zero otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import from_struct_array, new  # noqa: E402
+from repro.distributed.scheduler import get_pool, shutdown_pools  # noqa: E402
+from repro.observability import METRICS  # noqa: E402
+from repro.query import QueryProvider  # noqa: E402
+from repro.storage import Field, Schema, StructArray  # noqa: E402
+
+SCHEMA = Schema(
+    [Field("id", "int"), Field("g", "int"), Field("v", "float")], name="DistSmoke"
+)
+CLIENTS = 8
+WORKERS = 4
+RUNS_PER_CLIENT = 6
+
+
+def _array(n: int) -> StructArray:
+    # multiples of 0.25 so summation order cannot perturb float results
+    rows = [(i, i % 11, ((i * 7) % 13) * 0.25) for i in range(n)]
+    return StructArray.from_rows(SCHEMA, rows)
+
+
+TABLE = _array(60_000)
+
+
+def main() -> int:
+    provider = QueryProvider()
+    base = from_struct_array(TABLE).using("compiled", provider)
+    queries = [
+        base.group_by(
+            lambda r: r.g,
+            lambda grp: new(k=grp.key, n=grp.count(), t=grp.sum(lambda r: r.v)),
+        ),
+        base.where(lambda r: r.g > 4).select(lambda r: new(i=r.id, y=r.v + r.v)),
+        base.select(lambda r: new(g=r.g, v=r.v, i=r.id))
+        .order_by(lambda p: p.g)
+        .then_by(lambda p: p.v)
+        .take(50),
+    ]
+    expected = [list(q) for q in queries]
+
+    pool = get_pool(WORKERS)
+    pool.ensure_workers()
+    losses_before = METRICS.counter("dist.worker_losses").value
+
+    errors: list = []
+    lock = threading.Lock()
+    started = time.perf_counter()
+
+    def client(i: int) -> None:
+        try:
+            for run in range(RUNS_PER_CLIENT):
+                pick = (i + run) % len(queries)
+                got = list(queries[pick].distributed(WORKERS))
+                if got != expected[pick]:
+                    raise AssertionError(
+                        f"client {i} run {run}: distributed result diverged"
+                    )
+        except Exception as exc:  # noqa: BLE001 - reported below
+            with lock:
+                errors.append(f"client {i}: {type(exc).__name__}: {exc}")
+
+    killed = {}
+
+    def saboteur() -> None:
+        time.sleep(0.3)  # mid-run: clients are in flight by now
+        handles = pool.live_handles()
+        if handles:
+            handles[0].process.terminate()
+            killed["pid"] = handles[0].process.pid
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)]
+    killer = threading.Thread(target=saboteur)
+    for t in threads:
+        t.start()
+    killer.start()
+    for t in threads:
+        t.join(timeout=300.0)
+    killer.join(timeout=10.0)
+    elapsed = time.perf_counter() - started
+
+    print(
+        f"dist smoke: {CLIENTS} clients x {RUNS_PER_CLIENT} runs over "
+        f"{WORKERS} workers in {elapsed:.2f}s"
+    )
+    print(f"  worker killed: pid {killed.get('pid')}")
+    print(
+        f"  losses observed: "
+        f"{METRICS.counter('dist.worker_losses').value - losses_before}, "
+        f"resubmissions: {METRICS.counter('dist.resubmissions').value}"
+    )
+
+    failures = []
+    if any(t.is_alive() for t in threads):
+        failures.append("client thread hung")
+    if not killed:
+        failures.append("saboteur found no live worker to kill")
+    failures.extend(errors)
+    if pool.admission.running != 0 or pool.admission.queue_depth != 0:
+        failures.append(
+            f"pool not drained: running={pool.admission.running} "
+            f"queued={pool.admission.queue_depth}"
+        )
+
+    shutdown_pools()
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    leaked = multiprocessing.active_children()
+    if leaked:
+        failures.append(f"leaked worker processes: {[p.pid for p in leaked]}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: all clients bit-identical, pool drained, zero orphans")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

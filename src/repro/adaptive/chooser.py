@@ -44,6 +44,21 @@ _EXPLORE_WORKERS = (1, 2, 4)
 #: morsel sizes exploration draws from
 _EXPLORE_MORSELS = (8192, 32768, 65536)
 
+#: worker-process counts exploration draws from when distribution is on
+_EXPLORE_DISTRIBUTED = (0, 2, 4)
+
+
+def _distributed_enabled() -> bool:
+    """True when ``REPRO_DISTRIBUTED`` lets the chooser pick (or keep)
+    multi-process configurations."""
+    return os.environ.get("REPRO_DISTRIBUTED", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
 
 def epsilon_from_env() -> float:
     """Exploration rate from ``REPRO_ADAPTIVE_EPSILON`` (default 0.05)."""
@@ -69,14 +84,17 @@ class Decision:
     #: "profile" | "estimate" | "static-fallback" | "explore"
     source: str
     reason: str = ""
+    #: worker-process override for multi-process execution, or None to
+    #: defer to the static resolution (``REPRO_DISTRIBUTED``)
+    distributed: Optional[int] = None
 
     def describe(self) -> str:
         workers = "static" if self.workers is None else str(self.workers)
         morsel = "default" if self.morsel is None else str(self.morsel)
-        text = (
-            f"engine={self.engine} workers={workers} morsel={morsel} "
-            f"(source={self.source})"
-        )
+        text = f"engine={self.engine} workers={workers} morsel={morsel} "
+        if self.distributed:
+            text += f"dist={self.distributed} "
+        text += f"(source={self.source})"
         if self.reason:
             text += f" — {self.reason}"
         return text
@@ -157,9 +175,13 @@ class AdaptiveChooser:
         ):
             return self._explore(candidates, estimate, load_factor)
         if profile is not None and profile.runs > 0:
-            best = profile.best()
+            dist_on = _distributed_enabled()
+            best = profile.best(allow_distributed=dist_on)
             if best is not None and best.engine in candidates:
                 workers = self._cap_workers(best.workers, load_factor)
+                # with distribution enabled the decision is explicit both
+                # ways: 0 pins the faster in-process configuration (None
+                # would defer back to the environment and distribute)
                 return Decision(
                     engine=best.engine,
                     workers=workers,
@@ -167,6 +189,7 @@ class AdaptiveChooser:
                     morsel=best.morsel or None,
                     source="profile",
                     reason=f"{best.runs} run(s), ewma {best.ewma_ms:.3f} ms",
+                    distributed=best.distributed if dist_on else None,
                 )
         if estimate is not None and estimate.driver_rows > 0:
             workers, morsel = seed_configuration(
@@ -199,12 +222,21 @@ class AdaptiveChooser:
         if estimate is not None and estimate.driver_rows < 4096:
             workers = 1
         morsel = self._rng.choice(_EXPLORE_MORSELS)
+        distributed = None
+        if _distributed_enabled():
+            # process fan-out pays a scatter cost: only arms worth trying
+            # on inputs large enough to amortize it; an explicit 0 pins
+            # the in-process arm (None would defer to the environment)
+            distributed = self._rng.choice(_EXPLORE_DISTRIBUTED)
+            if estimate is not None and estimate.driver_rows < 4096:
+                distributed = 0
         return Decision(
             engine=engine,
             workers=self._cap_workers(workers, load_factor),
             morsel=morsel,
             source="explore",
             reason=f"epsilon={self.epsilon:g}",
+            distributed=distributed,
         )
 
     @staticmethod

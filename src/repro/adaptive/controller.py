@@ -178,6 +178,7 @@ class AdaptiveController:
         rows: Optional[int],
         estimate: Optional[RowEstimate],
         degraded: bool = False,
+        distributed: int = 0,
     ) -> None:
         """Feed one finished execution back into the profile (fail-open)."""
         try:
@@ -190,6 +191,7 @@ class AdaptiveController:
                 rows=rows,
                 estimated=estimate.output_rows if estimate else None,
                 degraded=degraded,
+                distributed=distributed,
             )
             self._metrics.counter("adaptive.observations").add()
         except Exception:  # noqa: BLE001 - fail-open by contract

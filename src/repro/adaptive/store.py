@@ -78,11 +78,17 @@ def store_path_from_env() -> Optional[str]:
 
 @dataclass
 class ConfigStats:
-    """Runtime summary of one (engine, workers, morsel) configuration."""
+    """Runtime summary of one (engine, workers, morsel) configuration.
+
+    ``distributed`` is the worker-*process* count for multi-process runs
+    (0 = in-process); records written before the field existed load as 0,
+    so old store files keep aggregating cleanly.
+    """
 
     engine: str
     workers: int
     morsel: int
+    distributed: int = 0
     runs: int = 0
     ewma_ms: float = 0.0
 
@@ -103,7 +109,9 @@ class QueryProfile:
     """Everything learned about one query shape (one profile key)."""
 
     key: str
-    configs: Dict[Tuple[str, int, int], ConfigStats] = field(default_factory=dict)
+    configs: Dict[Tuple[str, int, int, int], ConfigStats] = field(
+        default_factory=dict
+    )
     runs: int = 0
     #: EWMA of the observed output cardinality
     observed_rows: float = 0.0
@@ -118,11 +126,13 @@ class QueryProfile:
         ms: float,
         rows: Optional[int],
         estimated: Optional[int],
+        distributed: int = 0,
     ) -> None:
-        stats = self.configs.get((engine, workers, morsel))
+        config = (engine, workers, morsel, distributed)
+        stats = self.configs.get(config)
         if stats is None:
-            stats = self.configs[(engine, workers, morsel)] = ConfigStats(
-                engine, workers, morsel
+            stats = self.configs[config] = ConfigStats(
+                engine, workers, morsel, distributed
             )
         stats.observe(ms)
         if rows is not None:
@@ -134,16 +144,24 @@ class QueryProfile:
             self.estimated_rows = estimated
         self.runs += 1
 
-    def best(self) -> Optional[ConfigStats]:
+    def best(self, allow_distributed: bool = True) -> Optional[ConfigStats]:
         """The fastest known configuration, deterministically tie-broken.
 
         Ties (and near-ties) break on the configuration tuple itself, so
         two processes replaying the same observations always agree.
+        ``allow_distributed=False`` restricts the search to in-process
+        configurations — the chooser must not revive multi-process runs
+        the environment has switched off.
         """
-        if not self.configs:
+        candidates = [
+            s
+            for s in self.configs.values()
+            if allow_distributed or not s.distributed
+        ]
+        if not candidates:
             return None
         return min(
-            self.configs.values(), key=lambda s: (s.ewma_ms, s.config)
+            candidates, key=lambda s: (s.ewma_ms, s.config, s.distributed)
         )
 
     @property
@@ -222,6 +240,8 @@ class ProfileStore:
                     ms=float(record["ms"]),
                     rows=record.get("rows"),
                     estimated=record.get("est"),
+                    # pre-distribution records have no key: load as 0
+                    distributed=int(record.get("dist", 0) or 0),
                 )
             elif kind == "degrade":
                 requested = max(1, int(record["requested"]))
@@ -264,6 +284,7 @@ class ProfileStore:
         rows: Optional[int] = None,
         estimated: Optional[int] = None,
         degraded: bool = False,
+        distributed: int = 0,
     ) -> None:
         """Record one observed execution (and persist it, best-effort)."""
         record = {
@@ -278,6 +299,10 @@ class ProfileStore:
             "est": estimated,
             "degraded": bool(degraded),
         }
+        # only multi-process runs carry the key: in-process records stay
+        # byte-identical to pre-distribution stores
+        if distributed:
+            record["dist"] = int(distributed)
         with self._lock:
             self._apply(record)
             self._append(record)

@@ -370,6 +370,26 @@ def decide_parallel(plan: Plan):
     shared across morsels), direct group materialization, concatenation —
     falls back to sequential execution.
     """
+    return _decide_split(plan, distributed=False)
+
+
+def decide_distributed(plan: Plan):
+    """Classify *plan* for sharded multi-process execution.
+
+    Same decomposition as :func:`decide_parallel` — the shard is just a
+    very large morsel, and the merge algebra is identical — with one
+    extra allowance: **inner joins** distribute under the broadcast-build
+    strategy.  The build side ships whole to every worker and is built
+    exactly once per worker process (not once per morsel, the cost that
+    keeps inner joins sequential on the thread tier), while the probe
+    side is sharded; per-shard probe outputs concatenate in shard order,
+    reproducing the sequential probe order.  Left/outer joins and set
+    operations still fall back, with reasons surfaced on ``explain()``.
+    """
+    return _decide_split(plan, distributed=True)
+
+
+def _decide_split(plan: Plan, distributed: bool):
     effects = plan_effects(plan)
     if effects.impure:
         return ParallelSplit(
@@ -413,16 +433,30 @@ def decide_parallel(plan: Plan):
                     ),
                 )
 
-    blocker = _pipeline_blocker(pipeline)
+    blocker = _pipeline_blocker(pipeline, distributed=distributed)
     if blocker is not None:
-        return ParallelSplit(
-            False,
-            reasons=(
-                f"plan node {type(blocker).__name__} inside the morsel "
-                f"pipeline is order-sensitive or blocking; no per-morsel "
-                f"decomposition",
-            ),
-        )
+        if isinstance(blocker, Join):
+            detail = (
+                f"{blocker.kind} join has no distributed merge "
+                f"(unmatched-row accounting spans shards)"
+                if distributed
+                else f"{blocker.kind} join rebuilds its hash state per "
+                f"morsel; no shared build phase"
+            )
+        elif isinstance(blocker, SetOp):
+            detail = (
+                f"set operation {blocker.op!r} compares whole inputs; "
+                f"no per-{'shard' if distributed else 'morsel'} "
+                f"decomposition"
+            )
+        else:
+            detail = (
+                f"plan node {type(blocker).__name__} inside the "
+                f"{'shard' if distributed else 'morsel'} pipeline is "
+                f"order-sensitive or blocking; no per-"
+                f"{'shard' if distributed else 'morsel'} decomposition"
+            )
+        return ParallelSplit(False, reasons=(detail,))
 
     ordinal = _driver_ordinal(pipeline)
     occurrences = sum(
@@ -453,25 +487,36 @@ def _walk_plan(plan: Plan):
         yield from _walk_plan(child)
 
 
-def _pipeline_blocker(node: Plan) -> Optional[Plan]:
+def _pipeline_blocker(node: Plan, distributed: bool = False) -> Optional[Plan]:
     """First operator on the morsel path that cannot run per-morsel.
 
     Joins are correct to morselize (probe side sliced, build side
     recomputed per morsel) but a morsel kernel is monolithic, so every
     invocation would rebuild the build-side hash state from scratch —
     measured 3–20× slower than one sequential pass.  Until the build
-    phase is shared across morsels, joins fall back to sequential.
+    phase is shared across morsels, inner joins fall back to sequential
+    on the thread tier.  The distributed tier runs one kernel invocation
+    per *shard*, so the build side is built exactly once per worker
+    (broadcast-build) and inner joins distribute; left joins stay
+    blocked everywhere — their unmatched-row default handling is still
+    per-probe-row, but keeping the thread and process tiers' join
+    surfaces aligned with the documented capability matrix matters more
+    than one extra operator.
     """
     if isinstance(node, Scan):
         return None
     if isinstance(node, (Filter, Project, FlatMap)):
-        return _pipeline_blocker(node.child)
+        return _pipeline_blocker(node.child, distributed)
     if isinstance(node, Join) and node.kind in ("semi", "anti"):
         # existence probes are stateless row masks over the probe side;
         # the build-side key set is rebuilt per morsel (kernels receive
         # full sources — only the morsel scan is sliced), so per-morsel
         # results concatenate deterministically
-        return _pipeline_blocker(node.left)
+        return _pipeline_blocker(node.left, distributed)
+    if distributed and isinstance(node, Join) and node.kind == "inner":
+        # broadcast-build: the probe (left) side is sharded, the build
+        # side ships whole to each worker and is built once per worker
+        return _pipeline_blocker(node.left, distributed)
     return node
 
 

@@ -1,0 +1,48 @@
+"""Sharded multi-process distributed execution (DESIGN.md §16).
+
+The GIL caps the thread tier's speedup on managed-side work; this
+package scales past it with worker *processes* that own table shards
+and execute the same compiled artifacts:
+
+* :mod:`~repro.distributed.shards` — pin a StructArray's atomic
+  snapshot, slice column buffers per worker, track residency tokens;
+* :mod:`~repro.distributed.worker` — the long-lived spawn entry point:
+  compile broadcast artifacts once, cache tables, run shard kernels;
+* :mod:`~repro.distributed.scheduler` — the cluster scheduler grown out
+  of ``AdmissionController``: slots, queue-depth-aware fan-out,
+  residency-first placement, worker-loss resubmission;
+* :mod:`~repro.distributed.coordinator` — scatter/gather plus the same
+  pure merge algebra the thread tier uses, so distributed ≡ sequential;
+* :mod:`~repro.distributed.wire` — the process-boundary encodings.
+
+Entry points for users: ``Queryable.distributed(workers=…)``,
+``using(distributed=…)``, or ``REPRO_DISTRIBUTED=1`` with
+``REPRO_DIST_WORKERS``.
+"""
+
+from .coordinator import DistributedQuery, build_distributed_query
+from .scheduler import ClusterScheduler, get_pool, shutdown_pools
+from .shards import (
+    TableShard,
+    materialize,
+    pin,
+    shard_bounds,
+    shard_payload,
+    table_token,
+)
+from .wire import UnshippableError
+
+__all__ = [
+    "ClusterScheduler",
+    "DistributedQuery",
+    "TableShard",
+    "UnshippableError",
+    "build_distributed_query",
+    "get_pool",
+    "materialize",
+    "pin",
+    "shard_bounds",
+    "shard_payload",
+    "shutdown_pools",
+    "table_token",
+]

@@ -1,0 +1,151 @@
+"""Wire encoding for the distributed tier: artifacts, rows, params.
+
+Everything that crosses the coordinator/worker process boundary goes
+through this module, and the encoding is deliberately boring: tagged
+tuples plus pickle.  Three kinds of payload exist —
+
+* **namespace specs** — a compiled kernel is broadcast as its generated
+  *source* plus a recipe for rebuilding the module globals the printer
+  bound (record types, runtime helpers, numpy).  Modules travel by name,
+  runtime record types by ``(type_name, fields)`` (rebuilt through the
+  shared :func:`~repro.expressions.evaluator.make_record_type` cache so
+  both processes agree on row identity), and everything else by pickle.
+  Functions *defined by the generated module itself* are skipped — the
+  worker's ``exec`` of the source re-creates them.
+* **result values** — partial rows may be namedtuple records, plain
+  tuples, dates, or numpy scalars.  Every tuple is tagged (``__rec__`` /
+  ``__tup__``) so decoding is unambiguous, and the private
+  ``_NO_VALUE`` sentinel of the scalar merge travels as its own tag
+  (object identity does not survive pickling).
+* **params** — the user's parameter dict, minus the reserved morsel
+  window keys and the cancellation token (a token holds a lock; the
+  coordinator checkpoints cancellation between gather steps instead).
+
+A value that cannot be encoded raises :class:`UnshippableError`; the
+provider treats that as "this query does not distribute" and falls back
+to the thread tier — never as a query failure.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pickle
+from typing import Any, Dict, List, Tuple
+
+from ..errors import DistributedError
+from ..expressions.evaluator import make_record_type
+from ..runtime.cancellation import CANCEL_PARAM
+from ..runtime.parallel import MORSEL_START, MORSEL_STOP, _NO_VALUE
+
+__all__ = [
+    "UnshippableError",
+    "decode_namespace",
+    "decode_value",
+    "encode_namespace",
+    "encode_params",
+    "encode_value",
+]
+
+
+class UnshippableError(DistributedError):
+    """A kernel namespace or parameter set cannot cross processes.
+
+    Not a query failure: the provider catches this while planning and
+    runs the query on the thread tier instead.
+    """
+
+
+#: namespace names never shipped: rebuilt by ``exec`` / interpreter-local
+_SKIP_BINDINGS = frozenset({"__builtins__", "__verifier_report__"})
+
+
+def encode_namespace(namespace: Dict[str, Any]) -> List[Tuple[Any, ...]]:
+    """Recipe for rebuilding a generated module's globals in a worker."""
+    spec: List[Tuple[Any, ...]] = []
+    for name, value in namespace.items():
+        if name in _SKIP_BINDINGS:
+            continue
+        if getattr(value, "__globals__", None) is namespace:
+            # defined by the generated module itself; exec re-creates it
+            continue
+        if inspect.ismodule(value):
+            spec.append((name, "module", value.__name__))
+        elif (
+            isinstance(value, type)
+            and issubclass(value, tuple)
+            and hasattr(value, "_fields")
+        ):
+            spec.append((name, "record", value.__name__, tuple(value._fields)))
+        else:
+            try:
+                spec.append((name, "pickle", pickle.dumps(value)))
+            except Exception as exc:
+                raise UnshippableError(
+                    f"kernel binding {name!r} ({type(value).__name__}) "
+                    f"cannot cross the process boundary: {exc}"
+                ) from exc
+    return spec
+
+
+def decode_namespace(spec: List[Tuple[Any, ...]]) -> Dict[str, Any]:
+    namespace: Dict[str, Any] = {}
+    for entry in spec:
+        name, kind = entry[0], entry[1]
+        if kind == "module":
+            namespace[name] = importlib.import_module(entry[2])
+        elif kind == "record":
+            type_name, fields = entry[2], entry[3]
+            namespace[name] = make_record_type(
+                fields, None if type_name == "Row" else type_name
+            )
+        else:
+            namespace[name] = pickle.loads(entry[2])
+    return namespace
+
+
+def encode_value(value: Any) -> Any:
+    """Tag tuples/records/sentinels so decode is unambiguous."""
+    if value is _NO_VALUE:
+        return ("__noval__",)
+    if isinstance(value, tuple):
+        if hasattr(value, "_fields"):
+            return (
+                "__rec__",
+                type(value).__name__,
+                tuple(value._fields),
+                tuple(encode_value(v) for v in value),
+            )
+        return ("__tup__", tuple(encode_value(v) for v in value))
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, tuple) and value:
+        tag = value[0]
+        if tag == "__noval__":
+            return _NO_VALUE
+        if tag == "__rec__":
+            type_name, fields = value[1], value[2]
+            record_type = make_record_type(
+                fields, None if type_name == "Row" else type_name
+            )
+            return record_type(*(decode_value(v) for v in value[3]))
+        if tag == "__tup__":
+            return tuple(decode_value(v) for v in value[1])
+    return value
+
+
+def encode_params(params: Dict[str, Any]) -> bytes:
+    """Pickle the user params minus process-local reserved keys."""
+    shippable = {
+        k: v
+        for k, v in params.items()
+        if k not in (CANCEL_PARAM, MORSEL_START, MORSEL_STOP)
+    }
+    try:
+        return pickle.dumps(shippable)
+    except Exception as exc:
+        raise UnshippableError(
+            f"query parameters cannot cross the process boundary: {exc}"
+        ) from exc

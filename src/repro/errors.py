@@ -80,6 +80,19 @@ class ExecutionError(ReproError):
     """A compiled or interpreted query failed while producing results."""
 
 
+class DistributedError(ExecutionError):
+    """Multi-process distributed execution failed as infrastructure.
+
+    Raised by the coordinator/scheduler when the worker pool cannot
+    complete a query — every worker died mid-query, a worker returned a
+    malformed reply, or an artifact could not cross the process boundary
+    when distribution was explicitly demanded.  Kernel-level failures
+    (a divide-by-zero inside generated code, an empty-aggregate error)
+    re-raise with their original sequential types instead: distribution
+    must never change *what* error a query produces, only where it runs.
+    """
+
+
 class QueryCancelled(ExecutionError):
     """A query observed its cancellation token and stopped cooperatively.
 

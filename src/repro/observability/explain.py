@@ -27,7 +27,12 @@ from ..expressions.canonical import canonicalize
 from ..plans.logical import plan_to_text
 from ..plans.optimizer import optimize
 from ..plans.translate import translate
-from ..plans.validate import capability_report, parallel_split, validate_plan
+from ..plans.validate import (
+    capability_report,
+    distributed_split,
+    parallel_split,
+    validate_plan,
+)
 from .tracer import TRACER, SpanRecord
 
 __all__ = [
@@ -61,6 +66,11 @@ _PHASE_ORDER = (
     "parallel.dispatch",
     "parallel.morsel",
     "parallel.merge",
+    "dist.execute",
+    "dist.scatter",
+    "dist.worker",
+    "dist.gather",
+    "dist.merge",
     "service.execute",
 )
 
@@ -110,6 +120,43 @@ def _parallel_verdict(
         )
     reason = split.reasons[0] if split.reasons else "outside the parallel fragment"
     return f"sequential — {reason}"
+
+
+def _distributed_verdict(
+    provider: Any,
+    plan: Any,
+    engine: str,
+    sources: List[Any],
+    distributed: Optional[int],
+) -> str:
+    """The multi-process decision — empty (line omitted) when nobody
+    asked for distribution, so pre-distribution reports stay byte-exact."""
+    from ..query.provider import DISTRIBUTED_ENGINES
+    from ..storage.struct_array import StructArray
+
+    resolve = getattr(provider, "_resolve_distributed", None)
+    if resolve is None:
+        return ""
+    workers = resolve(distributed)
+    if workers < 2:
+        return ""
+    if engine not in DISTRIBUTED_ENGINES:
+        return f"in-process (engine {engine!r} emits no broadcastable kernels)"
+    if not sources or not all(isinstance(s, StructArray) for s in sources):
+        return (
+            "in-process (sources are not all StructArrays; "
+            "shards own column buffers)"
+        )
+    split = distributed_split(plan)
+    if split.parallel:
+        return (
+            f"eligible (mode={split.mode}, driver=source "
+            f"{split.morsel_ordinal}, workers={workers})"
+        )
+    reason = (
+        split.reasons[0] if split.reasons else "outside the distributable fragment"
+    )
+    return f"in-process — {reason}"
 
 
 def _pipeline_section(
@@ -163,6 +210,8 @@ class ExplainReport:
     facts: Tuple[str, ...] = ()
     parallel: str = ""
     adaptive: str = ""
+    #: multi-process decision; empty = nobody requested distribution
+    distributed: str = ""
 
     def render(self) -> str:
         lines = [self.plan_text.rstrip("\n")]
@@ -183,6 +232,8 @@ class ExplainReport:
                 lines.append(f"  {line}")
         if self.parallel:
             lines.append(f"parallel: {self.parallel}")
+        if self.distributed:
+            lines.append(f"distributed: {self.distributed}")
         if self.adaptive:
             lines.append(f"adaptive: {self.adaptive}")
         return "\n".join(lines)
@@ -218,6 +269,7 @@ def explain_report(
     engine: str,
     parallelism: Optional[int] = None,
     adaptive: Any = None,
+    distributed: Optional[int] = None,
 ) -> ExplainReport:
     """Build the static EXPLAIN report for one query/engine pairing."""
     if engine == "linq":
@@ -241,6 +293,9 @@ def explain_report(
         facts=facts,
         parallel=_parallel_verdict(provider, plan, engine, parallelism),
         adaptive=_adaptive_verdict(provider, expr, sources, engine, adaptive),
+        distributed=_distributed_verdict(
+            provider, plan, engine, sources, distributed
+        ),
     )
 
 
@@ -258,6 +313,8 @@ class ExplainAnalysis:
     phases: Dict[str, PhaseStat] = field(default_factory=dict)
     parallel: str = ""
     adaptive: str = ""
+    #: multi-process accounting; empty = the run was in-process
+    distributed: str = ""
     morsels: int = 0
     spans: List[SpanRecord] = field(default_factory=list)
 
@@ -274,6 +331,8 @@ class ExplainAnalysis:
             lines.append(f"recycle: {self.recycle}")
         if self.parallel:
             lines.append(f"parallel: {self.parallel}")
+        if self.distributed:
+            lines.append(f"distributed: {self.distributed}")
         if self.adaptive:
             lines.append(f"adaptive: {self.adaptive}")
         lines.append("phases (wall ms):")
@@ -308,6 +367,7 @@ def explain_analyze(
     parallelism: Optional[int] = None,
     morsel_size: Optional[int] = None,
     adaptive: Any = None,
+    distributed: Optional[int] = None,
     runner: Optional[Any] = None,
 ) -> ExplainAnalysis:
     """Execute the query under a span capture and fold the evidence.
@@ -334,8 +394,13 @@ def explain_analyze(
                 params,
                 parallelism=parallelism,
                 morsel_size=morsel_size,
-                # omit when unset: providers predating the adaptive layer
+                # omit when unset: providers predating these layers
                 **({} if adaptive is None else {"adaptive": adaptive}),
+                **(
+                    {}
+                    if distributed is None
+                    else {"distributed": distributed}
+                ),
             )
             rows = 0
             for _ in iterator:
@@ -359,10 +424,12 @@ def explain_analyze(
     if engine == "linq":
         plan_text = _LINQ_PLAN
         parallel = ""
+        distributed_line = ""
     else:
         _, plan = _plan_for(provider, expr)
         plan_text = plan_to_text(plan)
         parallel = ""
+        distributed_line = ""
         for record in spans:
             if record.name == "parallel.execute":
                 parallel = (
@@ -370,8 +437,18 @@ def explain_analyze(
                     f"{record.attrs.get('morsels', '?')} morsels "
                     f"(mode={record.attrs.get('mode', '?')})"
                 )
+            elif record.name == "dist.execute":
+                distributed_line = (
+                    f"{record.attrs.get('workers', '?')} worker processes x "
+                    f"{record.attrs.get('grant', '?')} shards "
+                    f"(mode={record.attrs.get('mode', '?')})"
+                )
         if not parallel:
             parallel = _parallel_verdict(provider, plan, engine, parallelism)
+        if not distributed_line:
+            distributed_line = _distributed_verdict(
+                provider, plan, engine, sources, distributed
+            )
 
     return ExplainAnalysis(
         engine=engine,
@@ -382,6 +459,7 @@ def explain_analyze(
         phases=phases,
         parallel=parallel,
         adaptive=adaptive_line,
+        distributed=distributed_line,
         morsels=morsels,
         spans=list(spans),
     )

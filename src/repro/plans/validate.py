@@ -65,6 +65,7 @@ __all__ = [
     "capability_report",
     "ParallelSplit",
     "parallel_split",
+    "distributed_split",
     "PARALLEL_MERGEABLE_AGGREGATES",
 ]
 
@@ -562,6 +563,19 @@ def parallel_split(plan: Plan) -> ParallelSplit:
     from ..codegen.lower import decide_parallel
 
     return decide_parallel(plan)
+
+
+def distributed_split(plan: Plan) -> ParallelSplit:
+    """Classify *plan* for sharded multi-process execution.
+
+    Delegates to :func:`repro.codegen.lower.decide_distributed` — the
+    morsel rules plus the broadcast-build allowance for inner joins.
+    Left/outer joins and set operations return ``parallel=False`` with
+    reasons, which ``explain()`` surfaces as the distributed fallback.
+    """
+    from ..codegen.lower import decide_distributed
+
+    return decide_distributed(plan)
 
 
 def _vector_fragment_reasons(

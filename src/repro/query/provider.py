@@ -20,6 +20,7 @@ optimizes nor compiles, and the baseline must not either.
 from __future__ import annotations
 
 import copy
+import hashlib
 import os
 import threading
 import time
@@ -44,7 +45,7 @@ from ..observability.tracer import TRACER, traced_rows
 from ..plans.logical import plan_to_text
 from ..plans.optimizer import OptimizeOptions, optimize
 from ..plans.translate import TranslateOptions, translate
-from ..plans.validate import capability_report, validate_plan
+from ..plans.validate import capability_report, distributed_split, validate_plan
 from ..storage.struct_array import StructArray
 from ..runtime.parallel import (
     DEFAULT_MORSEL_ROWS,
@@ -72,6 +73,10 @@ ENGINES = (
 #: interpreted yardstick and the Min hybrids retain whole-source object
 #: identity, so both always run sequentially
 PARALLEL_ENGINES = ("compiled", "native", "hybrid", "hybrid_buffered")
+
+#: engines whose artifacts can broadcast to worker processes — the same
+#: set: a shard task is one morsel-parameterized kernel invocation
+DISTRIBUTED_ENGINES = PARALLEL_ENGINES
 
 #: cached marker: "this plan/engine pair falls back to sequential"
 _SEQUENTIAL = object()
@@ -130,6 +135,11 @@ class QueryProvider:
         #: from the QueryCache so parallel lookups don't perturb the
         #: compiled-code hit/miss statistics the benchmarks report
         self._parallel_entries: Dict[Any, Any] = {}
+        #: broadcast artifacts for multi-process execution (or the
+        #: sequential-fallback marker); keyed like parallel entries but
+        #: *without* the worker count — the shard fan-out is a runtime
+        #: grant, the compiled artifact is shape-only
+        self._distributed_entries: Dict[Any, Any] = {}
         #: schema token → TableStats (§9 extension); versioned for caching
         self._statistics: Dict[str, Any] = {}
         self._statistics_version = 0
@@ -166,6 +176,7 @@ class QueryProvider:
         parallelism: Optional[int] = None,
         morsel_size: Optional[int] = None,
         adaptive: Any = None,
+        distributed: Optional[int] = None,
     ) -> Iterator[Any]:
         """Run *expr* and return a lazy iterator over its results."""
         sources = pin_sources(sources)
@@ -209,6 +220,45 @@ class QueryProvider:
         effective_morsel = morsel_size
         if effective_morsel is None and decision is not None:
             effective_morsel = decision.morsel
+        effective_distributed = distributed
+        if effective_distributed is None and decision is not None:
+            effective_distributed = getattr(decision, "distributed", None)
+        dist = self._distributed_plan(
+            expr,
+            sources,
+            run_engine,
+            effective_distributed,
+            scalar=False,
+            params={**bindings, **params},
+        )
+        if dist is not None:
+            dist_workers, dist_artifact = dist
+            started = time.perf_counter()
+            rows = dist_artifact.execute(
+                sources, {**bindings, **params}, dist_workers
+            )
+            ended = time.perf_counter()
+            TRACER.record(
+                "query.execute",
+                started,
+                ended,
+                rows=len(rows),
+                engine=run_engine,
+                distributed=True,
+            )
+            if controller is not None:
+                controller.observe(
+                    adaptive_key,
+                    decision,
+                    run_engine,
+                    dist_workers,
+                    0,
+                    (ended - started) * 1e3,
+                    len(rows),
+                    estimate,
+                    distributed=dist_workers,
+                )
+            return iter(rows)
         parallel = self._parallel_plan(
             expr, sources, run_engine, effective_parallelism, scalar=False
         )
@@ -276,6 +326,7 @@ class QueryProvider:
         parallelism: Optional[int] = None,
         morsel_size: Optional[int] = None,
         adaptive: Any = None,
+        distributed: Optional[int] = None,
     ) -> Any:
         """Run a terminal aggregate and return its single value."""
         sources = pin_sources(sources)
@@ -307,6 +358,39 @@ class QueryProvider:
         effective_morsel = morsel_size
         if effective_morsel is None and decision is not None:
             effective_morsel = decision.morsel
+        effective_distributed = distributed
+        if effective_distributed is None and decision is not None:
+            effective_distributed = getattr(decision, "distributed", None)
+        dist = self._distributed_plan(
+            expr,
+            sources,
+            run_engine,
+            effective_distributed,
+            scalar=True,
+            params={**bindings, **params},
+        )
+        if dist is not None:
+            dist_workers, dist_artifact = dist
+            started = time.perf_counter()
+            with TRACER.span(
+                "query.execute", engine=run_engine, scalar=True, distributed=True
+            ):
+                value = dist_artifact.execute(
+                    sources, {**bindings, **params}, dist_workers
+                )
+            if controller is not None:
+                controller.observe(
+                    adaptive_key,
+                    decision,
+                    run_engine,
+                    dist_workers,
+                    0,
+                    (time.perf_counter() - started) * 1e3,
+                    None,
+                    estimate,
+                    distributed=dist_workers,
+                )
+            return value
         parallel = self._parallel_plan(
             expr, sources, run_engine, effective_parallelism, scalar=True
         )
@@ -718,6 +802,147 @@ class QueryProvider:
         try:
             return build_parallel_query(split, compile_kernel)
         except UnsupportedQueryError:
+            return None
+
+    # -- distributed execution (sharded multi-process; DESIGN.md §16) ------------
+
+    def _resolve_distributed(self, distributed: Optional[int]) -> int:
+        """Worker-process count: explicit request beats the environment.
+
+        ``REPRO_DISTRIBUTED=1`` (or ``true``) enables distribution with
+        ``REPRO_DIST_WORKERS`` workers (default 2); a numeric value > 1
+        is itself the worker count; 0 is the explicit off switch.
+        """
+        if distributed is not None:
+            return max(0, int(distributed))
+        env = os.environ.get("REPRO_DISTRIBUTED", "").strip().lower()
+        if not env or env in ("0", "false", "off", "no"):
+            return 0
+        if env in ("1", "true", "on", "yes"):
+            workers_env = os.environ.get("REPRO_DIST_WORKERS", "").strip()
+            try:
+                return max(2, int(workers_env)) if workers_env else 2
+            except ValueError:
+                return 2
+        try:
+            return max(0, int(env))
+        except ValueError:
+            return 0
+
+    def _distributed_plan(
+        self,
+        expr: Expr,
+        sources: List[Any],
+        engine: str,
+        distributed: Optional[int],
+        scalar: bool,
+        params: Dict[str, Any],
+    ) -> Optional[tuple]:
+        """(workers, DistributedQuery) — or None to fall through to the
+        thread tier / sequential artifact.
+
+        Shards own column buffers, so every source must be a StructArray;
+        parameters must survive the process boundary.  Both checks fall
+        back (counted in ``dist.fallbacks``) rather than erroring: asking
+        for distribution never makes a supported query fail.
+        """
+        workers = self._resolve_distributed(distributed)
+        if workers < 2 or engine not in DISTRIBUTED_ENGINES:
+            return None
+        if not sources or not all(isinstance(s, StructArray) for s in sources):
+            return None
+        artifact = self._distributed_for(expr, sources, engine)
+        if artifact is None or artifact.scalar != scalar:
+            return None
+        from ..distributed import wire
+
+        try:
+            wire.encode_params(params)
+        except Exception:  # noqa: BLE001 - unshippable params: thread tier
+            METRICS.counter("dist.fallbacks").add()
+            return None
+        return workers, artifact
+
+    def _distributed_for(
+        self, expr: Expr, sources: List[Any], engine: str
+    ) -> Optional[Any]:
+        canonical = canonicalize(expr)
+        # no worker count in the key: the broadcast artifact is
+        # shape-only, and one compilation serves any shard fan-out
+        key = cache_key(
+            canonical,
+            f"{engine}::distributed",
+            self._options_token()
+            + self._facts_component(canonical, sources, engine)
+            + _source_signature(sources),
+        )
+        lock_entry = self._acquire_key_lock(key)
+        try:
+            entry = self._distributed_entries.get(key)
+            if entry is None:
+                entry = self._build_distributed(canonical, sources, engine, key)
+                if entry is None:
+                    entry = _SEQUENTIAL
+                with self._lock:
+                    self._distributed_entries[key] = entry
+        finally:
+            self._release_key_lock(key, lock_entry)
+        return None if entry is _SEQUENTIAL else entry
+
+    def _build_distributed(
+        self,
+        canonical: CanonicalQuery,
+        sources: List[Any],
+        engine: str,
+        key: Any,
+    ) -> Optional[Any]:
+        """Compile the broadcast artifact, or None for thread/sequential.
+
+        Mirrors :meth:`_build_parallel` but splits with
+        :func:`~repro.plans.validate.distributed_split` (inner joins
+        distribute via broadcast builds instead of blocking) and wraps
+        the kernels with their namespace wire recipes.  A namespace that
+        cannot cross processes downgrades, never errors.
+        """
+        from ..distributed.coordinator import build_distributed_query
+        from ..distributed.wire import UnshippableError
+
+        self._analysis_for(canonical, sources)
+        plan = optimize(
+            translate(canonical.tree, self.translate_options),
+            self.optimize_options,
+            statistics=self._statistics,
+            param_values=canonical.bindings,
+        )
+        split = distributed_split(plan)
+        if not split.parallel:
+            return None
+        backend = _make_backend(engine)
+
+        def compile_kernel(partial):
+            partial_ir = lower_plan(
+                partial,
+                morsel_ordinal=split.morsel_ordinal,
+                statistics=self._statistics,
+                param_values=canonical.bindings,
+            )
+            partial_ir.facts = analyze_ir(
+                partial_ir,
+                param_values=canonical.bindings,
+                statistics=self._statistics,
+            )
+            return backend.compile(
+                partial,
+                sources,
+                morsel_ordinal=split.morsel_ordinal,
+                ir=partial_ir,
+            )
+
+        artifact_key = hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+        try:
+            return build_distributed_query(split, compile_kernel, artifact_key)
+        except (UnsupportedQueryError, UnshippableError):
+            METRICS.counter("dist.fallbacks").add()
             return None
 
     def _options_token(self) -> tuple:

@@ -85,6 +85,7 @@ class Query:
         "morsel_size",
         "trace",
         "adaptive",
+        "distributed_workers",
         "_provider",
     )
 
@@ -99,6 +100,7 @@ class Query:
         morsel_size: Optional[int] = None,
         trace: Optional[bool] = None,
         adaptive: Any = None,
+        distributed: Optional[int] = None,
     ):
         self.expr = expr
         self.sources = sources
@@ -108,6 +110,7 @@ class Query:
         self.morsel_size = morsel_size
         self.trace = trace
         self.adaptive = adaptive
+        self.distributed_workers = distributed
         self._provider = provider
 
     # -- construction helpers ---------------------------------------------------
@@ -126,6 +129,7 @@ class Query:
             morsel_size=kw.get("morsel_size", self.morsel_size),
             trace=kw.get("trace", self.trace),
             adaptive=kw.get("adaptive", self.adaptive),
+            distributed=kw.get("distributed", self.distributed_workers),
         )
 
     def _merge(self, other: "Query") -> tuple:
@@ -142,6 +146,7 @@ class Query:
         parallelism: Optional[int] = None,
         trace: Optional[bool] = None,
         adaptive: Any = None,
+        distributed: Optional[int] = None,
     ) -> "Query":
         """Select the execution strategy (and optionally a shared provider,
         a worker count for morsel-driven parallel execution, and a
@@ -159,6 +164,12 @@ class Query:
         :class:`~repro.adaptive.AdaptiveController` instance scopes the
         profiles to that controller's store).  Answers never change —
         only the execution configuration does.
+
+        ``distributed=N`` (N ≥ 2) runs eligible queries on N worker
+        *processes* — sharded multi-process execution (DESIGN.md §16);
+        ``distributed=0`` forces in-process execution even when
+        ``REPRO_DISTRIBUTED`` is on.  Queries outside the distributable
+        fragment fall back to thread/sequential execution unchanged.
         """
         return self._replace(
             engine=engine,
@@ -168,6 +179,11 @@ class Query:
             ),
             trace=trace if trace is not None else self.trace,
             adaptive=adaptive if adaptive is not None else self.adaptive,
+            distributed=(
+                distributed
+                if distributed is not None
+                else self.distributed_workers
+            ),
         )
 
     def in_parallel(
@@ -181,11 +197,30 @@ class Query:
         """
         return self._replace(parallelism=workers, morsel_size=morsel_size)
 
+    def distributed(self, workers: int = 2) -> "Query":
+        """Execute on *workers* worker processes over table shards.
+
+        The provider compiles once, broadcasts the artifact, scatters
+        contiguous shards of the driving table, and merges the partials
+        with the same algebra thread-parallel execution uses — results
+        are exactly those of sequential execution.  Queries outside the
+        distributable fragment (and non-StructArray sources) silently
+        fall back to the thread tier; ``workers=0`` forces in-process
+        execution even when ``REPRO_DISTRIBUTED`` is on.
+        """
+        return self._replace(distributed=workers)
+
     def _adaptive_kwargs(self) -> Dict[str, Any]:
-        """Forward ``adaptive`` only when set: custom providers that
-        predate the adaptive layer keep working, and the default
-        provider still honours ``REPRO_ADAPTIVE`` on its own."""
-        return {} if self.adaptive is None else {"adaptive": self.adaptive}
+        """Forward ``adaptive``/``distributed`` only when set: custom
+        providers that predate those layers keep working, and the
+        default provider still honours ``REPRO_ADAPTIVE`` /
+        ``REPRO_DISTRIBUTED`` on its own."""
+        kwargs: Dict[str, Any] = {}
+        if self.adaptive is not None:
+            kwargs["adaptive"] = self.adaptive
+        if self.distributed_workers is not None:
+            kwargs["distributed"] = self.distributed_workers
+        return kwargs
 
     def with_params(self, **params: Any) -> "Query":
         """Bind values for :func:`~repro.expressions.builder.P` parameters."""
@@ -424,6 +459,7 @@ class Query:
             self.engine,
             parallelism=self.parallelism,
             adaptive=self.adaptive,
+            distributed=self.distributed_workers,
         ).render()
 
     def explain_analyze(self) -> Any:
@@ -445,6 +481,7 @@ class Query:
             parallelism=self.parallelism,
             morsel_size=self.morsel_size,
             adaptive=self.adaptive,
+            distributed=self.distributed_workers,
         )
 
     # -- terminal scalar aggregates (single compiled pass) -------------------------

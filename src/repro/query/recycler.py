@@ -91,6 +91,10 @@ class RecyclerStats:
     #: stale entries that had to re-execute from scratch (non-mergeable
     #: shape, non-growth change, or REPRO_DELTA_RECYCLE=0)
     full_reruns: int = 0
+    #: superseded entries evicted when a newer entry for the same
+    #: (engine, query, params, source identities) landed — e.g. a plain
+    #: collection that grew, whose old-length entry can never hit again
+    compactions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -533,10 +537,39 @@ class RecyclingProvider(QueryProvider):
     # -- maintenance -----------------------------------------------------------------
 
     def _store(self, key: Any, entry: _Entry) -> None:
+        self._compact(key)
         self._results[key] = entry
         self._results.move_to_end(key)
         while len(self._results) > self._max_results:
             self._results.popitem(last=False)
+
+    def _compact(self, key: Any) -> None:
+        """Evict entries this one supersedes.
+
+        A plain collection keys by (identity, length), so growth lands on
+        a *new* key while the old-length entry — rows and partial state —
+        lingers until LRU pressure.  Versioned arrays refresh in place
+        (identity-only key), so only the plain-source statics can differ:
+        any cached entry for the same engine, canonical query, params,
+        and source identities with different statics can never hit again
+        and is dropped now, not ``max_results`` queries later.
+        """
+        engine, canonical_key, frozen_params, statics = key
+        idents = tuple(static[1] for static in statics)
+        superseded = [
+            k
+            for k in self._results
+            if k != key
+            and k[0] == engine
+            and k[1] == canonical_key
+            and k[2] == frozen_params
+            and tuple(static[1] for static in k[3]) == idents
+        ]
+        for k in superseded:
+            del self._results[k]
+        if superseded:
+            self.recycler_stats.compactions += len(superseded)
+            METRICS.counter("recycler.compactions").add(len(superseded))
 
     def invalidate(self, source: Any = None) -> int:
         """Drop cached results (for *source*, or everything).

@@ -69,8 +69,15 @@ __all__ = [
     "DEFAULT_MORSEL_ROWS",
     "MORSEL_START",
     "MORSEL_STOP",
+    "GroupMergeSpec",
     "ParallelQuery",
+    "ScalarMergeSpec",
+    "apply_post_ops",
     "build_parallel_query",
+    "finalize_group_table",
+    "finalize_scalar",
+    "merge_group_table",
+    "merge_scalar_slots",
     "morsel_bounds",
     "morsel_slice",
     "source_length",
@@ -164,7 +171,7 @@ def _physical_slots(
 
 
 @dataclass
-class _GroupMergeSpec:
+class GroupMergeSpec:
     """Everything the group merge needs about the partial table layout."""
 
     nkeys: int
@@ -177,9 +184,156 @@ class _GroupMergeSpec:
 
 
 @dataclass
-class _ScalarMergeSpec:
+class ScalarMergeSpec:
     slot_kinds: List[str]
     extract: List[Tuple[str, int, int]]
+
+
+# kept under the old private names for any out-of-tree callers
+_GroupMergeSpec = GroupMergeSpec
+_ScalarMergeSpec = ScalarMergeSpec
+
+
+# ---------------------------------------------------------------------------
+# The merge algebra, as pure functions over partial states
+# ---------------------------------------------------------------------------
+#
+# Both executors — the in-process thread pool below and the multi-process
+# coordinator in :mod:`repro.distributed` — feed partials through these
+# same functions, so there is exactly one definition of what a merge
+# means.  They take only specs, partial states and params (no provider,
+# no executor), which is also what lets the result recycler hold a cached
+# *pre-finalization* state and fold fresh delta partials into it: each
+# merge is associative per mode.
+
+
+def merge_scalar_slots(
+    slot_kinds: Sequence[str], partials: List[List[Any]]
+) -> List[Any]:
+    """Fold slot-wise partials (each a value per physical slot) into one
+    merged slot list.  The result is itself a valid partial — the scalar
+    state the delta recycler caches."""
+    merged: List[Any] = []
+    for j, kind in enumerate(slot_kinds):
+        values = [part[j] for part in partials]
+        if kind in ("sum", "count"):
+            total = values[0]
+            for value in values[1:]:
+                total = total + value
+            merged.append(total)
+        else:
+            present = [v for v in values if v is not _NO_VALUE]
+            if not present:
+                merged.append(_NO_VALUE)
+            else:
+                merged.append(min(present) if kind == "min" else max(present))
+    return merged
+
+
+def finalize_scalar(
+    spec: ScalarMergeSpec,
+    output: Optional[Expr],
+    merged: List[Any],
+    params: Dict[str, Any],
+) -> Any:
+    """Extract the aggregate values from merged slots and evaluate the
+    output expression (raising for empty-input min/max/avg, matching
+    every sequential engine)."""
+    env: Dict[str, Any] = {}
+    for i, (mode, a, b) in enumerate(spec.extract):
+        if mode == "avg":
+            if not merged[b]:
+                raise ExecutionError(_EMPTY_AGGREGATE_MSG)
+            env[f"__agg{i}"] = merged[a] / merged[b]
+        else:
+            if merged[a] is _NO_VALUE:
+                raise ExecutionError(_EMPTY_AGGREGATE_MSG)
+            env[f"__agg{i}"] = merged[a]
+    return interpret(output, env, params)
+
+
+def merge_group_table(
+    spec: GroupMergeSpec, partials: List[List[Any]]
+) -> List[tuple]:
+    """Merge flat partial group tables into one flat table.
+
+    Rows are plain tuples ``(k0..kn, s0..sm)`` holding managed-side
+    values — the same shape the kernels emit, so a merged table is
+    itself a valid partial: the group state the delta recycler caches
+    and later re-merges with fresh delta partials.  First-seen group
+    order is preserved (earlier partials first), matching sequential
+    execution.
+    """
+    nkeys = spec.nkeys
+    nslots = len(spec.merge_kinds)
+    key_cols_spec = [_ColumnSpec.scan(partials, c) for c in range(nkeys)]
+    val_cols_spec = [
+        _ColumnSpec.scan(partials, nkeys + j) for j in range(nslots)
+    ]
+    aggregator = StreamingGroupAggregator(nkeys, spec.merge_kinds)
+    for part in partials:
+        if not part:
+            continue
+        keys = tuple(
+            key_cols_spec[c].array([row[c] for row in part])
+            for c in range(nkeys)
+        )
+        values = [
+            val_cols_spec[j].array([row[nkeys + j] for row in part])
+            for j in range(nslots)
+        ]
+        aggregator.consume_page(keys, values)
+    key_cols, agg_cols = aggregator.finalize()
+    ngroups = len(key_cols[0]) if key_cols else 0
+    table: List[tuple] = []
+    for g in range(ngroups):
+        table.append(
+            tuple(
+                [key_cols_spec[c].decode(key_cols[c][g]) for c in range(nkeys)]
+                + [val_cols_spec[j].decode(agg_cols[j][g]) for j in range(nslots)]
+            )
+        )
+    return table
+
+
+def finalize_group_table(
+    spec: GroupMergeSpec,
+    output: Optional[Expr],
+    table: List[tuple],
+    params: Dict[str, Any],
+) -> List[Any]:
+    """Evaluate the group output expression once per merged group."""
+    nkeys = spec.nkeys
+    if not table:
+        return []
+    key_record = (
+        make_record_type(spec.key_field_names, spec.key_type_name)
+        if spec.key_is_record
+        else None
+    )
+    rows: List[Any] = []
+    for entry in table:
+        env: Dict[str, Any] = {
+            "__key": key_record(*entry[:nkeys]) if key_record else entry[0]
+        }
+        for i, (mode, a, b) in enumerate(spec.extract):
+            if mode == "avg":
+                env[f"__agg{i}"] = _as_python(entry[nkeys + a] / entry[nkeys + b])
+            else:
+                env[f"__agg{i}"] = entry[nkeys + a]
+        rows.append(interpret(output, env, params))
+    return rows
+
+
+def apply_post_ops(
+    post_ops: Sequence[Plan], rows: List[Any], params: Dict[str, Any]
+) -> List[Any]:
+    """Re-apply the peeled root operators (sort/top-n/limit/distinct)
+    managed-side, in plan order, with stable engine-equivalent
+    semantics."""
+    for op in reversed(post_ops):
+        rows = _apply_post_op(op, rows, params)
+    return rows
 
 
 @dataclass
@@ -196,8 +350,8 @@ class ParallelQuery:
     kernels: List[Any]  # CompiledQuery per kernel
     post_ops: Tuple[Plan, ...] = ()
     output: Optional[Expr] = None
-    group_spec: Optional[_GroupMergeSpec] = None
-    scalar_spec: Optional[_ScalarMergeSpec] = None
+    group_spec: Optional[GroupMergeSpec] = None
+    scalar_spec: Optional[ScalarMergeSpec] = None
 
     @property
     def scalar(self) -> bool:
@@ -383,125 +537,28 @@ class ParallelQuery:
             with TRACER.span("parallel.dispatch", morsels=len(bounds)):
                 return self._run_morsels(sources, params, bounds, workers)
 
+    # The merge methods below delegate to the module-level pure functions
+    # so every executor (thread pool, delta recycler, distributed
+    # coordinator) shares one implementation of the algebra.
+
     def merge_scalar_slots(self, partials: List[List[Any]]) -> List[Any]:
-        """Fold slot-wise partials (each a value per physical slot) into
-        one merged slot list.  The result is itself a valid partial —
-        the scalar state the delta recycler caches."""
-        spec = self.scalar_spec
-        merged: List[Any] = []
-        for j, kind in enumerate(spec.slot_kinds):
-            values = [part[j] for part in partials]
-            if kind in ("sum", "count"):
-                total = values[0]
-                for value in values[1:]:
-                    total = total + value
-                merged.append(total)
-            else:
-                present = [v for v in values if v is not _NO_VALUE]
-                if not present:
-                    merged.append(_NO_VALUE)
-                else:
-                    merged.append(min(present) if kind == "min" else max(present))
-        return merged
+        return merge_scalar_slots(self.scalar_spec.slot_kinds, partials)
 
     def finalize_scalar(self, merged: List[Any], params: Dict[str, Any]) -> Any:
-        """Extract the aggregate values from merged slots and evaluate the
-        output expression (raising for empty-input min/max/avg, matching
-        every sequential engine)."""
-        spec = self.scalar_spec
-        env: Dict[str, Any] = {}
-        for i, (mode, a, b) in enumerate(spec.extract):
-            if mode == "avg":
-                if not merged[b]:
-                    raise ExecutionError(_EMPTY_AGGREGATE_MSG)
-                env[f"__agg{i}"] = merged[a] / merged[b]
-            else:
-                if merged[a] is _NO_VALUE:
-                    raise ExecutionError(_EMPTY_AGGREGATE_MSG)
-                env[f"__agg{i}"] = merged[a]
-        return interpret(self.output, env, params)
+        return finalize_scalar(self.scalar_spec, self.output, merged, params)
 
     def merge_group_table(self, partials: List[List[Any]]) -> List[tuple]:
-        """Merge flat partial group tables into one flat table.
-
-        Rows are plain tuples ``(k0..kn, s0..sm)`` holding managed-side
-        values — the same shape the kernels emit, so a merged table is
-        itself a valid partial: the group state the delta recycler caches
-        and later re-merges with fresh delta partials.  First-seen group
-        order is preserved (earlier partials first), matching sequential
-        execution.
-        """
-        spec = self.group_spec
-        nkeys = spec.nkeys
-        nslots = len(spec.merge_kinds)
-        key_cols_spec = [
-            _ColumnSpec.scan(partials, c) for c in range(nkeys)
-        ]
-        val_cols_spec = [
-            _ColumnSpec.scan(partials, nkeys + j) for j in range(nslots)
-        ]
-        aggregator = StreamingGroupAggregator(nkeys, spec.merge_kinds)
-        for part in partials:
-            if not part:
-                continue
-            keys = tuple(
-                key_cols_spec[c].array([row[c] for row in part])
-                for c in range(nkeys)
-            )
-            values = [
-                val_cols_spec[j].array([row[nkeys + j] for row in part])
-                for j in range(nslots)
-            ]
-            aggregator.consume_page(keys, values)
-        key_cols, agg_cols = aggregator.finalize()
-        ngroups = len(key_cols[0]) if key_cols else 0
-        table: List[tuple] = []
-        for g in range(ngroups):
-            table.append(
-                tuple(
-                    [key_cols_spec[c].decode(key_cols[c][g]) for c in range(nkeys)]
-                    + [val_cols_spec[j].decode(agg_cols[j][g]) for j in range(nslots)]
-                )
-            )
-        return table
+        return merge_group_table(self.group_spec, partials)
 
     def finalize_group_table(
         self, table: List[tuple], params: Dict[str, Any]
     ) -> List[Any]:
-        """Evaluate the group output expression once per merged group."""
-        spec = self.group_spec
-        nkeys = spec.nkeys
-        if not table:
-            return []
-        key_record = (
-            make_record_type(spec.key_field_names, spec.key_type_name)
-            if spec.key_is_record
-            else None
-        )
-        rows: List[Any] = []
-        for entry in table:
-            env: Dict[str, Any] = {
-                "__key": key_record(*entry[:nkeys]) if key_record else entry[0]
-            }
-            for i, (mode, a, b) in enumerate(spec.extract):
-                if mode == "avg":
-                    env[f"__agg{i}"] = _as_python(
-                        entry[nkeys + a] / entry[nkeys + b]
-                    )
-                else:
-                    env[f"__agg{i}"] = entry[nkeys + a]
-            rows.append(interpret(self.output, env, params))
-        return rows
+        return finalize_group_table(self.group_spec, self.output, table, params)
 
     def apply_post_ops(
         self, rows: List[Any], params: Dict[str, Any]
     ) -> List[Any]:
-        """Re-apply the peeled root operators (sort/top-n/limit/distinct)
-        managed-side, in plan order, with stable engine-equivalent
-        semantics."""
-        for op in reversed(self.post_ops):
-            rows = _apply_post_op(op, rows, params)
-        return rows
+        return apply_post_ops(self.post_ops, rows, params)
 
     # -- scalar merge -----------------------------------------------------------
 
@@ -662,7 +719,7 @@ def build_parallel_query(
             kernels=kernels,
             post_ops=split.post_ops,
             output=core.output,
-            scalar_spec=_ScalarMergeSpec(
+            scalar_spec=ScalarMergeSpec(
                 slot_kinds=[kind for kind, _ in slots], extract=extract
             ),
         )
@@ -697,7 +754,7 @@ def build_parallel_query(
         kernels=[compile_kernel(partial_plan)],
         post_ops=split.post_ops,
         output=core.output,
-        group_spec=_GroupMergeSpec(
+        group_spec=GroupMergeSpec(
             nkeys=len(key_exprs),
             key_is_record=key_is_record,
             key_field_names=tuple(key_field_names),

@@ -241,3 +241,98 @@ class TestABGate:
         path = _write(tmp_path, "static.json", payload)
         with pytest.raises(SystemExit):
             gate.main(["--ab-static", str(path)])
+
+
+def _dist_cells(thread_ms, dist_ms):
+    cells = []
+    for sel in (0.2, 0.6):
+        cells.append(
+            {
+                "figure": "fig07_dist",
+                "engine": "thread4",
+                "selectivity": sel,
+                "ms": thread_ms,
+            }
+        )
+        cells.append(
+            {
+                "figure": "fig07_dist",
+                "engine": "dist4",
+                "selectivity": sel,
+                "ms": dist_ms,
+            }
+        )
+    return cells
+
+
+class TestDistributedGate:
+    """check_dist: within-run thread-vs-process speedup with honest skips."""
+
+    def _paths(self, tmp_path, thread_ms, dist_ms, scale, cpus):
+        payload = _payload(
+            {"linq": 100.0, "compiled": 10.0},
+            extra_cells=_dist_cells(thread_ms, dist_ms),
+        )
+        payload["scale"] = scale
+        payload["cpus"] = cpus
+        base = _write(
+            tmp_path, "base.json", _payload({"linq": 100.0, "compiled": 10.0})
+        )
+        cur = _write(tmp_path, "cur.json", payload)
+        return base, cur
+
+    def test_speedup_below_floor_fails(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, 100.0, 90.0, scale=0.1, cpus=4)
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 1
+        out = capsys.readouterr().out
+        assert "distributed execution beats the thread tier by less" in out
+
+    def test_speedup_above_floor_passes(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, 100.0, 50.0, scale=0.1, cpus=4)
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+        assert "distributed-execution check" in capsys.readouterr().out
+
+    def test_single_core_skips_with_warning(self, tmp_path, capsys):
+        # a 1-cpu runner timeshares the worker processes: a sub-1.5x
+        # speedup there is physics, not a regression
+        base, cur = self._paths(tmp_path, 100.0, 120.0, scale=0.1, cpus=1)
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+        assert "distributed gate skipped" in capsys.readouterr().out
+
+    def test_smoke_scale_skips_with_warning(self, tmp_path, capsys):
+        base, cur = self._paths(tmp_path, 100.0, 120.0, scale=0.003, cpus=4)
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+        assert "distributed gate skipped" in capsys.readouterr().out
+
+    def test_missing_cells_warn_not_fail(self, tmp_path, capsys):
+        payload = _payload({"linq": 100.0, "compiled": 10.0})
+        payload["scale"] = 0.1
+        payload["cpus"] = 4
+        base = _write(
+            tmp_path, "base.json", _payload({"linq": 100.0, "compiled": 10.0})
+        )
+        cur = _write(tmp_path, "cur.json", payload)
+        assert gate.main(["--baseline", str(base), "--current", str(cur)]) == 0
+        assert "no fig07_dist cells" in capsys.readouterr().out
+
+    def test_dist_min_speedup_flag(self, tmp_path):
+        base, cur = self._paths(tmp_path, 100.0, 90.0, scale=0.1, cpus=4)
+        args = ["--baseline", str(base), "--current", str(cur)]
+        assert gate.main(args + ["--dist-min-speedup", "1.0"]) == 0
+        assert gate.main(args + ["--dist-min-speedup", "2.0"]) == 1
+
+    def test_dist_only_mode_needs_no_baseline(self, tmp_path, capsys):
+        payload = _payload({}, extra_cells=_dist_cells(100.0, 50.0))
+        payload["scale"] = 0.1
+        payload["cpus"] = 4
+        cur = _write(tmp_path, "dist.json", payload)
+        assert gate.main(["--dist-current", str(cur)]) == 0
+        assert "OK: distributed gate passed" in capsys.readouterr().out
+
+    def test_dist_only_mode_fails_on_slow_dist(self, tmp_path, capsys):
+        payload = _payload({}, extra_cells=_dist_cells(100.0, 90.0))
+        payload["scale"] = 0.1
+        payload["cpus"] = 4
+        cur = _write(tmp_path, "dist.json", payload)
+        assert gate.main(["--dist-current", str(cur)]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -472,3 +472,43 @@ def test_explain_analyze_shows_delta():
     analysis = query.explain_analyze()
     assert analysis.recycle == "delta"
     assert "recycle: delta" in str(analysis)
+
+
+def test_plain_growth_compacts_superseded_entries():
+    """A plain collection keys by (identity, length), so growth lands on
+    a new key; storing the new entry must evict the old-length one (its
+    rows and partial state can never hit again) instead of letting it
+    squat in the LRU."""
+    rng = random.Random(9)
+    arr = StructArray.from_rows(T1, _rows_a(rng, 40))
+    # a plain list, not a StructArray: the query's source IS this object,
+    # so in-place growth changes its length (and hence its cache key)
+    items = list(arr.to_objects())
+    provider = RecyclingProvider()
+    query = (
+        from_iterable(items)
+        .using("compiled", provider)
+        .where(lambda r: r.g != 1)
+        .select(lambda r: new(i=r.rid, v=r.v))
+    )
+    query.to_list()
+    assert provider.cached_results == 1
+    before = provider.recycler_stats.compactions
+    metric_before = METRICS.counter("recycler.compactions").value
+    items.extend(list(arr.to_objects())[:7])  # same identity, new length
+    second = query.to_list()
+    assert provider.cached_results == 1  # superseded entry compacted away
+    assert provider.recycler_stats.compactions == before + 1
+    assert METRICS.counter("recycler.compactions").value == metric_before + 1
+    # the surviving entry still serves hits
+    hits = provider.recycler_stats.hits
+    assert query.to_list() == second
+    assert provider.recycler_stats.hits == hits + 1
+    # distinct queries over the same source are untouched by compaction
+    other = (
+        from_iterable(items)
+        .using("compiled", provider)
+        .select(lambda r: r.rid)
+    )
+    other.to_list()
+    assert provider.cached_results == 2

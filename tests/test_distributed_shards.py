@@ -1,0 +1,146 @@
+"""Shard ownership: pinned snapshots survive the spawn boundary intact.
+
+A shard payload pickled to a spawn-context child process and
+materialized there must describe the same table the coordinator pinned:
+same dtype, length, version, index set (rebuilt fresh, never stale) and
+clustering metadata — and appends to the live array after the pin must
+be invisible to every shard.
+"""
+
+import multiprocessing
+import pickle
+import random
+
+from repro.distributed.shards import (
+    broadcast_payload,
+    materialize,
+    pin,
+    probe_shard,
+    shard_bounds,
+    shard_payload,
+    table_token,
+    table_uid,
+)
+from repro.storage import Field, Schema, StructArray
+
+SCHEMA = Schema(
+    [
+        Field("rid", "int"),
+        Field("g", "int"),
+        Field("v", "float"),
+        Field("s", "str", 4),
+    ],
+    name="ShardT",
+)
+
+_VOCAB = ["aa", "bb", "cc", "dd"]
+
+
+def _rows(rng, n):
+    return [
+        (
+            rng.randrange(10_000),
+            rng.randrange(6),
+            rng.randrange(-200, 200) * 0.25,
+            rng.choice(_VOCAB),
+        )
+        for _ in range(n)
+    ]
+
+
+def _array(n=64, seed=7):
+    return StructArray.from_rows(SCHEMA, _rows(random.Random(seed), n))
+
+
+def test_shard_bounds_deterministic_and_total():
+    assert shard_bounds(0, 4) == [(0, 0)]
+    assert shard_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+    assert shard_bounds(2, 8) == [(0, 1), (1, 2)]  # never more shards than rows
+    for total, shards in [(1, 1), (97, 4), (1000, 7)]:
+        bounds = shard_bounds(total, shards)
+        assert bounds[0][0] == 0 and bounds[-1][1] == total
+        assert all(lo <= hi for lo, hi in bounds)
+        assert bounds == shard_bounds(total, shards)  # resubmission re-slices alike
+
+
+def test_table_uid_shared_across_snapshots():
+    live = _array()
+    uid = table_uid(live)
+    assert table_uid(live.snapshot()) == uid
+    assert table_uid(live.snapshot()) == uid  # successive snapshots, one residency
+    assert table_uid(_array(seed=8)) != uid
+
+
+def test_pin_hides_concurrent_appends():
+    live = _array(40)
+    snap = pin(live)
+    token_before = table_token(snap, ("shard", 0, 40))
+    live.append_rows(_rows(random.Random(1), 8))
+    assert len(snap) == 40  # appends after the pin are invisible
+    assert table_token(snap, ("shard", 0, 40)) == token_before
+    fresh = pin(live)
+    assert len(fresh) == 48
+    # the new watermark yields a new token: workers will not serve stale rows
+    assert table_token(fresh, ("shard", 0, 40)) != token_before
+    # but the uid component is shared — same residency slot, superseded in place
+    assert table_token(fresh, ("shard", 0, 40))[0] == token_before[0]
+
+
+def test_in_process_round_trip_preserves_rows_and_metadata():
+    live = _array(50)
+    live.create_index("g")
+    snap = pin(live)
+    shard = shard_payload(snap, 10, 30)
+    rebuilt = materialize(pickle.loads(pickle.dumps(shard)))
+    assert len(rebuilt) == 20
+    assert rebuilt.frozen
+    assert rebuilt.version == snap.version
+    assert str(rebuilt.data.dtype) == str(snap.data.dtype)
+    assert rebuilt.data.tolist() == snap.data[10:30].tolist()
+    # indexes are rebuilt locally over the shard's own rows, never stale
+    assert rebuilt.index_fields() == ("g",)
+    assert not rebuilt.get_index("g").stale()
+
+
+def test_clustering_survives_slicing():
+    clustered = _array(60).cluster_by("rid")
+    snap = pin(clustered)
+    shard = shard_payload(snap, 15, 45)
+    rebuilt = materialize(pickle.loads(pickle.dumps(shard)))
+    # a contiguous slice of a sorted array is still sorted, so the
+    # clustering column stays trusted (binary-search range scans valid)
+    assert rebuilt.clustering == "rid"
+    col = [row[0] for row in rebuilt.data.tolist()]
+    assert col == sorted(col)
+
+
+def test_probe_shard_across_spawn_process():
+    """The full wire path: pickle → spawn child → materialize → describe."""
+    live = _array(48, seed=11)
+    live.create_index("g")
+    snap = pin(live)
+    bounds = shard_bounds(len(snap), 2)
+    shards = [shard_payload(snap, lo, hi) for lo, hi in bounds]
+    full = broadcast_payload(snap)
+    blobs = [pickle.dumps(s) for s in shards + [full]]
+
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        reports = [pool.apply(probe_shard, (blob,)) for blob in blobs]
+
+    for shard, report in zip(shards, reports):
+        lo, hi = shard.window
+        assert report["token"] == shard.token
+        assert report["dtype"] == str(snap.data.dtype)
+        assert report["length"] == hi - lo
+        assert report["version"] == snap.version
+        assert report["frozen"] is True
+        assert report["index_fields"] == ("g",)
+        assert report["indexes_fresh"] is True
+        assert report["first_row"] == tuple(snap.data[lo].item())
+        assert report["last_row"] == tuple(snap.data[hi - 1].item())
+    full_report = reports[-1]
+    assert full_report["token"][3] == ("full",)
+    assert full_report["length"] == len(snap)
+    assert full_report["first_row"] == tuple(snap.data[0].item())
+    assert full_report["last_row"] == tuple(snap.data[-1].item())
